@@ -1,0 +1,53 @@
+//! Applications for the Otherworld evaluation (§5, §6).
+//!
+//! The paper evaluates five applications — the vi and JOE text editors, the
+//! MySQL database server (MEMORY storage engine), the Apache/PHP bundle
+//! (shared-memory session store) and the BLCR checkpointing system — plus
+//! the VolanoMark chat benchmark for the protection-overhead measurements
+//! (Table 3). This crate implements a faithful analog of each as an
+//! [`ow_kernel::Program`]: all application data lives in the simulated user
+//! address space, crash procedures follow §5's recipes, and each app comes
+//! with a workload driver that maintains a remote-log shadow model for data
+//! verification, exactly as the fault-injection experiments require.
+
+pub mod blcr;
+pub mod joe;
+pub mod memio;
+pub mod mempse;
+pub mod minidb;
+pub mod shell;
+pub mod vi;
+pub mod volano;
+pub mod webserv;
+pub mod workload;
+
+pub use workload::{make_workload, AppMeta, VerifyResult, Workload};
+
+use ow_kernel::ProgramRegistry;
+
+/// Builds the program registry with every application installed — the
+/// "on-disk executables" both kernels can instantiate (§3.1: same
+/// environment in the main and crash kernels).
+pub fn full_registry() -> ProgramRegistry {
+    let mut r = ProgramRegistry::new();
+    shell::register(&mut r);
+    vi::register(&mut r);
+    joe::register(&mut r);
+    minidb::register(&mut r);
+    webserv::register(&mut r);
+    blcr::register(&mut r);
+    volano::register(&mut r);
+    r
+}
+
+/// Table 2 of the paper: per-application crash-procedure requirements and
+/// the size of the modifications.
+pub fn table2_rows() -> Vec<AppMeta> {
+    vec![
+        vi::meta(),
+        joe::meta(),
+        minidb::meta(),
+        webserv::meta(),
+        blcr::meta(),
+    ]
+}

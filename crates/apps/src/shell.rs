@@ -1,0 +1,83 @@
+//! An interactive text-mode shell.
+//!
+//! Table 6's first row measures the time until "the interactive user is
+//! presented with the text mode shell". The shell itself is tiny: it echoes
+//! input, keeps a command history in user memory, and survives microreboots
+//! without a crash procedure.
+
+use crate::memio;
+use ow_kernel::{
+    program::{Program, ProgramRegistry, StepResult, UserApi, PROG_STATE_VADDR},
+    Errno,
+};
+
+/// Header layout: `+0` magic, `+8` history length in bytes.
+const MAGIC: u64 = 0x4c4c_4548_5357_4f00; // "OWSHELL"-ish
+const HIST_LEN: u64 = PROG_STATE_VADDR + 8;
+/// Command history ring (length-prefixed byte block).
+const HIST_BUF: u64 = 0x8000;
+/// History capacity in bytes.
+const HIST_CAP: u64 = 0x4000;
+
+/// The shell program.
+pub struct Shell;
+
+impl Shell {
+    fn append_history(api: &mut dyn UserApi, b: u8) -> Result<(), Errno> {
+        let len = memio::get_u64(api, HIST_LEN)?;
+        if len < HIST_CAP {
+            api.mem_write(HIST_BUF + len, &[b])?;
+            memio::set_u64(api, HIST_LEN, len + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl Program for Shell {
+    fn step(&mut self, api: &mut dyn UserApi) -> StepResult {
+        let mut buf = [0u8; 8];
+        match api.term_read(&mut buf) {
+            Ok(n) => {
+                for &b in &buf[..n as usize] {
+                    let _ = api.term_write(&[b]); // echo
+                    let _ = Self::append_history(api, b);
+                }
+                StepResult::Running
+            }
+            // ERESTART after a microreboot: reissue the read (§3.5) — a
+            // shell naturally retries.
+            Err(Errno::Restart) | Err(Errno::WouldBlock) => {
+                api.compute(1);
+                StepResult::Running
+            }
+            Err(_) => StepResult::Running,
+        }
+    }
+
+    fn save_state(&mut self, _api: &mut dyn UserApi) {
+        // History length and bytes are written through on every key.
+    }
+}
+
+/// Registers the shell with the program registry.
+pub fn register(r: &mut ProgramRegistry) {
+    r.register(
+        "shell",
+        |api, _args| {
+            let _ = api.mem_write_u64(PROG_STATE_VADDR, MAGIC);
+            let _ = memio::set_u64(api, HIST_LEN, 0);
+            Box::new(Shell)
+        },
+        |_api| Box::new(Shell),
+    );
+}
+
+/// Reads the shell's command history out of user memory (verification).
+pub fn read_history(k: &mut ow_kernel::Kernel, pid: u64) -> Option<Vec<u8>> {
+    let mut lenb = [0u8; 8];
+    k.user_read(pid, HIST_LEN, &mut lenb).ok()?;
+    let len = u64::from_le_bytes(lenb).min(HIST_CAP);
+    let mut buf = vec![0u8; len as usize];
+    k.user_read(pid, HIST_BUF, &mut buf).ok()?;
+    Some(buf)
+}

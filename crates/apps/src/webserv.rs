@@ -1,0 +1,509 @@
+//! The Apache/PHP web application server analog (§5.3).
+//!
+//! Web applications keep session data (shopping carts, credentials) across
+//! page accesses. PHP's session code stores it in **shared memory**, in a
+//! hash table whose address sits in a global variable. Persisting sessions
+//! to disk or a database costs ≥25% throughput — so instead the paper adds
+//! a crash procedure to the PHP module (110 new + 5 modified lines) that
+//! saves each element of the session table to a file and restarts Apache,
+//! which then re-initializes the table from that file. No PHP application
+//! needs changing.
+//!
+//! Wire protocol: `[op u8][sid 8B][len 8B][data 112B]`, op 1=SET 2=DEL.
+
+use crate::workload::{pid_of, AppMeta, BatchShadow, VerifyResult, WorkRng, Workload};
+use ow_kernel::{
+    layout::oflags,
+    program::{CrashAction, Program, ProgramRegistry, StepResult, UserApi, PROG_STATE_VADDR},
+    Errno, Kernel, SpawnSpec,
+};
+use std::collections::BTreeMap;
+
+/// Global cell: address of the session table (PHP's global variable).
+pub const TABLE_CELL: u64 = PROG_STATE_VADDR + 8;
+/// Global cell: server socket id.
+pub const SID_CELL: u64 = PROG_STATE_VADDR + 16;
+
+/// Shared-memory segment key for the session store.
+pub const SHM_KEY: u64 = 0x5e55;
+/// Where the segment is attached.
+pub const SHM_VADDR: u64 = 0x40_0000;
+/// Segment size in pages (1024 slots of 128 bytes = 32 pages).
+pub const SHM_PAGES: u64 = 32;
+
+/// Session slots in the table.
+pub const SLOTS: u64 = 1024;
+/// Bytes per slot: sid(8) + len(8) + data(112).
+pub const SLOT_SIZE: u64 = 128;
+/// Payload bytes per session.
+pub const DATA_SIZE: usize = 112;
+
+/// File written by the crash procedure.
+pub const SESSION_FILE: &str = "/sessions.dat";
+
+/// Document-root cache region (static files served from memory).
+pub const DOCROOT_VADDR: u64 = 0x60_0000;
+/// Pages in the docroot cache.
+pub const DOCROOT_PAGES: u64 = 128;
+
+const OP_SET: u8 = 1;
+const OP_DEL: u8 = 2;
+
+/// One session request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// 1 = set, 2 = delete.
+    pub op: u8,
+    /// Session id (nonzero).
+    pub sid: u64,
+    /// Serialized session data.
+    pub data: Vec<u8>,
+}
+
+impl Request {
+    /// Encodes to the wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![self.op];
+        out.extend_from_slice(&self.sid.to_le_bytes());
+        out.extend_from_slice(&(self.data.len() as u64).to_le_bytes());
+        let mut d = self.data.clone();
+        d.resize(DATA_SIZE, 0);
+        out.extend_from_slice(&d);
+        out
+    }
+
+    /// Decodes from the wire format.
+    pub fn decode(buf: &[u8]) -> Option<Request> {
+        if buf.len() < 17 + DATA_SIZE {
+            return None;
+        }
+        let len = (u64::from_le_bytes(buf[9..17].try_into().ok()?) as usize).min(DATA_SIZE);
+        Some(Request {
+            op: buf[0],
+            sid: u64::from_le_bytes(buf[1..9].try_into().ok()?),
+            data: buf[17..17 + len].to_vec(),
+        })
+    }
+}
+
+fn slot_addr(i: u64) -> u64 {
+    SHM_VADDR + i * SLOT_SIZE
+}
+
+fn find_slot(api: &mut dyn UserApi, sid: u64) -> Result<Option<u64>, Errno> {
+    // Open-addressed: start at hash(sid), linear probe.
+    let start = sid % SLOTS;
+    for off in 0..SLOTS {
+        let i = (start + off) % SLOTS;
+        let cur = api.mem_read_u64(slot_addr(i))?;
+        if cur == sid {
+            return Ok(Some(i));
+        }
+        if cur == 0 {
+            return Ok(None);
+        }
+    }
+    Ok(None)
+}
+
+fn set_session(api: &mut dyn UserApi, sid: u64, data: &[u8]) -> Result<(), Errno> {
+    let start = sid % SLOTS;
+    for off in 0..SLOTS {
+        let i = (start + off) % SLOTS;
+        let cur = api.mem_read_u64(slot_addr(i))?;
+        if cur == sid || cur == 0 {
+            api.mem_write_u64(slot_addr(i), sid)?;
+            api.mem_write_u64(slot_addr(i) + 8, data.len() as u64)?;
+            let mut d = data.to_vec();
+            d.resize(DATA_SIZE, 0);
+            api.mem_write(slot_addr(i) + 16, &d)?;
+            return Ok(());
+        }
+    }
+    Err(Errno::NoMem)
+}
+
+fn del_session(api: &mut dyn UserApi, sid: u64) -> Result<(), Errno> {
+    if let Some(i) = find_slot(api, sid)? {
+        // Tombstone-free deletion is fiddly with linear probing; mark the
+        // slot with a tombstone sid (u64::MAX) that lookups skip.
+        api.mem_write_u64(slot_addr(i), u64::MAX)?;
+        api.mem_write_u64(slot_addr(i) + 8, 0)?;
+    }
+    Ok(())
+}
+
+/// Reads every live session from the table.
+fn all_sessions(api: &mut dyn UserApi) -> Result<Vec<(u64, Vec<u8>)>, Errno> {
+    let mut out = Vec::new();
+    for i in 0..SLOTS {
+        let sid = api.mem_read_u64(slot_addr(i))?;
+        if sid != 0 && sid != u64::MAX {
+            let len = (api.mem_read_u64(slot_addr(i) + 8)? as usize).min(DATA_SIZE);
+            let mut d = vec![0u8; len];
+            if len > 0 {
+                api.mem_read(slot_addr(i) + 16, &mut d)?;
+            }
+            out.push((sid, d));
+        }
+    }
+    Ok(out)
+}
+
+/// The web application server program.
+pub struct WebServ;
+
+impl WebServ {
+    fn ensure_socket(api: &mut dyn UserApi) -> Result<u32, Errno> {
+        let sid = api.mem_read_u64(SID_CELL)?;
+        if sid != u64::MAX {
+            return Ok(sid as u32);
+        }
+        let new = api.socket()?;
+        api.mem_write_u64(SID_CELL, new as u64)?;
+        Ok(new)
+    }
+}
+
+impl Program for WebServ {
+    fn step(&mut self, api: &mut dyn UserApi) -> StepResult {
+        let sock = match Self::ensure_socket(api) {
+            Ok(s) => s,
+            Err(_) => return StepResult::Running,
+        };
+        let mut buf = vec![0u8; 17 + DATA_SIZE];
+        match api.sock_recv(sock, &mut buf) {
+            Ok(_) => {
+                if let Some(req) = Request::decode(&buf) {
+                    // Request parsing and PHP page execution: compute plus
+                    // a walk over the session table working set.
+                    api.compute(700);
+                    crate::memio::churn(api, DOCROOT_VADDR, 128, 16, req.sid);
+                    crate::memio::churn(api, SHM_VADDR, 32, 6, req.sid);
+                    let ok = match req.op {
+                        OP_SET => set_session(api, req.sid, &req.data).is_ok(),
+                        OP_DEL => del_session(api, req.sid).is_ok(),
+                        _ => false,
+                    };
+                    let _ = api.sock_send(sock, if ok { b"200" } else { b"500" });
+                }
+                StepResult::Running
+            }
+            Err(Errno::WouldBlock) => {
+                api.compute(3);
+                StepResult::Running
+            }
+            Err(Errno::Restart) => StepResult::Running,
+            Err(_) => {
+                let _ = api.mem_write_u64(SID_CELL, u64::MAX);
+                StepResult::Running
+            }
+        }
+    }
+
+    fn save_state(&mut self, _api: &mut dyn UserApi) {}
+
+    /// §5.3's crash procedure: walk the session hash table (through its
+    /// global address) and save each element to a file; Apache restarts and
+    /// re-populates the table from it.
+    fn crash_procedure(&mut self, api: &mut dyn UserApi, _failed: u32) -> CrashAction {
+        // Serializing the session table dominates the crash procedure.
+        api.compute(200_000_000);
+        let saved = (|| -> Result<(), Errno> {
+            let sessions = all_sessions(api)?;
+            let fd = api.open(SESSION_FILE, oflags::WRITE | oflags::CREATE | oflags::TRUNC)?;
+            api.write(fd, &(sessions.len() as u64).to_le_bytes())?;
+            for (sid, data) in sessions {
+                api.write(fd, &sid.to_le_bytes())?;
+                api.write(fd, &(data.len() as u64).to_le_bytes())?;
+                let mut d = data;
+                d.resize(DATA_SIZE, 0);
+                api.write(fd, &d)?;
+            }
+            api.fsync(fd)?;
+            api.close(fd)?;
+            Ok(())
+        })();
+        match saved {
+            Ok(()) => CrashAction::SaveAndRestart(vec![SESSION_FILE.to_string()]),
+            Err(_) => CrashAction::GiveUp,
+        }
+    }
+}
+
+fn load_sessions(api: &mut dyn UserApi, path: &str) -> Result<(), Errno> {
+    let fd = api.open(path, oflags::READ)?;
+    let mut n8 = [0u8; 8];
+    if api.read(fd, &mut n8)? != 8 {
+        api.close(fd)?;
+        return Ok(());
+    }
+    let n = u64::from_le_bytes(n8).min(SLOTS);
+    for _ in 0..n {
+        api.read(fd, &mut n8)?;
+        let sid = u64::from_le_bytes(n8);
+        api.read(fd, &mut n8)?;
+        let len = (u64::from_le_bytes(n8) as usize).min(DATA_SIZE);
+        let mut d = vec![0u8; DATA_SIZE];
+        api.read(fd, &mut d)?;
+        d.truncate(len);
+        set_session(api, sid, &d)?;
+    }
+    api.close(fd)
+}
+
+/// Registers the web server with the program registry.
+pub fn register(r: &mut ProgramRegistry) {
+    r.register(
+        "httpd",
+        |api, args| {
+            // Server start (config parse, module init, worker pool) — a few
+            // simulated seconds, as in Table 6.
+            api.compute(150_000_000);
+            crate::memio::map_libraries(api, 14);
+            let _ = api.mmap_anon(DOCROOT_VADDR, DOCROOT_PAGES);
+            let _ = api.shm_attach(SHM_KEY, SHM_PAGES, SHM_VADDR);
+            let _ = api.mem_write_u64(TABLE_CELL, SHM_VADDR);
+            let _ = api.mem_write_u64(SID_CELL, u64::MAX);
+            if let Some(path) = args.first() {
+                let _ = load_sessions(api, path);
+            }
+            let _ = api.register_crash_proc();
+            Box::new(WebServ)
+        },
+        |_api| Box::new(WebServ),
+    );
+}
+
+/// Table 2 row.
+pub fn meta() -> AppMeta {
+    AppMeta {
+        name: "Apache",
+        crash_procedure: "Required",
+        modified_lines: 115,
+    }
+}
+
+/// Shadow session store.
+pub type SessionState = BTreeMap<u64, Vec<u8>>;
+
+fn shadow_apply(s: &mut SessionState, req: &Request) {
+    match req.op {
+        OP_SET => {
+            s.insert(req.sid, req.data.clone());
+        }
+        OP_DEL => {
+            s.remove(&req.sid);
+        }
+        _ => {}
+    }
+}
+
+/// Reads the session store from user memory.
+pub fn read_sessions(k: &mut Kernel, pid: u64) -> Option<SessionState> {
+    let mut out = SessionState::new();
+    for i in 0..SLOTS {
+        let mut head = [0u8; 16];
+        k.user_read(pid, slot_addr(i), &mut head).ok()?;
+        let sid = u64::from_le_bytes(head[0..8].try_into().unwrap());
+        if sid != 0 && sid != u64::MAX {
+            let len = (u64::from_le_bytes(head[8..16].try_into().unwrap()) as usize).min(DATA_SIZE);
+            let mut d = vec![0u8; len];
+            if len > 0 {
+                k.user_read(pid, slot_addr(i) + 16, &mut d).ok()?;
+            }
+            out.insert(sid, d);
+        }
+    }
+    Some(out)
+}
+
+/// The Apache/PHP workload: clients creating, updating and abandoning
+/// sessions.
+pub struct WebServWorkload {
+    rng: WorkRng,
+    shadow: BatchShadow<SessionState>,
+}
+
+impl WebServWorkload {
+    /// Creates the workload with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        WebServWorkload {
+            rng: WorkRng::new(seed),
+            shadow: BatchShadow::new(SessionState::new()),
+        }
+    }
+
+    fn gen_request(&mut self) -> Request {
+        // Keep the sid space small so sessions get updated and deleted.
+        let sid = 1 + self.rng.below(64);
+        let op = if self.rng.below(10) < 8 {
+            OP_SET
+        } else {
+            OP_DEL
+        };
+        let len = 16 + self.rng.below(64) as usize;
+        let data = (0..len).map(|_| self.rng.printable()).collect();
+        Request { op, sid, data }
+    }
+
+    fn server_sid(k: &mut Kernel, pid: u64) -> Option<u32> {
+        let mut b = [0u8; 8];
+        k.user_read(pid, SID_CELL, &mut b).ok()?;
+        let sid = u64::from_le_bytes(b);
+        if sid == u64::MAX {
+            None
+        } else {
+            Some(sid as u32)
+        }
+    }
+}
+
+impl Workload for WebServWorkload {
+    fn name(&self) -> &'static str {
+        "httpd"
+    }
+
+    fn setup(&mut self, k: &mut Kernel) -> u64 {
+        let image = k.registry.get("httpd").expect("httpd registered");
+        let mut spec = SpawnSpec::new("httpd", Box::new(WebServ));
+        spec.heap_pages = 16;
+        let pid = k.spawn(spec).expect("spawn httpd");
+        let fresh = {
+            let mut api = ow_kernel::syscall::KernelApi::new(k, pid);
+            (image.fresh)(&mut api, &[])
+        };
+        k.proc_mut(pid).expect("pid").program = Some(fresh);
+        for _ in 0..4 {
+            k.run_step();
+        }
+        pid
+    }
+
+    fn drive(&mut self, k: &mut Kernel, pid: u64) {
+        let Some(sid) = Self::server_sid(k, pid) else {
+            for _ in 0..4 {
+                k.run_step();
+            }
+            return;
+        };
+        let reqs: Vec<Request> = (0..4).map(|_| self.gen_request()).collect();
+        self.shadow.begin_batch(
+            reqs.iter()
+                .cloned()
+                .map(|r| {
+                    Box::new(move |s: &mut SessionState| shadow_apply(s, &r))
+                        as Box<dyn Fn(&mut SessionState)>
+                })
+                .collect(),
+        );
+        for r in &reqs {
+            let _ = k.sock_deliver(pid, sid, &r.encode());
+        }
+        for _ in 0..64 {
+            if k.panicked.is_some() {
+                return;
+            }
+            k.run_step();
+            let drained = k
+                .proc(pid)
+                .ok()
+                .and_then(|p| p.sockets.iter().find(|s| s.sid == sid))
+                .map(|s| s.inbox.is_empty())
+                .unwrap_or(true);
+            if drained {
+                break;
+            }
+        }
+        if k.panicked.is_none() {
+            for _ in 0..2 {
+                k.run_step();
+            }
+            let _ = k.sock_drain(pid, sid);
+            self.shadow.commit();
+        }
+    }
+
+    fn verify(&mut self, k: &mut Kernel, _pid: u64) -> VerifyResult {
+        let Some(pid) = pid_of(k, "httpd") else {
+            return VerifyResult::Missing;
+        };
+        let Some(state) = read_sessions(k, pid) else {
+            return VerifyResult::Missing;
+        };
+        if self.shadow.matches(|s| *s == state) {
+            VerifyResult::Intact
+        } else {
+            VerifyResult::Corrupted("session store diverges from the client log".into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ow_simhw::machine::MachineConfig;
+
+    fn boot() -> Kernel {
+        let machine = ow_kernel::standard_machine(MachineConfig {
+            ram_frames: 8192,
+            cpus: 2,
+            tlb_entries: 64,
+            cost: ow_simhw::CostModel::zero_io(),
+        });
+        let mut reg = ProgramRegistry::new();
+        register(&mut reg);
+        Kernel::boot_cold(machine, ow_kernel::KernelConfig::default(), reg).unwrap()
+    }
+
+    #[test]
+    fn sessions_accumulate_and_match_shadow() {
+        let mut k = boot();
+        let mut w = WebServWorkload::new(9);
+        let pid = w.setup(&mut k);
+        for _ in 0..30 {
+            w.drive(&mut k, pid);
+        }
+        assert_eq!(w.verify(&mut k, pid), VerifyResult::Intact);
+        let sess = read_sessions(&mut k, pid).unwrap();
+        assert!(!sess.is_empty());
+    }
+
+    #[test]
+    fn delete_removes_sessions() {
+        let mut k = boot();
+        let mut w = WebServWorkload::new(10);
+        let pid = w.setup(&mut k);
+        for _ in 0..4 {
+            k.run_step();
+        }
+        let sid = WebServWorkload::server_sid(&mut k, pid).unwrap();
+        k.sock_deliver(
+            pid,
+            sid,
+            &Request {
+                op: OP_SET,
+                sid: 5,
+                data: b"cart".to_vec(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        k.sock_deliver(
+            pid,
+            sid,
+            &Request {
+                op: OP_DEL,
+                sid: 5,
+                data: vec![],
+            }
+            .encode(),
+        )
+        .unwrap();
+        for _ in 0..16 {
+            k.run_step();
+        }
+        let sess = read_sessions(&mut k, pid).unwrap();
+        assert!(sess.is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! The workload-driver abstraction used by the fault-injection campaign.
+//!
+//! Each experiment in §6 runs an application under a driven workload whose
+//! progress is logged on a *remote* computer, so the correct state of the
+//! application is known at every point in time; after resurrection the
+//! application's data is checked against that log. A [`Workload`] bundles
+//! the driver, the shadow model (the "remote log"), and the verifier.
+
+use ow_kernel::Kernel;
+
+/// Table 2 metadata for one application.
+#[derive(Debug, Clone)]
+pub struct AppMeta {
+    /// Application name.
+    pub name: &'static str,
+    /// Whether a crash procedure is required for resurrection.
+    pub crash_procedure: &'static str,
+    /// Lines of application code modified to support Otherworld.
+    pub modified_lines: u32,
+}
+
+/// Result of post-resurrection data verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyResult {
+    /// Application data matches the remote log exactly.
+    Intact,
+    /// Application survived but its data diverges from the log (Table 5's
+    /// "data corruption" column).
+    Corrupted(String),
+    /// The application process is gone.
+    Missing,
+}
+
+/// A driveable, verifiable application workload.
+pub trait Workload {
+    /// Process name (must match the registry entry).
+    fn name(&self) -> &'static str;
+
+    /// Spawns the application and performs initial setup; returns its pid.
+    fn setup(&mut self, k: &mut Kernel) -> u64;
+
+    /// Drives the workload forward: inject input (keystrokes, queries,
+    /// messages), advance the scheduler, and extend the shadow model.
+    /// Called repeatedly; each call should make a small amount of progress.
+    fn drive(&mut self, k: &mut Kernel, pid: u64);
+
+    /// After a microreboot: lets the driver re-establish its side of any
+    /// non-resurrectable channels (reconnecting clients to new sockets),
+    /// mirroring how the paper's remote clients reconnect.
+    fn reconnect(&mut self, k: &mut Kernel, pid: u64) {
+        let _ = (k, pid);
+    }
+
+    /// Verifies the application's data against the shadow model.
+    fn verify(&mut self, k: &mut Kernel, pid: u64) -> VerifyResult;
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn setup(&mut self, k: &mut Kernel) -> u64 {
+        (**self).setup(k)
+    }
+    fn drive(&mut self, k: &mut Kernel, pid: u64) {
+        (**self).drive(k, pid)
+    }
+    fn reconnect(&mut self, k: &mut Kernel, pid: u64) {
+        (**self).reconnect(k, pid)
+    }
+    fn verify(&mut self, k: &mut Kernel, pid: u64) -> VerifyResult {
+        (**self).verify(k, pid)
+    }
+}
+
+/// Builds a workload by application name (used by the bench binaries).
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn make_workload(name: &str, seed: u64) -> Box<dyn Workload> {
+    match name {
+        "vi" => Box::new(crate::vi::ViWorkload::new(seed)),
+        "joe" => Box::new(crate::joe::JoeWorkload::new(seed)),
+        "mysqld" => Box::new(crate::minidb::MiniDbWorkload::new(seed)),
+        "httpd" => Box::new(crate::webserv::WebServWorkload::new(seed)),
+        "blcr" => Box::new(crate::blcr::BlcrWorkload::new(
+            crate::blcr::DEFAULT_PAGES,
+            crate::blcr::CkptMode::Memory,
+        )),
+        "volano" => Box::new(crate::volano::VolanoWorkload::new(seed)),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// The five applications of the resurrection evaluation (Table 5 rows).
+pub const TABLE5_APPS: [&str; 5] = ["vi", "joe", "mysqld", "httpd", "blcr"];
+
+/// Convenience: finds the (new) pid of a process by name.
+pub fn pid_of(k: &Kernel, name: &str) -> Option<u64> {
+    k.procs.iter().find(|p| p.name == name).map(|p| p.pid)
+}
+
+/// A shadow model with batch semantics.
+///
+/// When a fault strikes mid-batch, the application has consumed only a
+/// prefix of the operations the driver sent (the rest sat in a terminal
+/// FIFO or socket and died with the hardware). Verification therefore
+/// accepts the application state matching the committed state *or* any
+/// prefix of the in-flight batch — exactly the set of states the remote
+/// log deems correct.
+/// One shadow operation applied to the model state.
+pub type ShadowOp<S> = Box<dyn Fn(&mut S)>;
+
+pub struct BatchShadow<S: Clone> {
+    /// State with every previous batch fully applied.
+    pub committed: S,
+    batch: Vec<ShadowOp<S>>,
+}
+
+impl<S: Clone> BatchShadow<S> {
+    /// Starts from an initial state.
+    pub fn new(initial: S) -> Self {
+        BatchShadow {
+            committed: initial,
+            batch: Vec::new(),
+        }
+    }
+
+    /// Commits the in-flight batch (the application consumed all of it).
+    pub fn commit(&mut self) {
+        let mut s = self.committed.clone();
+        for op in &self.batch {
+            op(&mut s);
+        }
+        self.committed = s;
+        self.batch.clear();
+    }
+
+    /// Begins a new batch of operations (commits the previous one).
+    pub fn begin_batch(&mut self, ops: Vec<ShadowOp<S>>) {
+        self.commit();
+        self.batch = ops;
+    }
+
+    /// All states the application could legitimately be in: the committed
+    /// state plus every prefix of the in-flight batch.
+    pub fn candidates(&self) -> Vec<S> {
+        let mut out = Vec::with_capacity(self.batch.len() + 1);
+        let mut s = self.committed.clone();
+        out.push(s.clone());
+        for op in &self.batch {
+            op(&mut s);
+            out.push(s.clone());
+        }
+        out
+    }
+
+    /// Whether `pred` holds for any legitimate state.
+    pub fn matches(&self, pred: impl Fn(&S) -> bool) -> bool {
+        self.candidates().iter().any(pred)
+    }
+}
+
+/// Deterministic pseudo-random byte stream for workload generation (all
+/// workloads must be reproducible under a campaign seed).
+#[derive(Debug, Clone)]
+pub struct WorkRng {
+    state: u64,
+}
+
+impl WorkRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        WorkRng {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
+    }
+
+    /// Next pseudo-random u64 (xorshift*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// A printable ASCII byte.
+    pub fn printable(&mut self) -> u8 {
+        b' ' + (self.below(95) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = WorkRng::new(7);
+        let mut b = WorkRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn printable_stays_printable() {
+        let mut r = WorkRng::new(42);
+        for _ in 0..1000 {
+            let c = r.printable();
+            assert!((b' '..=b'~').contains(&c));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Criterion bench: BLCR checkpointing, in-memory vs to-disk (§5.4).
+//!
+//! The simulated-cycle ratio (the paper's ≥10x claim) is printed by
+//! `cargo run -p ow-bench --bin claims`; this bench tracks the host cost of
+//! the two checkpoint paths through the whole kernel stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ow_apps::blcr::{BlcrWorkload, CkptMode, CKPT_PERIOD};
+use ow_apps::Workload;
+
+fn run_checkpoint_cycle(mode: CkptMode) {
+    let mut k = ow_bench::boot_eval(false);
+    let mut w = BlcrWorkload::new(16, mode);
+    let pid = w.setup(&mut k);
+    // Two full checkpoint periods.
+    for _ in 0..16 * CKPT_PERIOD * 2 {
+        k.run_step();
+    }
+    let _ = pid;
+    assert!(k.panicked.is_none());
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint");
+    g.sample_size(10);
+    for (name, mode) in [("memory", CkptMode::Memory), ("disk", CkptMode::Disk)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| run_checkpoint_cycle(mode))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: cost of driving syscall-heavy workloads with and
+//! without the memory-protected mode (Table 3's mechanism).
+//!
+//! Criterion measures host wall-time of the simulation; the paper's
+//! overhead percentages come from *simulated* cycles and are produced by
+//! `cargo run -p ow-bench --bin table3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ow_apps::{make_workload, Workload};
+
+fn drive_batches(app: &str, protection: bool, batches: u32) {
+    let mut k = ow_bench::boot_eval(protection);
+    let mut w = make_workload(app, 5);
+    let pid = w.setup(&mut k);
+    for _ in 0..batches {
+        w.drive(&mut k, pid);
+    }
+    assert!(k.panicked.is_none());
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protection_overhead");
+    g.sample_size(10);
+    for app in ["mysqld", "volano"] {
+        for protection in [false, true] {
+            let label = format!(
+                "{app}/{}",
+                if protection { "protected" } else { "baseline" }
+            );
+            g.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &(app, protection),
+                |b, &(app, prot)| b.iter(|| drive_batches(app, prot, 30)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Table 2: modifications to the applications to support
+//! Otherworld.
+
+fn main() {
+    let rows: Vec<Vec<String>> = ow_apps::table2_rows()
+        .into_iter()
+        .map(|m| {
+            vec![
+                m.name.to_string(),
+                m.crash_procedure.to_string(),
+                m.modified_lines.to_string(),
+            ]
+        })
+        .collect();
+    ow_bench::print_table(
+        "Table 2. Modifications to the applications to support Otherworld.",
+        &["Application", "Crash procedure", "Modified lines of code"],
+        &rows,
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates Table 3: performance overhead of enabling user memory space
+//! protection while executing system calls.
+
+fn main() {
+    let batches: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let rows: Vec<Vec<String>> = ow_bench::tables::table3(batches)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.0}%", r.tlb_increase_pct),
+                format!("{:.1}%", r.overhead_pct),
+            ]
+        })
+        .collect();
+    ow_bench::print_table(
+        "Table 3. Performance overhead of enabling user memory space protection \
+         while executing system calls.",
+        &[
+            "Benchmark",
+            "Increase in TLB misses",
+            "Performance overhead",
+        ],
+        &rows,
+    );
+}

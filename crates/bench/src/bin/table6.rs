@@ -1,0 +1,29 @@
+//! Regenerates Table 6: service interruption time (seconds).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let rows = if fast {
+        ow_bench::tables::table6_fast()
+    } else {
+        ow_bench::tables::table6()
+    };
+    let rows: Vec<Vec<String>> = rows
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.0}", r.boot_seconds),
+                format!("{:.0}", r.interruption_seconds),
+            ]
+        })
+        .collect();
+    ow_bench::print_table(
+        if fast {
+            "Table 6 (with the §7 fast-crash-boot optimization)."
+        } else {
+            "Table 6. Service interruption time (seconds)."
+        },
+        &["Application", "Boot time", "Service interruption time"],
+        &rows,
+    );
+}

@@ -1,0 +1,61 @@
+//! Benchmark harness for the Otherworld evaluation.
+//!
+//! One binary per table of the paper (`table2` .. `table6`) regenerates the
+//! corresponding results on the simulator substrate, and the criterion
+//! benches cover the microbenchmark claims (protection overhead,
+//! resurrection speed and the copy-vs-map ablation, in-memory vs on-disk
+//! checkpointing, handoff robustness 89%→97%).
+
+pub mod perf;
+pub mod tables;
+
+use ow_kernel::{Kernel, KernelConfig, RobustnessFixes};
+use ow_simhw::{machine::MachineConfig, CostModel};
+
+/// The machine used for performance evaluation (costs enabled).
+pub fn eval_machine_config() -> MachineConfig {
+    MachineConfig {
+        ram_frames: 8192, // 32 MiB
+        cpus: 2,
+        tlb_entries: 64,
+        cost: CostModel::default(),
+    }
+}
+
+/// Boots an evaluation kernel with the full application registry.
+pub fn boot_eval(user_protection: bool) -> Kernel {
+    let machine = ow_kernel::standard_machine(eval_machine_config());
+    let config = KernelConfig {
+        user_protection,
+        fixes: RobustnessFixes::default(),
+        ..KernelConfig::default()
+    };
+    Kernel::boot_cold(machine, config, ow_apps::full_registry()).expect("boot")
+}
+
+/// Formats a table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::from("|");
+    for (c, w) in cells.iter().zip(widths) {
+        out.push_str(&format!(" {c:<w$} |", w = w));
+    }
+    out
+}
+
+/// Prints a full table with a header rule.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    println!("\n{title}");
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", row(&head, &widths));
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", row(&rule, &widths));
+    for r in rows {
+        println!("{}", row(r, &widths));
+    }
+}

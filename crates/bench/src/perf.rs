@@ -1,0 +1,102 @@
+//! Performance measurement of the memory-protected mode (Table 3).
+//!
+//! Runs a workload to steady state, then measures a window of driven
+//! batches with protection off and on (fresh kernels, identical seeds) and
+//! reports the TLB-miss increase and execution-time overhead.
+
+use crate::boot_eval;
+use ow_apps::Workload;
+
+/// One measured configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfSample {
+    /// Cycles consumed by the measured window.
+    pub cycles: u64,
+    /// TLB misses in the window.
+    pub tlb_misses: u64,
+    /// TLB flushes in the window.
+    pub tlb_flushes: u64,
+    /// Page-table switches in the window.
+    pub pt_switches: u64,
+}
+
+/// Protection-overhead comparison for one workload.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfRow {
+    /// Baseline (no protection).
+    pub base: PerfSample,
+    /// Memory-protected mode.
+    pub protected: PerfSample,
+}
+
+impl PerfRow {
+    /// Table 3 column 2: relative increase in TLB misses.
+    pub fn tlb_miss_increase_pct(&self) -> f64 {
+        if self.base.tlb_misses == 0 {
+            return 0.0;
+        }
+        100.0 * (self.protected.tlb_misses as f64 - self.base.tlb_misses as f64)
+            / self.base.tlb_misses as f64
+    }
+
+    /// Table 3 column 3: execution-time overhead.
+    pub fn overhead_pct(&self) -> f64 {
+        if self.base.cycles == 0 {
+            return 0.0;
+        }
+        100.0 * (self.protected.cycles as f64 - self.base.cycles as f64) / self.base.cycles as f64
+    }
+}
+
+fn measure_once<W: Workload>(
+    mut workload: W,
+    protection: bool,
+    warmup_batches: u32,
+    measured_batches: u32,
+) -> PerfSample {
+    let mut k = boot_eval(protection);
+    let pid = workload.setup(&mut k);
+    for _ in 0..warmup_batches {
+        workload.drive(&mut k, pid);
+    }
+    let c0 = k.machine.clock.now();
+    k.machine.mmu.reset_stats();
+    let p0 = k.pt_switches;
+    for _ in 0..measured_batches {
+        workload.drive(&mut k, pid);
+    }
+    let stats = k.machine.mmu.stats();
+    PerfSample {
+        cycles: k.machine.clock.now() - c0,
+        tlb_misses: stats.tlb_misses,
+        tlb_flushes: stats.flushes,
+        pt_switches: k.pt_switches - p0,
+    }
+}
+
+/// Measures a workload with and without user-space protection.
+pub fn protection_overhead<W: Workload>(
+    make: impl Fn(u64) -> W,
+    seed: u64,
+    warmup_batches: u32,
+    measured_batches: u32,
+) -> PerfRow {
+    let base = measure_once(make(seed), false, warmup_batches, measured_batches);
+    let protected = measure_once(make(seed), true, warmup_batches, measured_batches);
+    PerfRow { base, protected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ow_apps::volano::VolanoWorkload;
+
+    #[test]
+    fn protection_costs_more_and_misses_more() {
+        let row = protection_overhead(VolanoWorkload::new, 7, 5, 20);
+        assert!(row.protected.cycles > row.base.cycles);
+        assert!(row.protected.tlb_misses > row.base.tlb_misses);
+        assert!(row.protected.pt_switches > 0);
+        assert_eq!(row.base.pt_switches, 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Shared routines behind the `tableN` binaries, kept in the library so the
+//! integration tests can assert on the numbers.
+
+use crate::{boot_eval, perf};
+use ow_apps::{make_workload, workload::TABLE5_APPS, Workload};
+use ow_core::{microreboot, MicrorebootReport, OtherworldConfig, PolicySource, ResurrectionPolicy};
+use ow_faultinject::{run_campaign, CampaignConfig, CampaignResult};
+use ow_kernel::{Kernel, PanicCause, RobustnessFixes, SpawnSpec};
+
+/// Table 3 row: protection overhead for one workload.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Increase in TLB misses (percent).
+    pub tlb_increase_pct: f64,
+    /// Performance overhead (percent).
+    pub overhead_pct: f64,
+}
+
+/// Computes Table 3 (protection overhead for MySQL, Apache, Volano).
+pub fn table3(measured_batches: u32) -> Vec<Table3Row> {
+    [
+        ("MySQL", "mysqld"),
+        ("Apache", "httpd"),
+        ("Volano", "volano"),
+    ]
+    .into_iter()
+    .map(|(label, app)| {
+        let row =
+            perf::protection_overhead(|seed| make_workload(app, seed), 11, 8, measured_batches);
+        Table3Row {
+            name: label,
+            tlb_increase_pct: row.tlb_miss_increase_pct(),
+            overhead_pct: row.overhead_pct(),
+        }
+    })
+    .collect()
+}
+
+/// Table 4 row: resurrection read sizes for one application.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Dead-kernel bytes read to resurrect the application.
+    pub kernel_bytes: u64,
+    /// Share of those bytes that were page tables.
+    pub page_table_pct: f64,
+    /// The application's virtual-footprint bytes (for the §4 ratio).
+    pub footprint_bytes: u64,
+}
+
+/// Runs one app to steady state, crashes the kernel, and measures what the
+/// crash kernel had to read (Table 4).
+pub fn table4(batches_per_app: u32) -> Vec<Table4Row> {
+    TABLE5_APPS
+        .iter()
+        .map(|&app| {
+            let mut k = boot_eval(false);
+            let mut w = make_workload(app, 4);
+            let pid = w.setup(&mut k);
+            for _ in 0..batches_per_app {
+                w.drive(&mut k, pid);
+            }
+            let (present, swapped) = k.page_census(pid).unwrap_or((0, 0));
+            let footprint = (present + swapped) * ow_simhw::PAGE_BYTES;
+            k.do_panic(PanicCause::Oops("table4 measurement"));
+            let config = OtherworldConfig {
+                policy: PolicySource::Inline(ResurrectionPolicy::only([w.name()])),
+                ..OtherworldConfig::default()
+            };
+            let (_k2, report) = microreboot(k, &config).expect("microreboot");
+            let pr = report.proc_named(w.name()).expect("resurrected");
+            Table4Row {
+                name: app_label(app),
+                kernel_bytes: pr.bytes_read,
+                page_table_pct: if pr.bytes_read == 0 {
+                    0.0
+                } else {
+                    100.0 * pr.pt_bytes as f64 / pr.bytes_read as f64
+                },
+                footprint_bytes: footprint,
+            }
+        })
+        .collect()
+}
+
+fn app_label(app: &str) -> &'static str {
+    match app {
+        "vi" => "vi",
+        "joe" => "JOE",
+        "mysqld" => "MySQL",
+        "httpd" => "Apache",
+        "blcr" => "BLCR",
+        _ => "?",
+    }
+}
+
+/// Table 5 row: campaign results for one application, with and without
+/// user-space protection (the corruption column reports both).
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Campaign without protection (main columns).
+    pub unprotected: CampaignResult,
+    /// Campaign with protection (first number of the corruption column).
+    pub protected: CampaignResult,
+}
+
+/// Runs the Table 5 campaigns.
+pub fn table5(experiments: usize, fixes: RobustnessFixes, seed: u64) -> Vec<Table5Row> {
+    TABLE5_APPS
+        .iter()
+        .map(|&app| {
+            let base_cfg = CampaignConfig {
+                effective_experiments: experiments,
+                fixes,
+                seed,
+                ..CampaignConfig::default()
+            };
+            let unprotected = run_campaign(|s| make_workload(app, s), &base_cfg);
+            let prot_cfg = CampaignConfig {
+                user_protection: true,
+                ..base_cfg
+            };
+            let protected = run_campaign(|s| make_workload(app, s), &prot_cfg);
+            Table5Row {
+                name: app_label(app),
+                unprotected,
+                protected,
+            }
+        })
+        .collect()
+}
+
+/// Table 6 row: cold-boot vs service-interruption time for one workload.
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Workload name.
+    pub name: &'static str,
+    /// Seconds from power-on to the workload being operational.
+    pub boot_seconds: f64,
+    /// Seconds from the kernel failure to the workload being operational
+    /// again.
+    pub interruption_seconds: f64,
+}
+
+fn shell_operational(k: &mut Kernel, term: u32) -> bool {
+    // Operational = the shell echoes a probe keystroke.
+    let _ = k.term_input(term, b"k");
+    for _ in 0..16 {
+        k.run_step();
+    }
+    k.term_screen(term)
+        .map(|s| s.contains(&b'k'))
+        .unwrap_or(false)
+}
+
+/// Measures Table 6 for `app` (`"shell"`, `"mysqld"`, or `"httpd"`).
+pub fn table6_row(app: &'static str) -> Table6Row {
+    table6_row_with(app, false)
+}
+
+/// Table 6 with the §7 fast-crash-boot optimization toggled.
+pub fn table6_row_with(app: &'static str, fast_crash_boot: bool) -> Table6Row {
+    // --- Cold boot to operational ---
+    let mut k = boot_eval(false);
+    let (boot_seconds, mut w_opt, pid) = if app == "shell" {
+        let term = k.create_terminal().expect("terminal");
+        let image = k.registry.get("shell").expect("shell registered");
+        let mut spec = SpawnSpec::new("shell", Box::new(ow_apps::shell::Shell));
+        spec.term = Some(term);
+        let pid = k.spawn(spec).expect("spawn shell");
+        let fresh = {
+            let mut api = ow_kernel::syscall::KernelApi::new(&mut k, pid);
+            (image.fresh)(&mut api, &[])
+        };
+        k.proc_mut(pid).expect("pid").program = Some(fresh);
+        assert!(shell_operational(&mut k, term));
+        (k.seconds(), None, pid)
+    } else {
+        let mut w = make_workload(app, 21);
+        let pid = w.setup(&mut k);
+        w.drive(&mut k, pid); // first request served
+        (k.seconds(), Some(w), pid)
+    };
+
+    // --- Steady state, then failure ---
+    if let Some(w) = w_opt.as_mut() {
+        for _ in 0..5 {
+            w.drive(&mut k, pid);
+        }
+    }
+    let t_fail = k.seconds();
+    k.do_panic(PanicCause::Oops("table6 failure"));
+    let config = OtherworldConfig {
+        crash_kernel: ow_kernel::KernelConfig {
+            fast_crash_boot,
+            ..ow_kernel::KernelConfig::default()
+        },
+        ..OtherworldConfig::default()
+    };
+    let (mut k2, _report) = microreboot(k, &config).expect("microreboot");
+
+    // --- Back to operational ---
+    if app == "shell" {
+        let new_pid = k2.procs.first().map(|p| p.pid).expect("shell resurrected");
+        let term = k2.read_desc(new_pid).map(|d| d.term_id).unwrap_or(0);
+        assert!(shell_operational(&mut k2, term));
+    } else if let Some(w) = w_opt.as_mut() {
+        let new_pid = k2.procs.first().map(|p| p.pid).expect("app alive");
+        w.reconnect(&mut k2, new_pid);
+        for _ in 0..8 {
+            k2.run_step();
+        }
+        w.drive(&mut k2, new_pid);
+    }
+    let interruption_seconds = k2.seconds() - t_fail;
+
+    Table6Row {
+        name: match app {
+            "shell" => "shell",
+            "mysqld" => "MySQL",
+            "httpd" => "Apache",
+            other => Box::leak(other.to_string().into_boxed_str()),
+        },
+        boot_seconds,
+        interruption_seconds,
+    }
+}
+
+/// All Table 6 rows.
+pub fn table6() -> Vec<Table6Row> {
+    ["shell", "mysqld", "httpd"]
+        .into_iter()
+        .map(table6_row)
+        .collect()
+}
+
+/// Table 6 with the fast-crash-boot optimization (§7 future work).
+pub fn table6_fast() -> Vec<Table6Row> {
+    ["shell", "mysqld", "httpd"]
+        .into_iter()
+        .map(|app| table6_row_with(app, true))
+        .collect()
+}
+
+/// Reusable: one microreboot of a driven app, returning the report (used by
+/// criterion benches).
+pub fn one_microreboot(app: &str, batches: u32, config: &OtherworldConfig) -> MicrorebootReport {
+    let mut k = boot_eval(false);
+    let mut w = make_workload(app, 17);
+    let pid = w.setup(&mut k);
+    for _ in 0..batches {
+        w.drive(&mut k, pid);
+    }
+    k.do_panic(PanicCause::Oops("bench"));
+    let (_k2, report) = microreboot(k, config).expect("microreboot");
+    report
+}

@@ -1,0 +1,118 @@
+//! Shape-regression tests: the qualitative claims of the paper's evaluation
+//! (orderings, dominance, bands) must keep holding as the code evolves.
+//! These guard the *reproduction* the way unit tests guard the code.
+
+use ow_bench::tables;
+use ow_kernel::RobustnessFixes;
+
+#[test]
+fn table3_overhead_ordering_matches_the_paper() {
+    // MySQL < Apache << Volano, all within plausible bands.
+    let rows = tables::table3(80);
+    let by = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+    let (mysql, apache, volano) = (by("MySQL"), by("Apache"), by("Volano"));
+    assert!(mysql.overhead_pct < apache.overhead_pct, "{rows:?}");
+    assert!(apache.overhead_pct < volano.overhead_pct, "{rows:?}");
+    assert!((1.0..8.0).contains(&mysql.overhead_pct), "{rows:?}");
+    assert!((2.0..9.0).contains(&apache.overhead_pct), "{rows:?}");
+    assert!((8.0..20.0).contains(&volano.overhead_pct), "{rows:?}");
+    for r in &rows {
+        assert!(r.tlb_increase_pct > 0.0, "protection must raise TLB misses");
+    }
+}
+
+#[test]
+fn table4_read_sizes_grow_with_app_and_page_tables_dominate() {
+    let rows = tables::table4(60);
+    // Ordering: vi < JOE < MySQL < Apache < BLCR.
+    for pair in rows.windows(2) {
+        assert!(
+            pair[0].kernel_bytes < pair[1].kernel_bytes,
+            "{} ({}) !< {} ({})",
+            pair[0].name,
+            pair[0].kernel_bytes,
+            pair[1].name,
+            pair[1].kernel_bytes
+        );
+    }
+    for r in &rows {
+        assert!(r.page_table_pct > 50.0, "{}: page tables must dominate", r.name);
+        // §4: a vanishing share of the address space.
+        let share = r.kernel_bytes as f64 / ow_simhw::paging::VA_LIMIT as f64;
+        assert!(share < 0.0013, "{}: {share} must stay below the 0.13% bound", r.name);
+    }
+}
+
+#[test]
+fn table5_small_campaign_stays_in_the_paper_band() {
+    let rows = tables::table5(40, RobustnessFixes::default(), 0x51a9);
+    for r in &rows {
+        assert!(
+            r.unprotected.success_pct() >= 90.0,
+            "{}: {:.1}%",
+            r.name,
+            r.unprotected.success_pct()
+        );
+        assert!(
+            r.protected.data_corruption <= r.unprotected.data_corruption + 1,
+            "{}: protection must not increase corruption",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn table5_ablation_loses_the_stall_and_doublefault_classes() {
+    let fixed = tables::table5(40, RobustnessFixes::default(), 0xab1a);
+    let legacy = tables::table5(40, RobustnessFixes::legacy(), 0xab1a);
+    let avg = |rows: &[tables::Table5Row]| {
+        rows.iter().map(|r| r.unprotected.success_pct()).sum::<f64>() / rows.len() as f64
+    };
+    assert!(
+        avg(&legacy) + 3.0 < avg(&fixed),
+        "legacy {:.1}% must trail fixed {:.1}%",
+        avg(&legacy),
+        avg(&fixed)
+    );
+}
+
+#[test]
+fn table6_interruption_is_below_cold_boot_and_fast_boot_helps() {
+    for app in ["shell", "mysqld", "httpd"] {
+        let normal = tables::table6_row_with(app, false);
+        assert!(
+            normal.interruption_seconds < normal.boot_seconds,
+            "{app}: interruption {:.0}s !< boot {:.0}s",
+            normal.interruption_seconds,
+            normal.boot_seconds
+        );
+        let fast = tables::table6_row_with(app, true);
+        assert!(
+            fast.interruption_seconds < normal.interruption_seconds / 1.3,
+            "{app}: fast boot must shrink the interruption meaningfully"
+        );
+    }
+}
+
+#[test]
+fn checkpointing_to_memory_beats_disk_by_over_10x() {
+    use ow_apps::blcr::{BlcrWorkload, CkptMode, CKPT_PERIOD};
+    use ow_apps::Workload;
+    let cycles = |mode: CkptMode| {
+        let mut k = ow_bench::boot_eval(false);
+        let mut w = BlcrWorkload::new(16, mode);
+        let _pid = w.setup(&mut k);
+        for _ in 0..16 * CKPT_PERIOD * 2 - 1 {
+            k.run_step();
+        }
+        let t0 = k.machine.clock.now();
+        k.run_step(); // the checkpointing step
+        k.machine.clock.now() - t0
+    };
+    let disk = cycles(CkptMode::Disk);
+    let mem = cycles(CkptMode::Memory);
+    assert!(
+        disk > mem * 10,
+        "§5.4: disk {disk} cycles must exceed 10x memory {mem} cycles"
+    );
+}

@@ -1,0 +1,60 @@
+//! Otherworld configuration.
+
+use crate::policy::ResurrectionPolicy;
+use ow_kernel::KernelConfig;
+
+/// How the crash kernel materializes the resurrected process's pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResurrectionStrategy {
+    /// Allocate a new page inside the crash kernel's reservation and copy
+    /// the old contents (the paper's default, §3.3).
+    CopyPages,
+    /// Map the original physical page directly (footnote 3's optimization:
+    /// much faster and needs no reservation space; the frames are adopted
+    /// at morph time).
+    MapPages,
+}
+
+/// Where the crash kernel finds the resurrection policy.
+#[derive(Debug, Clone)]
+pub enum PolicySource {
+    /// Use this policy directly (the "interactive user selects processes"
+    /// path, pre-decided for automation).
+    Inline(ResurrectionPolicy),
+    /// Read a JSON policy from this path on the (re-mounted) filesystem —
+    /// the paper's resurrection configuration file for autonomic server
+    /// recovery (§3.3).
+    File(String),
+}
+
+/// Configuration of the Otherworld mechanism.
+#[derive(Debug, Clone)]
+pub struct OtherworldConfig {
+    /// Page materialization strategy.
+    pub strategy: ResurrectionStrategy,
+    /// Which processes to resurrect.
+    pub policy: PolicySource,
+    /// Configuration the crash kernel boots with (same source as the main
+    /// kernel, §3.1 — but a different build/version is possible and guards
+    /// against deterministic re-triggering of the same fault).
+    pub crash_kernel: KernelConfig,
+    /// §7 extension: resurrect TCP/UDP sockets (connection parameters,
+    /// sequence state, unacknowledged outbound payload). Off by default —
+    /// the paper's prototype cannot resurrect sockets.
+    pub resurrect_sockets: bool,
+    /// §7 extension: resurrect pipes whose semaphore was free at crash time
+    /// (§3.3's consistency rule). Off by default.
+    pub resurrect_pipes: bool,
+}
+
+impl Default for OtherworldConfig {
+    fn default() -> Self {
+        OtherworldConfig {
+            strategy: ResurrectionStrategy::CopyPages,
+            policy: PolicySource::Inline(ResurrectionPolicy::all()),
+            crash_kernel: KernelConfig::default(),
+            resurrect_sockets: false,
+            resurrect_pipes: false,
+        }
+    }
+}

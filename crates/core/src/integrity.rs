@@ -1,0 +1,126 @@
+//! Integrity cross-checks (§4).
+//!
+//! Much kernel state is duplicated for performance, and the duplication can
+//! be exploited after a failure to detect — and sometimes repair —
+//! corruption without any runtime overhead. The check implemented here
+//! covers the saved user context: it exists both in the process descriptor
+//! (updated at every scheduler step) and in the per-CPU NMI save areas
+//! (written during the panic path, §3.2). When both are present the NMI
+//! copy is newer and wins; when the descriptor copy was corrupted the NMI
+//! copy repairs it.
+
+use ow_kernel::layout::{ProcDesc, SAVE_AREA_ADDR};
+use ow_simhw::{
+    cpu::{Context, SAVE_AREA_BYTES},
+    PhysMem,
+};
+
+/// Maximum CPUs scanned for saved contexts.
+const MAX_CPUS: u32 = 16;
+
+/// Returns the best available saved context for `desc`'s thread plus the
+/// number of integrity corrections applied (0 or 1).
+pub fn cross_check_context(phys: &PhysMem, desc: &ProcDesc) -> (Context, u64) {
+    let from_desc = Context {
+        pc: desc.saved_pc,
+        sp: desc.saved_sp,
+        regs: desc.saved_regs,
+    };
+    for cpu in 0..MAX_CPUS {
+        let addr = SAVE_AREA_ADDR + cpu as u64 * SAVE_AREA_BYTES;
+        match Context::load(phys, addr) {
+            Ok(Some((pid, ctx))) if pid == desc.pid => {
+                if ctx != from_desc {
+                    // The NMI-saved copy is authoritative: it was written at
+                    // the instant of failure.
+                    return (ctx, 1);
+                }
+                return (ctx, 0);
+            }
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    (from_desc, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ow_kernel::layout::pstate;
+
+    fn desc(pid: u64, pc: u64) -> ProcDesc {
+        ProcDesc {
+            pid,
+            state: pstate::RUNNABLE,
+            name: "t".into(),
+            crash_proc: 0,
+            page_root: 0,
+            mm_head: 0,
+            files: 0,
+            sig: 0,
+            term_id: u32::MAX,
+            shm_head: 0,
+            sock_head: 0,
+            res_in_use: 0,
+            in_syscall: 0,
+            saved_pc: pc,
+            saved_sp: 0,
+            saved_regs: [0; 8],
+            checksum: 0,
+            next: 0,
+        }
+    }
+
+    #[test]
+    fn no_saved_context_uses_descriptor() {
+        let phys = PhysMem::new(4);
+        let (ctx, fixes) = cross_check_context(&phys, &desc(7, 42));
+        assert_eq!(ctx.pc, 42);
+        assert_eq!(fixes, 0);
+    }
+
+    #[test]
+    fn matching_context_no_fix() {
+        let mut phys = PhysMem::new(4);
+        let c = Context {
+            pc: 42,
+            sp: 0,
+            regs: [0; 8],
+        };
+        c.save(&mut phys, SAVE_AREA_ADDR, 7).unwrap();
+        let (ctx, fixes) = cross_check_context(&phys, &desc(7, 42));
+        assert_eq!(ctx.pc, 42);
+        assert_eq!(fixes, 0);
+    }
+
+    #[test]
+    fn nmi_copy_repairs_corrupted_descriptor() {
+        let mut phys = PhysMem::new(4);
+        let c = Context {
+            pc: 42,
+            sp: 9,
+            regs: [1; 8],
+        };
+        c.save(&mut phys, SAVE_AREA_ADDR + SAVE_AREA_BYTES, 7)
+            .unwrap();
+        // Descriptor claims a different pc (corrupted or stale).
+        let (ctx, fixes) = cross_check_context(&phys, &desc(7, 41));
+        assert_eq!(ctx.pc, 42);
+        assert_eq!(fixes, 1);
+    }
+
+    #[test]
+    fn other_pids_are_ignored() {
+        let mut phys = PhysMem::new(4);
+        let c = Context {
+            pc: 99,
+            sp: 0,
+            regs: [0; 8],
+        };
+        c.save(&mut phys, SAVE_AREA_ADDR, 8).unwrap();
+        let (ctx, fixes) = cross_check_context(&phys, &desc(7, 42));
+        assert_eq!(ctx.pc, 42);
+        assert_eq!(fixes, 0);
+    }
+}

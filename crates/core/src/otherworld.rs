@@ -1,0 +1,472 @@
+//! The microreboot orchestrator: panic → crash-kernel boot → resurrection →
+//! crash procedures → morph (the five stages of §3).
+
+use crate::{
+    config::{OtherworldConfig, PolicySource, ResurrectionStrategy},
+    policy::ResurrectionPolicy,
+    reader,
+    resurrect::{self, DeadKernel},
+    stats::{MicrorebootReport, ProcOutcome, ProcReport, ReadStats},
+};
+use ow_kernel::{
+    layout::pstate,
+    program::{Program, StepResult, UserApi},
+    syscall::KernelApi,
+    CrashAction, Kernel, KernelConfig, PanicOutcome, ProgramRegistry, SpawnSpec,
+};
+use std::fmt;
+
+/// Ways a microreboot can fail outright (Table 5's "failure to boot the
+/// crash kernel").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MicrorebootFailure {
+    /// The panic path could not transfer control (corrupted handoff
+    /// structures, unhandled double fault, stall with no watchdog, ...).
+    SystemHalted(String),
+    /// Control transferred but the crash kernel failed to initialize.
+    CrashBootFailed(String),
+    /// The kernel has not panicked; nothing to do.
+    NotPanicked,
+}
+
+impl fmt::Display for MicrorebootFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicrorebootFailure::SystemHalted(why) => write!(f, "system halted: {why}"),
+            MicrorebootFailure::CrashBootFailed(why) => {
+                write!(f, "crash kernel boot failed: {why}")
+            }
+            MicrorebootFailure::NotPanicked => write!(f, "kernel has not panicked"),
+        }
+    }
+}
+
+impl std::error::Error for MicrorebootFailure {}
+
+/// A do-nothing program used to bootstrap a process slot before the real
+/// program object is attached (restart path).
+struct StubProgram;
+
+impl Program for StubProgram {
+    fn step(&mut self, _api: &mut dyn UserApi) -> StepResult {
+        StepResult::Exited(0)
+    }
+    fn save_state(&mut self, _api: &mut dyn UserApi) {}
+}
+
+/// Performs a complete microreboot of a panicked kernel, consuming it and
+/// returning the new main kernel (the former crash kernel, morphed) plus a
+/// report.
+///
+/// # Errors
+///
+/// Fails when the handoff never happened ([`PanicOutcome::SystemHalted`]) or
+/// the crash kernel could not boot. Per-process resurrection failures do
+/// *not* fail the microreboot; they are recorded in the report.
+pub fn microreboot(
+    dead: Kernel,
+    config: &OtherworldConfig,
+) -> Result<(Kernel, MicrorebootReport), MicrorebootFailure> {
+    let info = match &dead.panicked {
+        Some(PanicOutcome::Handoff(info)) => *info,
+        Some(PanicOutcome::SystemHalted(why)) => {
+            return Err(MicrorebootFailure::SystemHalted((*why).to_string()))
+        }
+        None => return Err(MicrorebootFailure::NotPanicked),
+    };
+
+    let registry = dead.registry.clone();
+    let dead_generation = dead.generation;
+    let machine = dead.machine;
+    let t_panic = machine.clock.now();
+
+    // Stage 3: the crash kernel initializes itself inside its reservation.
+    let mut k = Kernel::boot_crash(machine, config.crash_kernel.clone(), registry.clone(), info)
+        .map_err(|e| MicrorebootFailure::CrashBootFailed(e.to_string()))?;
+    let t_booted = k.machine.clock.now();
+
+    // Stage 4: resurrection.
+    let mut stats = ReadStats::default();
+    let mut procs_report = Vec::new();
+    let mut integrity_fixes = 0u64;
+
+    let policy = resolve_policy(&mut k, &config.policy);
+
+    let header = reader::read_header(&k.machine.phys, info.dead_kernel_frame, &mut stats);
+    if let Ok(header) = header {
+        // The dead kernel's active swap partition, reopened by symbolic
+        // device name from its descriptor (§3.3).
+        let dead_swap = reader::read_swap_descs(&k.machine.phys, &header, &mut stats)
+            .ok()
+            .and_then(|descs| {
+                let want = format!("swap{}", dead_generation % 2);
+                descs.into_iter().find(|(_, d)| d.dev_name == want)
+            })
+            .and_then(|(addr, d)| {
+                ow_kernel::swap::SwapArea::from_desc(&mut k.machine, &d, addr).ok()
+            });
+
+        // §7 extension: restore consistent pipes globally before the
+        // processes that reference them (§3.3's semaphore rule — a pipe
+        // locked at crash time was mid-update and is lost).
+        let pipes_restored = if config.resurrect_pipes {
+            Some(restore_pipes(&mut k, &header, &mut stats))
+        } else {
+            None
+        };
+
+        let proc_list =
+            reader::read_proc_list(&k.machine.phys, &header, &mut stats).unwrap_or_default();
+
+        for (_addr, old_desc) in proc_list {
+            if old_desc.state == pstate::EXITED || !policy.selects(&old_desc.name) {
+                continue;
+            }
+            let before = stats.total_bytes;
+            let before_pt = stats.pt_bytes;
+            let dead_view = DeadKernel {
+                header: &header,
+                swap: dead_swap.as_ref(),
+                crash_region: (info.crash_base, info.crash_frames),
+                resurrect_sockets: config.resurrect_sockets,
+                pipes_restored,
+            };
+            let mut report = ProcReport {
+                old_pid: old_desc.pid,
+                new_pid: None,
+                name: old_desc.name.clone(),
+                outcome: ProcOutcome::FailedCorrupt("unset".into()),
+                failed_resources: 0,
+                bytes_read: 0,
+                pt_bytes: 0,
+                pages_copied: 0,
+                pages_mapped: 0,
+                pages_swapped: 0,
+            };
+            match resurrect::resurrect_process(
+                &mut k,
+                &dead_view,
+                &old_desc,
+                config.strategy,
+                &mut stats,
+            ) {
+                Ok(r) => {
+                    integrity_fixes += r.integrity_fixes;
+                    report.failed_resources = r.failed_resources;
+                    report.pages_copied = r.pages.copied;
+                    report.pages_mapped = r.pages.mapped;
+                    report.pages_swapped = r.pages.swapped;
+                    let (outcome, new_pid) = finish_process(
+                        &mut k,
+                        &registry,
+                        &old_desc.name,
+                        r.new_pid,
+                        r.failed_resources,
+                        old_desc.crash_proc != 0,
+                    );
+                    report.outcome = outcome;
+                    report.new_pid = new_pid;
+                }
+                Err(e) => {
+                    report.outcome = ProcOutcome::FailedCorrupt(e.to_string());
+                }
+            }
+            report.bytes_read = stats.total_bytes - before;
+            report.pt_bytes = stats.pt_bytes - before_pt;
+            procs_report.push(report);
+        }
+    }
+    let t_resurrected = k.machine.clock.now();
+
+    // Stage 5: morph into the main kernel and install a fresh crash kernel.
+    k.morph_into_main()
+        .map_err(|e| MicrorebootFailure::CrashBootFailed(format!("morph: {e}")))?;
+    let t_done = k.machine.clock.now();
+
+    let secs = |c: u64| c as f64 / ow_simhw::clock::CYCLES_PER_SEC as f64;
+    let report = MicrorebootReport {
+        generation: k.generation,
+        procs: procs_report,
+        stats,
+        crash_boot_seconds: secs(t_booted - t_panic),
+        resurrection_seconds: secs(t_resurrected - t_booted),
+        total_seconds: secs(t_done - t_panic),
+        integrity_fixes,
+    };
+    Ok((k, report))
+}
+
+/// Reads the resurrection policy, possibly from the re-mounted filesystem
+/// (the paper's configuration file for autonomic recovery, §3.3).
+fn resolve_policy(k: &mut Kernel, source: &PolicySource) -> ResurrectionPolicy {
+    match source {
+        PolicySource::Inline(p) => p.clone(),
+        PolicySource::File(path) => {
+            let fs = k.fs.clone();
+            let content = fs
+                .lookup(&mut k.machine, path)
+                .ok()
+                .flatten()
+                .and_then(|ino| {
+                    let size = fs.size_of(&mut k.machine, ino).ok()?;
+                    let mut buf = vec![0u8; size as usize];
+                    fs.read_at(&mut k.machine, ino, 0, &mut buf).ok()?;
+                    String::from_utf8(buf).ok()
+                });
+            content
+                .and_then(|s| ResurrectionPolicy::from_json(&s).ok())
+                .unwrap_or_else(ResurrectionPolicy::all)
+        }
+    }
+}
+
+/// §7 extension: recreates every consistent pipe of the dead kernel in the
+/// crash kernel (same ids, same buffered bytes). Returns `true` only if all
+/// pipes were consistent and restored.
+fn restore_pipes(
+    k: &mut Kernel,
+    header: &ow_kernel::layout::KernelHeader,
+    stats: &mut crate::stats::ReadStats,
+) -> bool {
+    let old = reader::read_pipe_table(&k.machine.phys, header, stats);
+    let mut all_ok = true;
+    for entry in old {
+        match entry {
+            Some(desc) if desc.locked == 0 => {
+                // Consistent: recreate with the same contents.
+                let Ok(id) = k.pipe_create() else {
+                    all_ok = false;
+                    continue;
+                };
+                // Copy the ring contents byte-exactly.
+                let new_pfn = k.pipes[id as usize].buf_pfn;
+                let mut buf = vec![0u8; ow_simhw::PAGE_SIZE];
+                if k.machine
+                    .phys
+                    .read(desc.buf_pfn * ow_simhw::PAGE_BYTES, &mut buf)
+                    .is_err()
+                {
+                    all_ok = false;
+                    continue;
+                }
+                stats.add("pipe_buffer", buf.len() as u64);
+                let _ = k.machine.phys.write(new_pfn * ow_simhw::PAGE_BYTES, &buf);
+                let addr = k.pipe_table_addr + id as u64 * ow_kernel::layout::PipeDesc::SIZE;
+                let _ = ow_kernel::layout::PipeDesc {
+                    locked: 0,
+                    rd: desc.rd,
+                    wr: desc.wr,
+                    buf_pfn: new_pfn,
+                }
+                .write(&mut k.machine.phys, addr);
+            }
+            Some(_locked) => {
+                // Held semaphore: the structure was mid-update (§3.3).
+                // Keep the id allocated so later pipes keep their ids, but
+                // it starts empty.
+                let _ = k.pipe_create();
+                all_ok = false;
+            }
+            None => {
+                let _ = k.pipe_create();
+                all_ok = false;
+            }
+        }
+    }
+    all_ok
+}
+
+/// Rehydrates the program and applies the Table 1 decision matrix.
+fn finish_process(
+    k: &mut Kernel,
+    registry: &ProgramRegistry,
+    name: &str,
+    new_pid: u64,
+    failed: u32,
+    crash_proc_registered: bool,
+) -> (ProcOutcome, Option<u64>) {
+    let Some(image) = registry.get(name) else {
+        let _ = k.reap(new_pid);
+        return (ProcOutcome::FailedNoExecutable, None);
+    };
+
+    // Rebuild the program object purely from resurrected memory.
+    let mut program = {
+        let mut api = KernelApi::new(k, new_pid);
+        (image.rehydrate)(&mut api)
+    };
+
+    if crash_proc_registered {
+        // The crash kernel allocates a temporary user stack and calls the
+        // crash procedure with the failure bitmask (§3.4). The procedure's
+        // own system calls are fresh calls — the ERESTART owed to the
+        // *interrupted* call is delivered only if execution continues.
+        let owed_restart = k
+            .proc_mut(new_pid)
+            .map(|p| std::mem::take(&mut p.deliver_restart))
+            .unwrap_or(false);
+        let action = {
+            let mut api = KernelApi::new(k, new_pid);
+            program.crash_procedure(&mut api, failed)
+        };
+        match action {
+            CrashAction::Continue => {
+                if let Ok(p) = k.proc_mut(new_pid) {
+                    p.program = Some(program);
+                    p.deliver_restart = owed_restart;
+                }
+                (ProcOutcome::ContinuedAfterCrashProc, Some(new_pid))
+            }
+            CrashAction::SaveAndRestart(args) => {
+                // Keep the terminal across the restart.
+                let term = k
+                    .read_desc(new_pid)
+                    .map(|d| d.term_id)
+                    .ok()
+                    .filter(|&t| t != u32::MAX);
+                let _ = k.reap(new_pid);
+                let mut spec = SpawnSpec::new(name, Box::new(StubProgram));
+                spec.term = term;
+                match k.spawn(spec) {
+                    Ok(fresh_pid) => {
+                        let fresh = {
+                            let mut api = KernelApi::new(k, fresh_pid);
+                            (image.fresh)(&mut api, &args)
+                        };
+                        if let Ok(p) = k.proc_mut(fresh_pid) {
+                            p.program = Some(fresh);
+                        }
+                        (ProcOutcome::SavedAndRestarted, Some(fresh_pid))
+                    }
+                    Err(e) => (ProcOutcome::FailedCorrupt(format!("restart: {e}")), None),
+                }
+            }
+            CrashAction::GiveUp => {
+                let _ = k.reap(new_pid);
+                (ProcOutcome::GaveUp, None)
+            }
+        }
+    } else if failed == 0 {
+        // Table 1 top-right: continue transparently.
+        if let Ok(p) = k.proc_mut(new_pid) {
+            p.program = Some(program);
+        }
+        (ProcOutcome::ContinuedTransparently, Some(new_pid))
+    } else {
+        // Table 1 bottom-right: resurrection fails.
+        let _ = k.reap(new_pid);
+        (ProcOutcome::FailedUnresurrectable, None)
+    }
+}
+
+/// A session wrapper: owns the current kernel across microreboot
+/// generations so examples and campaigns can treat the system as one
+/// continuously running machine.
+pub struct Otherworld {
+    kernel: Option<Kernel>,
+    /// Otherworld configuration.
+    pub config: OtherworldConfig,
+    /// Report of the most recent microreboot.
+    pub last_report: Option<MicrorebootReport>,
+}
+
+impl Otherworld {
+    /// Cold-boots the system on a standard machine.
+    pub fn boot(
+        machine_config: ow_simhw::machine::MachineConfig,
+        kernel_config: KernelConfig,
+        config: OtherworldConfig,
+        registry: ProgramRegistry,
+    ) -> Result<Self, ow_kernel::KernelError> {
+        let machine = ow_kernel::standard_machine(machine_config);
+        let kernel = Kernel::boot_cold(machine, kernel_config, registry)?;
+        Ok(Otherworld {
+            kernel: Some(kernel),
+            config,
+            last_report: None,
+        })
+    }
+
+    /// Wraps an existing kernel.
+    pub fn from_kernel(kernel: Kernel, config: OtherworldConfig) -> Self {
+        Otherworld {
+            kernel: Some(kernel),
+            config,
+            last_report: None,
+        }
+    }
+
+    /// The current kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during a failed microreboot (kernel consumed).
+    pub fn kernel(&self) -> &Kernel {
+        self.kernel.as_ref().expect("kernel present")
+    }
+
+    /// The current kernel, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during a failed microreboot (kernel consumed).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        self.kernel.as_mut().expect("kernel present")
+    }
+
+    /// Whether the current kernel has panicked.
+    pub fn is_panicked(&self) -> bool {
+        self.kernel().panicked.is_some()
+    }
+
+    /// Performs the microreboot of a panicked kernel. On success the
+    /// session continues on the new (morphed) kernel.
+    ///
+    /// Calling this on a healthy kernel refuses with
+    /// [`MicrorebootFailure::NotPanicked`] and leaves the session intact.
+    /// A handoff or crash-boot failure, however, is a real machine death:
+    /// the session is over and only [`Otherworld::is_dead`] remains safe to
+    /// call — as on hardware, where that outcome is a full reboot with all
+    /// volatile state lost.
+    pub fn microreboot_now(&mut self) -> Result<&MicrorebootReport, MicrorebootFailure> {
+        if self.kernel().panicked.is_none() {
+            return Err(MicrorebootFailure::NotPanicked);
+        }
+        let dead = self.kernel.take().expect("kernel present");
+        match microreboot(dead, &self.config) {
+            Ok((k, report)) => {
+                self.kernel = Some(k);
+                self.last_report = Some(report);
+                Ok(self.last_report.as_ref().expect("just set"))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether a failed microreboot has ended the session (the machine
+    /// halted; only a cold reboot of a new [`Otherworld`] recovers).
+    pub fn is_dead(&self) -> bool {
+        self.kernel.is_none()
+    }
+
+    /// Resurrection strategy shortcut.
+    pub fn strategy(&self) -> ResurrectionStrategy {
+        self.config.strategy
+    }
+
+    /// §7: hot kernel update. Loads `new_kernel` as the crash kernel's
+    /// configuration (a *different build* — the paper notes nothing
+    /// requires the two kernels to be the same version) and performs a
+    /// planned microreboot: applications survive the kernel swap exactly as
+    /// they survive a crash, making this usable for updating a kernel under
+    /// mission-critical software, or for rejuvenation.
+    pub fn hot_update(
+        &mut self,
+        new_kernel: KernelConfig,
+    ) -> Result<&MicrorebootReport, MicrorebootFailure> {
+        self.config.crash_kernel = new_kernel;
+        self.kernel_mut()
+            .do_panic(ow_kernel::PanicCause::Oops("planned kernel update"));
+        self.microreboot_now()
+    }
+}

@@ -1,0 +1,77 @@
+//! The resurrection policy: which processes the crash kernel revives.
+//!
+//! The paper argues most processes (window manager, cron, ...) hold no
+//! important state and are best restarted cleanly; only a few processes are
+//! worth resurrecting (§3.3). Interactive users pick from a list; servers
+//! use a configuration file. The policy here is that file's contents.
+
+use serde::{Deserialize, Serialize};
+
+/// Which processes to resurrect after a microreboot.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq, Default)]
+pub struct ResurrectionPolicy {
+    /// Resurrect every process regardless of name.
+    pub resurrect_all: bool,
+    /// Process names to resurrect (exact match).
+    pub names: Vec<String>,
+}
+
+impl ResurrectionPolicy {
+    /// A policy that resurrects everything.
+    pub fn all() -> Self {
+        ResurrectionPolicy {
+            resurrect_all: true,
+            names: Vec::new(),
+        }
+    }
+
+    /// A policy that resurrects only the named processes.
+    pub fn only<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        ResurrectionPolicy {
+            resurrect_all: false,
+            names: names.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Whether a process with this name should be resurrected.
+    pub fn selects(&self, name: &str) -> bool {
+        self.resurrect_all || self.names.iter().any(|n| n == name)
+    }
+
+    /// Serializes to the configuration-file format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("policy serializes")
+    }
+
+    /// Parses the configuration-file format.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_selects_everything() {
+        let p = ResurrectionPolicy::all();
+        assert!(p.selects("mysqld"));
+        assert!(p.selects("anything"));
+    }
+
+    #[test]
+    fn only_selects_named() {
+        let p = ResurrectionPolicy::only(["mysqld", "httpd"]);
+        assert!(p.selects("mysqld"));
+        assert!(p.selects("httpd"));
+        assert!(!p.selects("cron"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = ResurrectionPolicy::only(["vi"]);
+        let q = ResurrectionPolicy::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,382 @@
+//! Validated readers over the dead kernel's memory.
+//!
+//! Everything here must assume the bytes may have been corrupted by the
+//! fault that killed the main kernel (§4): every structure is
+//! magic-checked and bounds-checked by [`ow_kernel::layout`], every linked
+//! chain is walked with a length guard (a corrupted `next` pointer must not
+//! loop forever), and every byte read is accounted in [`ReadStats`] —
+//! that accounting *is* Table 4.
+
+use crate::stats::ReadStats;
+use ow_kernel::layout::{
+    FileRecord, FileTable, KernelHeader, LayoutError, PageCacheNode, PipeDesc, ProcDesc, ShmDesc,
+    SigTable, SockDesc, SwapDesc, TermDesc, VmaDesc,
+};
+use ow_simhw::{AddressSpace, PhysAddr, PhysMem, PAGE_SIZE};
+use std::fmt;
+
+/// Upper bounds on chain walks; anything longer is corruption.
+const MAX_VMAS: usize = 1024;
+/// Maximum page-cache nodes per file.
+const MAX_CACHE_NODES: usize = 1 << 16;
+/// Maximum shared-memory attachments per process.
+const MAX_SHM: usize = 64;
+
+/// Errors raised while reading the dead kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// A structure failed validation.
+    Layout(LayoutError),
+    /// A linked chain exceeded its plausible maximum length.
+    ChainTooLong(&'static str),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Layout(e) => write!(f, "{e}"),
+            ReadError::ChainTooLong(what) => write!(f, "corrupted {what} chain (loop?)"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<LayoutError> for ReadError {
+    fn from(e: LayoutError) -> Self {
+        ReadError::Layout(e)
+    }
+}
+
+/// Reads and validates the dead kernel's header.
+pub fn read_header(
+    phys: &PhysMem,
+    kernel_frame: u64,
+    stats: &mut ReadStats,
+) -> Result<KernelHeader, ReadError> {
+    let (h, n) = KernelHeader::read(phys, kernel_frame * PAGE_SIZE as u64)?;
+    stats.add("kernel_header", n);
+    Ok(h)
+}
+
+/// Walks the dead kernel's process list, cross-checking the count stored in
+/// the header (§4: duplicated state as an integrity check).
+pub fn read_proc_list(
+    phys: &PhysMem,
+    header: &KernelHeader,
+    stats: &mut ReadStats,
+) -> Result<Vec<(PhysAddr, ProcDesc)>, ReadError> {
+    let mut out = Vec::new();
+    let mut addr = header.proc_head;
+    while addr != 0 {
+        if out.len() as u64 > header.nprocs {
+            return Err(ReadError::ChainTooLong("process list"));
+        }
+        let (desc, n) = ProcDesc::read(phys, addr)?;
+        stats.add("proc_desc", n);
+        let next = desc.next;
+        out.push((addr, desc));
+        addr = next;
+    }
+    Ok(out)
+}
+
+/// Walks a process's VMA chain.
+pub fn read_vmas(
+    phys: &PhysMem,
+    desc: &ProcDesc,
+    stats: &mut ReadStats,
+) -> Result<Vec<(PhysAddr, VmaDesc)>, ReadError> {
+    let mut out = Vec::new();
+    let mut addr = desc.mm_head;
+    while addr != 0 {
+        if out.len() >= MAX_VMAS {
+            return Err(ReadError::ChainTooLong("vma"));
+        }
+        let (vma, n) = VmaDesc::read(phys, addr)?;
+        stats.add("vma", n);
+        let next = vma.next;
+        out.push((addr, vma));
+        addr = next;
+    }
+    Ok(out)
+}
+
+/// Reads a process's file table.
+pub fn read_file_table(
+    phys: &PhysMem,
+    desc: &ProcDesc,
+    stats: &mut ReadStats,
+) -> Result<FileTable, ReadError> {
+    let (tab, n) = FileTable::read(phys, desc.files)?;
+    stats.add("file_table", n);
+    Ok(tab)
+}
+
+/// Reads one open-file record.
+pub fn read_file_record(
+    phys: &PhysMem,
+    addr: PhysAddr,
+    stats: &mut ReadStats,
+) -> Result<FileRecord, ReadError> {
+    let (frec, n) = FileRecord::read(phys, addr)?;
+    stats.add("file_record", n);
+    Ok(frec)
+}
+
+/// Walks a file's page-cache chain (the paper's buffer tree).
+pub fn read_cache_chain(
+    phys: &PhysMem,
+    cache_head: PhysAddr,
+    stats: &mut ReadStats,
+) -> Result<Vec<(PhysAddr, PageCacheNode)>, ReadError> {
+    let mut out = Vec::new();
+    let mut addr = cache_head;
+    while addr != 0 {
+        if out.len() >= MAX_CACHE_NODES {
+            return Err(ReadError::ChainTooLong("page cache"));
+        }
+        let (node, n) = PageCacheNode::read(phys, addr)?;
+        stats.add("page_cache_node", n);
+        let next = node.next;
+        out.push((addr, node));
+        addr = next;
+    }
+    Ok(out)
+}
+
+/// Reads a process's signal table.
+pub fn read_sig_table(
+    phys: &PhysMem,
+    desc: &ProcDesc,
+    stats: &mut ReadStats,
+) -> Result<SigTable, ReadError> {
+    let (tab, n) = SigTable::read(phys, desc.sig)?;
+    stats.add("sig_table", n);
+    Ok(tab)
+}
+
+/// Walks a process's shared-memory attachment chain.
+pub fn read_shm_chain(
+    phys: &PhysMem,
+    desc: &ProcDesc,
+    stats: &mut ReadStats,
+) -> Result<Vec<ShmDesc>, ReadError> {
+    let mut out = Vec::new();
+    let mut addr = desc.shm_head;
+    while addr != 0 {
+        if out.len() >= MAX_SHM {
+            return Err(ReadError::ChainTooLong("shm"));
+        }
+        let (shm, n) = ShmDesc::read(phys, addr)?;
+        stats.add("shm_desc", n);
+        let next = shm.next;
+        out.push(shm);
+        addr = next;
+    }
+    Ok(out)
+}
+
+/// Walks a process's socket chain (§7 extension).
+pub fn read_sock_chain(
+    phys: &PhysMem,
+    desc: &ProcDesc,
+    stats: &mut ReadStats,
+) -> Result<Vec<SockDesc>, ReadError> {
+    let mut out = Vec::new();
+    let mut addr = desc.sock_head;
+    while addr != 0 {
+        if out.len() >= 64 {
+            return Err(ReadError::ChainTooLong("socket"));
+        }
+        let (sock, n) = SockDesc::read(phys, addr)?;
+        stats.add("sock_desc", n);
+        let next = sock.next;
+        out.push(sock);
+        addr = next;
+    }
+    Ok(out)
+}
+
+/// Reads the dead kernel's pipe table (§7 extension). Individual corrupted
+/// entries are returned as `None` rather than failing the whole table.
+pub fn read_pipe_table(
+    phys: &PhysMem,
+    header: &KernelHeader,
+    stats: &mut ReadStats,
+) -> Vec<Option<PipeDesc>> {
+    let mut out = Vec::new();
+    for i in 0..header.npipes.min(64) {
+        let addr = header.pipe_table + i as u64 * PipeDesc::SIZE;
+        match PipeDesc::read(phys, addr) {
+            Ok((d, n)) => {
+                stats.add("pipe_desc", n);
+                out.push(Some(d));
+            }
+            Err(_) => out.push(None),
+        }
+    }
+    out
+}
+
+/// Reads the swap-descriptor array (fixed size, reachable from the header —
+/// §3.3).
+pub fn read_swap_descs(
+    phys: &PhysMem,
+    header: &KernelHeader,
+    stats: &mut ReadStats,
+) -> Result<Vec<(PhysAddr, SwapDesc)>, ReadError> {
+    let mut out = Vec::new();
+    for i in 0..header.nswap {
+        let addr = header.swap_array + i as u64 * SwapDesc::SIZE;
+        let (d, n) = SwapDesc::read(phys, addr)?;
+        stats.add("swap_desc", n);
+        out.push((addr, d));
+    }
+    Ok(out)
+}
+
+/// Reads a terminal descriptor from the dead kernel's terminal table.
+pub fn read_term(
+    phys: &PhysMem,
+    header: &KernelHeader,
+    term_id: u32,
+    stats: &mut ReadStats,
+) -> Result<TermDesc, ReadError> {
+    if term_id >= header.nterms {
+        return Err(ReadError::Layout(LayoutError::BadValue {
+            structure: "TermDesc",
+            field: "id",
+            addr: header.term_table,
+        }));
+    }
+    let addr = header.term_table + term_id as u64 * TermDesc::SIZE;
+    let (d, n) = TermDesc::read(phys, addr)?;
+    stats.add("term_desc", n);
+    Ok(d)
+}
+
+/// Accounts the page-table frames of an address space as read bytes
+/// (the crash kernel walks every entry of every table — the dominant
+/// component of Table 4).
+pub fn account_page_tables(
+    phys: &PhysMem,
+    root: u64,
+    stats: &mut ReadStats,
+) -> Result<u64, ReadError> {
+    let asp = AddressSpace::from_root(root);
+    let frames = asp
+        .table_frames(phys)
+        .map_err(|e| ReadError::Layout(LayoutError::Mem(e)))?;
+    let bytes = frames * PAGE_SIZE as u64;
+    stats.add("page_tables", bytes);
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ow_kernel::layout::{pstate, HANDOFF_FRAMES};
+
+    fn desc(mm_head: PhysAddr) -> ProcDesc {
+        ProcDesc {
+            pid: 1,
+            state: pstate::RUNNABLE,
+            name: "t".into(),
+            crash_proc: 0,
+            page_root: 1,
+            mm_head,
+            files: 0,
+            sig: 0,
+            term_id: 0,
+            shm_head: 0,
+            sock_head: 0,
+            res_in_use: 0,
+            in_syscall: 0,
+            saved_pc: 0,
+            saved_sp: 0,
+            saved_regs: [0; 8],
+            checksum: 0,
+            next: 0,
+        }
+    }
+
+    #[test]
+    fn vma_loop_detected() {
+        let mut phys = PhysMem::new(16);
+        // A VMA pointing at itself: must terminate with ChainTooLong.
+        let addr = HANDOFF_FRAMES * PAGE_SIZE as u64;
+        VmaDesc {
+            start: 0x1000,
+            end: 0x2000,
+            flags: 0,
+            file: 0,
+            file_off: 0,
+            next: addr,
+        }
+        .write(&mut phys, addr)
+        .unwrap();
+        let mut stats = ReadStats::default();
+        assert_eq!(
+            read_vmas(&phys, &desc(addr), &mut stats),
+            Err(ReadError::ChainTooLong("vma"))
+        );
+    }
+
+    #[test]
+    fn proc_list_longer_than_header_count_is_corrupt() {
+        let mut phys = PhysMem::new(16);
+        let a1 = 0x2000u64;
+        let a2 = 0x3000u64;
+        let mut d1 = desc(0);
+        d1.next = a2;
+        d1.write(&mut phys, a1).unwrap();
+        let mut d2 = desc(0);
+        d2.next = a1; // loop
+        d2.write(&mut phys, a2).unwrap();
+        let header = KernelHeader {
+            version: 1,
+            base_frame: 1,
+            nframes: 1,
+            proc_head: a1,
+            nprocs: 2,
+            swap_array: 0,
+            nswap: 0,
+            is_crash: 0,
+            term_table: 0,
+            nterms: 0,
+            pipe_table: 0,
+            npipes: 0,
+        };
+        let mut stats = ReadStats::default();
+        assert_eq!(
+            read_proc_list(&phys, &header, &mut stats),
+            Err(ReadError::ChainTooLong("process list"))
+        );
+    }
+
+    #[test]
+    fn bytes_are_accounted() {
+        let mut phys = PhysMem::new(16);
+        let addr = 0x2000u64;
+        desc(0).write(&mut phys, addr).unwrap();
+        let header = KernelHeader {
+            version: 1,
+            base_frame: 1,
+            nframes: 1,
+            proc_head: addr,
+            nprocs: 1,
+            swap_array: 0,
+            nswap: 0,
+            is_crash: 0,
+            term_table: 0,
+            nterms: 0,
+            pipe_table: 0,
+            npipes: 0,
+        };
+        let mut stats = ReadStats::default();
+        let procs = read_proc_list(&phys, &header, &mut stats).unwrap();
+        assert_eq!(procs.len(), 1);
+        assert_eq!(stats.by_kind["proc_desc"], ProcDesc::SIZE);
+    }
+}

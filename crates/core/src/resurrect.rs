@@ -1,0 +1,588 @@
+//! The resurrection engine (§3.3).
+//!
+//! Given a validated process descriptor from the dead kernel, rebuild the
+//! process inside the crash kernel: memory regions, page contents
+//! (copied, mapped, or migrated between swap partitions), open files with
+//! offsets and flushed dirty buffers, the physical terminal, signal
+//! handlers and shared memory. Sockets and pipes are not resurrectable in
+//! the prototype; their presence is reported to the crash procedure via
+//! the failure bitmask.
+
+use crate::{
+    config::ResurrectionStrategy,
+    integrity,
+    reader::{self, ReadError},
+    stats::ReadStats,
+};
+use ow_kernel::{
+    kernel::SockHandle,
+    layout::{
+        oflags, resmask, sockproto, vmaflags, FileRecord, KernelHeader, ProcDesc, SockDesc,
+        TermDesc,
+    },
+    swap::SwapArea,
+    Kernel, KernelError,
+};
+use ow_simhw::{machine::FrameOwner, AddressSpace, PhysAddr, Pte, PteFlags, PAGE_SIZE};
+
+/// Page-materialization counters for one process.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageCounters {
+    /// Pages copied into the crash kernel's reservation.
+    pub copied: u64,
+    /// Pages adopted by direct mapping (footnote 3 optimization, also the
+    /// fallback when the reservation runs out).
+    pub mapped: u64,
+    /// Pages migrated from the dead kernel's swap partition to ours.
+    pub swapped: u64,
+}
+
+/// The outcome of rebuilding one process's kernel state.
+#[derive(Debug)]
+pub struct Resurrected {
+    /// Pid in the crash kernel.
+    pub new_pid: u64,
+    /// Resource types that could not be restored ([`resmask`] bits).
+    pub failed_resources: u32,
+    /// Page counters.
+    pub pages: PageCounters,
+    /// Whether the process died inside a system call (it will receive
+    /// `ERESTART` on its next call, §3.5).
+    pub was_in_syscall: bool,
+    /// Integrity cross-check corrections applied (§4).
+    pub integrity_fixes: u64,
+}
+
+/// Everything the engine needs to know about the dead kernel.
+pub struct DeadKernel<'a> {
+    /// The dead kernel's validated header.
+    pub header: &'a KernelHeader,
+    /// The dead kernel's active swap area (None if its descriptor was
+    /// corrupted — swapped pages then become unresurrectable).
+    pub swap: Option<&'a SwapArea>,
+    /// Crash-reservation bounds `(base, frames)`: a dead PTE pointing in
+    /// here is implausible and treated as corruption.
+    pub crash_region: (u64, u64),
+    /// §7 extension: resurrect this process's sockets.
+    pub resurrect_sockets: bool,
+    /// §7 extension: pipe resurrection outcome — `None` when the feature is
+    /// off, `Some(true)` when every pipe was consistent and restored,
+    /// `Some(false)` when any pipe was locked or corrupted at crash time.
+    pub pipes_restored: Option<bool>,
+}
+
+/// Rebuilds `old_desc`'s process inside the crash kernel `k`.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] when corruption of dead-kernel structures makes the
+/// process unresurrectable (Table 5's "failure to resurrect" column). Soft
+/// failures of individual resource types (a missing file, a corrupted
+/// terminal descriptor) do not error; they set bits in
+/// [`Resurrected::failed_resources`] for the crash procedure to handle
+/// (Table 1 semantics).
+pub fn resurrect_process(
+    k: &mut Kernel,
+    dead: &DeadKernel<'_>,
+    old_desc: &ProcDesc,
+    strategy: ResurrectionStrategy,
+    stats: &mut ReadStats,
+) -> Result<Resurrected, ReadError> {
+    let mut failed = 0u32;
+    let mut pages = PageCounters::default();
+
+    // 1. A new process descriptor — the `clone()`-shared path (§3.7).
+    let new_pid = k
+        .create_raw_process(&old_desc.name)
+        .map_err(|e| corrupt("create process", e))?;
+
+    // 2. Memory regions. Rebuilt in original order (the chain is re-created
+    //    by prepending, so walk the old chain in reverse).
+    let vmas = reader::read_vmas(&k.machine.phys, old_desc, stats)?;
+    for (_addr, vma) in vmas.iter().rev() {
+        let mut flags = vma.flags;
+        let mut file = 0u64;
+        let file_off = vma.file_off;
+        if vma.flags & vmaflags::FILE != 0 && vma.file != 0 {
+            // Reopen the backing file for the mapping.
+            match reopen_for_mapping(k, vma.file, stats) {
+                Ok(frec_addr) => file = frec_addr,
+                Err(_) => {
+                    // Pages are materialized below anyway; lose only the
+                    // backing (future faults become anonymous).
+                    flags &= !vmaflags::FILE;
+                    failed |= resmask::FILES;
+                }
+            }
+        }
+        k.vma_add(new_pid, vma.start, vma.end, flags, file, file_off)
+            .map_err(|e| corrupt("vma rebuild", e))?;
+    }
+
+    // 3. Page contents. Walk the dead page tables (accounting them — the
+    //    dominant share of Table 4) and materialize every mapped page.
+    stats_account_tables(k, old_desc, stats)?;
+    let old_asp = AddressSpace::from_root(old_desc.page_root);
+    let mut entries = Vec::new();
+    old_asp
+        .for_each_mapped(&k.machine.phys, |va, pte| entries.push((va, pte)))
+        .map_err(|e| ReadError::Layout(ow_kernel::layout::LayoutError::Mem(e)))?;
+
+    let (crash_base, crash_frames) = dead.crash_region;
+    for (va, pte) in entries {
+        let flags = pte.flags();
+        let keep = PteFlags::from_bits(
+            flags.bits()
+                & (PteFlags::WRITABLE.bits()
+                    | PteFlags::USER.bits()
+                    | PteFlags::FILE.bits()
+                    | PteFlags::ACCESSED.bits()
+                    | PteFlags::DIRTY.bits()),
+        );
+        if flags.contains(PteFlags::PRESENT) {
+            let old_pfn = pte.pfn();
+            if old_pfn >= k.machine.frames()
+                || (old_pfn >= crash_base && old_pfn < crash_base + crash_frames)
+            {
+                return Err(ReadError::Layout(
+                    ow_kernel::layout::LayoutError::BadValue {
+                        structure: "Pte",
+                        field: "pfn",
+                        addr: va,
+                    },
+                ));
+            }
+            let use_map = match strategy {
+                ResurrectionStrategy::MapPages => true,
+                ResurrectionStrategy::CopyPages => false,
+            };
+            let mapped = if use_map {
+                true
+            } else if let Ok(new_pfn) = k.alloc_frame(FrameOwner::User { pid: new_pid }) {
+                k.machine
+                    .phys
+                    .copy_frame(old_pfn, new_pfn)
+                    .map_err(|e| corrupt("page copy", KernelError::Mem(e)))?;
+                let cost = k.machine.cost.page_copy;
+                k.machine.clock.charge(cost);
+                k.map_user_page(new_pid, va, new_pfn, keep | PteFlags::PRESENT)
+                    .map_err(|e| corrupt("page map", e))?;
+                pages.copied += 1;
+                false
+            } else {
+                // Reservation exhausted: fall back to adopting the frame.
+                true
+            };
+            if mapped {
+                k.machine
+                    .set_owner(old_pfn, FrameOwner::User { pid: new_pid });
+                let cost = k.machine.cost.page_map;
+                k.machine.clock.charge(cost);
+                k.map_user_page(new_pid, va, old_pfn, keep | PteFlags::PRESENT)
+                    .map_err(|e| corrupt("page adopt", e))?;
+                pages.mapped += 1;
+            }
+        } else if flags.contains(PteFlags::SWAPPED) {
+            // Migrate between swap partitions: read from the dead kernel's
+            // partition, write to ours (§3.3).
+            let swap = dead.swap.ok_or(ReadError::Layout(
+                ow_kernel::layout::LayoutError::BadValue {
+                    structure: "SwapDesc",
+                    field: "missing",
+                    addr: 0,
+                },
+            ))?;
+            let buf = swap
+                .read_slot_buf(&mut k.machine, pte.pfn() as u32)
+                .map_err(|e| corrupt("swap read", e))?;
+            let ours = k.swaps[k.active_swap].clone();
+            let slot = ours
+                .alloc_slot(&mut k.machine)
+                .map_err(|e| corrupt("swap alloc", e))?;
+            ours.write_slot_buf(&mut k.machine, slot, &buf)
+                .map_err(|e| corrupt("swap write", e))?;
+            k.set_user_pte(new_pid, va, Pte::new(slot as u64, keep | PteFlags::SWAPPED))
+                .map_err(|e| corrupt("swap pte", e))?;
+            pages.swapped += 1;
+        }
+    }
+
+    // 4. Open files: reopen by stored path/flags/offset, flush the dead
+    //    kernel's dirty buffers first (§3.3).
+    let old_tab = reader::read_file_table(&k.machine.phys, old_desc, stats)?;
+    for (slot, &frec_addr) in old_tab.fds.iter().enumerate() {
+        if frec_addr == 0 {
+            continue;
+        }
+        match resurrect_file(k, frec_addr, stats) {
+            Ok(new_frec_addr) => {
+                install_fd(k, new_pid, slot as u32, new_frec_addr)
+                    .map_err(|e| corrupt("fd install", e))?;
+            }
+            Err(_) => failed |= resmask::FILES,
+        }
+    }
+
+    // 5. Physical terminal (§3.3).
+    if old_desc.term_id != u32::MAX {
+        match resurrect_terminal(k, dead.header, old_desc.term_id, stats) {
+            Ok(new_term) => {
+                k.update_desc(new_pid, |d| d.term_id = new_term)
+                    .map_err(|e| corrupt("term attach", e))?;
+            }
+            Err(_) => failed |= resmask::TERMINAL,
+        }
+    }
+
+    // 6. Signal handlers.
+    match reader::read_sig_table(&k.machine.phys, old_desc, stats) {
+        Ok(tab) => {
+            let new_desc = k.read_desc(new_pid).map_err(|e| corrupt("desc read", e))?;
+            tab.write(&mut k.machine.phys, new_desc.sig)
+                .map_err(ReadError::Layout)?;
+        }
+        Err(_) => failed |= resmask::SIGNALS,
+    }
+
+    // 7. Shared memory: recreate segments with copied contents.
+    match reader::read_shm_chain(&k.machine.phys, old_desc, stats) {
+        Ok(segs) => {
+            for seg in segs {
+                if restore_shm(k, new_pid, &seg).is_err() {
+                    failed |= resmask::SHM;
+                }
+            }
+        }
+        Err(_) => failed |= resmask::SHM,
+    }
+
+    // 8. Sockets: unresurrectable in the paper's prototype; the §7
+    //    extension restores connection parameters, sequence state and
+    //    unacknowledged outbound payload (TCP) per §3.3's analysis.
+    if dead.resurrect_sockets {
+        match resurrect_sockets(k, old_desc, new_pid, stats) {
+            Ok(()) => {}
+            Err(_) => failed |= resmask::SOCKETS,
+        }
+    } else {
+        failed |= old_desc.res_in_use & resmask::SOCKETS;
+    }
+    // Pipes: restored globally before per-process resurrection; a process
+    // using pipes fails the resource only if the feature is off or any
+    // pipe was inconsistent (locked) at crash time.
+    match dead.pipes_restored {
+        Some(true) => {}
+        Some(false) | None => failed |= old_desc.res_in_use & resmask::PIPES,
+    }
+    failed |= old_desc.res_in_use & resmask::PTY;
+
+    // 9. Saved context: prefer the NMI-saved per-CPU copy when it is valid
+    //    and newer (§4: duplicated state cross-checks).
+    let (ctx, integrity_fixes) = integrity::cross_check_context(&k.machine.phys, old_desc);
+    k.update_desc(new_pid, |d| {
+        d.crash_proc = old_desc.crash_proc;
+        d.saved_pc = ctx.pc;
+        d.saved_sp = ctx.sp;
+        d.saved_regs = ctx.regs;
+        d.in_syscall = 0;
+    })
+    .map_err(|e| corrupt("context restore", e))?;
+    {
+        let p = k.proc_mut(new_pid).map_err(|e| corrupt("proc handle", e))?;
+        p.step = ctx.pc;
+        p.deliver_restart = old_desc.in_syscall != 0;
+        p.resurrection_failures = failed;
+    }
+
+    Ok(Resurrected {
+        new_pid,
+        failed_resources: failed,
+        pages,
+        was_in_syscall: old_desc.in_syscall != 0,
+        integrity_fixes,
+    })
+}
+
+fn corrupt(what: &'static str, _cause: KernelError) -> ReadError {
+    ReadError::Layout(ow_kernel::layout::LayoutError::BadValue {
+        structure: "resurrection",
+        field: what,
+        addr: 0,
+    })
+}
+
+fn stats_account_tables(
+    k: &Kernel,
+    old_desc: &ProcDesc,
+    stats: &mut ReadStats,
+) -> Result<(), ReadError> {
+    reader::account_page_tables(&k.machine.phys, old_desc.page_root, stats)?;
+    Ok(())
+}
+
+/// Reopens the file behind a dead [`FileRecord`] for a memory mapping.
+fn reopen_for_mapping(
+    k: &mut Kernel,
+    old_frec_addr: PhysAddr,
+    stats: &mut ReadStats,
+) -> Result<PhysAddr, ReadError> {
+    let old = reader::read_file_record(&k.machine.phys, old_frec_addr, stats)?;
+    let fs = k.fs.clone();
+    let ino = fs
+        .lookup(&mut k.machine, &old.path)
+        .map_err(|e| corrupt("map lookup", e))?
+        .ok_or_else(|| corrupt("map lookup", KernelError::NoEnt(old.path.clone())))?;
+    let new_addr = k
+        .kheap
+        .alloc(FileRecord::SIZE)
+        .ok_or_else(|| corrupt("map frec", KernelError::NoMemory))?;
+    FileRecord {
+        flags: old.flags & !oflags::TRUNC,
+        refcnt: 1,
+        offset: old.offset,
+        fsize: old.fsize,
+        inode: ino as u64,
+        path: old.path,
+        cache_head: 0,
+    }
+    .write(&mut k.machine.phys, new_addr)
+    .map_err(ReadError::Layout)?;
+    Ok(new_addr)
+}
+
+/// Resurrects one open file: flush the dead kernel's dirty buffers, then
+/// reopen at the same path/flags/offset.
+fn resurrect_file(
+    k: &mut Kernel,
+    old_frec_addr: PhysAddr,
+    stats: &mut ReadStats,
+) -> Result<PhysAddr, ReadError> {
+    let old = reader::read_file_record(&k.machine.phys, old_frec_addr, stats)?;
+    let fs = k.fs.clone();
+    let ino = match fs
+        .lookup(&mut k.machine, &old.path)
+        .map_err(|e| corrupt("file lookup", e))?
+    {
+        Some(ino) => ino,
+        None if old.flags & oflags::CREATE != 0 => fs
+            .create(&mut k.machine, &old.path)
+            .map_err(|e| corrupt("file create", e))?,
+        None => return Err(corrupt("file lookup", KernelError::NoEnt(old.path.clone()))),
+    };
+
+    // Flush dirty buffers using the *validated* inode (cross-checking the
+    // one stored in the record — §4).
+    let nodes = reader::read_cache_chain(&k.machine.phys, old.cache_head, stats)?;
+    for (node_addr, node) in nodes {
+        if node.dirty != 0 {
+            let valid = old
+                .fsize
+                .saturating_sub(node.file_off)
+                .min(PAGE_SIZE as u64);
+            if valid > 0 {
+                let mut buf = vec![0u8; valid as usize];
+                k.machine
+                    .phys
+                    .read(node.pfn * PAGE_SIZE as u64, &mut buf)
+                    .map_err(|e| corrupt("cache read", KernelError::Mem(e)))?;
+                fs.write_at(&mut k.machine, ino, node.file_off, &buf)
+                    .map_err(|e| corrupt("cache flush", e))?;
+            }
+        }
+        let _ = node_addr;
+    }
+
+    let disk_size = fs
+        .size_of(&mut k.machine, ino)
+        .map_err(|e| corrupt("file size", e))?;
+    let new_addr = k
+        .kheap
+        .alloc(FileRecord::SIZE)
+        .ok_or_else(|| corrupt("file frec", KernelError::NoMemory))?;
+    FileRecord {
+        flags: old.flags & !oflags::TRUNC,
+        refcnt: 1,
+        offset: old.offset,
+        fsize: disk_size.max(old.fsize),
+        inode: ino as u64,
+        path: old.path,
+        cache_head: 0,
+    }
+    .write(&mut k.machine.phys, new_addr)
+    .map_err(ReadError::Layout)?;
+    Ok(new_addr)
+}
+
+/// Places a reopened file record into the same fd slot it occupied (§3.3:
+/// reopening must be transparent to the application).
+fn install_fd(k: &mut Kernel, pid: u64, slot: u32, frec_addr: PhysAddr) -> Result<(), KernelError> {
+    let desc = k.read_desc(pid)?;
+    let (mut tab, _) = ow_kernel::layout::FileTable::read(&k.machine.phys, desc.files)?;
+    tab.fds[slot as usize] = frec_addr;
+    tab.write(&mut k.machine.phys, desc.files)?;
+    Ok(())
+}
+
+/// Restores a physical terminal: new terminal with the dead one's screen
+/// contents, cursor and settings (§3.3).
+fn resurrect_terminal(
+    k: &mut Kernel,
+    dead_header: &KernelHeader,
+    term_id: u32,
+    stats: &mut ReadStats,
+) -> Result<u32, ReadError> {
+    let old = reader::read_term(&k.machine.phys, dead_header, term_id, stats)?;
+    let new_id = k
+        .create_terminal()
+        .map_err(|e| corrupt("terminal create", e))?;
+    // Copy the screen buffer from the dead kernel's frame.
+    let cells = (ow_kernel::layout::TERM_COLS * ow_kernel::layout::TERM_ROWS) as usize;
+    let mut screen = vec![0u8; cells];
+    k.machine
+        .phys
+        .read(old.screen_pfn * PAGE_SIZE as u64, &mut screen)
+        .map_err(|e| corrupt("screen read", KernelError::Mem(e)))?;
+    stats.add("terminal_screen", cells as u64);
+    // Locate the new terminal's descriptor and write state through it.
+    let new_desc_addr = k.term_table_addr + new_id as u64 * TermDesc::SIZE;
+    let (mut new_desc, _) =
+        TermDesc::read(&k.machine.phys, new_desc_addr).map_err(ReadError::Layout)?;
+    k.machine
+        .phys
+        .write(new_desc.screen_pfn * PAGE_SIZE as u64, &screen)
+        .map_err(|e| corrupt("screen write", KernelError::Mem(e)))?;
+    new_desc.cursor = old.cursor;
+    new_desc.settings = old.settings;
+    new_desc
+        .write(&mut k.machine.phys, new_desc_addr)
+        .map_err(ReadError::Layout)?;
+    Ok(new_id)
+}
+
+/// Recreates a shared-memory segment with the dead kernel's contents.
+fn restore_shm(
+    k: &mut Kernel,
+    pid: u64,
+    seg: &ow_kernel::layout::ShmDesc,
+) -> Result<(), ReadError> {
+    let new_frames = k
+        .shm_attach(pid, seg.key, seg.npages as u64, seg.attach_vaddr)
+        .map_err(|e| corrupt("shm attach", e))?;
+    for (old_pfn, new_pfn) in seg.pages.iter().zip(new_frames.iter()) {
+        if *old_pfn != *new_pfn {
+            k.machine
+                .phys
+                .copy_frame(*old_pfn, *new_pfn)
+                .map_err(|e| corrupt("shm copy", KernelError::Mem(e)))?;
+        }
+        let cost = k.machine.cost.page_copy;
+        k.machine.clock.charge(cost);
+    }
+    Ok(())
+}
+
+/// §7 extension: rebuilds a process's sockets from its descriptor chain.
+///
+/// For UDP it is safe to discard payload and restore only the connection
+/// parameters; for TCP the sequence state and all unacknowledged outbound
+/// payload must also be restored so the resurrection is transparent to the
+/// remote host (§3.3). The re-buffered payload is queued for retransmission.
+fn resurrect_sockets(
+    k: &mut Kernel,
+    old_desc: &ProcDesc,
+    new_pid: u64,
+    stats: &mut ReadStats,
+) -> Result<(), ReadError> {
+    let socks = reader::read_sock_chain(&k.machine.phys, old_desc, stats)?;
+    // Rebuild in original order (chain prepends).
+    for old in socks.iter().rev() {
+        if old.state != 1 {
+            continue;
+        }
+        // Read the unacknowledged payload out of the dead kernel's buffer.
+        let mut payload = vec![0u8; old.outbuf_len as usize];
+        if old.proto == sockproto::TCP && old.outbuf_len > 0 {
+            k.machine
+                .phys
+                .read(old.outbuf_pfn * PAGE_SIZE as u64, &mut payload)
+                .map_err(|e| corrupt("sock payload", KernelError::Mem(e)))?;
+            stats.add("sock_payload", old.outbuf_len as u64);
+        }
+        // New descriptor + buffer in the crash kernel.
+        let desc_addr = k
+            .kheap
+            .alloc(SockDesc::SIZE)
+            .ok_or_else(|| corrupt("sock desc", KernelError::NoMemory))?;
+        let outbuf_pfn = k
+            .alloc_frame(FrameOwner::Kernel)
+            .map_err(|e| corrupt("sock buf", e))?;
+        k.machine
+            .phys
+            .zero_frame(outbuf_pfn)
+            .map_err(|e| corrupt("sock buf", KernelError::Mem(e)))?;
+        let (restored_len, seq) = if old.proto == sockproto::TCP {
+            k.machine
+                .phys
+                .write(outbuf_pfn * PAGE_SIZE as u64, &payload)
+                .map_err(|e| corrupt("sock buf", KernelError::Mem(e)))?;
+            (old.outbuf_len, old.seq)
+        } else {
+            // UDP: no delivery guarantee — discard payload (§3.3).
+            (0, old.seq)
+        };
+        let head = k
+            .read_desc(new_pid)
+            .map_err(|e| corrupt("sock head", e))?
+            .sock_head;
+        SockDesc {
+            proto: old.proto,
+            state: 1,
+            sid: old.sid,
+            local_port: old.local_port,
+            seq,
+            outbuf_pfn,
+            outbuf_len: restored_len,
+            next: head,
+        }
+        .write(&mut k.machine.phys, desc_addr)
+        .map_err(ReadError::Layout)?;
+        {
+            let proc_addr = k
+                .proc(new_pid)
+                .map_err(|e| corrupt("sock link", e))?
+                .desc_addr;
+            k.machine
+                .phys
+                .write_u64(
+                    proc_addr + ow_kernel::layout::proc_off::SOCK_HEAD,
+                    desc_addr,
+                )
+                .map_err(|e| corrupt("sock link", KernelError::Mem(e)))?;
+            k.reseal_desc(new_pid)
+                .map_err(|e| corrupt("sock link", e))?;
+        }
+        // Host endpoint: same sid; the unacknowledged TCP payload goes out
+        // for retransmission, invisible to the application.
+        let mut handle = SockHandle {
+            sid: old.sid,
+            desc_addr,
+            inbox: Default::default(),
+            outbox: Default::default(),
+            open: true,
+        };
+        if old.proto == sockproto::TCP && !payload.is_empty() {
+            handle.outbox.push_back(payload);
+        }
+        k.proc_mut(new_pid)
+            .map_err(|e| corrupt("sock handle", e))?
+            .sockets
+            .push(handle);
+    }
+    // The process still *uses* sockets; keep the usage bit in its new
+    // descriptor so a later crash without the extension reports it.
+    if old_desc.res_in_use & resmask::SOCKETS != 0 {
+        k.update_desc(new_pid, |d| d.res_in_use |= resmask::SOCKETS)
+            .map_err(|e| corrupt("sock mask", e))?;
+    }
+    Ok(())
+}

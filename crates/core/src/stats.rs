@@ -1,0 +1,176 @@
+//! Accounting: what the crash kernel read from the dead kernel, and what
+//! happened to each process.
+//!
+//! Table 4 of the paper reports the total size of main-kernel data the
+//! crash kernel reads during resurrection and the share of it that is page
+//! tables; Table 5 classifies per-experiment outcomes. Both are computed
+//! from these structures.
+
+use std::collections::BTreeMap;
+
+/// Byte accounting of reads from the dead kernel.
+#[derive(Debug, Clone, Default)]
+pub struct ReadStats {
+    /// All bytes read from dead-kernel structures (including page tables).
+    pub total_bytes: u64,
+    /// Bytes that were page-table frames.
+    pub pt_bytes: u64,
+    /// Breakdown by structure kind.
+    pub by_kind: BTreeMap<&'static str, u64>,
+}
+
+impl ReadStats {
+    /// Records `bytes` read for structure `kind`.
+    pub fn add(&mut self, kind: &'static str, bytes: u64) {
+        self.total_bytes += bytes;
+        *self.by_kind.entry(kind).or_insert(0) += bytes;
+        if kind == "page_tables" {
+            self.pt_bytes += bytes;
+        }
+    }
+
+    /// Page-table share of everything read (Table 4's last column).
+    pub fn pt_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.pt_bytes as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Folds another stats block into this one.
+    pub fn merge(&mut self, other: &ReadStats) {
+        self.total_bytes += other.total_bytes;
+        self.pt_bytes += other.pt_bytes;
+        for (k, v) in &other.by_kind {
+            *self.by_kind.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+/// What happened to one process during resurrection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcOutcome {
+    /// All resources restored, no crash procedure: execution continued from
+    /// the interruption point, crash unnoticed (Table 1, top-right).
+    ContinuedTransparently,
+    /// Crash procedure ran and chose to continue execution (Table 1, left).
+    ContinuedAfterCrashProc,
+    /// Crash procedure saved state and restarted the application.
+    SavedAndRestarted,
+    /// Crash procedure gave up; the process terminated.
+    GaveUp,
+    /// Some resources could not be resurrected and no crash procedure was
+    /// registered (Table 1, bottom-right): resurrection failed.
+    FailedUnresurrectable,
+    /// Corruption of main-kernel structures prevented resurrection
+    /// (Table 5, column 4).
+    FailedCorrupt(String),
+    /// The executable is unknown to this system (cannot rehydrate).
+    FailedNoExecutable,
+}
+
+impl ProcOutcome {
+    /// Whether the application survived with its data (Table 5's
+    /// "successful resurrection" definition).
+    pub fn is_success(&self) -> bool {
+        matches!(
+            self,
+            ProcOutcome::ContinuedTransparently
+                | ProcOutcome::ContinuedAfterCrashProc
+                | ProcOutcome::SavedAndRestarted
+        )
+    }
+}
+
+/// Per-process resurrection report.
+#[derive(Debug, Clone)]
+pub struct ProcReport {
+    /// Pid in the dead kernel.
+    pub old_pid: u64,
+    /// Pid in the crash kernel (when the process survived).
+    pub new_pid: Option<u64>,
+    /// Process name.
+    pub name: String,
+    /// Outcome.
+    pub outcome: ProcOutcome,
+    /// Bitmask of resource types that were not restored
+    /// ([`ow_kernel::layout::resmask`]), as passed to the crash procedure.
+    pub failed_resources: u32,
+    /// Dead-kernel bytes read to resurrect this process.
+    pub bytes_read: u64,
+    /// Of which page tables.
+    pub pt_bytes: u64,
+    /// Pages copied / mapped / migrated from swap.
+    pub pages_copied: u64,
+    /// Pages adopted via the mapping optimization.
+    pub pages_mapped: u64,
+    /// Pages migrated between swap partitions.
+    pub pages_swapped: u64,
+}
+
+/// Report of one complete microreboot.
+#[derive(Debug, Clone)]
+pub struct MicrorebootReport {
+    /// Generation of the new (crash, now main) kernel.
+    pub generation: u32,
+    /// Per-process outcomes.
+    pub procs: Vec<ProcReport>,
+    /// Aggregate read accounting.
+    pub stats: ReadStats,
+    /// Simulated seconds to boot the crash kernel.
+    pub crash_boot_seconds: f64,
+    /// Simulated seconds spent resurrecting processes.
+    pub resurrection_seconds: f64,
+    /// Simulated seconds for the whole microreboot (panic → morphed).
+    pub total_seconds: f64,
+    /// Integrity cross-check corrections applied (§4 duplication checks).
+    pub integrity_fixes: u64,
+}
+
+impl MicrorebootReport {
+    /// Whether every selected process survived.
+    pub fn all_succeeded(&self) -> bool {
+        self.procs.iter().all(|p| p.outcome.is_success())
+    }
+
+    /// Finds a process report by (old) name.
+    pub fn proc_named(&self, name: &str) -> Option<&ProcReport> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_stats_accumulate_and_fraction() {
+        let mut s = ReadStats::default();
+        s.add("proc_desc", 100);
+        s.add("page_tables", 300);
+        assert_eq!(s.total_bytes, 400);
+        assert_eq!(s.pt_bytes, 300);
+        assert!((s.pt_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_folds_breakdowns() {
+        let mut a = ReadStats::default();
+        a.add("vma", 10);
+        let mut b = ReadStats::default();
+        b.add("vma", 5);
+        b.add("page_tables", 20);
+        a.merge(&b);
+        assert_eq!(a.by_kind["vma"], 15);
+        assert_eq!(a.pt_bytes, 20);
+    }
+
+    #[test]
+    fn outcome_success_classes() {
+        assert!(ProcOutcome::ContinuedTransparently.is_success());
+        assert!(ProcOutcome::SavedAndRestarted.is_success());
+        assert!(!ProcOutcome::FailedCorrupt("x".into()).is_success());
+        assert!(!ProcOutcome::GaveUp.is_success());
+    }
+}

@@ -1,0 +1,344 @@
+//! End-to-end microreboot tests: a program survives a kernel panic with its
+//! memory, files, terminal and signal handlers intact, and continues from
+//! the exact point of interruption.
+
+use ow_core::{
+    microreboot, Otherworld, OtherworldConfig, PolicySource, ResurrectionPolicy,
+    ResurrectionStrategy,
+};
+use ow_kernel::{
+    layout::oflags,
+    program::{Program, ProgramRegistry, StepResult, UserApi, PROG_STATE_VADDR},
+    Kernel, KernelConfig, PanicCause, SpawnSpec,
+};
+use ow_simhw::machine::MachineConfig;
+
+/// A program that counts in user memory and logs milestones to a file.
+struct Counter {
+    target: u64,
+}
+
+const COUNT_ADDR: u64 = PROG_STATE_VADDR + 8;
+
+impl Program for Counter {
+    fn step(&mut self, api: &mut dyn UserApi) -> StepResult {
+        let c = match api.mem_read_u64(COUNT_ADDR) {
+            Ok(c) => c,
+            Err(_) => return StepResult::Running,
+        };
+        let next = c + 1;
+        if api.mem_write_u64(COUNT_ADDR, next).is_err() {
+            return StepResult::Running;
+        }
+        // Log every 5th count to a file (exercises the page cache).
+        if next % 5 == 0 {
+            if let Ok(fd) = api.open(
+                "/counter.log",
+                oflags::WRITE | oflags::CREATE | oflags::APPEND,
+            ) {
+                let _ = api.write(fd, format!("count={next}\n").as_bytes());
+                let _ = api.close(fd);
+            }
+        }
+        if next >= self.target {
+            StepResult::Exited(0)
+        } else {
+            StepResult::Running
+        }
+    }
+
+    fn save_state(&mut self, _api: &mut dyn UserApi) {
+        // All state already lives in user memory.
+    }
+}
+
+fn registry() -> ProgramRegistry {
+    let mut r = ProgramRegistry::new();
+    r.register(
+        "counter",
+        |api, _args| {
+            api.mem_write_u64(COUNT_ADDR, 0).expect("init count");
+            Box::new(Counter { target: 1_000_000 })
+        },
+        |_api| Box::new(Counter { target: 1_000_000 }),
+    );
+    r
+}
+
+fn boot() -> Kernel {
+    let machine = ow_kernel::standard_machine(MachineConfig {
+        ram_frames: 4096, // 16 MiB
+        cpus: 2,
+        tlb_entries: 64,
+        cost: ow_simhw::CostModel::zero_io(),
+    });
+    Kernel::boot_cold(machine, KernelConfig::default(), registry()).expect("cold boot")
+}
+
+fn count_of(k: &mut Kernel, pid: u64) -> u64 {
+    let mut buf = [0u8; 8];
+    k.user_read(pid, COUNT_ADDR, &mut buf).expect("read count");
+    u64::from_le_bytes(buf)
+}
+
+#[test]
+fn program_survives_microreboot_and_continues() {
+    let mut k = boot();
+    let pid = {
+        let mut spec = SpawnSpec::new("counter", Box::new(Counter { target: 1_000_000 }));
+        spec.heap_pages = 16;
+        let pid = k.spawn(spec).unwrap();
+        // Initialize like the fresh factory would.
+        k.user_write(pid, COUNT_ADDR, &0u64.to_le_bytes()).unwrap();
+        pid
+    };
+
+    for _ in 0..10 {
+        k.run_step();
+    }
+    assert_eq!(count_of(&mut k, pid), 10);
+
+    // Kernel panics.
+    k.do_panic(PanicCause::Oops("test oops"));
+    assert!(k.panicked.is_some());
+
+    // Microreboot.
+    let (mut k2, report) = microreboot(k_into(k), &OtherworldConfig::default()).unwrap();
+    let proc_report = report
+        .proc_named("counter")
+        .expect("counter was resurrected");
+    assert!(
+        proc_report.outcome.is_success(),
+        "outcome: {:?}",
+        proc_report.outcome
+    );
+    assert_eq!(
+        proc_report.outcome,
+        ow_core::ProcOutcome::ContinuedTransparently
+    );
+    let new_pid = proc_report.new_pid.unwrap();
+
+    // The count survived — not reset to zero.
+    assert_eq!(count_of(&mut k2, new_pid), 10);
+
+    // And execution continues from the interruption point.
+    for _ in 0..10 {
+        k2.run_step();
+    }
+    assert_eq!(count_of(&mut k2, new_pid), 20);
+    assert!(k2.panicked.is_none());
+    assert_eq!(k2.generation, 1);
+}
+
+// Helper: moves a kernel (microreboot consumes it).
+fn k_into(k: Kernel) -> Kernel {
+    k
+}
+
+#[test]
+fn dirty_file_buffers_are_flushed_during_resurrection() {
+    let mut k = boot();
+    let pid = k
+        .spawn(SpawnSpec::new(
+            "counter",
+            Box::new(Counter { target: 1_000_000 }),
+        ))
+        .unwrap();
+    k.user_write(pid, COUNT_ADDR, &0u64.to_le_bytes()).unwrap();
+
+    // Run enough steps to write "count=5" and "count=10" into the page
+    // cache; do NOT fsync.
+    for _ in 0..10 {
+        k.run_step();
+    }
+
+    k.do_panic(PanicCause::Oops("dirty buffers"));
+    let (mut k2, report) = microreboot(k_into(k), &OtherworldConfig::default()).unwrap();
+    assert!(report.all_succeeded());
+
+    // The log content must be durable on the re-mounted filesystem.
+    let fs = k2.fs.clone();
+    let ino = fs
+        .lookup(&mut k2.machine, "/counter.log")
+        .unwrap()
+        .expect("log exists");
+    let size = fs.size_of(&mut k2.machine, ino).unwrap();
+    let mut buf = vec![0u8; size as usize];
+    fs.read_at(&mut k2.machine, ino, 0, &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.contains("count=5"), "log: {text}");
+    assert!(text.contains("count=10"), "log: {text}");
+}
+
+#[test]
+fn swapped_pages_are_migrated_between_partitions() {
+    let mut k = boot();
+    let pid = k
+        .spawn(SpawnSpec::new(
+            "counter",
+            Box::new(Counter { target: 1_000_000 }),
+        ))
+        .unwrap();
+    k.user_write(pid, COUNT_ADDR, &0u64.to_le_bytes()).unwrap();
+    for _ in 0..7 {
+        k.run_step();
+    }
+    // Force the counter page out to swap0 (generation 0's partition).
+    let (present_before, _) = k.page_census(pid).unwrap();
+    assert!(present_before > 0);
+    k.swap_out_pages(pid, present_before as usize).unwrap();
+    let (present, swapped) = k.page_census(pid).unwrap();
+    assert_eq!(present, 0);
+    assert!(swapped > 0);
+
+    k.do_panic(PanicCause::Oops("swapped"));
+    let (mut k2, report) = microreboot(k_into(k), &OtherworldConfig::default()).unwrap();
+    let pr = report.proc_named("counter").unwrap();
+    assert!(pr.outcome.is_success());
+    assert!(pr.pages_swapped > 0, "expected swap migration");
+    let new_pid = pr.new_pid.unwrap();
+
+    // Touching the page faults it in from the *new* partition.
+    assert_eq!(count_of(&mut k2, new_pid), 7);
+    for _ in 0..3 {
+        k2.run_step();
+    }
+    assert_eq!(count_of(&mut k2, new_pid), 10);
+}
+
+#[test]
+fn terminal_and_signals_are_restored() {
+    let mut k = boot();
+    let term = k.create_terminal().unwrap();
+    let pid = {
+        let mut spec = SpawnSpec::new("counter", Box::new(Counter { target: 1_000_000 }));
+        spec.term = Some(term);
+        k.spawn(spec).unwrap()
+    };
+    k.user_write(pid, COUNT_ADDR, &0u64.to_le_bytes()).unwrap();
+    k.term_write(term, b"hello\nworld").unwrap();
+    k.term_set(term, 0b101).unwrap();
+    k.signal_install(pid, 2, 0xdead_beef).unwrap();
+
+    k.do_panic(PanicCause::Oops("terminal"));
+    let (k2, report) = microreboot(k_into(k), &OtherworldConfig::default()).unwrap();
+    let pr = report.proc_named("counter").unwrap();
+    assert!(pr.outcome.is_success());
+    let new_pid = pr.new_pid.unwrap();
+
+    let new_term = k2.read_desc(new_pid).unwrap().term_id;
+    assert_ne!(new_term, u32::MAX);
+    let screen = k2.term_screen(new_term).unwrap();
+    let row0: String = screen[..5].iter().map(|&b| b as char).collect();
+    let row1: String = screen[80..85].iter().map(|&b| b as char).collect();
+    assert_eq!(row0, "hello");
+    assert_eq!(row1, "world");
+    assert_eq!(k2.term_settings(new_term).unwrap(), 0b101);
+    assert_eq!(k2.signal_handler(new_pid, 2).unwrap(), 0xdead_beef);
+}
+
+#[test]
+fn map_pages_strategy_also_preserves_memory() {
+    let mut k = boot();
+    let pid = k
+        .spawn(SpawnSpec::new(
+            "counter",
+            Box::new(Counter { target: 1_000_000 }),
+        ))
+        .unwrap();
+    k.user_write(pid, COUNT_ADDR, &0u64.to_le_bytes()).unwrap();
+    for _ in 0..12 {
+        k.run_step();
+    }
+    k.do_panic(PanicCause::Oops("map strategy"));
+    let config = OtherworldConfig {
+        strategy: ResurrectionStrategy::MapPages,
+        ..OtherworldConfig::default()
+    };
+    let (mut k2, report) = microreboot(k_into(k), &config).unwrap();
+    let pr = report.proc_named("counter").unwrap();
+    assert!(pr.outcome.is_success());
+    assert!(pr.pages_mapped > 0);
+    assert_eq!(pr.pages_copied, 0);
+    assert_eq!(count_of(&mut k2, pr.new_pid.unwrap()), 12);
+}
+
+#[test]
+fn policy_skips_unselected_processes() {
+    let mut k = boot();
+    let pid_a = k
+        .spawn(SpawnSpec::new(
+            "counter",
+            Box::new(Counter { target: 1_000_000 }),
+        ))
+        .unwrap();
+    k.user_write(pid_a, COUNT_ADDR, &0u64.to_le_bytes())
+        .unwrap();
+    k.do_panic(PanicCause::Oops("policy"));
+    let config = OtherworldConfig {
+        policy: PolicySource::Inline(ResurrectionPolicy::only(["somethingelse"])),
+        ..OtherworldConfig::default()
+    };
+    let (k2, report) = microreboot(k_into(k), &config).unwrap();
+    assert!(report.procs.is_empty());
+    assert!(k2.procs.is_empty());
+}
+
+#[test]
+fn second_microreboot_also_works() {
+    // The morphed kernel must itself be protected: survive a second panic.
+    let mut ow = Otherworld::boot(
+        MachineConfig {
+            ram_frames: 4096,
+            cpus: 2,
+            tlb_entries: 64,
+            cost: ow_simhw::CostModel::zero_io(),
+        },
+        KernelConfig::default(),
+        OtherworldConfig::default(),
+        registry(),
+    )
+    .unwrap();
+    let pid = ow
+        .kernel_mut()
+        .spawn(SpawnSpec::new(
+            "counter",
+            Box::new(Counter { target: 1_000_000 }),
+        ))
+        .unwrap();
+    ow.kernel_mut()
+        .user_write(pid, COUNT_ADDR, &0u64.to_le_bytes())
+        .unwrap();
+    for _ in 0..5 {
+        ow.kernel_mut().run_step();
+    }
+    ow.kernel_mut().do_panic(PanicCause::Oops("first"));
+    ow.microreboot_now().unwrap();
+    assert_eq!(ow.kernel().generation, 1);
+
+    for _ in 0..5 {
+        ow.kernel_mut().run_step();
+    }
+    let pid2 = ow.kernel().procs[0].pid;
+    assert_eq!(count_of(ow.kernel_mut(), pid2), 10);
+
+    ow.kernel_mut().do_panic(PanicCause::Oops("second"));
+    ow.microreboot_now().unwrap();
+    assert_eq!(ow.kernel().generation, 2);
+    let pid3 = ow.kernel().procs[0].pid;
+    for _ in 0..5 {
+        ow.kernel_mut().run_step();
+    }
+    assert_eq!(count_of(ow.kernel_mut(), pid3), 15);
+}
+
+#[test]
+fn halted_system_reports_failure() {
+    let mut k = boot();
+    // Corrupt the handoff block: the panic path cannot transfer control.
+    k.machine.phys.corrupt_u64(0, 0xffff_ffff);
+    let out = k.do_panic(PanicCause::Oops("no handoff"));
+    assert!(matches!(out, ow_kernel::PanicOutcome::SystemHalted(_)));
+    let err = microreboot(k_into(k), &OtherworldConfig::default()).unwrap_err();
+    assert!(matches!(err, ow_core::MicrorebootFailure::SystemHalted(_)));
+}

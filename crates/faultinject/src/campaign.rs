@@ -1,0 +1,268 @@
+//! The fault-injection experiment runner (§6, Table 5).
+//!
+//! Each experiment: boot the system, start the application under its driven
+//! workload (progress logged in the driver's shadow model — the "remote
+//! log"), inject 30 faults at a random time, observe the outcome:
+//!
+//! * the faults never produce a kernel fault → discarded (~20%);
+//! * the handoff fails → **failure to boot the crash kernel**;
+//! * corruption prevents rebuilding the process → **failure to resurrect**;
+//! * the application survives but its data diverges from the remote log →
+//!   **data corruption**;
+//! * otherwise → **successful resurrection**.
+
+use crate::faults::{inject_batch, DamageReport};
+use ow_apps::{VerifyResult, Workload};
+use ow_core::{
+    microreboot, MicrorebootFailure, OtherworldConfig, PolicySource, ResurrectionPolicy,
+};
+use ow_kernel::{Kernel, KernelConfig, RobustnessFixes};
+use ow_simhw::{machine::MachineConfig, CostModel};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Configuration of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Experiments that must end in a kernel fault (the paper observed 400
+    /// per application).
+    pub effective_experiments: usize,
+    /// Faults injected per experiment (the paper injects 30).
+    pub faults_per_experiment: u32,
+    /// Memory-protected mode (Table 5's corruption column is reported with
+    /// and without it).
+    pub user_protection: bool,
+    /// §6 robustness fixes (disable for the 89% ablation).
+    pub fixes: RobustnessFixes,
+    /// Campaign seed (experiment i uses `seed + i`).
+    pub seed: u64,
+    /// Workload batches to run before/around the injection point.
+    pub max_batches: u32,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            effective_experiments: 400,
+            faults_per_experiment: 30,
+            user_protection: false,
+            fixes: RobustnessFixes::default(),
+            seed: 0x07e5_2010,
+            max_batches: 60,
+        }
+    }
+}
+
+/// Outcome of one experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The injected faults never crashed the kernel (discarded).
+    NoCrash,
+    /// Application resurrected and its data verified intact.
+    Success,
+    /// Control never reached the crash kernel.
+    BootFailure(String),
+    /// The crash kernel ran but the application could not be resurrected.
+    ResurrectFailure(String),
+    /// The application survived but its data diverged from the remote log.
+    DataCorruption(String),
+}
+
+/// Aggregated campaign counts (one Table 5 row).
+#[derive(Debug, Clone, Default)]
+pub struct CampaignResult {
+    /// Effective (crashed) experiments.
+    pub effective: usize,
+    /// Discarded quiet experiments.
+    pub discarded: usize,
+    /// Successful resurrections.
+    pub success: usize,
+    /// Failures to boot the crash kernel.
+    pub boot_failure: usize,
+    /// Failures to resurrect the application.
+    pub resurrect_failure: usize,
+    /// Data corruption cases.
+    pub data_corruption: usize,
+    /// Wild-write damage accounting.
+    pub damage: DamageReport,
+}
+
+impl CampaignResult {
+    /// Percentage helper.
+    fn pct(&self, n: usize) -> f64 {
+        if self.effective == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / self.effective as f64
+        }
+    }
+
+    /// Successful-resurrection percentage.
+    pub fn success_pct(&self) -> f64 {
+        self.pct(self.success)
+    }
+
+    /// Boot-failure percentage.
+    pub fn boot_failure_pct(&self) -> f64 {
+        self.pct(self.boot_failure)
+    }
+
+    /// Resurrection-failure percentage.
+    pub fn resurrect_failure_pct(&self) -> f64 {
+        self.pct(self.resurrect_failure)
+    }
+
+    /// Data-corruption percentage.
+    pub fn data_corruption_pct(&self) -> f64 {
+        self.pct(self.data_corruption)
+    }
+}
+
+fn machine_config() -> MachineConfig {
+    MachineConfig {
+        ram_frames: 8192, // 32 MiB
+        cpus: 2,
+        tlb_entries: 64,
+        cost: CostModel::zero_io(),
+    }
+}
+
+/// Runs a single experiment with `seed`.
+pub fn run_experiment<W: Workload>(
+    workload: &mut W,
+    cfg: &CampaignConfig,
+    seed: u64,
+) -> (Outcome, DamageReport) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let kernel_config = KernelConfig {
+        user_protection: cfg.user_protection,
+        fixes: cfg.fixes,
+        ..KernelConfig::default()
+    };
+    let machine = ow_kernel::standard_machine(machine_config());
+    let mut k = match Kernel::boot_cold(machine, kernel_config, ow_apps::full_registry()) {
+        Ok(k) => k,
+        Err(e) => {
+            return (
+                Outcome::BootFailure(format!("cold boot: {e}")),
+                DamageReport::default(),
+            )
+        }
+    };
+
+    let pid = workload.setup(&mut k);
+
+    // Warm up, then inject at a random batch index.
+    let inject_at = rng.gen_range(4..cfg.max_batches / 2);
+    let mut damage = DamageReport::default();
+    let mut injected = false;
+    for batch in 0..cfg.max_batches {
+        if batch == inject_at {
+            let (_, d) = inject_batch(&mut k, &mut rng, cfg.faults_per_experiment);
+            damage = d;
+            injected = true;
+        }
+        workload.drive(&mut k, pid);
+        if k.panicked.is_some() {
+            break;
+        }
+        // A queued stall only fires through the watchdog: model the timer
+        // tick noticing the hang.
+        if injected {
+            if let Some(pf) = k.pending_fault {
+                if pf.cause == ow_kernel::PanicCause::Stall && !pf.in_syscall {
+                    k.pending_fault = None;
+                    k.do_panic(ow_kernel::PanicCause::Stall);
+                    break;
+                }
+            }
+        }
+    }
+
+    if k.panicked.is_none() {
+        // The faults never produced a kernel fault; the application must
+        // still be healthy (§6 discards these experiments).
+        debug_assert_eq!(workload.verify(&mut k, pid), VerifyResult::Intact);
+        return (Outcome::NoCrash, damage);
+    }
+
+    // Microreboot.
+    let ow_config = OtherworldConfig {
+        policy: PolicySource::Inline(ResurrectionPolicy::only([workload.name()])),
+        ..OtherworldConfig::default()
+    };
+    let (mut k2, report) = match microreboot(k, &ow_config) {
+        Ok(ok) => ok,
+        Err(MicrorebootFailure::SystemHalted(why)) => return (Outcome::BootFailure(why), damage),
+        Err(MicrorebootFailure::CrashBootFailed(why)) => {
+            return (Outcome::BootFailure(why), damage)
+        }
+        Err(MicrorebootFailure::NotPanicked) => unreachable!("panicked checked above"),
+    };
+
+    let Some(proc_report) = report.proc_named(workload.name()) else {
+        return (
+            Outcome::ResurrectFailure("process list unreadable".into()),
+            damage,
+        );
+    };
+    if !proc_report.outcome.is_success() {
+        return (
+            Outcome::ResurrectFailure(format!("{:?}", proc_report.outcome)),
+            damage,
+        );
+    }
+    let new_pid = proc_report.new_pid.expect("successful outcomes have a pid");
+
+    // Let the application settle (finish reloads, reopen sockets), then
+    // verify its data against the remote log.
+    workload.reconnect(&mut k2, new_pid);
+    for _ in 0..8 {
+        k2.run_step();
+    }
+    match workload.verify(&mut k2, new_pid) {
+        VerifyResult::Intact => (Outcome::Success, damage),
+        VerifyResult::Corrupted(why) => (Outcome::DataCorruption(why), damage),
+        VerifyResult::Missing => (
+            Outcome::ResurrectFailure("gone after restart".into()),
+            damage,
+        ),
+    }
+}
+
+/// Runs a whole campaign: experiments until `effective_experiments` of them
+/// crashed, aggregating outcomes (one Table 5 row).
+pub fn run_campaign<W: Workload>(
+    mut make_workload: impl FnMut(u64) -> W,
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    let mut result = CampaignResult::default();
+    let mut seed = cfg.seed;
+    while result.effective < cfg.effective_experiments {
+        let mut workload = make_workload(seed);
+        let (outcome, damage) = run_experiment(&mut workload, cfg, seed);
+        seed = seed.wrapping_add(1);
+        result.damage.landed += damage.landed;
+        result.damage.trapped += damage.trapped;
+        result.damage.blocked += damage.blocked;
+        match outcome {
+            Outcome::NoCrash => result.discarded += 1,
+            Outcome::Success => {
+                result.effective += 1;
+                result.success += 1;
+            }
+            Outcome::BootFailure(_) => {
+                result.effective += 1;
+                result.boot_failure += 1;
+            }
+            Outcome::ResurrectFailure(_) => {
+                result.effective += 1;
+                result.resurrect_failure += 1;
+            }
+            Outcome::DataCorruption(_) => {
+                result.effective += 1;
+                result.data_corruption += 1;
+            }
+        }
+    }
+    result
+}

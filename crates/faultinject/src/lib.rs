@@ -1,0 +1,12 @@
+//! Synthetic kernel fault injection and the crash-experiment campaign (§6).
+//!
+//! Reimplements the evaluation methodology of the paper: the Rio/Nooks
+//! fault model ([`faults`]) and the experiment runner ([`campaign`]) that
+//! produces Table 5's outcome classification over hundreds of seeded,
+//! reproducible experiments per application.
+
+pub mod campaign;
+pub mod faults;
+
+pub use campaign::{run_campaign, run_experiment, CampaignConfig, CampaignResult, Outcome};
+pub use faults::{draw_fault, inject_batch, DamageReport, Fault, FaultKind, Manifestation};

@@ -1,0 +1,75 @@
+//! Small seeded campaigns to validate the Table 5 machinery end to end.
+
+use ow_apps::vi::ViWorkload;
+use ow_faultinject::{run_campaign, CampaignConfig};
+
+#[test]
+fn vi_campaign_mostly_succeeds() {
+    let cfg = CampaignConfig {
+        effective_experiments: 25,
+        seed: 42,
+        ..CampaignConfig::default()
+    };
+    let result = run_campaign(ViWorkload::new, &cfg);
+    eprintln!("campaign: {result:?}");
+    assert_eq!(result.effective, 25);
+    assert!(
+        result.success_pct() >= 80.0,
+        "success {}%",
+        result.success_pct()
+    );
+    assert!(result.discarded > 0, "expected some quiet experiments");
+}
+
+#[test]
+fn campaigns_are_deterministic_under_a_seed() {
+    let cfg = CampaignConfig {
+        effective_experiments: 12,
+        seed: 77,
+        ..CampaignConfig::default()
+    };
+    let a = run_campaign(ViWorkload::new, &cfg);
+    let b = run_campaign(ViWorkload::new, &cfg);
+    assert_eq!(a.success, b.success);
+    assert_eq!(a.boot_failure, b.boot_failure);
+    assert_eq!(a.resurrect_failure, b.resurrect_failure);
+    assert_eq!(a.data_corruption, b.data_corruption);
+    assert_eq!(a.discarded, b.discarded);
+}
+
+#[test]
+fn ablation_is_strictly_worse() {
+    let base = CampaignConfig {
+        effective_experiments: 60,
+        seed: 7,
+        ..CampaignConfig::default()
+    };
+    let fixed = run_campaign(ViWorkload::new, &base);
+    let legacy_cfg = CampaignConfig {
+        fixes: ow_kernel::RobustnessFixes::legacy(),
+        ..base
+    };
+    let legacy = run_campaign(ViWorkload::new, &legacy_cfg);
+    assert!(
+        legacy.success_pct() < fixed.success_pct(),
+        "legacy {:.1}% must be below fixed {:.1}%",
+        legacy.success_pct(),
+        fixed.success_pct()
+    );
+}
+
+#[test]
+fn protected_campaign_never_increases_corruption() {
+    let base = CampaignConfig {
+        effective_experiments: 60,
+        seed: 3,
+        ..CampaignConfig::default()
+    };
+    let unprot = run_campaign(ViWorkload::new, &base);
+    let prot_cfg = CampaignConfig {
+        user_protection: true,
+        ..base
+    };
+    let prot = run_campaign(ViWorkload::new, &prot_cfg);
+    assert!(prot.data_corruption <= unprot.data_corruption + 1);
+}

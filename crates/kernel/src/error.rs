@@ -1,0 +1,157 @@
+//! Kernel error types and the syscall errno space.
+
+use ow_simhw::MemError;
+use std::fmt;
+
+/// Errors internal to kernel operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Physical memory access failure.
+    Mem(MemError),
+    /// Block device failure.
+    Dev(String),
+    /// Out of physical frames or kernel heap.
+    NoMemory,
+    /// Out of disk blocks or inodes.
+    NoSpace,
+    /// No such file.
+    NoEnt(String),
+    /// File already exists.
+    Exists(String),
+    /// Bad file descriptor.
+    BadFd(u32),
+    /// Invalid argument or state.
+    Inval(&'static str),
+    /// A structure failed validation when read back from memory.
+    Corrupt(String),
+    /// A fixed-size table overflowed.
+    TooMany(&'static str),
+    /// No such process.
+    NoProc(u64),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Mem(e) => write!(f, "memory: {e}"),
+            KernelError::Dev(e) => write!(f, "device: {e}"),
+            KernelError::NoMemory => write!(f, "out of memory"),
+            KernelError::NoSpace => write!(f, "out of disk space"),
+            KernelError::NoEnt(p) => write!(f, "no such file: {p}"),
+            KernelError::Exists(p) => write!(f, "file exists: {p}"),
+            KernelError::BadFd(fd) => write!(f, "bad fd {fd}"),
+            KernelError::Inval(what) => write!(f, "invalid: {what}"),
+            KernelError::Corrupt(what) => write!(f, "corrupted structure: {what}"),
+            KernelError::TooMany(what) => write!(f, "table full: {what}"),
+            KernelError::NoProc(pid) => write!(f, "no such process {pid}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<MemError> for KernelError {
+    fn from(e: MemError) -> Self {
+        KernelError::Mem(e)
+    }
+}
+
+impl From<ow_simhw::blockdev::DevError> for KernelError {
+    fn from(e: ow_simhw::blockdev::DevError) -> Self {
+        KernelError::Dev(e.to_string())
+    }
+}
+
+impl From<crate::layout::LayoutError> for KernelError {
+    fn from(e: crate::layout::LayoutError) -> Self {
+        match e {
+            crate::layout::LayoutError::Mem(m) => KernelError::Mem(m),
+            other => KernelError::Corrupt(other.to_string()),
+        }
+    }
+}
+
+/// Errno values returned to user programs from system calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Errno {
+    /// The system call was aborted by a kernel microreboot; the application
+    /// should retry it (paper §3.5). Linux analog: `ERESTARTSYS`.
+    Restart,
+    /// Bad file descriptor.
+    BadFd,
+    /// No such file or directory.
+    NoEnt,
+    /// Out of memory.
+    NoMem,
+    /// Invalid argument.
+    Inval,
+    /// Broken pipe / connection reset (sockets are not resurrected, so a
+    /// resurrected process sees its connections dead).
+    ConnReset,
+    /// Operation not supported.
+    NotSup,
+    /// I/O error.
+    Io,
+    /// Would block (empty pipe / no input available).
+    WouldBlock,
+    /// Too many open files.
+    MFile,
+    /// No space left on device.
+    NoSpc,
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Errno::Restart => "ERESTART",
+            Errno::BadFd => "EBADF",
+            Errno::NoEnt => "ENOENT",
+            Errno::NoMem => "ENOMEM",
+            Errno::Inval => "EINVAL",
+            Errno::ConnReset => "ECONNRESET",
+            Errno::NotSup => "ENOTSUP",
+            Errno::Io => "EIO",
+            Errno::WouldBlock => "EWOULDBLOCK",
+            Errno::MFile => "EMFILE",
+            Errno::NoSpc => "ENOSPC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result type of a system call: a value or an errno.
+pub type SysResult = Result<u64, Errno>;
+
+impl From<KernelError> for Errno {
+    fn from(e: KernelError) -> Self {
+        match e {
+            KernelError::NoEnt(_) => Errno::NoEnt,
+            KernelError::Exists(_) => Errno::Inval,
+            KernelError::BadFd(_) => Errno::BadFd,
+            KernelError::NoMemory => Errno::NoMem,
+            KernelError::NoSpace => Errno::NoSpc,
+            KernelError::TooMany(_) => Errno::MFile,
+            KernelError::Inval(_) => Errno::Inval,
+            _ => Errno::Io,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_error_maps_to_errno() {
+        assert_eq!(Errno::from(KernelError::NoEnt("x".into())), Errno::NoEnt);
+        assert_eq!(Errno::from(KernelError::BadFd(3)), Errno::BadFd);
+        assert_eq!(Errno::from(KernelError::NoMemory), Errno::NoMem);
+        assert_eq!(Errno::from(KernelError::Corrupt("x".into())), Errno::Io);
+    }
+
+    #[test]
+    fn errno_displays_unix_names() {
+        assert_eq!(Errno::Restart.to_string(), "ERESTART");
+        assert_eq!(Errno::NoEnt.to_string(), "ENOENT");
+    }
+}

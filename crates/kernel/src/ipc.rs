@@ -1,0 +1,554 @@
+//! IPC: sockets, pipes and shared memory.
+//!
+//! In the paper's prototype sockets and pipes are **not resurrectable**
+//! (§3.3); a process using them carries the corresponding bit in its
+//! `res_in_use` mask, which the crash kernel passes to the crash procedure
+//! so the application can re-establish the channels itself. Shared memory
+//! *is* resurrected.
+//!
+//! This implementation additionally carries the state the paper says makes
+//! them resurrectable — a socket's connection parameters, sequence number
+//! and unacknowledged outbound payload ([`crate::layout::SockDesc`]); a
+//! pipe's ring buffer guarded by a semaphore whose held/free state decides
+//! consistency ([`crate::layout::PipeDesc`]) — so the §7 extension in
+//! `ow-core` can restore them when enabled.
+
+use crate::{
+    error::KernelError,
+    kernel::{Kernel, SockHandle},
+    layout::{self, resmask, PipeDesc, ShmDesc, SockDesc, PIPE_CAP},
+    KernelResult,
+};
+use ow_simhw::{machine::FrameOwner, PhysAddr, PteFlags, PAGE_SIZE};
+
+/// Maximum pipes in the system.
+pub const MAX_PIPES: u32 = 8;
+
+/// A host-side pipe handle.
+#[derive(Debug, Clone)]
+pub struct PipeHandle {
+    /// Pipe id (index into the pipe table).
+    pub id: u32,
+    /// Address of the in-kernel descriptor.
+    pub desc_addr: PhysAddr,
+    /// Buffer frame.
+    pub buf_pfn: u64,
+}
+
+impl Kernel {
+    fn update_res_mask(&mut self, pid: u64, set: u32, clear: u32) -> KernelResult<()> {
+        let desc_addr = self.proc(pid)?.desc_addr;
+        // res_in_use offset: magic+state(8) + pid(8) + name + crash/term(8)
+        // + 5 pointers (40).
+        let off = layout::proc_off::RES_IN_USE;
+        let cur = self.machine.phys.read_u32(desc_addr + off)?;
+        self.machine
+            .phys
+            .write_u32(desc_addr + off, (cur | set) & !clear)?;
+        self.reseal_desc(pid)?;
+        Ok(())
+    }
+
+    /// Reads the process's unresurrectable-resource mask.
+    pub fn res_mask(&self, pid: u64) -> KernelResult<u32> {
+        let desc_addr = self.proc(pid)?.desc_addr;
+        Ok(self
+            .machine
+            .phys
+            .read_u32(desc_addr + layout::proc_off::RES_IN_USE)?)
+    }
+
+    /// Opens a socket for `pid` with the given protocol
+    /// ([`crate::layout::sockproto`]), returning a socket id.
+    pub fn sock_open_proto(&mut self, pid: u64, proto: u32) -> KernelResult<u32> {
+        let desc_addr = self
+            .kheap
+            .alloc(SockDesc::SIZE)
+            .ok_or(KernelError::NoMemory)?;
+        let outbuf_pfn = self.alloc_frame(FrameOwner::Kernel)?;
+        self.machine.phys.zero_frame(outbuf_pfn)?;
+        let proc_desc = self.read_desc(pid)?;
+        let sid = self.proc(pid)?.sockets.len() as u32;
+        SockDesc {
+            proto,
+            state: 1,
+            sid,
+            local_port: 1024 + sid,
+            seq: 0,
+            outbuf_pfn,
+            outbuf_len: 0,
+            next: proc_desc.sock_head,
+        }
+        .write(&mut self.machine.phys, desc_addr)?;
+        let proc_addr = self.proc(pid)?.desc_addr;
+        self.machine
+            .phys
+            .write_u64(proc_addr + layout::proc_off::SOCK_HEAD, desc_addr)?;
+        self.reseal_desc(pid)?;
+        let p = self.proc_mut(pid)?;
+        p.sockets.push(SockHandle {
+            sid,
+            desc_addr,
+            inbox: Default::default(),
+            outbox: Default::default(),
+            open: true,
+        });
+        self.update_res_mask(pid, resmask::SOCKETS, 0)?;
+        Ok(sid)
+    }
+
+    /// Opens a TCP-like socket (the common case for our applications).
+    pub fn sock_open(&mut self, pid: u64) -> KernelResult<u32> {
+        self.sock_open_proto(pid, layout::sockproto::TCP)
+    }
+
+    fn sock(&mut self, pid: u64, sid: u32) -> KernelResult<&mut SockHandle> {
+        let p = self.proc_mut(pid)?;
+        p.sockets
+            .iter_mut()
+            .find(|s| s.sid == sid && s.open)
+            .ok_or(KernelError::BadFd(sid))
+    }
+
+    /// Sends a message out of a socket (driver picks it up). The payload is
+    /// also buffered in the in-kernel descriptor until acknowledged — the
+    /// state TCP resurrection needs (§3.3).
+    pub fn sock_send(&mut self, pid: u64, sid: u32, data: &[u8]) -> KernelResult<()> {
+        let desc_addr = {
+            let s = self.sock(pid, sid)?;
+            s.outbox.push_back(data.to_vec());
+            s.desc_addr
+        };
+        let (mut desc, _) = SockDesc::read(&self.machine.phys, desc_addr)?;
+        if desc.outbuf_len as usize + data.len() > PAGE_SIZE {
+            // Window full: the oldest payload is considered acknowledged.
+            desc.outbuf_len = 0;
+        }
+        let off = desc.outbuf_pfn * PAGE_SIZE as u64 + desc.outbuf_len as u64;
+        let fit = data.len().min(PAGE_SIZE - desc.outbuf_len as usize);
+        self.machine.phys.write(off, &data[..fit])?;
+        desc.outbuf_len += fit as u32;
+        desc.seq += data.len() as u64;
+        desc.write(&mut self.machine.phys, desc_addr)?;
+        Ok(())
+    }
+
+    /// Receives one pending message, if any.
+    pub fn sock_recv(&mut self, pid: u64, sid: u32) -> KernelResult<Option<Vec<u8>>> {
+        Ok(self.sock(pid, sid)?.inbox.pop_front())
+    }
+
+    /// Closes a socket; clears the resource bit when it was the last one.
+    pub fn sock_close(&mut self, pid: u64, sid: u32) -> KernelResult<()> {
+        let desc_addr = {
+            let s = self.sock(pid, sid)?;
+            s.open = false;
+            s.desc_addr
+        };
+        let (desc, _) = SockDesc::read(&self.machine.phys, desc_addr)?;
+        // Unlink from the chain.
+        let head = self.read_desc(pid)?.sock_head;
+        if head == desc_addr {
+            let proc_addr = self.proc(pid)?.desc_addr;
+            self.machine
+                .phys
+                .write_u64(proc_addr + layout::proc_off::SOCK_HEAD, desc.next)?;
+            self.reseal_desc(pid)?;
+        } else {
+            let mut prev = head;
+            let mut guard = 0;
+            while prev != 0 && guard < 64 {
+                let (pd, _) = SockDesc::read(&self.machine.phys, prev)?;
+                if pd.next == desc_addr {
+                    let mut pd = pd;
+                    pd.next = desc.next;
+                    pd.write(&mut self.machine.phys, prev)?;
+                    break;
+                }
+                prev = pd.next;
+                guard += 1;
+            }
+        }
+        self.free_frame(desc.outbuf_pfn);
+        self.kheap.free(desc_addr, SockDesc::SIZE);
+        let any_open = self.proc(pid)?.sockets.iter().any(|s| s.open);
+        if !any_open {
+            self.update_res_mask(pid, 0, resmask::SOCKETS)?;
+        }
+        Ok(())
+    }
+
+    /// Driver side: delivers a message into a process socket.
+    pub fn sock_deliver(&mut self, pid: u64, sid: u32, data: &[u8]) -> KernelResult<()> {
+        let msg = data.to_vec();
+        self.sock(pid, sid)?.inbox.push_back(msg);
+        Ok(())
+    }
+
+    /// Driver side: takes everything the process sent, acknowledging the
+    /// buffered payload (TCP ACK analog).
+    pub fn sock_drain(&mut self, pid: u64, sid: u32) -> KernelResult<Vec<Vec<u8>>> {
+        let (out, desc_addr) = {
+            let s = self.sock(pid, sid)?;
+            (s.outbox.drain(..).collect(), s.desc_addr)
+        };
+        // outbuf_len sits after magic/proto/state/sid/port/pad + seq + pfn.
+        self.machine.phys.write_u32(desc_addr + 4 * 6 + 8 + 8, 0)?;
+        Ok(out)
+    }
+
+    /// Attaches (creating if needed) a shared-memory segment of `pages`
+    /// pages under `key`, mapping it at `vaddr` in `pid`'s address space.
+    /// Returns the backing frames.
+    pub fn shm_attach(
+        &mut self,
+        pid: u64,
+        key: u64,
+        pages: u64,
+        vaddr: u64,
+    ) -> KernelResult<Vec<u64>> {
+        if pages as usize > layout::SHM_MAX_PAGES {
+            return Err(KernelError::Inval("shm too large"));
+        }
+        if !vaddr.is_multiple_of(PAGE_SIZE as u64) {
+            return Err(KernelError::Inval("shm vaddr alignment"));
+        }
+        // Look for the segment on any process (global key namespace).
+        let existing = self.find_shm(key)?;
+        let frames = match existing {
+            Some(desc) => desc.pages,
+            None => {
+                let mut frames = Vec::with_capacity(pages as usize);
+                for _ in 0..pages {
+                    let pfn = self.alloc_frame(FrameOwner::User { pid })?;
+                    self.machine.phys.zero_frame(pfn)?;
+                    frames.push(pfn);
+                }
+                frames
+            }
+        };
+
+        // Per-attachment descriptor on this process's chain.
+        let desc_addr = self
+            .kheap
+            .alloc(ShmDesc::SIZE)
+            .ok_or(KernelError::NoMemory)?;
+        let proc_desc = self.read_desc(pid)?;
+        ShmDesc {
+            key,
+            size: pages * PAGE_SIZE as u64,
+            attach_vaddr: vaddr,
+            npages: frames.len() as u32,
+            pages: frames.clone(),
+            next: proc_desc.shm_head,
+        }
+        .write(&mut self.machine.phys, desc_addr)?;
+        // shm_head offset: magic+state(8)+pid(8)+name+crash/term(8)+
+        // page_root+mm_head+files+sig (32).
+        let proc_addr = self.proc(pid)?.desc_addr;
+        self.machine
+            .phys
+            .write_u64(proc_addr + layout::proc_off::SHM_HEAD, desc_addr)?;
+        self.reseal_desc(pid)?;
+
+        // Map the frames and record a SHARED VMA.
+        for (i, &pfn) in frames.iter().enumerate() {
+            self.map_user_page(
+                pid,
+                vaddr + i as u64 * PAGE_SIZE as u64,
+                pfn,
+                PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER,
+            )?;
+        }
+        self.vma_add(
+            pid,
+            vaddr,
+            vaddr + pages * PAGE_SIZE as u64,
+            layout::vmaflags::READ | layout::vmaflags::WRITE | layout::vmaflags::SHARED,
+            0,
+            0,
+        )?;
+        Ok(frames)
+    }
+
+    /// Finds a shared segment by key across all processes.
+    fn find_shm(&self, key: u64) -> KernelResult<Option<ShmDesc>> {
+        for p in &self.procs {
+            let desc = match crate::layout::ProcDesc::read(&self.machine.phys, p.desc_addr) {
+                Ok((d, _)) => d,
+                Err(_) => continue,
+            };
+            let mut addr = desc.shm_head;
+            while addr != 0 {
+                let (shm, _) = ShmDesc::read(&self.machine.phys, addr)?;
+                if shm.key == key {
+                    return Ok(Some(shm));
+                }
+                addr = shm.next;
+            }
+        }
+        Ok(None)
+    }
+
+    /// Installs a signal handler token.
+    pub fn signal_install(&mut self, pid: u64, sig: u32, handler: u64) -> KernelResult<()> {
+        if sig as usize >= layout::NSIG {
+            return Err(KernelError::Inval("signal number"));
+        }
+        let desc = self.read_desc(pid)?;
+        let (mut tab, _) = layout::SigTable::read(&self.machine.phys, desc.sig)?;
+        tab.handlers[sig as usize] = handler;
+        tab.write(&mut self.machine.phys, desc.sig)?;
+        Ok(())
+    }
+
+    /// Reads a signal handler token.
+    pub fn signal_handler(&self, pid: u64, sig: u32) -> KernelResult<u64> {
+        let desc = self.read_desc(pid)?;
+        let (tab, _) = layout::SigTable::read(&self.machine.phys, desc.sig)?;
+        tab.handlers
+            .get(sig as usize)
+            .copied()
+            .ok_or(KernelError::Inval("signal number"))
+    }
+
+    /// Marks the process as having registered a crash procedure (§3.2).
+    pub fn register_crash_proc(&mut self, pid: u64) -> KernelResult<()> {
+        let desc_addr = self.proc(pid)?.desc_addr;
+        self.machine
+            .phys
+            .write_u32(desc_addr + layout::proc_off::CRASH_PROC, 1)?;
+        self.reseal_desc(pid)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipes
+// ---------------------------------------------------------------------------
+
+impl Kernel {
+    fn pipe_desc_addr(&self, id: u32) -> KernelResult<PhysAddr> {
+        if id >= self.pipes.len() as u32 {
+            return Err(KernelError::Inval("no such pipe"));
+        }
+        Ok(self.pipe_table_addr + id as u64 * PipeDesc::SIZE)
+    }
+
+    /// Creates a pipe, returning its id.
+    pub fn pipe_create(&mut self) -> KernelResult<u32> {
+        let id = self.pipes.len() as u32;
+        if id >= MAX_PIPES {
+            return Err(KernelError::TooMany("pipes"));
+        }
+        let buf_pfn = self.alloc_frame(FrameOwner::Kernel)?;
+        self.machine.phys.zero_frame(buf_pfn)?;
+        let desc_addr = self.pipe_table_addr + id as u64 * PipeDesc::SIZE;
+        PipeDesc {
+            locked: 0,
+            rd: 0,
+            wr: 0,
+            buf_pfn,
+        }
+        .write(&mut self.machine.phys, desc_addr)?;
+        self.pipes.push(PipeHandle {
+            id,
+            desc_addr,
+            buf_pfn,
+        });
+        self.write_header()?;
+        Ok(id)
+    }
+
+    /// Marks `pid` as a pipe user (sets the resource bit the crash kernel
+    /// reports when pipes cannot be resurrected).
+    pub fn pipe_attach(&mut self, pid: u64, id: u32) -> KernelResult<()> {
+        let _ = self.pipe_desc_addr(id)?;
+        self.update_res_mask(pid, resmask::PIPES, 0)
+    }
+
+    /// Takes the pipe semaphore; a crash while it is held leaves the pipe
+    /// inconsistent (§3.3). Returns the descriptor.
+    fn pipe_lock(&mut self, id: u32) -> KernelResult<(PhysAddr, PipeDesc)> {
+        let addr = self.pipe_desc_addr(id)?;
+        let (mut desc, _) = PipeDesc::read(&self.machine.phys, addr)?;
+        desc.locked = 1;
+        desc.write(&mut self.machine.phys, addr)?;
+        // A fault striking mid-operation dies with the semaphore held —
+        // exactly the inconsistent-pipe scenario the paper describes.
+        if let Some(f) = self.pending_fault {
+            if f.in_syscall {
+                self.pending_fault = None;
+                self.do_panic(f.cause);
+                return Err(KernelError::Inval("kernel died holding pipe lock"));
+            }
+        }
+        Ok((addr, desc))
+    }
+
+    fn pipe_unlock(&mut self, addr: PhysAddr, mut desc: PipeDesc) -> KernelResult<()> {
+        desc.locked = 0;
+        desc.write(&mut self.machine.phys, addr)?;
+        Ok(())
+    }
+
+    /// Writes bytes into the pipe's ring buffer; returns bytes accepted.
+    pub fn pipe_write(&mut self, id: u32, data: &[u8]) -> KernelResult<u64> {
+        let (addr, mut desc) = self.pipe_lock(id)?;
+        let mut written = 0u64;
+        for &b in data {
+            let next_wr = (desc.wr + 1) % (PIPE_CAP + 1);
+            if next_wr == desc.rd {
+                break; // full
+            }
+            self.machine
+                .phys
+                .write_u8(desc.buf_pfn * PAGE_SIZE as u64 + desc.wr as u64, b)?;
+            desc.wr = next_wr;
+            written += 1;
+        }
+        self.pipe_unlock(addr, desc)?;
+        Ok(written)
+    }
+
+    /// Reads bytes from the pipe's ring buffer; returns bytes read.
+    pub fn pipe_read(&mut self, id: u32, buf: &mut [u8]) -> KernelResult<u64> {
+        let (addr, mut desc) = self.pipe_lock(id)?;
+        let mut read = 0usize;
+        while read < buf.len() && desc.rd != desc.wr {
+            buf[read] = self
+                .machine
+                .phys
+                .read_u8(desc.buf_pfn * PAGE_SIZE as u64 + desc.rd as u64)?;
+            desc.rd = (desc.rd + 1) % (PIPE_CAP + 1);
+            read += 1;
+        }
+        self.pipe_unlock(addr, desc)?;
+        Ok(read as u64)
+    }
+
+    /// Bytes currently buffered in the pipe.
+    pub fn pipe_len(&self, id: u32) -> KernelResult<u64> {
+        let addr = self.pipe_desc_addr(id)?;
+        let (desc, _) = PipeDesc::read(&self.machine.phys, addr)?;
+        Ok(((desc.wr + PIPE_CAP + 1 - desc.rd) % (PIPE_CAP + 1)) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Kernel, KernelConfig, SpawnSpec};
+    use crate::program::{Program, ProgramRegistry, StepResult, UserApi};
+    use ow_simhw::machine::MachineConfig;
+
+    struct Nop;
+    impl Program for Nop {
+        fn step(&mut self, _api: &mut dyn UserApi) -> StepResult {
+            StepResult::Running
+        }
+        fn save_state(&mut self, _api: &mut dyn UserApi) {}
+    }
+
+    fn boot() -> Kernel {
+        let machine = crate::standard_machine(MachineConfig {
+            ram_frames: 4096,
+            cpus: 1,
+            tlb_entries: 16,
+            cost: ow_simhw::CostModel::zero_io(),
+        });
+        Kernel::boot_cold(machine, KernelConfig::default(), ProgramRegistry::new()).unwrap()
+    }
+
+    #[test]
+    fn pipe_round_trips_bytes() {
+        let mut k = boot();
+        let id = k.pipe_create().unwrap();
+        assert_eq!(k.pipe_write(id, b"hello world").unwrap(), 11);
+        assert_eq!(k.pipe_len(id).unwrap(), 11);
+        let mut buf = [0u8; 5];
+        assert_eq!(k.pipe_read(id, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        assert_eq!(k.pipe_len(id).unwrap(), 6);
+    }
+
+    #[test]
+    fn pipe_wraps_and_respects_capacity() {
+        let mut k = boot();
+        let id = k.pipe_create().unwrap();
+        let big = vec![7u8; PIPE_CAP as usize + 100];
+        assert_eq!(k.pipe_write(id, &big).unwrap(), PIPE_CAP as u64);
+        let mut buf = vec![0u8; 100];
+        k.pipe_read(id, &mut buf).unwrap();
+        // Space freed; writing wraps around the ring.
+        assert_eq!(k.pipe_write(id, b"abc").unwrap(), 3);
+        let mut rest = vec![0u8; PIPE_CAP as usize];
+        let n = k.pipe_read(id, &mut rest).unwrap();
+        assert_eq!(n, PIPE_CAP as u64 - 100 + 3);
+        assert_eq!(&rest[n as usize - 3..n as usize], b"abc");
+    }
+
+    #[test]
+    fn fault_during_pipe_op_leaves_lock_held() {
+        let mut k = boot();
+        let id = k.pipe_create().unwrap();
+        k.pipe_write(id, b"pre-crash data").unwrap();
+        k.pending_fault = Some(crate::kernel::PendingFault {
+            cause: crate::kernel::PanicCause::Oops("pipe"),
+            in_syscall: true,
+        });
+        assert!(k.pipe_write(id, b"never lands").is_err());
+        assert!(k.panicked.is_some());
+        let addr = k.pipe_table_addr;
+        let (desc, _) = PipeDesc::read(&k.machine.phys, addr).unwrap();
+        assert_eq!(desc.locked, 1, "semaphore must be held at crash time");
+    }
+
+    #[test]
+    fn socket_chain_links_and_unlinks() {
+        let mut k = boot();
+        let pid = k.spawn(SpawnSpec::new("nop", Box::new(Nop))).unwrap();
+        let s0 = k.sock_open(pid).unwrap();
+        let s1 = k.sock_open(pid).unwrap();
+        let desc = k.read_desc(pid).unwrap();
+        assert_ne!(desc.sock_head, 0);
+        let (d1, _) = SockDesc::read(&k.machine.phys, desc.sock_head).unwrap();
+        assert_eq!(d1.sid, s1);
+        let (d0, _) = SockDesc::read(&k.machine.phys, d1.next).unwrap();
+        assert_eq!(d0.sid, s0);
+        assert_eq!(d0.next, 0);
+        // Unlink the middle of the chain.
+        k.sock_close(pid, s0).unwrap();
+        let desc = k.read_desc(pid).unwrap();
+        let (d1, _) = SockDesc::read(&k.machine.phys, desc.sock_head).unwrap();
+        assert_eq!(d1.next, 0);
+        assert_ne!(k.res_mask(pid).unwrap() & resmask::SOCKETS, 0);
+        k.sock_close(pid, s1).unwrap();
+        assert_eq!(k.res_mask(pid).unwrap() & resmask::SOCKETS, 0);
+        assert_eq!(k.read_desc(pid).unwrap().sock_head, 0);
+    }
+
+    #[test]
+    fn socket_buffers_unacked_payload() {
+        let mut k = boot();
+        let pid = k.spawn(SpawnSpec::new("nop", Box::new(Nop))).unwrap();
+        let sid = k.sock_open(pid).unwrap();
+        k.sock_send(pid, sid, b"unacked").unwrap();
+        let desc_addr = k.read_desc(pid).unwrap().sock_head;
+        let (d, _) = SockDesc::read(&k.machine.phys, desc_addr).unwrap();
+        assert_eq!(d.outbuf_len, 7);
+        assert_eq!(d.seq, 7);
+        let mut buf = vec![0u8; 7];
+        k.machine
+            .phys
+            .read(d.outbuf_pfn * PAGE_SIZE as u64, &mut buf)
+            .unwrap();
+        assert_eq!(&buf, b"unacked");
+        // Draining acknowledges.
+        let out = k.sock_drain(pid, sid).unwrap();
+        assert_eq!(out.len(), 1);
+        let (d, _) = SockDesc::read(&k.machine.phys, desc_addr).unwrap();
+        assert_eq!(d.outbuf_len, 0);
+        assert_eq!(d.seq, 7, "sequence number advances monotonically");
+    }
+}

@@ -1,0 +1,135 @@
+//! KDump/kexec analog: crash-kernel reservation, image loading, and the
+//! memory operations of morphing (§3.1, §3.6).
+
+use crate::{
+    error::KernelError,
+    kernel::Kernel,
+    layout::{CrashImageHeader, HandoffBlock},
+    KernelResult,
+};
+use ow_simhw::{machine::FrameOwner, FrameAllocator, Pfn, PAGE_BYTES};
+
+impl Kernel {
+    /// Reserves the crash region and loads a crash-kernel image into it,
+    /// updating the handoff block. On a cold boot the region sits at the
+    /// top of RAM; when morphing, the caller passes the region it chose.
+    pub fn load_crash_kernel(&mut self) -> KernelResult<()> {
+        let total = self.machine.frames();
+        let frames = self.config.crash_frames;
+        if frames == 0 || frames >= total / 2 {
+            return Err(KernelError::Inval("crash reservation size"));
+        }
+        let base = total - frames;
+        self.load_crash_kernel_at(base, frames)
+    }
+
+    /// Loads a crash kernel into the given region (used by morphing, which
+    /// places the new reservation in reclaimed memory).
+    pub fn load_crash_kernel_at(&mut self, base: Pfn, frames: u64) -> KernelResult<()> {
+        // The image region is tagged so the hardware protects it (§3.1):
+        // wild writes bounce off CrashImage frames.
+        self.machine
+            .set_owner_range(base, frames, FrameOwner::CrashImage);
+        CrashImageHeader {
+            version: self.config.version,
+            entry_valid: 1,
+        }
+        .write(&mut self.machine.phys, base * PAGE_BYTES)?;
+        let (mut h, _) = HandoffBlock::read(&self.machine.phys)?;
+        h.crash_base = base;
+        h.crash_frames = frames;
+        h.crash_entry_ok = 1;
+        h.write(&mut self.machine.phys)?;
+        self.crash_region = Some((base, frames));
+        Ok(())
+    }
+
+    /// Morph step 1 (§3.6): reclaim all physical memory. The crash kernel —
+    /// now the only kernel — replaces its reservation-confined allocator
+    /// with one spanning all of RAM, marking as used only what it knows to
+    /// be live: the handoff frames, its own kernel region, and every frame
+    /// its confined allocator had handed out (resurrected user pages, page
+    /// tables, page cache). Everything that belonged to the dead kernel
+    /// returns to the free list.
+    pub fn reclaim_all_memory(&mut self) -> KernelResult<()> {
+        let total = self.machine.frames();
+        let mut fresh = FrameAllocator::new(0, total as usize);
+
+        // Handoff structures stay.
+        for pfn in 0..crate::layout::HANDOFF_FRAMES {
+            fresh.mark_used(pfn);
+        }
+        // This kernel's own region.
+        for pfn in self.base_frame..self.base_frame + self.config.kernel_frames {
+            fresh.mark_used(pfn);
+        }
+        // Everything the confined allocator handed out.
+        let old = &self.falloc;
+        for pfn in old.base()..old.base() + old.capacity() as u64 {
+            if old.is_used(pfn) {
+                fresh.mark_used(pfn);
+            }
+        }
+        // Frames adopted by mapping instead of copying (resurrection's
+        // page-mapping optimization) are tagged User/PageTable outside the
+        // old allocator range; keep them too.
+        for pfn in 0..total {
+            if fresh.contains(pfn) && !fresh.is_used(pfn) {
+                match self.machine.owner(pfn) {
+                    FrameOwner::User { .. }
+                    | FrameOwner::PageTable { .. }
+                    | FrameOwner::PageCache => {
+                        // Owned by a live resurrected process or cache.
+                        if self.frame_is_live(pfn) {
+                            fresh.mark_used(pfn);
+                        } else {
+                            self.machine.set_owner(pfn, FrameOwner::Free);
+                        }
+                    }
+                    FrameOwner::Kernel | FrameOwner::CrashImage => {
+                        // Dead kernel's region / consumed crash image: free.
+                        self.machine.set_owner(pfn, FrameOwner::Free);
+                    }
+                    FrameOwner::Handoff | FrameOwner::Free => {}
+                }
+            }
+        }
+        self.falloc = fresh;
+        Ok(())
+    }
+
+    /// Whether a tagged frame belongs to one of this kernel's live
+    /// processes (by pid match on User/PageTable tags).
+    fn frame_is_live(&self, pfn: Pfn) -> bool {
+        match self.machine.owner(pfn) {
+            FrameOwner::User { pid } | FrameOwner::PageTable { pid } => {
+                pid == 0 || self.procs.iter().any(|p| p.pid == pid)
+            }
+            FrameOwner::PageCache => true,
+            _ => false,
+        }
+    }
+
+    /// Morph step 2 (§3.6): choose a region in reclaimed memory for the
+    /// next crash kernel and load a fresh image there. Prefers the dead
+    /// kernel's old neighborhood (low memory) to keep the layout simple.
+    pub fn install_new_crash_kernel(&mut self) -> KernelResult<()> {
+        let frames = self.config.crash_frames;
+        let base = self
+            .falloc
+            .alloc_contiguous(frames as usize)
+            .ok_or(KernelError::NoMemory)?;
+        self.load_crash_kernel_at(base, frames)
+    }
+
+    /// Full morph: reclaim memory, then install the next crash kernel. On
+    /// return this kernel *is* the main kernel and the system is protected
+    /// against the next failure.
+    pub fn morph_into_main(&mut self) -> KernelResult<()> {
+        self.reclaim_all_memory()?;
+        self.install_new_crash_kernel()?;
+        self.is_crash = false;
+        self.write_header()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,169 @@
+//! Kernel heap: a first-fit free-list allocator over the kernel region.
+//!
+//! All kernel structures ([`crate::layout`]) are allocated from here, so
+//! they live at addresses inside the owning kernel's region of simulated
+//! physical memory — which is what makes them (a) reachable by the crash
+//! kernel and (b) corruptible by wild writes.
+
+use ow_simhw::PhysAddr;
+
+/// Allocation alignment (every structure starts 8-aligned).
+const ALIGN: u64 = 8;
+
+/// A first-fit free-list allocator over `[base, base+len)`.
+#[derive(Debug, Clone)]
+pub struct KHeap {
+    base: PhysAddr,
+    len: u64,
+    /// Sorted, coalesced free blocks `(addr, len)`.
+    free: Vec<(PhysAddr, u64)>,
+    allocated: u64,
+}
+
+impl KHeap {
+    /// Creates a heap over `[base, base+len)`.
+    pub fn new(base: PhysAddr, len: u64) -> Self {
+        KHeap {
+            base,
+            len,
+            free: vec![(base, len)],
+            allocated: 0,
+        }
+    }
+
+    /// Start of the heap region.
+    pub fn base(&self) -> PhysAddr {
+        self.base
+    }
+
+    /// Total heap bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no bytes are currently allocated.
+    pub fn is_empty(&self) -> bool {
+        self.allocated == 0
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Allocates `size` bytes (rounded up to 8), or `None` when exhausted.
+    pub fn alloc(&mut self, size: u64) -> Option<PhysAddr> {
+        let size = size.max(1).div_ceil(ALIGN) * ALIGN;
+        for i in 0..self.free.len() {
+            let (addr, blen) = self.free[i];
+            if blen >= size {
+                if blen == size {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (addr + size, blen - size);
+                }
+                self.allocated += size;
+                return Some(addr);
+            }
+        }
+        None
+    }
+
+    /// Frees a block previously returned by [`KHeap::alloc`] with the same
+    /// `size` (rounded internally the same way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is outside the heap or overlaps a free block
+    /// (double free) — heap corruption in the substrate is a bug.
+    pub fn free(&mut self, addr: PhysAddr, size: u64) {
+        let size = size.max(1).div_ceil(ALIGN) * ALIGN;
+        assert!(
+            addr >= self.base && addr + size <= self.base + self.len,
+            "free of {addr:#x}+{size} outside heap"
+        );
+        let pos = self.free.partition_point(|&(a, _)| a < addr);
+        if let Some(&(prev_a, prev_l)) = pos.checked_sub(1).and_then(|p| self.free.get(p)) {
+            assert!(prev_a + prev_l <= addr, "double free at {addr:#x}");
+        }
+        if let Some(&(next_a, _)) = self.free.get(pos) {
+            assert!(addr + size <= next_a, "double free at {addr:#x}");
+        }
+        self.free.insert(pos, (addr, size));
+        self.allocated -= size;
+        // Coalesce with neighbours.
+        if pos + 1 < self.free.len() {
+            let (a, l) = self.free[pos];
+            let (na, nl) = self.free[pos + 1];
+            if a + l == na {
+                self.free[pos] = (a, l + nl);
+                self.free.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let (pa, pl) = self.free[pos - 1];
+            let (a, l) = self.free[pos];
+            if pa + pl == a {
+                self.free[pos - 1] = (pa, pl + l);
+                self.free.remove(pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_reuse() {
+        let mut h = KHeap::new(0x1000, 0x100);
+        let a = h.alloc(24).unwrap();
+        let b = h.alloc(24).unwrap();
+        assert_ne!(a, b);
+        h.free(a, 24);
+        let c = h.alloc(24).unwrap();
+        assert_eq!(a, c, "first-fit should reuse the freed block");
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut h = KHeap::new(0, 64);
+        assert!(h.alloc(40).is_some());
+        assert!(h.alloc(40).is_none());
+        assert!(h.alloc(24).is_some());
+        assert!(h.alloc(1).is_none());
+    }
+
+    #[test]
+    fn coalescing_allows_big_realloc() {
+        let mut h = KHeap::new(0, 96);
+        let a = h.alloc(32).unwrap();
+        let b = h.alloc(32).unwrap();
+        let c = h.alloc(32).unwrap();
+        h.free(a, 32);
+        h.free(c, 32);
+        h.free(b, 32);
+        assert!(h.is_empty());
+        assert!(h.alloc(96).is_some(), "freed blocks must coalesce");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut h = KHeap::new(0, 64);
+        let a = h.alloc(16).unwrap();
+        h.free(a, 16);
+        h.free(a, 16);
+    }
+
+    #[test]
+    fn alignment_is_maintained() {
+        let mut h = KHeap::new(0x1000, 0x100);
+        let a = h.alloc(3).unwrap();
+        let b = h.alloc(5).unwrap();
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 8, 0);
+        assert_eq!(b - a, 8);
+    }
+}

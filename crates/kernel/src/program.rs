@@ -1,0 +1,261 @@
+//! The user-program model.
+//!
+//! Programs in the simulation cannot be native binaries, so a program is a
+//! [`Program`] state machine: its *control flow* is host Rust, but **all of
+//! its data must live in its simulated user address space**, accessed
+//! through the MMU (and therefore subject to demand paging, swapping, wild
+//! writes and resurrection). To keep programs honest about this, the kernel
+//! persists a program's minimal control state into a *program header page*
+//! in user memory after every step ([`Program::save_state`]), and
+//! resurrection re-instantiates the program object purely from the process
+//! name (the "executable") and that in-memory state via the
+//! [`ProgramRegistry`] — never from the old host object.
+//!
+//! This mirrors reality: code is re-instantiable from disk; only memory
+//! needs to be resurrected.
+
+use crate::error::Errno;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Virtual address of the program header page where programs persist their
+/// control state (`save_state`/rehydration).
+pub const PROG_STATE_VADDR: u64 = 0x1000;
+
+/// Result of one program step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// The program has more work to do.
+    Running,
+    /// The program finished with an exit code.
+    Exited(u64),
+}
+
+/// What a crash procedure tells the crash kernel to do (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashAction {
+    /// Continue execution from the interruption point.
+    Continue,
+    /// The crash procedure saved state to persistent storage; restart the
+    /// application afresh with the given command-line arguments (MySQL's
+    /// crash procedure passes the name of the saved-data file this way,
+    /// §5.2).
+    SaveAndRestart(Vec<String>),
+    /// The crash procedure deems the restoration unsuccessful; give up.
+    GiveUp,
+}
+
+/// A user program: host-Rust control flow over simulated-memory data.
+pub trait Program {
+    /// Executes one step (typically one syscall or one batch of user
+    /// computation) against the kernel through `api`.
+    fn step(&mut self, api: &mut dyn UserApi) -> StepResult;
+
+    /// Persists the program's resumable control state into its program
+    /// header page. Called by the kernel after every completed step.
+    fn save_state(&mut self, api: &mut dyn UserApi);
+
+    /// The crash procedure (§3.4), called by the crash kernel after
+    /// resurrection if the process registered one. `failed_resources` is
+    /// the bitmask of resource types that could not be resurrected
+    /// ([`crate::layout::resmask`]).
+    fn crash_procedure(&mut self, api: &mut dyn UserApi, failed_resources: u32) -> CrashAction {
+        let _ = (api, failed_resources);
+        CrashAction::Continue
+    }
+}
+
+/// The system-call and user-memory interface a program sees.
+///
+/// Methods that model system calls charge syscall entry costs (plus
+/// page-table switches in memory-protected mode) and may return
+/// [`Errno::Restart`] after a microreboot aborted an in-flight call (§3.5).
+/// The `mem_*` methods model ordinary user-mode loads/stores: they go
+/// through the MMU with demand paging but cost no kernel transition.
+#[allow(clippy::missing_errors_doc)]
+pub trait UserApi {
+    /// This process's pid.
+    fn pid(&self) -> u64;
+
+    // --- user-mode memory (not syscalls) ---
+
+    /// Stores bytes at a user virtual address.
+    fn mem_write(&mut self, vaddr: u64, data: &[u8]) -> Result<(), Errno>;
+    /// Loads bytes from a user virtual address.
+    fn mem_read(&mut self, vaddr: u64, buf: &mut [u8]) -> Result<(), Errno>;
+    /// Burns `units` of pure user computation (cycle accounting only).
+    fn compute(&mut self, units: u64);
+
+    /// Stores a `u64` at a user virtual address.
+    fn mem_write_u64(&mut self, vaddr: u64, v: u64) -> Result<(), Errno> {
+        self.mem_write(vaddr, &v.to_le_bytes())
+    }
+    /// Loads a `u64` from a user virtual address.
+    fn mem_read_u64(&mut self, vaddr: u64) -> Result<u64, Errno> {
+        let mut b = [0u8; 8];
+        self.mem_read(vaddr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    // --- files ---
+
+    /// Opens a file, returning an fd.
+    fn open(&mut self, path: &str, flags: u32) -> Result<u32, Errno>;
+    /// Closes an fd.
+    fn close(&mut self, fd: u32) -> Result<(), Errno>;
+    /// Writes at the current offset.
+    fn write(&mut self, fd: u32, data: &[u8]) -> Result<u64, Errno>;
+    /// Reads at the current offset; returns bytes read (0 at EOF).
+    fn read(&mut self, fd: u32, buf: &mut [u8]) -> Result<u64, Errno>;
+    /// Sets the file offset.
+    fn seek(&mut self, fd: u32, pos: u64) -> Result<(), Errno>;
+    /// Flushes dirty cached pages of the file to disk.
+    fn fsync(&mut self, fd: u32) -> Result<(), Errno>;
+    /// Removes a file.
+    fn unlink(&mut self, path: &str) -> Result<(), Errno>;
+
+    // --- memory management ---
+
+    /// Maps `pages` anonymous writable pages at `vaddr`.
+    fn mmap_anon(&mut self, vaddr: u64, pages: u64) -> Result<(), Errno>;
+
+    // --- terminal ---
+
+    /// Writes bytes to the attached terminal.
+    fn term_write(&mut self, data: &[u8]) -> Result<(), Errno>;
+    /// Reads pending input from the attached terminal (may return
+    /// [`Errno::WouldBlock`]).
+    fn term_read(&mut self, buf: &mut [u8]) -> Result<u64, Errno>;
+    /// Updates terminal settings.
+    fn term_set(&mut self, settings: u64) -> Result<(), Errno>;
+
+    // --- sockets (not resurrectable in the prototype) ---
+
+    /// Opens a socket, returning a socket id.
+    fn socket(&mut self) -> Result<u32, Errno>;
+    /// Sends on a socket (to the workload driver acting as the peer).
+    fn sock_send(&mut self, sid: u32, data: &[u8]) -> Result<(), Errno>;
+    /// Receives from a socket; [`Errno::WouldBlock`] when empty.
+    fn sock_recv(&mut self, sid: u32, buf: &mut [u8]) -> Result<u64, Errno>;
+    /// Closes a socket.
+    fn sock_close(&mut self, sid: u32) -> Result<(), Errno>;
+
+    // --- pipes ---
+
+    /// Writes into a pipe; returns bytes accepted (default: unsupported).
+    fn pipe_write(&mut self, pipe: u32, data: &[u8]) -> Result<u64, Errno> {
+        let _ = (pipe, data);
+        Err(Errno::NotSup)
+    }
+    /// Reads from a pipe; returns bytes read (default: unsupported).
+    fn pipe_read(&mut self, pipe: u32, buf: &mut [u8]) -> Result<u64, Errno> {
+        let _ = (pipe, buf);
+        Err(Errno::NotSup)
+    }
+    /// Declares this process a user of `pipe` (sets the resource bit).
+    fn pipe_attach(&mut self, pipe: u32) -> Result<(), Errno> {
+        let _ = pipe;
+        Err(Errno::NotSup)
+    }
+
+    // --- shared memory ---
+
+    /// Creates (or finds) a segment of `pages` pages for `key` and attaches
+    /// it at `vaddr`.
+    fn shm_attach(&mut self, key: u64, pages: u64, vaddr: u64) -> Result<(), Errno>;
+
+    // --- signals & crash procedure ---
+
+    /// Installs a handler token for `sig`.
+    fn signal(&mut self, sig: u32, handler: u64) -> Result<(), Errno>;
+    /// Registers this process's crash procedure with the kernel (§3.2).
+    fn register_crash_proc(&mut self) -> Result<(), Errno>;
+}
+
+/// Fresh-start factory: builds a program as `exec` would, with command-line
+/// arguments (used at first spawn and when a crash procedure restarts the
+/// application).
+pub type FreshFactory = Arc<dyn Fn(&mut dyn UserApi, &[String]) -> Box<dyn Program> + Send + Sync>;
+
+/// Rehydration factory: rebuilds a program object from its in-memory state.
+pub type Rehydrator = Arc<dyn Fn(&mut dyn UserApi) -> Box<dyn Program> + Send + Sync>;
+
+/// The two ways a named executable can be instantiated.
+#[derive(Clone)]
+pub struct ProgramImage {
+    /// Fresh start (`exec` analog).
+    pub fresh: FreshFactory,
+    /// Rebuild from resurrected memory.
+    pub rehydrate: Rehydrator,
+}
+
+/// Maps executable names to factories — the analog of programs being
+/// re-instantiable from their on-disk executables.
+#[derive(Clone, Default)]
+pub struct ProgramRegistry {
+    map: HashMap<String, ProgramImage>,
+}
+
+impl ProgramRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ProgramRegistry::default()
+    }
+
+    /// Registers the factories for `name`.
+    pub fn register(
+        &mut self,
+        name: &str,
+        fresh: impl Fn(&mut dyn UserApi, &[String]) -> Box<dyn Program> + Send + Sync + 'static,
+        rehydrate: impl Fn(&mut dyn UserApi) -> Box<dyn Program> + Send + Sync + 'static,
+    ) {
+        self.map.insert(
+            name.to_string(),
+            ProgramImage {
+                fresh: Arc::new(fresh),
+                rehydrate: Arc::new(rehydrate),
+            },
+        );
+    }
+
+    /// Looks up the image for `name`.
+    pub fn get(&self, name: &str) -> Option<ProgramImage> {
+        self.map.get(name).cloned()
+    }
+
+    /// Registered names (diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<_> = self.map.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl std::fmt::Debug for ProgramRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_registers_and_lists() {
+        struct Nop;
+        impl Program for Nop {
+            fn step(&mut self, _api: &mut dyn UserApi) -> StepResult {
+                StepResult::Exited(0)
+            }
+            fn save_state(&mut self, _api: &mut dyn UserApi) {}
+        }
+        let mut r = ProgramRegistry::new();
+        r.register("nop", |_api, _args| Box::new(Nop), |_api| Box::new(Nop));
+        assert!(r.get("nop").is_some());
+        assert!(r.get("other").is_none());
+        assert_eq!(r.names(), vec!["nop".to_string()]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Swap areas.
+//!
+//! The system carries two swap partitions: the main kernel uses one and the
+//! crash kernel the other, so pages the main kernel swapped out are never
+//! clobbered and remain readable during resurrection (§3.2). The swap
+//! descriptor (including the symbolic device name needed to reopen the
+//! device) and the slot bitmap live in kernel memory per [`crate::layout`].
+
+use crate::{error::KernelError, layout::SwapDesc};
+use ow_simhw::{machine::Machine, DevId, PhysAddr, PAGE_SIZE};
+
+/// A host-side handle to a swap area whose descriptor lives in kernel memory.
+#[derive(Debug, Clone)]
+pub struct SwapArea {
+    /// Device holding the area.
+    pub dev: DevId,
+    /// Symbolic device name (authoritative for reopening, as in the paper).
+    pub name: String,
+    /// Total slots.
+    pub nslots: u32,
+    /// Physical address of the slot bitmap (1 byte per slot).
+    pub bitmap: PhysAddr,
+    /// Physical address of the serialized [`SwapDesc`].
+    pub desc_addr: PhysAddr,
+}
+
+impl SwapArea {
+    /// Initializes a swap area over `dev`, writing its descriptor at
+    /// `desc_addr` and its bitmap at `bitmap` (both in kernel memory).
+    pub fn init(
+        m: &mut Machine,
+        dev: DevId,
+        name: &str,
+        desc_addr: PhysAddr,
+        bitmap: PhysAddr,
+    ) -> Result<SwapArea, KernelError> {
+        let nslots = {
+            let d = m.device(dev);
+            (d.size() / PAGE_SIZE as u64) as u32
+        };
+        let desc = SwapDesc {
+            dev_name: name.to_string(),
+            dev_id: dev,
+            nslots,
+            bitmap,
+        };
+        desc.write(&mut m.phys, desc_addr)?;
+        // Zero the bitmap.
+        let zeros = vec![0u8; nslots as usize];
+        m.phys.write(bitmap, &zeros)?;
+        Ok(SwapArea {
+            dev,
+            name: name.to_string(),
+            nslots,
+            bitmap,
+            desc_addr,
+        })
+    }
+
+    /// Allocates a free slot.
+    pub fn alloc_slot(&self, m: &mut Machine) -> Result<u32, KernelError> {
+        for slot in 0..self.nslots {
+            if m.phys.read_u8(self.bitmap + slot as u64)? == 0 {
+                m.phys.write_u8(self.bitmap + slot as u64, 1)?;
+                return Ok(slot);
+            }
+        }
+        Err(KernelError::NoSpace)
+    }
+
+    /// Frees a slot.
+    pub fn free_slot(&self, m: &mut Machine, slot: u32) -> Result<(), KernelError> {
+        if slot >= self.nslots {
+            return Err(KernelError::Inval("swap slot out of range"));
+        }
+        m.phys.write_u8(self.bitmap + slot as u64, 0)?;
+        Ok(())
+    }
+
+    /// Writes a frame's contents into `slot`.
+    pub fn write_slot(&self, m: &mut Machine, slot: u32, pfn: u64) -> Result<(), KernelError> {
+        let mut page = vec![0u8; PAGE_SIZE];
+        m.phys.read(pfn * PAGE_SIZE as u64, &mut page)?;
+        m.dev_write(self.dev, slot as u64 * PAGE_SIZE as u64, &page)?;
+        Ok(())
+    }
+
+    /// Reads `slot` into a frame.
+    pub fn read_slot(&self, m: &mut Machine, slot: u32, pfn: u64) -> Result<(), KernelError> {
+        let mut page = vec![0u8; PAGE_SIZE];
+        m.dev_read(self.dev, slot as u64 * PAGE_SIZE as u64, &mut page)?;
+        m.phys.write(pfn * PAGE_SIZE as u64, &page)?;
+        Ok(())
+    }
+
+    /// Reads `slot` into a plain buffer (used by the crash kernel when
+    /// migrating the dead kernel's swapped pages to its own partition).
+    pub fn read_slot_buf(&self, m: &mut Machine, slot: u32) -> Result<Vec<u8>, KernelError> {
+        if slot >= self.nslots {
+            return Err(KernelError::Inval("swap slot out of range"));
+        }
+        let mut page = vec![0u8; PAGE_SIZE];
+        m.dev_read(self.dev, slot as u64 * PAGE_SIZE as u64, &mut page)?;
+        Ok(page)
+    }
+
+    /// Writes a buffer into `slot` (the migration counterpart of
+    /// [`SwapArea::read_slot_buf`]).
+    pub fn write_slot_buf(
+        &self,
+        m: &mut Machine,
+        slot: u32,
+        buf: &[u8],
+    ) -> Result<(), KernelError> {
+        if slot >= self.nslots || buf.len() != PAGE_SIZE {
+            return Err(KernelError::Inval("swap slot write"));
+        }
+        m.dev_write(self.dev, slot as u64 * PAGE_SIZE as u64, buf)?;
+        Ok(())
+    }
+
+    /// Rebuilds a handle from a descriptor read out of (dead) kernel memory,
+    /// reopening the device by its symbolic name.
+    pub fn from_desc(
+        m: &mut Machine,
+        desc: &SwapDesc,
+        desc_addr: PhysAddr,
+    ) -> Result<SwapArea, KernelError> {
+        let dev = m
+            .device_by_name(&desc.dev_name)
+            .map(|d| d.id)
+            .ok_or_else(|| KernelError::NoEnt(desc.dev_name.clone()))?;
+        Ok(SwapArea {
+            dev,
+            name: desc.dev_name.clone(),
+            nslots: desc.nslots,
+            bitmap: desc.bitmap,
+            desc_addr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ow_simhw::machine::MachineConfig;
+
+    fn setup() -> (Machine, SwapArea) {
+        let mut m = Machine::new(MachineConfig {
+            ram_frames: 64,
+            cpus: 1,
+            tlb_entries: 16,
+            cost: ow_simhw::CostModel::zero_io(),
+        });
+        let dev = m.add_device("swap-main", 64 * PAGE_SIZE);
+        let area = SwapArea::init(&mut m, dev, "swap-main", 0x100, 0x200).unwrap();
+        (m, area)
+    }
+
+    #[test]
+    fn slots_allocate_and_free() {
+        let (mut m, area) = setup();
+        let a = area.alloc_slot(&mut m).unwrap();
+        let b = area.alloc_slot(&mut m).unwrap();
+        assert_ne!(a, b);
+        area.free_slot(&mut m, a).unwrap();
+        let c = area.alloc_slot(&mut m).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn page_round_trips_through_swap() {
+        let (mut m, area) = setup();
+        let pfn = 10u64;
+        m.phys.write_u64(pfn * PAGE_SIZE as u64, 0xfeed).unwrap();
+        let slot = area.alloc_slot(&mut m).unwrap();
+        area.write_slot(&mut m, slot, pfn).unwrap();
+        m.phys.zero_frame(pfn).unwrap();
+        area.read_slot(&mut m, slot, pfn).unwrap();
+        assert_eq!(m.phys.read_u64(pfn * PAGE_SIZE as u64).unwrap(), 0xfeed);
+    }
+
+    #[test]
+    fn descriptor_reopen_by_name() {
+        let (mut m, area) = setup();
+        let (desc, _) = SwapDesc::read(&m.phys, area.desc_addr).unwrap();
+        let re = SwapArea::from_desc(&mut m, &desc, area.desc_addr).unwrap();
+        assert_eq!(re.dev, area.dev);
+        assert_eq!(re.nslots, area.nslots);
+    }
+
+    #[test]
+    fn exhaustion_reports_no_space() {
+        let (mut m, area) = setup();
+        for _ in 0..area.nslots {
+            area.alloc_slot(&mut m).unwrap();
+        }
+        assert!(matches!(area.alloc_slot(&mut m), Err(KernelError::NoSpace)));
+    }
+}

@@ -1,0 +1,160 @@
+//! Physical terminals.
+//!
+//! A terminal's screen contents live in an in-kernel buffer frame and its
+//! settings/cursor in a [`TermDesc`] — both in simulated physical memory, so
+//! the crash kernel can restore the screen a resurrected interactive
+//! application was showing (§3.3). Keyboard input that was in flight at the
+//! moment of the crash is hardware state and is lost, as on a real machine.
+
+use crate::{
+    error::KernelError,
+    kernel::{Kernel, MAX_TERMS},
+    layout::{TermDesc, TERM_COLS, TERM_ROWS},
+    KernelResult,
+};
+use ow_simhw::{machine::FrameOwner, PhysAddr, PAGE_SIZE};
+use std::collections::VecDeque;
+
+/// Host-side terminal handle; authoritative state is in kernel memory.
+#[derive(Debug)]
+pub struct TermHandle {
+    /// Terminal id.
+    pub id: u32,
+    /// Address of the in-memory descriptor.
+    pub desc_addr: PhysAddr,
+    /// Pending keyboard input (hardware FIFO; volatile).
+    pub input: VecDeque<u8>,
+}
+
+impl Kernel {
+    /// Creates a physical terminal, returning its id.
+    pub fn create_terminal(&mut self) -> KernelResult<u32> {
+        let id = self.terms.len() as u32;
+        if id >= MAX_TERMS {
+            return Err(KernelError::TooMany("terminals"));
+        }
+        let screen_pfn = self.alloc_frame(FrameOwner::Kernel)?;
+        self.machine.phys.zero_frame(screen_pfn)?;
+        // Fill with spaces.
+        let blank = vec![b' '; (TERM_COLS * TERM_ROWS) as usize];
+        self.machine
+            .phys
+            .write(screen_pfn * PAGE_SIZE as u64, &blank)?;
+        let desc_addr = self.term_table_addr + id as u64 * TermDesc::SIZE;
+        TermDesc {
+            id,
+            cursor: 0,
+            settings: 0,
+            screen_pfn,
+        }
+        .write(&mut self.machine.phys, desc_addr)?;
+        self.terms.push(TermHandle {
+            id,
+            desc_addr,
+            input: VecDeque::new(),
+        });
+        self.write_header()?;
+        Ok(id)
+    }
+
+    fn term_desc(&self, id: u32) -> KernelResult<(PhysAddr, TermDesc)> {
+        let h = self
+            .terms
+            .iter()
+            .find(|t| t.id == id)
+            .ok_or(KernelError::Inval("no such terminal"))?;
+        let (d, _) = TermDesc::read(&self.machine.phys, h.desc_addr)?;
+        Ok((h.desc_addr, d))
+    }
+
+    /// Writes bytes to the terminal screen, handling newline and scrolling.
+    pub fn term_write(&mut self, id: u32, data: &[u8]) -> KernelResult<()> {
+        let (desc_addr, mut d) = self.term_desc(id)?;
+        let base = d.screen_pfn * PAGE_SIZE as u64;
+        let cols = TERM_COLS;
+        let cells = TERM_COLS * TERM_ROWS;
+        for &b in data {
+            match b {
+                b'\n' => {
+                    d.cursor = (d.cursor / cols + 1) * cols;
+                }
+                b'\r' => {
+                    d.cursor = (d.cursor / cols) * cols;
+                }
+                0x08 => {
+                    d.cursor = d.cursor.saturating_sub(1);
+                }
+                _ => {
+                    self.machine.phys.write_u8(base + d.cursor as u64, b)?;
+                    d.cursor += 1;
+                }
+            }
+            if d.cursor >= cells {
+                // Scroll one row: move rows up, blank the last.
+                let mut screen = vec![0u8; cells as usize];
+                self.machine.phys.read(base, &mut screen)?;
+                screen.copy_within(cols as usize.., 0);
+                let last = (cells - cols) as usize;
+                screen[last..].fill(b' ');
+                self.machine.phys.write(base, &screen)?;
+                d.cursor = cells - cols;
+            }
+        }
+        d.write(&mut self.machine.phys, desc_addr)?;
+        Ok(())
+    }
+
+    /// Updates terminal settings.
+    pub fn term_set(&mut self, id: u32, settings: u64) -> KernelResult<()> {
+        let (desc_addr, mut d) = self.term_desc(id)?;
+        d.settings = settings;
+        d.write(&mut self.machine.phys, desc_addr)?;
+        Ok(())
+    }
+
+    /// Reads terminal settings.
+    pub fn term_settings(&self, id: u32) -> KernelResult<u64> {
+        Ok(self.term_desc(id)?.1.settings)
+    }
+
+    /// Pushes keyboard input into a terminal (workload driver side).
+    pub fn term_input(&mut self, id: u32, data: &[u8]) -> KernelResult<()> {
+        let h = self
+            .terms
+            .iter_mut()
+            .find(|t| t.id == id)
+            .ok_or(KernelError::Inval("no such terminal"))?;
+        h.input.extend(data.iter().copied());
+        Ok(())
+    }
+
+    /// Pops up to `buf.len()` input bytes; returns 0 when none pending.
+    pub fn term_read_input(&mut self, id: u32, buf: &mut [u8]) -> KernelResult<u64> {
+        let h = self
+            .terms
+            .iter_mut()
+            .find(|t| t.id == id)
+            .ok_or(KernelError::Inval("no such terminal"))?;
+        let mut n = 0;
+        while n < buf.len() {
+            match h.input.pop_front() {
+                Some(b) => {
+                    buf[n] = b;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(n as u64)
+    }
+
+    /// Snapshot of the screen contents (for verification and examples).
+    pub fn term_screen(&self, id: u32) -> KernelResult<Vec<u8>> {
+        let (_, d) = self.term_desc(id)?;
+        let mut screen = vec![0u8; (TERM_COLS * TERM_ROWS) as usize];
+        self.machine
+            .phys
+            .read(d.screen_pfn * PAGE_SIZE as u64, &mut screen)?;
+        Ok(screen)
+    }
+}

@@ -1,0 +1,310 @@
+//! Virtual-memory management: VMAs, demand paging, swapping, user access.
+//!
+//! Every user page is reached through the process page tables and the MMU
+//! (with its TLB cost model). Pages materialize on first touch from their
+//! VMA (zero-filled anonymous memory or file contents), can be swapped out
+//! to the active swap partition, and fault back in on demand — all state
+//! that the crash kernel must reconstruct during resurrection.
+
+use crate::{
+    error::{Errno, KernelError},
+    kernel::Kernel,
+    layout::{self, FileRecord, ProcDesc, VmaDesc},
+    KernelResult,
+};
+use ow_simhw::{
+    machine::FrameOwner, mmu::AccessKind, paging::PageFault, Pfn, PhysAddr, Pte, PteFlags,
+    VirtAddr, PAGE_SIZE,
+};
+
+/// Flags preserved across a swap-out (so swap-in restores permissions).
+fn preserved(flags: PteFlags) -> PteFlags {
+    PteFlags::from_bits(
+        flags.bits() & (PteFlags::WRITABLE.bits() | PteFlags::USER.bits() | PteFlags::FILE.bits()),
+    )
+}
+
+impl Kernel {
+    /// Reads a process descriptor from memory.
+    pub fn read_desc(&self, pid: u64) -> KernelResult<ProcDesc> {
+        let addr = self.proc(pid)?.desc_addr;
+        Ok(ProcDesc::read(&self.machine.phys, addr)?.0)
+    }
+
+    /// Finds the VMA containing `vaddr` by walking the in-memory chain.
+    pub fn vma_lookup(&self, pid: u64, vaddr: VirtAddr) -> KernelResult<Option<VmaDesc>> {
+        let desc = self.read_desc(pid)?;
+        let mut addr = desc.mm_head;
+        while addr != 0 {
+            let (vma, _) = VmaDesc::read(&self.machine.phys, addr)?;
+            if vaddr >= vma.start && vaddr < vma.end {
+                return Ok(Some(vma));
+            }
+            addr = vma.next;
+        }
+        Ok(None)
+    }
+
+    /// Prepends a VMA to the process's chain.
+    pub fn vma_add(
+        &mut self,
+        pid: u64,
+        start: VirtAddr,
+        end: VirtAddr,
+        flags: u64,
+        file: PhysAddr,
+        file_off: u64,
+    ) -> KernelResult<()> {
+        if !start.is_multiple_of(PAGE_SIZE as u64) || !end.is_multiple_of(PAGE_SIZE as u64) || start >= end {
+            return Err(KernelError::Inval("vma bounds"));
+        }
+        let desc_addr = self.proc(pid)?.desc_addr;
+        let desc = self.read_desc(pid)?;
+        let vma_addr = self
+            .kheap
+            .alloc(VmaDesc::SIZE)
+            .ok_or(KernelError::NoMemory)?;
+        VmaDesc {
+            start,
+            end,
+            flags,
+            file,
+            file_off,
+            next: desc.mm_head,
+        }
+        .write(&mut self.machine.phys, vma_addr)?;
+        self.machine
+            .phys
+            .write_u64(desc_addr + layout::proc_off::MM_HEAD, vma_addr)?;
+        self.reseal_desc(pid)?;
+        Ok(())
+    }
+
+    /// Maps a user page, tagging the L2 table frame it may have created.
+    pub fn map_user_page(
+        &mut self,
+        pid: u64,
+        vaddr: VirtAddr,
+        pfn: Pfn,
+        flags: PteFlags,
+    ) -> KernelResult<()> {
+        let asp = self.proc(pid)?.asp;
+        let Kernel {
+            machine, falloc, ..
+        } = self;
+        asp.map(
+            &mut machine.phys,
+            falloc,
+            vaddr,
+            pfn,
+            flags | PteFlags::USER,
+        )
+        .map_err(|_| KernelError::NoMemory)?;
+        let l1 = asp.l1_entry(&machine.phys, vaddr)?;
+        machine.set_owner(l1.pfn(), FrameOwner::PageTable { pid });
+        Ok(())
+    }
+
+    /// Writes an arbitrary PTE for `pid` (used by resurrection to install
+    /// swapped entries), tagging any newly created L2 table frame.
+    pub fn set_user_pte(&mut self, pid: u64, vaddr: VirtAddr, pte: Pte) -> KernelResult<()> {
+        let asp = self.proc(pid)?.asp;
+        let Kernel {
+            machine, falloc, ..
+        } = self;
+        asp.set_pte(&mut machine.phys, falloc, vaddr, pte)
+            .map_err(|_| KernelError::NoMemory)?;
+        let l1 = asp.l1_entry(&machine.phys, vaddr)?;
+        machine.set_owner(l1.pfn(), FrameOwner::PageTable { pid });
+        Ok(())
+    }
+
+    /// Materializes the page for `vaddr` from its VMA (demand paging).
+    fn demand_map(&mut self, pid: u64, vaddr: VirtAddr) -> Result<(), Errno> {
+        let page_va = vaddr & !(PAGE_SIZE as u64 - 1);
+        let vma = self
+            .vma_lookup(pid, vaddr)
+            .map_err(|_| Errno::Io)?
+            .ok_or(Errno::Io)?; // segfault analog
+        let pfn = self
+            .alloc_frame(FrameOwner::User { pid })
+            .map_err(|_| Errno::NoMem)?;
+        if vma.flags & layout::vmaflags::FILE != 0 && vma.file != 0 {
+            // File-backed: fill from the file.
+            let (frec, _) =
+                FileRecord::read(&self.machine.phys, vma.file).map_err(|_| Errno::Io)?;
+            let off = vma.file_off + (page_va - vma.start);
+            let mut buf = vec![0u8; PAGE_SIZE];
+            let fs = self.fs.clone();
+            fs.read_at(&mut self.machine, frec.inode as u32, off, &mut buf)
+                .map_err(|_| Errno::Io)?;
+            self.machine
+                .phys
+                .write(pfn * PAGE_SIZE as u64, &buf)
+                .map_err(|_| Errno::Io)?;
+        } else {
+            self.machine.phys.zero_frame(pfn).map_err(|_| Errno::Io)?;
+        }
+        let mut flags = PteFlags::USER;
+        if vma.flags & layout::vmaflags::WRITE != 0 {
+            flags |= PteFlags::WRITABLE;
+        }
+        if vma.flags & layout::vmaflags::FILE != 0 {
+            flags |= PteFlags::FILE;
+        }
+        self.map_user_page(pid, page_va, pfn, flags)
+            .map_err(|_| Errno::NoMem)
+    }
+
+    /// Brings a swapped page back in from the active swap partition.
+    fn swap_in(&mut self, pid: u64, vaddr: VirtAddr, slot: u64) -> Result<(), Errno> {
+        let page_va = vaddr & !(PAGE_SIZE as u64 - 1);
+        let asp = self.proc(pid).map_err(|_| Errno::Io)?.asp;
+        let old = asp
+            .pte(&self.machine.phys, page_va)
+            .map_err(|_| Errno::Io)?
+            .ok_or(Errno::Io)?;
+        let pfn = self
+            .alloc_frame(FrameOwner::User { pid })
+            .map_err(|_| Errno::NoMem)?;
+        let area = self.swaps[self.active_swap].clone();
+        area.read_slot(&mut self.machine, slot as u32, pfn)
+            .map_err(|_| Errno::Io)?;
+        area.free_slot(&mut self.machine, slot as u32)
+            .map_err(|_| Errno::Io)?;
+        let flags = preserved(old.flags()) | PteFlags::PRESENT | PteFlags::USER;
+        self.map_user_page(pid, page_va, pfn, flags)
+            .map_err(|_| Errno::NoMem)
+    }
+
+    /// Translates a user access, performing demand paging and swap-in.
+    pub fn user_access(
+        &mut self,
+        pid: u64,
+        vaddr: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<PhysAddr, Errno> {
+        let asp = self.proc(pid).map_err(|_| Errno::Io)?.asp;
+        for _attempt in 0..4 {
+            let Kernel { machine, .. } = self;
+            match machine.mmu.access(
+                &mut machine.phys,
+                &mut machine.clock,
+                &machine.cost,
+                asp,
+                vaddr,
+                kind,
+            ) {
+                Ok(pa) => return Ok(pa),
+                Err(PageFault::Swapped(va, slot)) => self.swap_in(pid, va, slot)?,
+                Err(PageFault::NotMapped(va)) => self.demand_map(pid, va)?,
+                Err(PageFault::ReadOnly(_)) => return Err(Errno::Io),
+                Err(PageFault::Protection(_)) | Err(PageFault::OutOfSpace(_)) => {
+                    return Err(Errno::Io)
+                }
+            }
+        }
+        Err(Errno::Io)
+    }
+
+    /// Writes bytes into user memory at `vaddr` (page by page through the
+    /// MMU).
+    pub fn user_write(&mut self, pid: u64, vaddr: VirtAddr, data: &[u8]) -> Result<(), Errno> {
+        let mut done = 0usize;
+        while done < data.len() {
+            let va = vaddr + done as u64;
+            let pa = self.user_access(pid, va, AccessKind::Write)?;
+            let in_page = PAGE_SIZE - (va as usize & (PAGE_SIZE - 1));
+            let chunk = in_page.min(data.len() - done);
+            self.machine
+                .phys
+                .write(pa, &data[done..done + chunk])
+                .map_err(|_| Errno::Io)?;
+            let bw = self.machine.cost.mem_bytes_per_cycle.max(1);
+            self.machine.clock.charge(chunk as u64 / bw);
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Reads bytes from user memory at `vaddr`.
+    pub fn user_read(&mut self, pid: u64, vaddr: VirtAddr, buf: &mut [u8]) -> Result<(), Errno> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let va = vaddr + done as u64;
+            let pa = self.user_access(pid, va, AccessKind::Read)?;
+            let in_page = PAGE_SIZE - (va as usize & (PAGE_SIZE - 1));
+            let chunk = in_page.min(buf.len() - done);
+            self.machine
+                .phys
+                .read(pa, &mut buf[done..done + chunk])
+                .map_err(|_| Errno::Io)?;
+            let bw = self.machine.cost.mem_bytes_per_cycle.max(1);
+            self.machine.clock.charge(chunk as u64 / bw);
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Swaps one present page of `pid` out to the active swap partition.
+    pub fn swap_out_page(&mut self, pid: u64, vaddr: VirtAddr) -> KernelResult<()> {
+        let page_va = vaddr & !(PAGE_SIZE as u64 - 1);
+        let asp = self.proc(pid)?.asp;
+        let pte = self
+            .asp_walk(asp, page_va)?
+            .ok_or(KernelError::Inval("page not present"))?;
+        if !pte.flags().contains(PteFlags::PRESENT) {
+            return Err(KernelError::Inval("page not present"));
+        }
+        let area = self.swaps[self.active_swap].clone();
+        let slot = area.alloc_slot(&mut self.machine)?;
+        area.write_slot(&mut self.machine, slot, pte.pfn())?;
+        let swapped = Pte::new(slot as u64, preserved(pte.flags()) | PteFlags::SWAPPED);
+        {
+            let Kernel {
+                machine, falloc, ..
+            } = self;
+            asp.set_pte(&mut machine.phys, falloc, page_va, swapped)
+                .map_err(|_| KernelError::NoMemory)?;
+        }
+        self.machine.mmu.invalidate(asp.root(), page_va);
+        self.free_frame(pte.pfn());
+        Ok(())
+    }
+
+    fn asp_walk(&self, asp: ow_simhw::AddressSpace, va: VirtAddr) -> KernelResult<Option<Pte>> {
+        Ok(asp.pte(&self.machine.phys, va)?)
+    }
+
+    /// Swaps out up to `n` present pages of `pid` (memory-pressure model),
+    /// returning how many were evicted.
+    pub fn swap_out_pages(&mut self, pid: u64, n: usize) -> KernelResult<usize> {
+        let asp = self.proc(pid)?.asp;
+        let mut victims = Vec::new();
+        asp.for_each_mapped(&self.machine.phys, |va, pte| {
+            if victims.len() < n && pte.flags().contains(PteFlags::PRESENT) {
+                victims.push(va);
+            }
+        })?;
+        let count = victims.len();
+        for va in victims {
+            self.swap_out_page(pid, va)?;
+        }
+        Ok(count)
+    }
+
+    /// Counts present and swapped user pages of `pid`.
+    pub fn page_census(&self, pid: u64) -> KernelResult<(u64, u64)> {
+        let asp = self.proc(pid)?.asp;
+        let mut present = 0;
+        let mut swapped = 0;
+        asp.for_each_mapped(&self.machine.phys, |_va, pte| {
+            if pte.flags().contains(PteFlags::PRESENT) {
+                present += 1;
+            } else if pte.flags().contains(PteFlags::SWAPPED) {
+                swapped += 1;
+            }
+        })?;
+        Ok((present, swapped))
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the kernel substrate: structure layouts,
+//! the kernel heap and the filesystem.
+
+use ow_kernel::fs::Fs;
+use ow_kernel::kheap::KHeap;
+use ow_kernel::layout::{
+    pack_str, unpack_str, FileRecord, ProcDesc, SigTable, SwapDesc, VmaDesc, NSIG,
+};
+use ow_simhw::{machine::MachineConfig, Machine, PhysMem};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_/.-]{1,24}"
+}
+
+proptest! {
+    /// ProcDesc serialization is lossless for arbitrary plausible values.
+    #[test]
+    fn proc_desc_round_trips(
+        pid in any::<u64>(),
+        state in 1u32..=3,
+        name in name_strategy(),
+        crash_proc in 0u32..2,
+        page_root in 0u64..64,
+        ptrs in prop::collection::vec(0u64..0x4_0000, 5),
+        res in any::<u32>(),
+        in_syscall in any::<u32>(),
+        pc in any::<u64>(),
+        regs in prop::collection::vec(any::<u64>(), 8),
+    ) {
+        let mut phys = PhysMem::new(64);
+        let desc = ProcDesc {
+            pid,
+            state,
+            name: name.clone(),
+            crash_proc,
+            page_root,
+            mm_head: ptrs[0],
+            files: ptrs[1],
+            sig: ptrs[2],
+            term_id: u32::MAX,
+            shm_head: ptrs[3],
+            sock_head: 0,
+            res_in_use: res,
+            in_syscall,
+            saved_pc: pc,
+            saved_sp: ptrs[4],
+            saved_regs: regs.clone().try_into().unwrap(),
+            checksum: 0,
+            next: 0,
+        };
+        desc.write(&mut phys, 0x8000).unwrap();
+        let (got, consumed) = ProcDesc::read(&phys, 0x8000).unwrap();
+        prop_assert_eq!(got, desc);
+        prop_assert_eq!(consumed, ProcDesc::SIZE);
+    }
+
+    /// Any single corrupted byte in a magic field is detected.
+    #[test]
+    fn corrupted_magic_never_parses(mask in 1u32..=0xff, shift in 0u32..4) {
+        let mut phys = PhysMem::new(16);
+        let vma = VmaDesc { start: 0x1000, end: 0x3000, flags: 3, file: 0, file_off: 0, next: 0 };
+        vma.write(&mut phys, 0x2000).unwrap();
+        let old = phys.read_u32(0x2000).unwrap();
+        phys.write_u32(0x2000, old ^ (mask << (shift * 8))).unwrap();
+        prop_assert!(VmaDesc::read(&phys, 0x2000).is_err());
+    }
+
+    /// File records round-trip including path strings.
+    #[test]
+    fn file_record_round_trips(
+        flags in any::<u32>(),
+        offset in any::<u64>(),
+        fsize in any::<u64>(),
+        inode in any::<u64>(),
+        path in name_strategy(),
+        cache in 0u64..0x1_0000,
+    ) {
+        let mut phys = PhysMem::new(16);
+        let rec = FileRecord {
+            flags,
+            refcnt: 1,
+            offset,
+            fsize,
+            inode,
+            path: path.clone(),
+            cache_head: cache,
+        };
+        rec.write(&mut phys, 0x4000).unwrap();
+        let (got, _) = FileRecord::read(&phys, 0x4000).unwrap();
+        prop_assert_eq!(got, rec);
+    }
+
+    /// Signal tables and swap descriptors round-trip.
+    #[test]
+    fn sig_and_swap_round_trip(
+        handlers in prop::collection::vec(any::<u64>(), NSIG),
+        dev in any::<u32>(),
+        nslots in 1u32..(1 << 20),
+        name in "[a-z0-9-]{1,12}",
+    ) {
+        let mut phys = PhysMem::new(16);
+        let sig = SigTable { handlers: handlers.try_into().unwrap() };
+        sig.write(&mut phys, 0x1000).unwrap();
+        prop_assert_eq!(SigTable::read(&phys, 0x1000).unwrap().0, sig);
+
+        let swap = SwapDesc { dev_name: name, dev_id: dev, nslots, bitmap: 0x9000 };
+        swap.write(&mut phys, 0x2000).unwrap();
+        prop_assert_eq!(SwapDesc::read(&phys, 0x2000).unwrap().0, swap);
+    }
+
+    /// String pack/unpack is identity for strings that fit.
+    #[test]
+    fn strings_pack_losslessly(s in "[ -~]{0,31}") {
+        let packed = pack_str::<32>(&s);
+        prop_assert_eq!(unpack_str(&packed), s);
+    }
+
+    /// Kernel heap allocations never overlap, and freeing everything
+    /// restores full capacity.
+    #[test]
+    fn kheap_allocations_never_overlap(
+        sizes in prop::collection::vec(1u64..200, 1..50),
+    ) {
+        let mut h = KHeap::new(0x1_0000, 0x4000);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for size in sizes {
+            if let Some(addr) = h.alloc(size) {
+                for &(a, s) in &live {
+                    let s_round = s.max(1).div_ceil(8) * 8;
+                    let sz_round = size.max(1).div_ceil(8) * 8;
+                    prop_assert!(
+                        addr + sz_round <= a || a + s_round <= addr,
+                        "overlap: {addr:#x}+{size} with {a:#x}+{s}"
+                    );
+                }
+                live.push((addr, size));
+            }
+        }
+        for (a, s) in live.drain(..) {
+            h.free(a, s);
+        }
+        prop_assert!(h.is_empty());
+        prop_assert!(h.alloc(0x4000).is_some(), "coalesced back to one block");
+    }
+
+    /// The filesystem agrees with an in-memory byte-map oracle under random
+    /// writes and reads.
+    #[test]
+    fn fs_matches_oracle(
+        ops in prop::collection::vec(
+            (0u64..40_000, prop::collection::vec(any::<u8>(), 1..500)),
+            1..20
+        ),
+    ) {
+        let mut m = Machine::new(MachineConfig {
+            ram_frames: 64,
+            cpus: 1,
+            tlb_entries: 16,
+            cost: ow_simhw::CostModel::zero_io(),
+        });
+        let dev = m.add_device("sda", 4 * 1024 * 1024);
+        let fs = Fs::format(&mut m, dev, 16).unwrap();
+        let ino = fs.create(&mut m, "/oracle").unwrap();
+        let mut oracle: HashMap<u64, u8> = HashMap::new();
+        let mut max_end = 0u64;
+        for (off, data) in &ops {
+            fs.write_at(&mut m, ino, *off, data).unwrap();
+            for (i, b) in data.iter().enumerate() {
+                oracle.insert(off + i as u64, *b);
+            }
+            max_end = max_end.max(off + data.len() as u64);
+        }
+        prop_assert_eq!(fs.size_of(&mut m, ino).unwrap(), max_end);
+        let mut buf = vec![0u8; max_end as usize];
+        fs.read_at(&mut m, ino, 0, &mut buf).unwrap();
+        for (i, b) in buf.iter().enumerate() {
+            let want = oracle.get(&(i as u64)).copied().unwrap_or(0);
+            prop_assert_eq!(*b, want, "byte {}", i);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Cost model: how many cycles each hardware event charges.
+//!
+//! The absolute values are calibrated to plausible hardware magnitudes, not
+//! to the paper's testbed; what matters for reproducing the *shape* of the
+//! results (Table 3's ordering MySQL < Apache < Volano, Table 6's
+//! interruption-vs-cold-boot comparison) is the relative cost of TLB
+//! refills, page-table switches and disk I/O versus plain computation.
+
+/// Cycle costs for simulated hardware events.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Base cost of one memory access that hits the TLB.
+    pub mem_access: u64,
+    /// Extra cost of a page-table walk on a TLB miss.
+    pub tlb_miss_walk: u64,
+    /// Cost of flushing the TLB (charged on page-table switch).
+    pub tlb_flush: u64,
+    /// Cost of a user->kernel transition (trap, save, dispatch).
+    pub syscall_entry: u64,
+    /// Cost of loading a new page-table root register.
+    pub pt_switch: u64,
+    /// Fixed per-operation disk latency (sequential-access amortized seek).
+    pub disk_op: u64,
+    /// Per-byte disk transfer cost.
+    pub disk_byte: u64,
+    /// Cost of one "unit" of pure user computation between syscalls.
+    pub compute_unit: u64,
+    /// Memory-copy bandwidth: bytes moved per cycle by bulk user-memory
+    /// transfers.
+    pub mem_bytes_per_cycle: u64,
+    /// Cost of copying one whole page during resurrection.
+    pub page_copy: u64,
+    /// Cost of adopting one page by mapping during resurrection
+    /// (footnote 3's optimization: a PTE write instead of a copy).
+    pub page_map: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            mem_access: 1,
+            tlb_miss_walk: 30,
+            tlb_flush: 120,
+            syscall_entry: 300,
+            pt_switch: 80,
+            disk_op: 60_000,
+            disk_byte: 5,
+            compute_unit: 40,
+            mem_bytes_per_cycle: 2,
+            page_copy: 2_000,
+            page_map: 150,
+        }
+    }
+}
+
+impl CostModel {
+    /// A cost model with free disk I/O, useful for tests that should not
+    /// depend on the latency model.
+    pub fn zero_io() -> Self {
+        CostModel {
+            disk_op: 0,
+            disk_byte: 0,
+            ..CostModel::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_orders_costs_sensibly() {
+        let c = CostModel::default();
+        assert!(c.mem_access < c.tlb_miss_walk);
+        assert!(c.tlb_miss_walk < c.tlb_flush);
+        assert!(c.tlb_flush < c.disk_op);
+    }
+
+    #[test]
+    fn zero_io_removes_disk_costs() {
+        let c = CostModel::zero_io();
+        assert_eq!(c.disk_op, 0);
+        assert_eq!(c.disk_byte, 0);
+        assert_eq!(c.mem_access, CostModel::default().mem_access);
+    }
+}

@@ -1,0 +1,295 @@
+//! MMU with a TLB model.
+//!
+//! The paper's memory-protected mode switches page-table sets on every
+//! system call; the dominant cost is the implied TLB flush (§6, Table 3).
+//! To reproduce that effect the MMU keeps a small software TLB tagged by
+//! page-table root and charges a walk penalty on every miss.
+
+use crate::{
+    clock::Clock,
+    cost::CostModel,
+    paging::{AddressSpace, PageFault, Pte, PteFlags},
+    phys::{PhysAddr, PhysMem, PAGE_SIZE},
+    Pfn, VirtAddr,
+};
+
+/// Kind of memory access, for permission checks and dirty tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read access.
+    Read,
+    /// Write access (requires [`PteFlags::WRITABLE`], sets dirty).
+    Write,
+}
+
+/// TLB / translation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MmuStats {
+    /// Total translations requested.
+    pub accesses: u64,
+    /// Translations served from the TLB.
+    pub tlb_hits: u64,
+    /// Translations that required a page-table walk.
+    pub tlb_misses: u64,
+    /// Number of full TLB flushes.
+    pub flushes: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    root: Pfn,
+    vpn: u64,
+    pte: Pte,
+}
+
+/// The memory-management unit: translation plus a direct-mapped TLB.
+#[derive(Debug)]
+pub struct Mmu {
+    tlb: Vec<Option<TlbEntry>>,
+    stats: MmuStats,
+}
+
+impl Mmu {
+    /// Creates an MMU with a direct-mapped TLB of `entries` slots.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "TLB size must be a power of two");
+        Mmu {
+            tlb: vec![None; entries],
+            stats: MmuStats::default(),
+        }
+    }
+
+    /// Translation statistics so far.
+    pub fn stats(&self) -> MmuStats {
+        self.stats
+    }
+
+    /// Resets statistics (keeps TLB contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = MmuStats::default();
+    }
+
+    /// Flushes the entire TLB, charging the flush cost. Called on every
+    /// page-table switch (address-space change or protected-mode toggle).
+    pub fn flush(&mut self, clock: &mut Clock, cost: &CostModel) {
+        self.tlb.iter_mut().for_each(|e| *e = None);
+        self.stats.flushes += 1;
+        clock.charge(cost.tlb_flush);
+    }
+
+    /// Invalidates a single page translation (e.g. after unmap/swap-out).
+    pub fn invalidate(&mut self, root: Pfn, vaddr: VirtAddr) {
+        let vpn = vaddr / PAGE_SIZE as u64;
+        let slot = self.slot(root, vpn);
+        if let Some(e) = self.tlb[slot] {
+            if e.root == root && e.vpn == vpn {
+                self.tlb[slot] = None;
+            }
+        }
+    }
+
+    fn slot(&self, root: Pfn, vpn: u64) -> usize {
+        ((vpn ^ (root << 3)) as usize) & (self.tlb.len() - 1)
+    }
+
+    /// Translates `vaddr` in the address space rooted at `asp`, charging
+    /// access and (on TLB miss) walk cycles, enforcing write permission,
+    /// and maintaining accessed/dirty bits in the in-memory PTE.
+    pub fn access(
+        &mut self,
+        phys: &mut PhysMem,
+        clock: &mut Clock,
+        cost: &CostModel,
+        asp: AddressSpace,
+        vaddr: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<PhysAddr, PageFault> {
+        self.stats.accesses += 1;
+        clock.charge(cost.mem_access);
+        let vpn = vaddr / PAGE_SIZE as u64;
+        let slot = self.slot(asp.root(), vpn);
+
+        let pte = match self.tlb[slot] {
+            Some(e) if e.root == asp.root() && e.vpn == vpn => {
+                self.stats.tlb_hits += 1;
+                e.pte
+            }
+            _ => {
+                self.stats.tlb_misses += 1;
+                clock.charge(cost.tlb_miss_walk);
+                let pte = asp.walk(phys, vaddr)?;
+                self.tlb[slot] = Some(TlbEntry {
+                    root: asp.root(),
+                    vpn,
+                    pte,
+                });
+                pte
+            }
+        };
+
+        if kind == AccessKind::Write && !pte.flags().contains(PteFlags::WRITABLE) {
+            return Err(PageFault::ReadOnly(vaddr));
+        }
+
+        // Maintain accessed/dirty bits in the authoritative in-memory PTE so
+        // the page-out path and the crash kernel see them.
+        let want = if kind == AccessKind::Write {
+            PteFlags::ACCESSED | PteFlags::DIRTY
+        } else {
+            PteFlags::ACCESSED
+        };
+        if !pte.flags().contains(want) {
+            let updated = pte.with_flags(want);
+            // The L2 table is guaranteed present because `walk` succeeded.
+            let _ = asp.set_pte(phys, &mut crate::FrameAllocator::new(0, 0), vaddr, updated);
+            if let Some(e) = &mut self.tlb[slot] {
+                e.pte = updated;
+            }
+        }
+
+        Ok(pte.pfn() * PAGE_SIZE as u64 + (vaddr & (PAGE_SIZE as u64 - 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrameAllocator;
+
+    fn setup() -> (PhysMem, FrameAllocator, Clock, CostModel, Mmu, AddressSpace) {
+        let mut phys = PhysMem::new(64);
+        let mut fa = FrameAllocator::new(0, 64);
+        let clock = Clock::new();
+        let cost = CostModel::default();
+        let mmu = Mmu::new(16);
+        let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
+        (phys, fa, clock, cost, mmu, asp)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let (mut phys, mut fa, mut clock, cost, mut mmu, asp) = setup();
+        let frame = fa.alloc().unwrap();
+        asp.map(
+            &mut phys,
+            &mut fa,
+            0x5000,
+            frame,
+            PteFlags::WRITABLE | PteFlags::USER,
+        )
+        .unwrap();
+        let pa1 = mmu
+            .access(&mut phys, &mut clock, &cost, asp, 0x5004, AccessKind::Read)
+            .unwrap();
+        assert_eq!(pa1, frame * PAGE_SIZE as u64 + 4);
+        assert_eq!(mmu.stats().tlb_misses, 1);
+        mmu.access(&mut phys, &mut clock, &cost, asp, 0x5008, AccessKind::Read)
+            .unwrap();
+        assert_eq!(mmu.stats().tlb_hits, 1);
+    }
+
+    #[test]
+    fn flush_forces_rewalk_and_charges() {
+        let (mut phys, mut fa, mut clock, cost, mut mmu, asp) = setup();
+        let frame = fa.alloc().unwrap();
+        asp.map(
+            &mut phys,
+            &mut fa,
+            0,
+            frame,
+            PteFlags::WRITABLE | PteFlags::USER,
+        )
+        .unwrap();
+        mmu.access(&mut phys, &mut clock, &cost, asp, 0, AccessKind::Read)
+            .unwrap();
+        let before = clock.now();
+        mmu.flush(&mut clock, &cost);
+        assert_eq!(clock.since(before), cost.tlb_flush);
+        mmu.access(&mut phys, &mut clock, &cost, asp, 0, AccessKind::Read)
+            .unwrap();
+        assert_eq!(mmu.stats().tlb_misses, 2);
+        assert_eq!(mmu.stats().flushes, 1);
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let (mut phys, mut fa, mut clock, cost, mut mmu, asp) = setup();
+        let frame = fa.alloc().unwrap();
+        asp.map(&mut phys, &mut fa, 0x1000, frame, PteFlags::USER)
+            .unwrap();
+        assert_eq!(
+            mmu.access(&mut phys, &mut clock, &cost, asp, 0x1000, AccessKind::Write),
+            Err(PageFault::ReadOnly(0x1000))
+        );
+    }
+
+    #[test]
+    fn write_sets_dirty_bit_in_memory() {
+        let (mut phys, mut fa, mut clock, cost, mut mmu, asp) = setup();
+        let frame = fa.alloc().unwrap();
+        asp.map(
+            &mut phys,
+            &mut fa,
+            0x2000,
+            frame,
+            PteFlags::WRITABLE | PteFlags::USER,
+        )
+        .unwrap();
+        mmu.access(&mut phys, &mut clock, &cost, asp, 0x2000, AccessKind::Write)
+            .unwrap();
+        let pte = asp.pte(&phys, 0x2000).unwrap().unwrap();
+        assert!(pte.flags().contains(PteFlags::DIRTY));
+        assert!(pte.flags().contains(PteFlags::ACCESSED));
+    }
+
+    #[test]
+    fn different_roots_do_not_alias() {
+        let (mut phys, mut fa, mut clock, cost, mut mmu, asp1) = setup();
+        let asp2 = AddressSpace::new(&mut phys, &mut fa).unwrap();
+        let f1 = fa.alloc().unwrap();
+        let f2 = fa.alloc().unwrap();
+        asp1.map(
+            &mut phys,
+            &mut fa,
+            0x3000,
+            f1,
+            PteFlags::WRITABLE | PteFlags::USER,
+        )
+        .unwrap();
+        asp2.map(
+            &mut phys,
+            &mut fa,
+            0x3000,
+            f2,
+            PteFlags::WRITABLE | PteFlags::USER,
+        )
+        .unwrap();
+        let p1 = mmu
+            .access(&mut phys, &mut clock, &cost, asp1, 0x3000, AccessKind::Read)
+            .unwrap();
+        let p2 = mmu
+            .access(&mut phys, &mut clock, &cost, asp2, 0x3000, AccessKind::Read)
+            .unwrap();
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn invalidate_single_entry() {
+        let (mut phys, mut fa, mut clock, cost, mut mmu, asp) = setup();
+        let frame = fa.alloc().unwrap();
+        asp.map(
+            &mut phys,
+            &mut fa,
+            0x4000,
+            frame,
+            PteFlags::WRITABLE | PteFlags::USER,
+        )
+        .unwrap();
+        mmu.access(&mut phys, &mut clock, &cost, asp, 0x4000, AccessKind::Read)
+            .unwrap();
+        mmu.invalidate(asp.root(), 0x4000);
+        mmu.access(&mut phys, &mut clock, &cost, asp, 0x4000, AccessKind::Read)
+            .unwrap();
+        assert_eq!(mmu.stats().tlb_misses, 2);
+    }
+}

@@ -1,0 +1,476 @@
+//! Two-level page tables resident in simulated physical memory.
+//!
+//! Layout mirrors a cut-down x86: 4 KiB pages, 512-entry tables of 8-byte
+//! entries, two levels, giving a 1 GiB virtual address space per process
+//! (bits `[30..]` of a virtual address must be zero). Crucially the tables
+//! themselves are stored **inside [`PhysMem`]**: the crash kernel walks the
+//! dead kernel's page tables byte-by-byte during resurrection, fault
+//! injection can corrupt individual PTEs, and Table 4's "page tables are the
+//! largest portion of data read" falls out of this representation naturally.
+
+use crate::{
+    phys::{MemError, PhysAddr, PhysMem, PAGE_SIZE},
+    FrameAllocator, Pfn, VirtAddr,
+};
+
+/// Entries per page table (one frame of 8-byte entries).
+pub const TABLE_ENTRIES: u64 = 512;
+
+/// Bits of virtual address space covered (2 levels * 9 bits + 12-bit page).
+pub const VA_BITS: u32 = 30;
+
+/// Highest valid virtual address + 1 (1 GiB).
+pub const VA_LIMIT: VirtAddr = 1 << VA_BITS;
+
+crate::bitflags_lite! {
+    /// Flags stored in the low bits of a [`Pte`].
+    pub struct PteFlags: u64 {
+        /// Mapping is valid and backed by a physical frame.
+        const PRESENT = 1 << 0;
+        /// Page may be written.
+        const WRITABLE = 1 << 1;
+        /// Page is user-accessible (clear for kernel-only mappings).
+        const USER = 1 << 2;
+        /// Set by the MMU on any access.
+        const ACCESSED = 1 << 3;
+        /// Set by the MMU on a write access.
+        const DIRTY = 1 << 4;
+        /// Page content lives in a swap slot; the frame field holds the slot.
+        const SWAPPED = 1 << 5;
+        /// Page belongs to a file-backed mapping.
+        const FILE = 1 << 6;
+    }
+}
+
+/// A helper macro providing the small subset of `bitflags` we need, so the
+/// substrate stays dependency-free.
+#[macro_export]
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident : $ty:ty {
+            $(
+                $(#[$fmeta:meta])*
+                const $flag:ident = $value:expr;
+            )*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name(pub $ty);
+
+        impl $name {
+            $(
+                $(#[$fmeta])*
+                pub const $flag: $name = $name($value);
+            )*
+
+            /// The empty flag set.
+            pub const fn empty() -> Self {
+                $name(0)
+            }
+
+            /// Raw bit representation.
+            pub const fn bits(self) -> $ty {
+                self.0
+            }
+
+            /// Reconstructs a flag set from raw bits (unknown bits kept).
+            pub const fn from_bits(bits: $ty) -> Self {
+                $name(bits)
+            }
+
+            /// Returns whether every bit in `other` is set in `self`.
+            pub const fn contains(self, other: $name) -> bool {
+                (self.0 & other.0) == other.0
+            }
+
+            /// Returns whether any bit in `other` is set in `self`.
+            pub const fn intersects(self, other: $name) -> bool {
+                (self.0 & other.0) != 0
+            }
+        }
+
+        impl core::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name {
+                $name(self.0 | rhs.0)
+            }
+        }
+
+        impl core::ops::BitOrAssign for $name {
+            fn bitor_assign(&mut self, rhs: $name) {
+                self.0 |= rhs.0;
+            }
+        }
+
+        impl core::ops::BitAnd for $name {
+            type Output = $name;
+            fn bitand(self, rhs: $name) -> $name {
+                $name(self.0 & rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 & !rhs.0)
+            }
+        }
+    };
+}
+
+/// A page-table entry: flags in bits `[0..12]`, frame (or swap slot) in
+/// bits `[12..52]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    const FRAME_SHIFT: u32 = 12;
+    const FRAME_MASK: u64 = ((1u64 << 40) - 1) << Self::FRAME_SHIFT;
+
+    /// Builds an entry from a frame number and flags.
+    pub fn new(pfn: Pfn, flags: PteFlags) -> Self {
+        debug_assert_eq!(flags.bits() & Self::FRAME_MASK, 0);
+        Pte(((pfn << Self::FRAME_SHIFT) & Self::FRAME_MASK) | (flags.bits() & 0xfff))
+    }
+
+    /// An all-zero (unmapped) entry.
+    pub const fn zero() -> Self {
+        Pte(0)
+    }
+
+    /// The frame number (or swap slot when [`PteFlags::SWAPPED`]).
+    pub fn pfn(self) -> Pfn {
+        (self.0 & Self::FRAME_MASK) >> Self::FRAME_SHIFT
+    }
+
+    /// The flag bits.
+    pub fn flags(self) -> PteFlags {
+        PteFlags::from_bits(self.0 & 0xfff)
+    }
+
+    /// Whether the entry maps anything at all (present or swapped).
+    pub fn is_mapped(self) -> bool {
+        self.flags()
+            .intersects(PteFlags::PRESENT | PteFlags::SWAPPED)
+    }
+
+    /// Returns a copy with extra flags set.
+    pub fn with_flags(self, extra: PteFlags) -> Self {
+        Pte(self.0 | (extra.bits() & 0xfff))
+    }
+}
+
+/// Reasons a virtual-address translation can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageFault {
+    /// No mapping exists for the address.
+    NotMapped(VirtAddr),
+    /// Mapping exists but the page is swapped out (slot attached).
+    Swapped(VirtAddr, u64),
+    /// Write attempted to a read-only page.
+    ReadOnly(VirtAddr),
+    /// User access to a kernel-only page (or protected-mode trap).
+    Protection(VirtAddr),
+    /// Address above [`VA_LIMIT`].
+    OutOfSpace(VirtAddr),
+}
+
+/// A process address space: a root table frame plus walk/map operations.
+///
+/// The structure holds only the root PFN; everything else lives in physical
+/// memory so it can be shared with, corrupted by, and re-read from the dead
+/// kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressSpace {
+    root: Pfn,
+}
+
+fn l1_index(vaddr: VirtAddr) -> u64 {
+    (vaddr >> 21) & (TABLE_ENTRIES - 1)
+}
+
+fn l2_index(vaddr: VirtAddr) -> u64 {
+    (vaddr >> 12) & (TABLE_ENTRIES - 1)
+}
+
+fn entry_addr(table_pfn: Pfn, index: u64) -> PhysAddr {
+    table_pfn * PAGE_SIZE as u64 + index * 8
+}
+
+impl AddressSpace {
+    /// Allocates a zeroed root table.
+    pub fn new(phys: &mut PhysMem, falloc: &mut FrameAllocator) -> Option<Self> {
+        let root = falloc.alloc()?;
+        phys.zero_frame(root).ok()?;
+        Some(AddressSpace { root })
+    }
+
+    /// Wraps an existing root frame (used by the crash kernel to walk the
+    /// dead kernel's tables).
+    pub fn from_root(root: Pfn) -> Self {
+        AddressSpace { root }
+    }
+
+    /// The root table frame.
+    pub fn root(&self) -> Pfn {
+        self.root
+    }
+
+    /// Reads the L1 (directory) entry covering `vaddr`.
+    pub fn l1_entry(&self, phys: &PhysMem, vaddr: VirtAddr) -> Result<Pte, MemError> {
+        Ok(Pte(phys.read_u64(entry_addr(self.root, l1_index(vaddr)))?))
+    }
+
+    /// Reads the leaf PTE for `vaddr`, if the covering table exists.
+    pub fn pte(&self, phys: &PhysMem, vaddr: VirtAddr) -> Result<Option<Pte>, MemError> {
+        if vaddr >= VA_LIMIT {
+            return Ok(None);
+        }
+        let l1 = self.l1_entry(phys, vaddr)?;
+        if !l1.flags().contains(PteFlags::PRESENT) {
+            return Ok(None);
+        }
+        let pte = Pte(phys.read_u64(entry_addr(l1.pfn(), l2_index(vaddr)))?);
+        Ok(Some(pte))
+    }
+
+    /// Writes the leaf PTE for `vaddr`, allocating the L2 table on demand.
+    pub fn set_pte(
+        &self,
+        phys: &mut PhysMem,
+        falloc: &mut FrameAllocator,
+        vaddr: VirtAddr,
+        pte: Pte,
+    ) -> Result<(), PageFault> {
+        if vaddr >= VA_LIMIT {
+            return Err(PageFault::OutOfSpace(vaddr));
+        }
+        let l1_addr = entry_addr(self.root, l1_index(vaddr));
+        let mut l1 = Pte(phys
+            .read_u64(l1_addr)
+            .map_err(|_| PageFault::NotMapped(vaddr))?);
+        if !l1.flags().contains(PteFlags::PRESENT) {
+            let table = falloc.alloc().ok_or(PageFault::NotMapped(vaddr))?;
+            phys.zero_frame(table)
+                .map_err(|_| PageFault::NotMapped(vaddr))?;
+            l1 = Pte::new(
+                table,
+                PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER,
+            );
+            phys.write_u64(l1_addr, l1.0)
+                .map_err(|_| PageFault::NotMapped(vaddr))?;
+        }
+        phys.write_u64(entry_addr(l1.pfn(), l2_index(vaddr)), pte.0)
+            .map_err(|_| PageFault::NotMapped(vaddr))?;
+        Ok(())
+    }
+
+    /// Maps `vaddr` to frame `pfn` with `flags`.
+    pub fn map(
+        &self,
+        phys: &mut PhysMem,
+        falloc: &mut FrameAllocator,
+        vaddr: VirtAddr,
+        pfn: Pfn,
+        flags: PteFlags,
+    ) -> Result<(), PageFault> {
+        self.set_pte(
+            phys,
+            falloc,
+            vaddr,
+            Pte::new(pfn, flags | PteFlags::PRESENT),
+        )
+    }
+
+    /// Removes the mapping for `vaddr`, returning the old entry.
+    pub fn unmap(&self, phys: &mut PhysMem, vaddr: VirtAddr) -> Result<Option<Pte>, MemError> {
+        if vaddr >= VA_LIMIT {
+            return Ok(None);
+        }
+        let l1 = self.l1_entry(phys, vaddr)?;
+        if !l1.flags().contains(PteFlags::PRESENT) {
+            return Ok(None);
+        }
+        let addr = entry_addr(l1.pfn(), l2_index(vaddr));
+        let old = Pte(phys.read_u64(addr)?);
+        phys.write_u64(addr, 0)?;
+        Ok(if old.is_mapped() { Some(old) } else { None })
+    }
+
+    /// Pure page walk: translates `vaddr` without touching accessed/dirty
+    /// bits. Returns the leaf PTE on success.
+    pub fn walk(&self, phys: &PhysMem, vaddr: VirtAddr) -> Result<Pte, PageFault> {
+        if vaddr >= VA_LIMIT {
+            return Err(PageFault::OutOfSpace(vaddr));
+        }
+        let pte = self
+            .pte(phys, vaddr)
+            .map_err(|_| PageFault::NotMapped(vaddr))?
+            .ok_or(PageFault::NotMapped(vaddr))?;
+        let flags = pte.flags();
+        if flags.contains(PteFlags::SWAPPED) {
+            return Err(PageFault::Swapped(vaddr, pte.pfn()));
+        }
+        if !flags.contains(PteFlags::PRESENT) {
+            return Err(PageFault::NotMapped(vaddr));
+        }
+        Ok(pte)
+    }
+
+    /// Calls `f(page_vaddr, pte)` for every mapped (present or swapped) page.
+    pub fn for_each_mapped<F>(&self, phys: &PhysMem, mut f: F) -> Result<(), MemError>
+    where
+        F: FnMut(VirtAddr, Pte),
+    {
+        for i1 in 0..TABLE_ENTRIES {
+            let l1 = Pte(phys.read_u64(entry_addr(self.root, i1))?);
+            if !l1.flags().contains(PteFlags::PRESENT) {
+                continue;
+            }
+            for i2 in 0..TABLE_ENTRIES {
+                let pte = Pte(phys.read_u64(entry_addr(l1.pfn(), i2))?);
+                if pte.is_mapped() {
+                    f((i1 << 21) | (i2 << 12), pte);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of table frames (root + live L2 tables). Table 4 counts these
+    /// bytes as the "page tables" portion of resurrection reads.
+    pub fn table_frames(&self, phys: &PhysMem) -> Result<u64, MemError> {
+        let mut n = 1;
+        for i1 in 0..TABLE_ENTRIES {
+            let l1 = Pte(phys.read_u64(entry_addr(self.root, i1))?);
+            if l1.flags().contains(PteFlags::PRESENT) {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Frees all L2 table frames and the root. Leaf frames are *not* freed;
+    /// callers own those through their frame tags.
+    pub fn free_tables(&self, phys: &PhysMem, falloc: &mut FrameAllocator) -> Result<(), MemError> {
+        for i1 in 0..TABLE_ENTRIES {
+            let l1 = Pte(phys.read_u64(entry_addr(self.root, i1))?);
+            if l1.flags().contains(PteFlags::PRESENT) {
+                falloc.free(l1.pfn());
+            }
+        }
+        falloc.free(self.root);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PhysMem, FrameAllocator) {
+        (PhysMem::new(64), FrameAllocator::new(0, 64))
+    }
+
+    #[test]
+    fn pte_round_trip() {
+        let pte = Pte::new(0x1234, PteFlags::PRESENT | PteFlags::WRITABLE);
+        assert_eq!(pte.pfn(), 0x1234);
+        assert!(pte.flags().contains(PteFlags::PRESENT));
+        assert!(pte.flags().contains(PteFlags::WRITABLE));
+        assert!(!pte.flags().contains(PteFlags::DIRTY));
+    }
+
+    #[test]
+    fn map_then_walk() {
+        let (mut phys, mut fa) = setup();
+        let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
+        asp.map(
+            &mut phys,
+            &mut fa,
+            0x40_0000,
+            7,
+            PteFlags::WRITABLE | PteFlags::USER,
+        )
+        .unwrap();
+        let pte = asp.walk(&phys, 0x40_0000).unwrap();
+        assert_eq!(pte.pfn(), 7);
+        assert!(matches!(
+            asp.walk(&phys, 0x41_0000),
+            Err(PageFault::NotMapped(_))
+        ));
+    }
+
+    #[test]
+    fn swapped_entry_faults_with_slot() {
+        let (mut phys, mut fa) = setup();
+        let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
+        asp.set_pte(&mut phys, &mut fa, 0x1000, Pte::new(42, PteFlags::SWAPPED))
+            .unwrap();
+        assert_eq!(asp.walk(&phys, 0x1000), Err(PageFault::Swapped(0x1000, 42)));
+    }
+
+    #[test]
+    fn out_of_space_rejected() {
+        let (mut phys, mut fa) = setup();
+        let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
+        assert_eq!(
+            asp.walk(&phys, VA_LIMIT),
+            Err(PageFault::OutOfSpace(VA_LIMIT))
+        );
+        assert!(asp
+            .map(&mut phys, &mut fa, VA_LIMIT + 0x1000, 1, PteFlags::empty())
+            .is_err());
+    }
+
+    #[test]
+    fn unmap_returns_old_entry() {
+        let (mut phys, mut fa) = setup();
+        let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
+        asp.map(&mut phys, &mut fa, 0x2000, 5, PteFlags::USER)
+            .unwrap();
+        let old = asp.unmap(&mut phys, 0x2000).unwrap().unwrap();
+        assert_eq!(old.pfn(), 5);
+        assert!(asp.unmap(&mut phys, 0x2000).unwrap().is_none());
+    }
+
+    #[test]
+    fn for_each_mapped_visits_all() {
+        let (mut phys, mut fa) = setup();
+        let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
+        let addrs = [0x0, 0x1000, 0x20_0000, 0x3ff_f000];
+        for (i, &va) in addrs.iter().enumerate() {
+            asp.map(&mut phys, &mut fa, va, i as Pfn + 1, PteFlags::USER)
+                .unwrap();
+        }
+        let mut seen = Vec::new();
+        asp.for_each_mapped(&phys, |va, _| seen.push(va)).unwrap();
+        assert_eq!(seen, addrs);
+    }
+
+    #[test]
+    fn table_frames_counts_root_and_l2() {
+        let (mut phys, mut fa) = setup();
+        let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
+        assert_eq!(asp.table_frames(&phys).unwrap(), 1);
+        asp.map(&mut phys, &mut fa, 0x0, 1, PteFlags::USER).unwrap();
+        asp.map(&mut phys, &mut fa, 0x1000, 2, PteFlags::USER)
+            .unwrap();
+        assert_eq!(asp.table_frames(&phys).unwrap(), 2);
+        asp.map(&mut phys, &mut fa, 0x20_0000, 3, PteFlags::USER)
+            .unwrap();
+        assert_eq!(asp.table_frames(&phys).unwrap(), 3);
+    }
+
+    #[test]
+    fn free_tables_releases_frames() {
+        let (mut phys, mut fa) = setup();
+        let before = fa.free_frames();
+        let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
+        asp.map(&mut phys, &mut fa, 0x0, 1, PteFlags::USER).unwrap();
+        asp.free_tables(&phys, &mut fa).unwrap();
+        assert_eq!(fa.free_frames(), before);
+    }
+}

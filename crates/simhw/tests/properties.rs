@@ -1,0 +1,117 @@
+//! Property-based tests for the hardware substrate.
+
+use ow_simhw::{
+    paging::{PageFault, VA_LIMIT},
+    AddressSpace, FrameAllocator, PhysMem, Pte, PteFlags, PAGE_SIZE,
+};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    /// PTE pack/unpack is lossless for any frame number and flag set.
+    #[test]
+    fn pte_round_trip(pfn in 0u64..(1 << 40), flags in 0u64..0x80) {
+        let pte = Pte::new(pfn, PteFlags::from_bits(flags));
+        prop_assert_eq!(pte.pfn(), pfn);
+        prop_assert_eq!(pte.flags().bits(), flags);
+    }
+
+    /// Every allocated frame is unique and within range; freeing makes the
+    /// allocator reach its full capacity again.
+    #[test]
+    fn frame_allocator_never_double_allocates(
+        base in 0u64..100,
+        count in 1usize..64,
+        ops in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut fa = FrameAllocator::new(base, count);
+        let mut live: Vec<u64> = Vec::new();
+        let mut seen = HashSet::new();
+        for free_op in ops {
+            if free_op && !live.is_empty() {
+                let f = live.pop().unwrap();
+                fa.free(f);
+                seen.remove(&f);
+            } else if let Some(f) = fa.alloc() {
+                prop_assert!(fa.contains(f), "frame in range");
+                prop_assert!(seen.insert(f), "frame {f} double-allocated");
+                live.push(f);
+            }
+        }
+        prop_assert_eq!(fa.allocated_frames(), live.len());
+        for f in live.drain(..) {
+            fa.free(f);
+        }
+        // Full capacity is reusable.
+        for _ in 0..count {
+            prop_assert!(fa.alloc().is_some());
+        }
+        prop_assert!(fa.alloc().is_none());
+    }
+
+    /// The page-table walk agrees with a software map oracle under random
+    /// map/unmap sequences.
+    #[test]
+    fn page_walk_matches_oracle(
+        ops in prop::collection::vec(
+            (0u64..256, any::<bool>(), 1u64..512),
+            1..80
+        ),
+    ) {
+        let mut phys = PhysMem::new(512);
+        let mut fa = FrameAllocator::new(0, 512);
+        let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for (page, unmap, pfn) in ops {
+            // Spread pages across both levels of the table.
+            let vaddr = (page % 16) * 0x20_0000 + (page / 16) * PAGE_SIZE as u64;
+            if unmap {
+                asp.unmap(&mut phys, vaddr).unwrap();
+                oracle.remove(&vaddr);
+            } else if asp
+                .map(&mut phys, &mut fa, vaddr, pfn, PteFlags::WRITABLE | PteFlags::USER)
+                .is_ok()
+            {
+                oracle.insert(vaddr, pfn);
+            }
+        }
+        for (vaddr, pfn) in &oracle {
+            let pte = asp.walk(&phys, *vaddr).unwrap();
+            prop_assert_eq!(pte.pfn(), *pfn);
+        }
+        // And nothing else is mapped.
+        let mut mapped = 0;
+        asp.for_each_mapped(&phys, |va, _| {
+            assert!(oracle.contains_key(&va), "unexpected mapping at {va:#x}");
+            mapped += 1;
+        })
+        .unwrap();
+        prop_assert_eq!(mapped, oracle.len());
+    }
+
+    /// Physical memory behaves like a byte array (random read/write oracle).
+    #[test]
+    fn phys_mem_matches_byte_oracle(
+        writes in prop::collection::vec((0usize..8192, any::<u8>()), 0..200),
+    ) {
+        let mut phys = PhysMem::new(2);
+        let mut oracle = vec![0u8; 8192];
+        for (addr, v) in writes {
+            phys.write_u8(addr as u64, v).unwrap();
+            oracle[addr] = v;
+        }
+        let mut got = vec![0u8; 8192];
+        phys.read(0, &mut got).unwrap();
+        prop_assert_eq!(got, oracle);
+    }
+
+    /// Out-of-space virtual addresses always fault, never alias.
+    #[test]
+    fn addresses_beyond_va_limit_fault(off in 0u64..(1 << 33)) {
+        let mut phys = PhysMem::new(16);
+        let mut fa = FrameAllocator::new(0, 16);
+        let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
+        let vaddr = VA_LIMIT + off;
+        prop_assert_eq!(asp.walk(&phys, vaddr), Err(PageFault::OutOfSpace(vaddr)));
+    }
+}

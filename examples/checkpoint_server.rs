@@ -1,0 +1,72 @@
+//! The in-memory checkpointing story of §5.4: BLCR modified to keep
+//! checkpoints in RAM is ~an order of magnitude faster than checkpointing
+//! to disk, but a kernel crash would normally destroy those checkpoints.
+//! With Otherworld underneath, the checkpointed application — including its
+//! in-memory checkpoint — survives the crash with **zero** changes and no
+//! crash procedure.
+//!
+//! Run with: `cargo run --example checkpoint_server`
+
+use otherworld::apps::blcr::{self, Blcr, BlcrWorkload, CkptMode};
+use otherworld::apps::{VerifyResult, Workload};
+use otherworld::core::{Otherworld, OtherworldConfig, ProcOutcome};
+use otherworld::kernel::syscall::KernelApi;
+use otherworld::kernel::{KernelConfig, PanicCause};
+use otherworld::simhw::machine::MachineConfig;
+
+fn main() {
+    println!("== In-memory checkpoints surviving a kernel crash (§5.4) ==\n");
+
+    let mut ow = Otherworld::boot(
+        MachineConfig::default(),
+        KernelConfig::default(),
+        OtherworldConfig::default(),
+        otherworld::apps::full_registry(),
+    )
+    .expect("boot");
+
+    let pages = 32;
+    let mut workload = BlcrWorkload::new(pages, CkptMode::Memory);
+    let pid = workload.setup(ow.kernel_mut());
+
+    // Run past a couple of checkpoints.
+    for _ in 0..(pages * blcr::CKPT_PERIOD * 2 + 5) {
+        workload.drive(ow.kernel_mut(), pid);
+    }
+    println!(
+        "test app ({} KiB working set) checkpointing to MEMORY every {} passes",
+        pages * 4,
+        blcr::CKPT_PERIOD
+    );
+
+    println!("\n*** kernel panic — a traditional reboot would wipe the checkpoint ***");
+    ow.kernel_mut()
+        .do_panic(PanicCause::Oops("filesystem oops"));
+
+    let report = ow.microreboot_now().expect("microreboot");
+    let pr = report.proc_named("blcr").expect("resurrected");
+    assert_eq!(pr.outcome, ProcOutcome::ContinuedTransparently);
+    println!(
+        "resurrected with no crash procedure; {} pages of app+checkpoint memory preserved",
+        pr.pages_copied + pr.pages_mapped
+    );
+
+    let new_pid = pr.new_pid.expect("pid");
+    workload.reconnect(ow.kernel_mut(), new_pid);
+    assert_eq!(
+        workload.verify(ow.kernel_mut(), new_pid),
+        VerifyResult::Intact
+    );
+
+    // Restore from the surviving in-memory checkpoint (the whole point).
+    let restored_iter = {
+        let mut api = KernelApi::new(ow.kernel_mut(), new_pid);
+        Blcr::restore(&mut api).expect("in-memory checkpoint intact")
+    };
+    let stamp = blcr::page_stamp(ow.kernel_mut(), new_pid, 0).expect("page");
+    assert_eq!(stamp, blcr::stamp(restored_iter - 1, 0));
+    println!(
+        "rolled the application back to its in-memory checkpoint (iteration {restored_iter}) \
+         — the checkpoint outlived the kernel that hosted it"
+    );
+}

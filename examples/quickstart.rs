@@ -1,0 +1,75 @@
+//! Quickstart: boot a machine with Otherworld, crash the kernel under a
+//! running editor, and watch the editor continue as if nothing happened.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use otherworld::apps::{vi, vi::ViWorkload, VerifyResult, Workload};
+use otherworld::core::{Otherworld, OtherworldConfig};
+use otherworld::kernel::{KernelConfig, PanicCause};
+use otherworld::simhw::machine::MachineConfig;
+
+fn main() {
+    println!("== Otherworld quickstart ==\n");
+
+    // 1. Cold-boot: the main kernel reserves a region of physical memory
+    //    and loads a passive crash kernel into it.
+    let mut ow = Otherworld::boot(
+        MachineConfig::default(),
+        KernelConfig::default(),
+        OtherworldConfig::default(),
+        otherworld::apps::full_registry(),
+    )
+    .expect("cold boot");
+    println!(
+        "booted: generation {}, crash kernel reserved at frames {:?}",
+        ow.kernel().generation,
+        ow.kernel().crash_region
+    );
+
+    // 2. A user edits a document in vi.
+    let mut user = ViWorkload::new(2010);
+    let pid = user.setup(ow.kernel_mut());
+    for _ in 0..40 {
+        user.drive(ow.kernel_mut(), pid);
+    }
+    let before = vi::read_state(ow.kernel_mut(), pid).expect("vi state");
+    println!(
+        "vi is editing: {} bytes of text, {} undo records",
+        before.text.len(),
+        before.undo.len()
+    );
+
+    // 3. The kernel hits a critical error.
+    println!("\n*** kernel panic: NULL pointer dereference in kernel code ***");
+    ow.kernel_mut().do_panic(PanicCause::Oops("NULL deref"));
+
+    // 4. Otherworld microreboots: the crash kernel boots inside its
+    //    reservation, resurrects vi from the dead kernel's memory, then
+    //    morphs into the new main kernel.
+    let report = ow.microreboot_now().expect("microreboot");
+    println!(
+        "microreboot complete: generation {}, read {} bytes of dead-kernel data \
+         ({:.0}% page tables), {} pages copied",
+        report.generation,
+        report.stats.total_bytes,
+        100.0 * report.stats.pt_fraction(),
+        report.procs[0].pages_copied,
+    );
+
+    // 5. The editor continues from the exact point of interruption.
+    let new_pid = ow.kernel().procs[0].pid;
+    user.reconnect(ow.kernel_mut(), new_pid);
+    let after = vi::read_state(ow.kernel_mut(), new_pid).expect("vi state");
+    assert_eq!(before, after, "editor state must survive the crash");
+    println!(
+        "\nvi survived: text and undo history intact ({} bytes)",
+        after.text.len()
+    );
+
+    // Keep typing on the new kernel.
+    for _ in 0..20 {
+        user.drive(ow.kernel_mut(), new_pid);
+    }
+    assert_eq!(user.verify(ow.kernel_mut(), new_pid), VerifyResult::Intact);
+    println!("...and keeps accepting keystrokes. The crash was invisible.");
+}

@@ -1,0 +1,63 @@
+//! # Otherworld — giving applications a chance to survive OS kernel crashes
+//!
+//! A comprehensive reproduction of Depoutovitch & Stumm's EuroSys 2010
+//! paper on a simulated-machine substrate, organized as a workspace:
+//!
+//! * [`simhw`] — simulated hardware: physical memory, two-level page tables
+//!   resident in that memory, an MMU with a TLB cost model, CPUs with NMI
+//!   context-save areas, latency-modelled block devices, a watchdog.
+//! * [`kernel`] — a miniature monolithic kernel whose processes, VMAs,
+//!   open files, page cache, swap areas, terminals, signals and shared
+//!   memory are all serialized into the simulated physical memory; plus the
+//!   KDump-style crash-kernel reservation and the panic/handoff path.
+//! * [`core`] — Otherworld itself: the crash-kernel bootstrap, validated
+//!   raw-memory readers over the dead kernel, the resurrection engine,
+//!   crash procedures (Table 1 semantics) and morphing back into a main
+//!   kernel.
+//! * [`apps`] — the evaluation applications: vi, JOE, a MySQL/MEMORY-PSE
+//!   analog, an Apache/PHP session server, BLCR checkpointing and a
+//!   VolanoMark chat benchmark, each with a driven, shadow-verified
+//!   workload.
+//! * [`faultinject`] — the Rio/Nooks-style fault injector and the Table 5
+//!   campaign runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use otherworld::core::{Otherworld, OtherworldConfig};
+//! use otherworld::kernel::{KernelConfig, PanicCause};
+//! use otherworld::simhw::machine::MachineConfig;
+//! use otherworld::apps::{vi::ViWorkload, Workload, VerifyResult};
+//!
+//! // Boot a machine with Otherworld installed and the stock app registry.
+//! let mut ow = Otherworld::boot(
+//!     MachineConfig::default(),
+//!     KernelConfig::default(),
+//!     OtherworldConfig::default(),
+//!     otherworld::apps::full_registry(),
+//! )
+//! .unwrap();
+//!
+//! // Run vi under a typing user.
+//! let mut workload = ViWorkload::new(42);
+//! let pid = workload.setup(ow.kernel_mut());
+//! for _ in 0..10 {
+//!     workload.drive(ow.kernel_mut(), pid);
+//! }
+//!
+//! // The kernel hits a critical error...
+//! ow.kernel_mut().do_panic(PanicCause::Oops("use-after-free in a driver"));
+//!
+//! // ...and Otherworld microreboots it without losing the editor.
+//! let report = ow.microreboot_now().unwrap();
+//! assert!(report.all_succeeded());
+//! let pid = ow.kernel().procs[0].pid;
+//! workload.reconnect(ow.kernel_mut(), pid);
+//! assert_eq!(workload.verify(ow.kernel_mut(), pid), VerifyResult::Intact);
+//! ```
+
+pub use ow_apps as apps;
+pub use ow_core as core;
+pub use ow_faultinject as faultinject;
+pub use ow_kernel as kernel;
+pub use ow_simhw as simhw;

@@ -1,0 +1,102 @@
+//! §3.1's argument for allowing the crash kernel to be a *different build*:
+//! if the fault that killed the main kernel is deterministic (say, a
+//! particular combination of system-call arguments), the resurrected
+//! application will retry the call and re-trigger the same fault on an
+//! identical crash kernel — while a different kernel version recovers.
+
+use otherworld::core::{Otherworld, OtherworldConfig};
+use otherworld::kernel::layout::oflags;
+use otherworld::kernel::program::{Program, ProgramRegistry, StepResult, UserApi};
+use otherworld::kernel::{KernelConfig, PanicCause, PendingFault, SpawnSpec, PROG_STATE_VADDR};
+use otherworld::simhw::machine::MachineConfig;
+
+/// A program that keeps issuing the same (fatal-on-buggy-kernels) syscall.
+struct Poison;
+
+const PROGRESS: u64 = PROG_STATE_VADDR + 8;
+
+impl Program for Poison {
+    fn step(&mut self, api: &mut dyn UserApi) -> StepResult {
+        // The poisonous call: on a buggy kernel build the test harness has
+        // armed a fault that fires inside this syscall.
+        if let Ok(fd) = api.open("/poison", oflags::CREATE | oflags::WRITE) {
+            let _ = api.close(fd);
+            let n = api.mem_read_u64(PROGRESS).unwrap_or(0);
+            let _ = api.mem_write_u64(PROGRESS, n + 1);
+        }
+        StepResult::Running
+    }
+    fn save_state(&mut self, _api: &mut dyn UserApi) {}
+}
+
+/// The "kernel bug": version-1 builds crash inside the poisonous syscall.
+const BUGGY_VERSION: u32 = 1;
+
+fn arm_bug_if_buggy(ow: &mut Otherworld) {
+    if ow.kernel().config.version == BUGGY_VERSION {
+        ow.kernel_mut().pending_fault = Some(PendingFault {
+            cause: PanicCause::Oops("deterministic syscall bug"),
+            in_syscall: true,
+        });
+    }
+}
+
+/// Runs the scenario with the given crash-kernel build; returns how many
+/// microreboots happened before the application made progress, or None if
+/// it never did (livelock on the same buggy build).
+fn run_with_crash_kernel(crash_version: u32, max_reboots: u32) -> Option<u32> {
+    let mut ow = Otherworld::boot(
+        MachineConfig {
+            ram_frames: 4096,
+            cpus: 2,
+            tlb_entries: 64,
+            cost: otherworld::simhw::CostModel::zero_io(),
+        },
+        KernelConfig { version: BUGGY_VERSION, ..KernelConfig::default() },
+        OtherworldConfig {
+            crash_kernel: KernelConfig { version: crash_version, ..KernelConfig::default() },
+            ..OtherworldConfig::default()
+        },
+        {
+            let mut r = ProgramRegistry::new();
+            r.register("poison", |_a, _g| Box::new(Poison), |_a| Box::new(Poison));
+            r
+        },
+    )
+    .unwrap();
+    ow.kernel_mut()
+        .spawn(SpawnSpec::new("poison", Box::new(Poison)))
+        .unwrap();
+
+    for reboots in 0..=max_reboots {
+        arm_bug_if_buggy(&mut ow);
+        for _ in 0..4 {
+            ow.kernel_mut().run_step();
+        }
+        if ow.is_panicked() {
+            // On the same buggy build the retried syscall re-triggers the
+            // fault; keep the configured crash kernel for every reboot.
+            ow.microreboot_now().ok()?;
+            continue;
+        }
+        // The kernel survived the syscall: check the app made progress.
+        let pid = ow.kernel().procs[0].pid;
+        let mut b = [0u8; 8];
+        ow.kernel_mut().user_read(pid, PROGRESS, &mut b).ok()?;
+        if u64::from_le_bytes(b) > 0 {
+            return Some(reboots);
+        }
+    }
+    None
+}
+
+#[test]
+fn same_build_crash_kernel_retriggers_the_deterministic_fault() {
+    // Crash kernel is the same buggy build: every retry re-panics.
+    assert_eq!(run_with_crash_kernel(BUGGY_VERSION, 4), None);
+}
+
+#[test]
+fn different_build_crash_kernel_recovers_in_one_microreboot() {
+    assert_eq!(run_with_crash_kernel(BUGGY_VERSION + 1, 4), Some(1));
+}

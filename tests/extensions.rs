@@ -1,0 +1,349 @@
+//! The §7 future-work extensions, implemented and tested: TCP/UDP socket
+//! resurrection, pipe resurrection under the §3.3 semaphore-consistency
+//! rule, the fast crash-kernel boot, §4 descriptor checksums, and hot
+//! kernel updates.
+
+use otherworld::core::{microreboot, Otherworld, OtherworldConfig, ProcOutcome};
+use otherworld::kernel::layout::{sockproto, SockDesc};
+use otherworld::kernel::program::{Program, ProgramRegistry, StepResult, UserApi};
+use otherworld::kernel::{Errno, Kernel, KernelConfig, PanicCause, PendingFault, SpawnSpec};
+use otherworld::simhw::machine::MachineConfig;
+
+/// A server that echoes socket messages, with no crash procedure: it can
+/// only survive transparently if sockets themselves are resurrected.
+struct Echo;
+
+const SID_CELL: u64 = otherworld::kernel::PROG_STATE_VADDR + 8;
+const COUNT_CELL: u64 = otherworld::kernel::PROG_STATE_VADDR + 16;
+
+impl Program for Echo {
+    fn step(&mut self, api: &mut dyn UserApi) -> StepResult {
+        let sid = match api.mem_read_u64(SID_CELL) {
+            Ok(u64::MAX) | Err(_) => match api.socket() {
+                Ok(s) => {
+                    let _ = api.mem_write_u64(SID_CELL, s as u64);
+                    s
+                }
+                Err(_) => return StepResult::Running,
+            },
+            Ok(s) => s as u32,
+        };
+        let mut buf = [0u8; 64];
+        match api.sock_recv(sid, &mut buf) {
+            Ok(n) => {
+                let _ = api.sock_send(sid, &buf[..n as usize]);
+                let c = api.mem_read_u64(COUNT_CELL).unwrap_or(0);
+                let _ = api.mem_write_u64(COUNT_CELL, c + 1);
+                StepResult::Running
+            }
+            Err(Errno::WouldBlock) | Err(Errno::Restart) => StepResult::Running,
+            Err(_) => {
+                let _ = api.mem_write_u64(SID_CELL, u64::MAX);
+                StepResult::Running
+            }
+        }
+    }
+    fn save_state(&mut self, _api: &mut dyn UserApi) {}
+}
+
+fn registry() -> ProgramRegistry {
+    let mut r = ProgramRegistry::new();
+    r.register(
+        "echo",
+        |api, _args| {
+            let _ = api.mem_write_u64(SID_CELL, u64::MAX);
+            let _ = api.mem_write_u64(COUNT_CELL, 0);
+            Box::new(Echo)
+        },
+        |_api| Box::new(Echo),
+    );
+    r
+}
+
+fn boot_with(config: KernelConfig) -> Kernel {
+    let machine = otherworld::kernel::standard_machine(MachineConfig {
+        ram_frames: 4096,
+        cpus: 2,
+        tlb_entries: 64,
+        cost: otherworld::simhw::CostModel::zero_io(),
+    });
+    Kernel::boot_cold(machine, config, registry()).expect("boot")
+}
+
+fn boot() -> Kernel {
+    boot_with(KernelConfig::default())
+}
+
+#[test]
+fn tcp_socket_resurrection_is_transparent() {
+    let mut k = boot();
+    let pid = k.spawn(SpawnSpec::new("echo", Box::new(Echo))).unwrap();
+    for _ in 0..3 {
+        k.run_step();
+    }
+    let sid = 0u32;
+    k.sock_deliver(pid, sid, b"ping-1").unwrap();
+    for _ in 0..4 {
+        k.run_step();
+    }
+    // One reply sits unacknowledged in the socket buffer.
+    k.do_panic(PanicCause::Oops("socket test"));
+    let config = OtherworldConfig {
+        resurrect_sockets: true,
+        ..OtherworldConfig::default()
+    };
+    let (mut k2, report) = microreboot(k, &config).unwrap();
+    let pr = &report.procs[0];
+    assert_eq!(pr.outcome, ProcOutcome::ContinuedTransparently, "{pr:?}");
+    assert_eq!(pr.failed_resources, 0);
+    let new_pid = pr.new_pid.unwrap();
+
+    // The unacked payload is queued for retransmission to the peer.
+    let retrans = k2.sock_drain(new_pid, sid).unwrap();
+    assert_eq!(retrans, vec![b"ping-1".to_vec()]);
+
+    // The connection parameters survived: same sid keeps working.
+    k2.sock_deliver(new_pid, sid, b"ping-2").unwrap();
+    for _ in 0..4 {
+        k2.run_step();
+    }
+    let replies = k2.sock_drain(new_pid, sid).unwrap();
+    assert_eq!(replies, vec![b"ping-2".to_vec()]);
+    // And the sequence number advanced monotonically across the crash.
+    let desc_addr = k2.read_desc(new_pid).unwrap().sock_head;
+    let (d, _) = SockDesc::read(&k2.machine.phys, desc_addr).unwrap();
+    assert_eq!(d.seq, 12, "6 bytes before + 6 after the microreboot");
+}
+
+#[test]
+fn udp_socket_resurrection_discards_payload() {
+    let mut k = boot();
+    let pid = k.spawn(SpawnSpec::new("echo", Box::new(Echo))).unwrap();
+    let sid = k.sock_open_proto(pid, sockproto::UDP).unwrap();
+    k.sock_send(pid, sid, b"datagram").unwrap();
+    k.do_panic(PanicCause::Oops("udp"));
+    let config = OtherworldConfig {
+        resurrect_sockets: true,
+        ..OtherworldConfig::default()
+    };
+    let (mut k2, report) = microreboot(k, &config).unwrap();
+    let new_pid = report.procs[0].new_pid.unwrap();
+    // UDP gives no delivery guarantee: it is safe to discard payload and
+    // restore only the connection parameters (§3.3).
+    let out = k2.sock_drain(new_pid, sid).unwrap();
+    assert!(out.is_empty());
+    let desc_addr = k2.read_desc(new_pid).unwrap().sock_head;
+    let (d, _) = SockDesc::read(&k2.machine.phys, desc_addr).unwrap();
+    assert_eq!(d.proto, sockproto::UDP);
+    assert_eq!(d.outbuf_len, 0);
+    assert_eq!(d.seq, 8, "connection parameters survive");
+}
+
+#[test]
+fn without_the_extension_sockets_still_fail_resurrection() {
+    let mut k = boot();
+    k.spawn(SpawnSpec::new("echo", Box::new(Echo))).unwrap();
+    for _ in 0..3 {
+        k.run_step();
+    }
+    k.do_panic(PanicCause::Oops("prototype semantics"));
+    let (_k2, report) = microreboot(k, &OtherworldConfig::default()).unwrap();
+    assert_eq!(report.procs[0].outcome, ProcOutcome::FailedUnresurrectable);
+}
+
+#[test]
+fn consistent_pipe_survives_with_contents() {
+    let mut k = boot();
+    let pid = k.spawn(SpawnSpec::new("echo", Box::new(Echo))).unwrap();
+    let pipe = k.pipe_create().unwrap();
+    k.pipe_attach(pid, pipe).unwrap();
+    k.pipe_write(pipe, b"buffered bytes").unwrap();
+    k.do_panic(PanicCause::Oops("pipe"));
+    let config = OtherworldConfig {
+        resurrect_pipes: true,
+        resurrect_sockets: true,
+        ..OtherworldConfig::default()
+    };
+    let (mut k2, report) = microreboot(k, &config).unwrap();
+    assert_eq!(report.procs[0].outcome, ProcOutcome::ContinuedTransparently);
+    assert_eq!(report.procs[0].failed_resources, 0);
+    // The ring buffer contents crossed the microreboot.
+    let mut buf = vec![0u8; 14];
+    assert_eq!(k2.pipe_read(pipe, &mut buf).unwrap(), 14);
+    assert_eq!(&buf, b"buffered bytes");
+}
+
+#[test]
+fn locked_pipe_fails_resurrection_per_the_semaphore_rule() {
+    let mut k = boot();
+    let pid = k.spawn(SpawnSpec::new("echo", Box::new(Echo))).unwrap();
+    let pipe = k.pipe_create().unwrap();
+    k.pipe_attach(pid, pipe).unwrap();
+    k.pipe_write(pipe, b"pre").unwrap();
+    // The kernel dies while a writer holds the pipe semaphore (§3.3's
+    // inconsistent case).
+    k.pending_fault = Some(PendingFault {
+        cause: PanicCause::Oops("mid pipe op"),
+        in_syscall: true,
+    });
+    let _ = k.pipe_write(pipe, b"never");
+    assert!(k.panicked.is_some());
+    let config = OtherworldConfig {
+        resurrect_pipes: true,
+        resurrect_sockets: true,
+        ..OtherworldConfig::default()
+    };
+    let (_k2, report) = microreboot(k, &config).unwrap();
+    // The process survives only if it has a crash procedure; echo has none,
+    // so the PIPES failure makes resurrection fail (Table 1 bottom-right).
+    assert_eq!(report.procs[0].outcome, ProcOutcome::FailedUnresurrectable);
+    assert_ne!(
+        report.procs[0].failed_resources & otherworld::kernel::layout::resmask::PIPES,
+        0
+    );
+}
+
+#[test]
+fn fast_crash_boot_shrinks_the_interruption() {
+    let timed = |fast: bool| -> f64 {
+        let config = KernelConfig {
+            fast_crash_boot: fast,
+            ..KernelConfig::default()
+        };
+        let mut k = boot_with(config.clone());
+        k.spawn(SpawnSpec::new("echo", Box::new(Echo))).unwrap();
+        k.do_panic(PanicCause::Oops("fast boot"));
+        let ow_config = OtherworldConfig {
+            crash_kernel: config,
+            resurrect_sockets: true,
+            ..OtherworldConfig::default()
+        };
+        let (_k2, report) = microreboot(k, &ow_config).unwrap();
+        report.crash_boot_seconds
+    };
+    let slow = timed(false);
+    let fast = timed(true);
+    assert!(
+        fast < slow / 1.5,
+        "fast boot {fast}s should be well under full boot {slow}s"
+    );
+}
+
+#[test]
+fn checksums_catch_corruption_plain_validation_misses() {
+    // A flipped saved register passes every plausibility check...
+    let mut k = boot();
+    let pid = k.spawn(SpawnSpec::new("echo", Box::new(Echo))).unwrap();
+    let addr = k.proc(pid).unwrap().desc_addr;
+    k.machine.phys.corrupt_u64(
+        addr + otherworld::kernel::layout::proc_off::SAVED_REGS,
+        0xff,
+    );
+    assert!(
+        otherworld::kernel::layout::ProcDesc::read(&k.machine.phys, addr).is_ok(),
+        "plain validation cannot see a flipped register"
+    );
+
+    // ...but not the §4 checksum.
+    let mut k = boot_with(KernelConfig {
+        desc_checksums: true,
+        ..KernelConfig::default()
+    });
+    let pid = k.spawn(SpawnSpec::new("echo", Box::new(Echo))).unwrap();
+    for _ in 0..3 {
+        k.run_step();
+    }
+    let addr = k.proc(pid).unwrap().desc_addr;
+    assert!(otherworld::kernel::layout::ProcDesc::read(&k.machine.phys, addr).is_ok());
+    k.machine.phys.corrupt_u64(
+        addr + otherworld::kernel::layout::proc_off::SAVED_REGS,
+        0xff,
+    );
+    assert!(
+        otherworld::kernel::layout::ProcDesc::read(&k.machine.phys, addr).is_err(),
+        "the checksum must catch it"
+    );
+}
+
+#[test]
+fn checksummed_descriptors_survive_normal_operation() {
+    // The checksum is recomputed through every update path (spawn, syscall
+    // markers, resurrection) — a full crash/resurrect cycle must work.
+    let config = KernelConfig {
+        desc_checksums: true,
+        ..KernelConfig::default()
+    };
+    let mut k = boot_with(config.clone());
+    let pid = k.spawn(SpawnSpec::new("echo", Box::new(Echo))).unwrap();
+    k.sock_deliver(pid, 0, b"x").ok();
+    for _ in 0..6 {
+        k.run_step();
+    }
+    k.do_panic(PanicCause::Oops("checksums"));
+    let ow_config = OtherworldConfig {
+        crash_kernel: config,
+        resurrect_sockets: true,
+        ..OtherworldConfig::default()
+    };
+    let (mut k2, report) = microreboot(k, &ow_config).unwrap();
+    assert!(report.all_succeeded(), "{:?}", report.procs);
+    for _ in 0..6 {
+        k2.run_step();
+    }
+    assert!(k2.panicked.is_none());
+}
+
+#[test]
+fn hot_kernel_update_preserves_applications() {
+    let mut ow = Otherworld::boot(
+        MachineConfig {
+            ram_frames: 4096,
+            cpus: 2,
+            tlb_entries: 64,
+            cost: otherworld::simhw::CostModel::zero_io(),
+        },
+        KernelConfig {
+            version: 1,
+            ..KernelConfig::default()
+        },
+        OtherworldConfig {
+            resurrect_sockets: true,
+            ..OtherworldConfig::default()
+        },
+        registry(),
+    )
+    .unwrap();
+    let pid = ow
+        .kernel_mut()
+        .spawn(SpawnSpec::new("echo", Box::new(Echo)))
+        .unwrap();
+    for _ in 0..3 {
+        ow.kernel_mut().run_step();
+    }
+    ow.kernel_mut().sock_deliver(pid, 0, b"before").unwrap();
+    for _ in 0..3 {
+        ow.kernel_mut().run_step();
+    }
+    assert_eq!(ow.kernel().config.version, 1);
+
+    // Update to kernel version 2 without stopping the echo server.
+    let report = ow
+        .hot_update(KernelConfig {
+            version: 2,
+            ..KernelConfig::default()
+        })
+        .unwrap();
+    assert!(report.all_succeeded());
+    assert_eq!(ow.kernel().config.version, 2);
+    assert_eq!(ow.kernel().generation, 1);
+
+    // The server keeps echoing on the new kernel.
+    let new_pid = ow.kernel().procs[0].pid;
+    let _ = ow.kernel_mut().sock_drain(new_pid, 0);
+    ow.kernel_mut().sock_deliver(new_pid, 0, b"after").unwrap();
+    for _ in 0..4 {
+        ow.kernel_mut().run_step();
+    }
+    let replies = ow.kernel_mut().sock_drain(new_pid, 0).unwrap();
+    assert_eq!(replies, vec![b"after".to_vec()]);
+}

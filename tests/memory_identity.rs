@@ -1,0 +1,83 @@
+//! The central resurrection invariant, property-tested: absent corruption,
+//! a resurrected process's user address space is **byte-identical** to the
+//! moment of the crash — whatever mix of written, untouched and swapped-out
+//! pages it contains, and under either page-materialization strategy.
+
+use otherworld::core::{microreboot, OtherworldConfig, ResurrectionStrategy};
+use otherworld::kernel::program::{Program, ProgramRegistry, StepResult, UserApi};
+use otherworld::kernel::{Kernel, KernelConfig, PanicCause, SpawnSpec, PROG_STATE_VADDR};
+use otherworld::simhw::machine::MachineConfig;
+use proptest::prelude::*;
+
+struct Blob;
+
+impl Program for Blob {
+    fn step(&mut self, api: &mut dyn UserApi) -> StepResult {
+        api.compute(1);
+        StepResult::Running
+    }
+    fn save_state(&mut self, _api: &mut dyn UserApi) {}
+}
+
+fn boot() -> Kernel {
+    let machine = otherworld::kernel::standard_machine(MachineConfig {
+        ram_frames: 4096,
+        cpus: 2,
+        tlb_entries: 64,
+        cost: otherworld::simhw::CostModel::zero_io(),
+    });
+    let mut registry = ProgramRegistry::new();
+    registry.register("blob", |_a, _g| Box::new(Blob), |_a| Box::new(Blob));
+    Kernel::boot_cold(machine, KernelConfig::default(), registry).expect("boot")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn address_space_survives_byte_identically(
+        writes in prop::collection::vec(
+            // (page index within a 48-page window, payload byte, offset)
+            (0u64..48, any::<u8>(), 0u64..4000),
+            1..40
+        ),
+        swap_outs in 0usize..12,
+        map_strategy in any::<bool>(),
+    ) {
+        let mut k = boot();
+        let mut spec = SpawnSpec::new("blob", Box::new(Blob));
+        spec.heap_pages = 64;
+        let pid = k.spawn(spec).unwrap();
+
+        // Scatter writes over the heap window.
+        for (page, byte, off) in &writes {
+            let vaddr = PROG_STATE_VADDR + page * 4096 + off;
+            k.user_write(pid, vaddr, &[*byte, byte.wrapping_add(1)]).unwrap();
+        }
+        // Swap out a prefix of the present pages.
+        let _ = k.swap_out_pages(pid, swap_outs);
+
+        // Snapshot the full heap window through the kernel's user-read path.
+        let mut before = vec![0u8; 48 * 4096];
+        k.user_read(pid, PROG_STATE_VADDR, &mut before).unwrap();
+        // Re-evict after the snapshot faulted everything back in.
+        let _ = k.swap_out_pages(pid, swap_outs);
+
+        k.do_panic(PanicCause::Oops("prop"));
+        let config = OtherworldConfig {
+            strategy: if map_strategy {
+                ResurrectionStrategy::MapPages
+            } else {
+                ResurrectionStrategy::CopyPages
+            },
+            ..OtherworldConfig::default()
+        };
+        let (mut k2, report) = microreboot(k, &config).unwrap();
+        prop_assert!(report.all_succeeded(), "{:?}", report.procs);
+        let new_pid = report.procs[0].new_pid.unwrap();
+
+        let mut after = vec![0u8; 48 * 4096];
+        k2.user_read(new_pid, PROG_STATE_VADDR, &mut after).unwrap();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,100 @@
+//! The resurrection configuration file (§3.3): server systems choose which
+//! processes to resurrect via a file that the crash kernel's startup script
+//! consults — here a JSON policy stored *in the simulated filesystem*,
+//! surviving the microreboot on disk and re-read by the crash kernel after
+//! it re-mounts the same filesystem (§3.2).
+
+use otherworld::core::{microreboot, OtherworldConfig, PolicySource, ResurrectionPolicy};
+use otherworld::kernel::layout::oflags;
+use otherworld::kernel::program::{Program, ProgramRegistry, StepResult, UserApi};
+use otherworld::kernel::{Kernel, KernelConfig, PanicCause, SpawnSpec};
+use otherworld::simhw::machine::MachineConfig;
+
+struct Idle;
+
+impl Program for Idle {
+    fn step(&mut self, api: &mut dyn UserApi) -> StepResult {
+        api.compute(1);
+        StepResult::Running
+    }
+    fn save_state(&mut self, _api: &mut dyn UserApi) {}
+}
+
+fn boot() -> Kernel {
+    let machine = otherworld::kernel::standard_machine(MachineConfig {
+        ram_frames: 4096,
+        cpus: 2,
+        tlb_entries: 64,
+        cost: otherworld::simhw::CostModel::zero_io(),
+    });
+    let mut registry = ProgramRegistry::new();
+    registry.register("keepme", |_a, _g| Box::new(Idle), |_a| Box::new(Idle));
+    registry.register("dropme", |_a, _g| Box::new(Idle), |_a| Box::new(Idle));
+    Kernel::boot_cold(machine, KernelConfig::default(), registry).expect("boot")
+}
+
+fn write_policy(k: &mut Kernel, pid: u64, policy: &ResurrectionPolicy) {
+    let fd = k
+        .file_open(pid, "/etc/resurrect.conf", oflags::CREATE | oflags::WRITE)
+        .unwrap();
+    k.file_write(pid, fd, policy.to_json().as_bytes()).unwrap();
+    k.file_close(pid, fd).unwrap();
+}
+
+#[test]
+fn policy_file_selects_processes_across_the_microreboot() {
+    let mut k = boot();
+    let keep = k.spawn(SpawnSpec::new("keepme", Box::new(Idle))).unwrap();
+    k.spawn(SpawnSpec::new("dropme", Box::new(Idle))).unwrap();
+    write_policy(&mut k, keep, &ResurrectionPolicy::only(["keepme"]));
+
+    k.do_panic(PanicCause::Oops("policy file"));
+    let config = OtherworldConfig {
+        policy: PolicySource::File("/etc/resurrect.conf".into()),
+        ..OtherworldConfig::default()
+    };
+    let (k2, report) = microreboot(k, &config).unwrap();
+    assert_eq!(report.procs.len(), 1);
+    assert_eq!(report.procs[0].name, "keepme");
+    assert!(report.procs[0].outcome.is_success());
+    assert_eq!(k2.procs.len(), 1);
+    assert_eq!(k2.procs[0].name, "keepme");
+}
+
+#[test]
+fn missing_policy_file_falls_back_to_resurrect_all() {
+    let mut k = boot();
+    k.spawn(SpawnSpec::new("keepme", Box::new(Idle))).unwrap();
+    k.spawn(SpawnSpec::new("dropme", Box::new(Idle))).unwrap();
+    k.do_panic(PanicCause::Oops("no policy file"));
+    let config = OtherworldConfig {
+        policy: PolicySource::File("/etc/missing.conf".into()),
+        ..OtherworldConfig::default()
+    };
+    let (_k2, report) = microreboot(k, &config).unwrap();
+    assert_eq!(report.procs.len(), 2, "fallback resurrects everything");
+}
+
+#[test]
+fn dirty_policy_file_written_just_before_the_crash_is_still_honored() {
+    // The policy write sits in the page cache at crash time; the crash
+    // kernel flushes dirty buffers of open files during resurrection, but
+    // the policy read happens *before* that — so only a synced file
+    // guarantees the policy. This documents the (realistic) semantics.
+    let mut k = boot();
+    let keep = k.spawn(SpawnSpec::new("keepme", Box::new(Idle))).unwrap();
+    let fd = k
+        .file_open(keep, "/etc/resurrect.conf", oflags::CREATE | oflags::WRITE)
+        .unwrap();
+    k.file_write(keep, fd, ResurrectionPolicy::only(["keepme"]).to_json().as_bytes())
+        .unwrap();
+    k.file_fsync(keep, fd).unwrap(); // the admin syncs the config
+    k.do_panic(PanicCause::Oops("synced policy"));
+    let config = OtherworldConfig {
+        policy: PolicySource::File("/etc/resurrect.conf".into()),
+        ..OtherworldConfig::default()
+    };
+    let (_k2, report) = microreboot(k, &config).unwrap();
+    assert_eq!(report.procs.len(), 1);
+    assert_eq!(report.procs[0].name, "keepme");
+}

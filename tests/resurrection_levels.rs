@@ -1,0 +1,156 @@
+//! Table 1 of the paper: the interaction matrix between the crash kernel
+//! and the application being resurrected.
+//!
+//! |                       | Crash procedure defined      | No crash procedure |
+//! |-----------------------|------------------------------|--------------------|
+//! | All resources         | procedure called; continue   | continue execution |
+//! | Some resources failed | procedure called; can restart| resurrection fails |
+
+use otherworld::core::{microreboot, OtherworldConfig, ProcOutcome};
+use otherworld::kernel::program::{CrashAction, Program, ProgramRegistry, StepResult, UserApi};
+use otherworld::kernel::{Kernel, KernelConfig, PanicCause, SpawnSpec};
+use otherworld::simhw::machine::MachineConfig;
+
+/// A program whose crash procedure records the failure bitmask it receives
+/// and follows a configurable policy.
+struct Probe {
+    action: &'static str,
+}
+
+/// User-memory cell where the crash procedure stores the bitmask it saw.
+const SEEN_MASK: u64 = otherworld::kernel::PROG_STATE_VADDR + 8;
+
+impl Program for Probe {
+    fn step(&mut self, api: &mut dyn UserApi) -> StepResult {
+        api.compute(1);
+        StepResult::Running
+    }
+
+    fn save_state(&mut self, _api: &mut dyn UserApi) {}
+
+    fn crash_procedure(&mut self, api: &mut dyn UserApi, failed: u32) -> CrashAction {
+        api.mem_write_u64(SEEN_MASK, 0xC0DE_0000 | failed as u64)
+            .expect("record mask");
+        match self.action {
+            "continue" => CrashAction::Continue,
+            "restart" => CrashAction::SaveAndRestart(vec![]),
+            _ => CrashAction::GiveUp,
+        }
+    }
+}
+
+fn boot(action: &'static str) -> Kernel {
+    let machine = otherworld::kernel::standard_machine(MachineConfig {
+        ram_frames: 4096,
+        cpus: 2,
+        tlb_entries: 64,
+        cost: otherworld::simhw::CostModel::zero_io(),
+    });
+    let mut registry = ProgramRegistry::new();
+    registry.register(
+        "probe",
+        move |_api, _args| Box::new(Probe { action }),
+        move |_api| Box::new(Probe { action }),
+    );
+    Kernel::boot_cold(machine, KernelConfig::default(), registry).expect("boot")
+}
+
+fn spawn_probe(k: &mut Kernel, crash_proc: bool, use_socket: bool) -> u64 {
+    let pid = k
+        .spawn(SpawnSpec::new(
+            "probe",
+            Box::new(Probe { action: "continue" }),
+        ))
+        .unwrap();
+    if crash_proc {
+        k.register_crash_proc(pid).unwrap();
+    }
+    if use_socket {
+        // Sockets are not resurrectable: this process will have a failed
+        // resource after the microreboot.
+        k.sock_open(pid).unwrap();
+    }
+    pid
+}
+
+fn crash_and_reboot(mut k: Kernel) -> (Kernel, otherworld::core::MicrorebootReport) {
+    for _ in 0..3 {
+        k.run_step();
+    }
+    k.do_panic(PanicCause::Oops("table 1"));
+    microreboot(k, &OtherworldConfig::default()).expect("microreboot")
+}
+
+#[test]
+fn all_resources_no_crash_proc_continues_transparently() {
+    let mut k = boot("continue");
+    spawn_probe(&mut k, false, false);
+    let (_k2, report) = crash_and_reboot(k);
+    assert_eq!(report.procs[0].outcome, ProcOutcome::ContinuedTransparently);
+    assert_eq!(report.procs[0].failed_resources, 0);
+}
+
+#[test]
+fn all_resources_with_crash_proc_calls_it_and_continues() {
+    let mut k = boot("continue");
+    spawn_probe(&mut k, true, false);
+    let (mut k2, report) = crash_and_reboot(k);
+    assert_eq!(
+        report.procs[0].outcome,
+        ProcOutcome::ContinuedAfterCrashProc
+    );
+    // The crash procedure really ran, with an empty failure bitmask.
+    let new_pid = report.procs[0].new_pid.unwrap();
+    let mut buf = [0u8; 8];
+    k2.user_read(new_pid, SEEN_MASK, &mut buf).unwrap();
+    assert_eq!(u64::from_le_bytes(buf), 0xC0DE_0000);
+}
+
+#[test]
+fn failed_resources_no_crash_proc_fails_resurrection() {
+    let mut k = boot("continue");
+    spawn_probe(&mut k, false, true);
+    let (k2, report) = crash_and_reboot(k);
+    assert_eq!(report.procs[0].outcome, ProcOutcome::FailedUnresurrectable);
+    assert!(k2.procs.is_empty(), "the process must not survive");
+}
+
+#[test]
+fn failed_resources_with_crash_proc_sees_the_bitmask() {
+    let mut k = boot("continue");
+    spawn_probe(&mut k, true, true);
+    let (mut k2, report) = crash_and_reboot(k);
+    assert_eq!(
+        report.procs[0].outcome,
+        ProcOutcome::ContinuedAfterCrashProc
+    );
+    assert_eq!(
+        report.procs[0].failed_resources,
+        otherworld::kernel::layout::resmask::SOCKETS
+    );
+    let new_pid = report.procs[0].new_pid.unwrap();
+    let mut buf = [0u8; 8];
+    k2.user_read(new_pid, SEEN_MASK, &mut buf).unwrap();
+    assert_eq!(
+        u64::from_le_bytes(buf),
+        0xC0DE_0000 | otherworld::kernel::layout::resmask::SOCKETS as u64
+    );
+}
+
+#[test]
+fn crash_proc_can_save_and_restart() {
+    let mut k = boot("restart");
+    spawn_probe(&mut k, true, true);
+    let (k2, report) = crash_and_reboot(k);
+    assert_eq!(report.procs[0].outcome, ProcOutcome::SavedAndRestarted);
+    assert_eq!(k2.procs.len(), 1, "a fresh instance must be running");
+}
+
+#[test]
+fn crash_proc_can_give_up() {
+    let mut k = boot("giveup");
+    spawn_probe(&mut k, true, true);
+    let (k2, report) = crash_and_reboot(k);
+    assert_eq!(report.procs[0].outcome, ProcOutcome::GaveUp);
+    assert!(k2.procs.is_empty());
+}
