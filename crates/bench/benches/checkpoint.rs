@@ -1,12 +1,12 @@
-//! Criterion bench: BLCR checkpointing, in-memory vs to-disk (§5.4).
+//! Bench: BLCR checkpointing, in-memory vs to-disk (§5.4).
 //!
 //! The simulated-cycle ratio (the paper's ≥10x claim) is printed by
 //! `cargo run -p ow-bench --bin claims`; this bench tracks the host cost of
 //! the two checkpoint paths through the whole kernel stack.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ow_apps::blcr::{BlcrWorkload, CkptMode, CKPT_PERIOD};
 use ow_apps::Workload;
+use ow_bench::timing;
 
 fn run_checkpoint_cycle(mode: CkptMode) {
     let mut k = ow_bench::boot_eval(false);
@@ -20,16 +20,11 @@ fn run_checkpoint_cycle(mode: CkptMode) {
     assert!(k.panicked.is_none());
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("checkpoint");
-    g.sample_size(10);
+fn main() {
+    let iters = timing::iters();
     for (name, mode) in [("memory", CkptMode::Memory), ("disk", CkptMode::Disk)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
-            b.iter(|| run_checkpoint_cycle(mode))
+        timing::bench(&format!("checkpoint/{name}"), iters, || {
+            run_checkpoint_cycle(mode)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion bench: the panic/handoff path and crash-kernel boot — the
-//! part of Otherworld that must work while the main kernel is dying.
+//! Bench: the panic/handoff path and crash-kernel boot — the part of
+//! Otherworld that must work while the main kernel is dying.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ow_bench::timing;
 use ow_kernel::{Kernel, KernelConfig, PanicCause, PanicOutcome};
 use ow_simhw::machine::MachineConfig;
 
@@ -14,48 +14,27 @@ fn machine_config() -> MachineConfig {
     }
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("handoff");
-    g.sample_size(10);
-
-    g.bench_function("panic_path", |b| {
-        b.iter_batched(
-            || {
-                let machine = ow_kernel::standard_machine(machine_config());
-                Kernel::boot_cold(machine, KernelConfig::default(), ow_apps::full_registry())
-                    .expect("boot")
-            },
-            |mut k| {
-                let out = k.do_panic(PanicCause::Oops("bench"));
-                assert!(matches!(out, PanicOutcome::Handoff(_)));
-                k
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-
-    g.bench_function("crash_kernel_boot", |b| {
-        b.iter_batched(
-            || {
-                let machine = ow_kernel::standard_machine(machine_config());
-                let mut k =
-                    Kernel::boot_cold(machine, KernelConfig::default(), ow_apps::full_registry())
-                        .expect("boot");
-                k.do_panic(PanicCause::Oops("bench"));
-                k
-            },
-            |k| {
-                let (k2, report) =
-                    ow_core::microreboot(k, &ow_core::OtherworldConfig::default()).expect("reboot");
-                assert_eq!(report.generation, 1);
-                k2
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-
-    g.finish();
+fn booted() -> Kernel {
+    let machine = ow_kernel::standard_machine(machine_config());
+    Kernel::boot_cold(machine, KernelConfig::default(), ow_apps::full_registry()).expect("boot")
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let iters = timing::iters();
+
+    timing::bench("handoff/panic_path", iters, || {
+        let mut k = booted();
+        let out = k.do_panic(PanicCause::Oops("bench"));
+        assert!(matches!(out, PanicOutcome::Handoff(_)));
+        k
+    });
+
+    timing::bench("handoff/crash_kernel_boot", iters, || {
+        let mut k = booted();
+        k.do_panic(PanicCause::Oops("bench"));
+        let (k2, report) =
+            ow_core::microreboot(k, &ow_core::OtherworldConfig::default()).expect("reboot");
+        assert_eq!(report.generation, 1);
+        k2
+    });
+}

@@ -1,12 +1,12 @@
-//! Criterion bench: cost of driving syscall-heavy workloads with and
-//! without the memory-protected mode (Table 3's mechanism).
+//! Bench: cost of driving syscall-heavy workloads with and without the
+//! memory-protected mode (Table 3's mechanism).
 //!
-//! Criterion measures host wall-time of the simulation; the paper's
-//! overhead percentages come from *simulated* cycles and are produced by
+//! This measures host wall-time of the simulation; the paper's overhead
+//! percentages come from *simulated* cycles and are produced by
 //! `cargo run -p ow-bench --bin table3`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ow_apps::{make_workload, Workload};
+use ow_bench::timing;
 
 fn drive_batches(app: &str, protection: bool, batches: u32) {
     let mut k = ow_bench::boot_eval(protection);
@@ -18,24 +18,15 @@ fn drive_batches(app: &str, protection: bool, batches: u32) {
     assert!(k.panicked.is_none());
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("protection_overhead");
-    g.sample_size(10);
+fn main() {
+    let iters = timing::iters();
     for app in ["mysqld", "volano"] {
         for protection in [false, true] {
             let label = format!(
-                "{app}/{}",
+                "protection_overhead/{app}/{}",
                 if protection { "protected" } else { "baseline" }
             );
-            g.bench_with_input(
-                BenchmarkId::from_parameter(label),
-                &(app, protection),
-                |b, &(app, prot)| b.iter(|| drive_batches(app, prot, 30)),
-            );
+            timing::bench(&label, iters, || drive_batches(app, protection, 30));
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

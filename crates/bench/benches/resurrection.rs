@@ -1,35 +1,24 @@
-//! Criterion bench: a full microreboot (panic → crash-kernel boot →
-//! resurrection → morph), comparing the page-copy strategy against the
-//! page-mapping optimization of footnote 3.
+//! Bench: a full microreboot (panic → crash-kernel boot → resurrection →
+//! morph), comparing the page-copy strategy against the page-mapping
+//! optimization of footnote 3.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ow_bench::timing;
 use ow_core::{OtherworldConfig, ResurrectionStrategy};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("microreboot");
-    g.sample_size(10);
+fn main() {
+    let iters = timing::iters();
     for (name, strategy) in [
         ("copy_pages", ResurrectionStrategy::CopyPages),
         ("map_pages", ResurrectionStrategy::MapPages),
     ] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &strategy,
-            |b, &strategy| {
-                b.iter(|| {
-                    let config = OtherworldConfig {
-                        strategy,
-                        ..OtherworldConfig::default()
-                    };
-                    let report = ow_bench::tables::one_microreboot("vi", 20, &config);
-                    assert!(report.all_succeeded());
-                    report
-                })
-            },
-        );
+        timing::bench(&format!("microreboot/{name}"), iters, || {
+            let config = OtherworldConfig {
+                strategy,
+                ..OtherworldConfig::default()
+            };
+            let report = ow_bench::tables::one_microreboot("vi", 20, &config);
+            assert!(report.all_succeeded());
+            report
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

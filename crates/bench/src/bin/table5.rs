@@ -12,6 +12,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(400);
     let ablation = args.iter().any(|a| a == "--ablation");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     let fixes = if ablation {
         RobustnessFixes::legacy()
@@ -59,4 +64,12 @@ fn main() {
          experiments discarded, as in §6)",
         experiments
     );
+
+    // Machine-readable export: aggregates, per-experiment trace-derived
+    // cause annotations, and one full recovered flight record.
+    if let Some(path) = json_path {
+        let doc = ow_bench::tables::table5_json(&rows);
+        std::fs::write(&path, doc.to_pretty()).expect("write --json file");
+        println!("wrote {path}");
+    }
 }

@@ -59,3 +59,37 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         println!("{}", row(r, &widths));
     }
 }
+
+/// A minimal host-time measurement harness for the `benches/` targets.
+///
+/// The criterion dependency would make the offline build reach for the
+/// network, and these benches only need "run N times, report wall time":
+/// the paper's actual numbers all come from *simulated* cycles via the
+/// `tableN` binaries.
+pub mod timing {
+    use std::time::Instant;
+
+    /// Runs `f` `iters` times (after one warmup) and prints min/mean/max
+    /// wall time per iteration.
+    pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f());
+        let mut samples = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t0.elapsed());
+        }
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        let mean = samples.iter().sum::<std::time::Duration>() / iters;
+        println!("{name:<40} min {min:>10.2?}  mean {mean:>10.2?}  max {max:>10.2?}");
+    }
+
+    /// Iteration count: 10 by default, overridable via `OW_BENCH_ITERS`.
+    pub fn iters() -> u32 {
+        std::env::var("OW_BENCH_ITERS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10)
+    }
+}

@@ -4,8 +4,9 @@
 use crate::{boot_eval, perf};
 use ow_apps::{make_workload, workload::TABLE5_APPS, Workload};
 use ow_core::{microreboot, MicrorebootReport, OtherworldConfig, PolicySource, ResurrectionPolicy};
-use ow_faultinject::{run_campaign, CampaignConfig, CampaignResult};
+use ow_faultinject::{run_campaign, CampaignConfig, CampaignResult, Outcome};
 use ow_kernel::{Kernel, PanicCause, RobustnessFixes, SpawnSpec};
+use ow_trace::json::Value;
 
 /// Table 3 row: protection overhead for one workload.
 #[derive(Debug, Clone)]
@@ -133,6 +134,63 @@ pub fn table5(experiments: usize, fixes: RobustnessFixes, seed: u64) -> Vec<Tabl
             }
         })
         .collect()
+}
+
+fn outcome_label(o: &Outcome) -> &'static str {
+    match o {
+        Outcome::NoCrash => "no_crash",
+        Outcome::Success => "success",
+        Outcome::BootFailure(_) => "boot_failure",
+        Outcome::ResurrectFailure(_) => "resurrect_failure",
+        Outcome::DataCorruption(_) => "data_corruption",
+    }
+}
+
+fn campaign_json(c: &CampaignResult) -> Value {
+    let records: Vec<Value> = c
+        .records
+        .iter()
+        .map(|r| {
+            Value::obj([
+                ("outcome", Value::from(outcome_label(&r.outcome))),
+                ("cause", Value::from(r.cause.as_str())),
+            ])
+        })
+        .collect();
+    Value::obj([
+        ("effective", Value::from(c.effective as u64)),
+        ("discarded", Value::from(c.discarded as u64)),
+        ("success", Value::from(c.success as u64)),
+        ("boot_failure", Value::from(c.boot_failure as u64)),
+        ("resurrect_failure", Value::from(c.resurrect_failure as u64)),
+        ("data_corruption", Value::from(c.data_corruption as u64)),
+        ("wild_writes_landed", Value::from(c.damage.landed as u64)),
+        ("wild_writes_trapped", Value::from(c.damage.trapped as u64)),
+        ("wild_writes_blocked", Value::from(c.damage.blocked as u64)),
+        ("records", Value::Array(records)),
+    ])
+}
+
+/// JSON form of the Table 5 rows: every campaign's aggregate counts plus
+/// each effective experiment's trace-derived cause annotation, and — as a
+/// worked example of the flight-recorder pipeline — one full recovered
+/// flight record (events + metrics) from a seeded clean-panic microreboot.
+pub fn table5_json(rows: &[Table5Row]) -> Value {
+    let row_values: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            Value::obj([
+                ("application", Value::from(r.name)),
+                ("unprotected", campaign_json(&r.unprotected)),
+                ("protected", campaign_json(&r.protected)),
+            ])
+        })
+        .collect();
+    let sample = one_microreboot("vi", 6, &OtherworldConfig::default());
+    Value::obj([
+        ("rows", Value::Array(row_values)),
+        ("sample_flight", sample.flight.to_json()),
+    ])
 }
 
 /// Table 6 row: cold-boot vs service-interruption time for one workload.

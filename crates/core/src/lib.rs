@@ -29,4 +29,4 @@ pub mod stats;
 pub use config::{OtherworldConfig, PolicySource, ResurrectionStrategy};
 pub use otherworld::{microreboot, MicrorebootFailure, Otherworld};
 pub use policy::ResurrectionPolicy;
-pub use stats::{MicrorebootReport, ProcOutcome, ProcReport, ReadStats};
+pub use stats::{MicrorebootReport, ProcOutcome, ProcReport, ReadKind, ReadStats};

@@ -6,7 +6,7 @@ use crate::{
     policy::ResurrectionPolicy,
     reader,
     resurrect::{self, DeadKernel},
-    stats::{MicrorebootReport, ProcOutcome, ProcReport, ReadStats},
+    stats::{MicrorebootReport, ProcOutcome, ProcReport, ReadKind, ReadStats},
 };
 use ow_kernel::{
     layout::pstate,
@@ -79,6 +79,17 @@ pub fn microreboot(
     let dead_generation = dead.generation;
     let machine = dead.machine;
     let t_panic = machine.clock.now();
+
+    // Recover the dead kernel's flight record *before* booting the crash
+    // kernel: boot re-arms (and zeroes) the trace region for the next
+    // generation. The region's location comes from the handoff block, and
+    // recovery is validated record-by-record — wild-write damage costs
+    // individual records, never the whole recording.
+    let flight = ow_kernel::layout::HandoffBlock::read(&machine.phys)
+        .map(|(h, _)| {
+            ow_trace::FlightRecord::recover(&machine.phys, h.trace_base, h.trace_frames)
+        })
+        .unwrap_or_default();
 
     // Stage 3: the crash kernel initializes itself inside its reservation.
     let mut k = Kernel::boot_crash(machine, config.crash_kernel.clone(), registry.clone(), info)
@@ -192,6 +203,7 @@ pub fn microreboot(
         resurrection_seconds: secs(t_resurrected - t_booted),
         total_seconds: secs(t_done - t_panic),
         integrity_fixes,
+        flight,
     };
     Ok((k, report))
 }
@@ -249,7 +261,7 @@ fn restore_pipes(
                     all_ok = false;
                     continue;
                 }
-                stats.add("pipe_buffer", buf.len() as u64);
+                stats.add(ReadKind::PipeBuffer, buf.len() as u64);
                 let _ = k.machine.phys.write(new_pfn * ow_simhw::PAGE_BYTES, &buf);
                 let addr = k.pipe_table_addr + id as u64 * ow_kernel::layout::PipeDesc::SIZE;
                 let _ = ow_kernel::layout::PipeDesc {

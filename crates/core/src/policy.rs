@@ -5,10 +5,10 @@
 //! worth resurrecting (§3.3). Interactive users pick from a list; servers
 //! use a configuration file. The policy here is that file's contents.
 
-use serde::{Deserialize, Serialize};
+use ow_trace::json::{ParseError, Value};
 
 /// Which processes to resurrect after a microreboot.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ResurrectionPolicy {
     /// Resurrect every process regardless of name.
     pub resurrect_all: bool,
@@ -40,12 +40,38 @@ impl ResurrectionPolicy {
 
     /// Serializes to the configuration-file format.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("policy serializes")
+        Value::obj([
+            ("resurrect_all", Value::Bool(self.resurrect_all)),
+            (
+                "names",
+                Value::Array(self.names.iter().map(|n| Value::from(n.clone())).collect()),
+            ),
+        ])
+        .to_pretty()
     }
 
-    /// Parses the configuration-file format.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Parses the configuration-file format. Unknown keys are ignored and
+    /// missing keys default, so hand-edited files stay forgiving.
+    pub fn from_json(s: &str) -> Result<Self, ParseError> {
+        let v = Value::parse(s)?;
+        let resurrect_all = v
+            .get("resurrect_all")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        let names = v
+            .get("names")
+            .and_then(Value::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|i| i.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(ResurrectionPolicy {
+            resurrect_all,
+            names,
+        })
     }
 }
 
@@ -73,5 +99,16 @@ mod tests {
         let p = ResurrectionPolicy::only(["vi"]);
         let q = ResurrectionPolicy::from_json(&p.to_json()).unwrap();
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn missing_keys_default() {
+        let p = ResurrectionPolicy::from_json("{}").unwrap();
+        assert_eq!(p, ResurrectionPolicy::default());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(ResurrectionPolicy::from_json("{not json").is_err());
     }
 }

@@ -7,7 +7,7 @@
 //! loop forever), and every byte read is accounted in [`ReadStats`] —
 //! that accounting *is* Table 4.
 
-use crate::stats::ReadStats;
+use crate::stats::{ReadKind, ReadStats};
 use ow_kernel::layout::{
     FileRecord, FileTable, KernelHeader, LayoutError, PageCacheNode, PipeDesc, ProcDesc, ShmDesc,
     SigTable, SockDesc, SwapDesc, TermDesc, VmaDesc,
@@ -55,7 +55,7 @@ pub fn read_header(
     stats: &mut ReadStats,
 ) -> Result<KernelHeader, ReadError> {
     let (h, n) = KernelHeader::read(phys, kernel_frame * PAGE_SIZE as u64)?;
-    stats.add("kernel_header", n);
+    stats.add(ReadKind::KernelHeader, n);
     Ok(h)
 }
 
@@ -73,7 +73,7 @@ pub fn read_proc_list(
             return Err(ReadError::ChainTooLong("process list"));
         }
         let (desc, n) = ProcDesc::read(phys, addr)?;
-        stats.add("proc_desc", n);
+        stats.add(ReadKind::ProcDesc, n);
         let next = desc.next;
         out.push((addr, desc));
         addr = next;
@@ -94,7 +94,7 @@ pub fn read_vmas(
             return Err(ReadError::ChainTooLong("vma"));
         }
         let (vma, n) = VmaDesc::read(phys, addr)?;
-        stats.add("vma", n);
+        stats.add(ReadKind::Vma, n);
         let next = vma.next;
         out.push((addr, vma));
         addr = next;
@@ -109,7 +109,7 @@ pub fn read_file_table(
     stats: &mut ReadStats,
 ) -> Result<FileTable, ReadError> {
     let (tab, n) = FileTable::read(phys, desc.files)?;
-    stats.add("file_table", n);
+    stats.add(ReadKind::FileTable, n);
     Ok(tab)
 }
 
@@ -120,7 +120,7 @@ pub fn read_file_record(
     stats: &mut ReadStats,
 ) -> Result<FileRecord, ReadError> {
     let (frec, n) = FileRecord::read(phys, addr)?;
-    stats.add("file_record", n);
+    stats.add(ReadKind::FileRecord, n);
     Ok(frec)
 }
 
@@ -137,7 +137,7 @@ pub fn read_cache_chain(
             return Err(ReadError::ChainTooLong("page cache"));
         }
         let (node, n) = PageCacheNode::read(phys, addr)?;
-        stats.add("page_cache_node", n);
+        stats.add(ReadKind::PageCacheNode, n);
         let next = node.next;
         out.push((addr, node));
         addr = next;
@@ -152,7 +152,7 @@ pub fn read_sig_table(
     stats: &mut ReadStats,
 ) -> Result<SigTable, ReadError> {
     let (tab, n) = SigTable::read(phys, desc.sig)?;
-    stats.add("sig_table", n);
+    stats.add(ReadKind::SigTable, n);
     Ok(tab)
 }
 
@@ -169,7 +169,7 @@ pub fn read_shm_chain(
             return Err(ReadError::ChainTooLong("shm"));
         }
         let (shm, n) = ShmDesc::read(phys, addr)?;
-        stats.add("shm_desc", n);
+        stats.add(ReadKind::ShmDesc, n);
         let next = shm.next;
         out.push(shm);
         addr = next;
@@ -190,7 +190,7 @@ pub fn read_sock_chain(
             return Err(ReadError::ChainTooLong("socket"));
         }
         let (sock, n) = SockDesc::read(phys, addr)?;
-        stats.add("sock_desc", n);
+        stats.add(ReadKind::SockDesc, n);
         let next = sock.next;
         out.push(sock);
         addr = next;
@@ -210,7 +210,7 @@ pub fn read_pipe_table(
         let addr = header.pipe_table + i as u64 * PipeDesc::SIZE;
         match PipeDesc::read(phys, addr) {
             Ok((d, n)) => {
-                stats.add("pipe_desc", n);
+                stats.add(ReadKind::PipeDesc, n);
                 out.push(Some(d));
             }
             Err(_) => out.push(None),
@@ -230,7 +230,7 @@ pub fn read_swap_descs(
     for i in 0..header.nswap {
         let addr = header.swap_array + i as u64 * SwapDesc::SIZE;
         let (d, n) = SwapDesc::read(phys, addr)?;
-        stats.add("swap_desc", n);
+        stats.add(ReadKind::SwapDesc, n);
         out.push((addr, d));
     }
     Ok(out)
@@ -252,7 +252,7 @@ pub fn read_term(
     }
     let addr = header.term_table + term_id as u64 * TermDesc::SIZE;
     let (d, n) = TermDesc::read(phys, addr)?;
-    stats.add("term_desc", n);
+    stats.add(ReadKind::TermDesc, n);
     Ok(d)
 }
 
@@ -269,7 +269,7 @@ pub fn account_page_tables(
         .table_frames(phys)
         .map_err(|e| ReadError::Layout(LayoutError::Mem(e)))?;
     let bytes = frames * PAGE_SIZE as u64;
-    stats.add("page_tables", bytes);
+    stats.add(ReadKind::PageTables, bytes);
     Ok(bytes)
 }
 
@@ -377,6 +377,6 @@ mod tests {
         let mut stats = ReadStats::default();
         let procs = read_proc_list(&phys, &header, &mut stats).unwrap();
         assert_eq!(procs.len(), 1);
-        assert_eq!(stats.by_kind["proc_desc"], ProcDesc::SIZE);
+        assert_eq!(stats.by_kind[&ReadKind::ProcDesc], ProcDesc::SIZE);
     }
 }

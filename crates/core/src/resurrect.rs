@@ -12,7 +12,7 @@ use crate::{
     config::ResurrectionStrategy,
     integrity,
     reader::{self, ReadError},
-    stats::ReadStats,
+    stats::{ReadKind, ReadStats},
 };
 use ow_kernel::{
     kernel::SockHandle,
@@ -442,7 +442,7 @@ fn resurrect_terminal(
         .phys
         .read(old.screen_pfn * PAGE_SIZE as u64, &mut screen)
         .map_err(|e| corrupt("screen read", KernelError::Mem(e)))?;
-    stats.add("terminal_screen", cells as u64);
+    stats.add(ReadKind::TerminalScreen, cells as u64);
     // Locate the new terminal's descriptor and write state through it.
     let new_desc_addr = k.term_table_addr + new_id as u64 * TermDesc::SIZE;
     let (mut new_desc, _) =
@@ -506,7 +506,7 @@ fn resurrect_sockets(
                 .phys
                 .read(old.outbuf_pfn * PAGE_SIZE as u64, &mut payload)
                 .map_err(|e| corrupt("sock payload", KernelError::Mem(e)))?;
-            stats.add("sock_payload", old.outbuf_len as u64);
+            stats.add(ReadKind::SockPayload, old.outbuf_len as u64);
         }
         // New descriptor + buffer in the crash kernel.
         let desc_addr = k

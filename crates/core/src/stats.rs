@@ -8,6 +8,71 @@
 
 use std::collections::BTreeMap;
 
+/// What kind of dead-kernel structure a validated read pulled in.
+///
+/// Replaces the old stringly-typed kind labels: a typo in a label silently
+/// started a new accounting bucket (and `"page_tables"` was magic), whereas
+/// an enum variant is checked at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReadKind {
+    /// The dead kernel's header.
+    KernelHeader,
+    /// A process descriptor.
+    ProcDesc,
+    /// A VMA descriptor.
+    Vma,
+    /// A per-process file table.
+    FileTable,
+    /// An open-file record.
+    FileRecord,
+    /// A page-cache node.
+    PageCacheNode,
+    /// A signal table.
+    SigTable,
+    /// A shared-memory descriptor.
+    ShmDesc,
+    /// A socket descriptor.
+    SockDesc,
+    /// A pipe descriptor.
+    PipeDesc,
+    /// A swap-area descriptor.
+    SwapDesc,
+    /// A terminal descriptor.
+    TermDesc,
+    /// Page-table frames (Table 4 reports their share separately).
+    PageTables,
+    /// Terminal screen contents.
+    TerminalScreen,
+    /// Unsent socket payload bytes.
+    SockPayload,
+    /// Pipe ring-buffer contents.
+    PipeBuffer,
+}
+
+impl ReadKind {
+    /// Stable label (report formatting).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadKind::KernelHeader => "kernel_header",
+            ReadKind::ProcDesc => "proc_desc",
+            ReadKind::Vma => "vma",
+            ReadKind::FileTable => "file_table",
+            ReadKind::FileRecord => "file_record",
+            ReadKind::PageCacheNode => "page_cache_node",
+            ReadKind::SigTable => "sig_table",
+            ReadKind::ShmDesc => "shm_desc",
+            ReadKind::SockDesc => "sock_desc",
+            ReadKind::PipeDesc => "pipe_desc",
+            ReadKind::SwapDesc => "swap_desc",
+            ReadKind::TermDesc => "term_desc",
+            ReadKind::PageTables => "page_tables",
+            ReadKind::TerminalScreen => "terminal_screen",
+            ReadKind::SockPayload => "sock_payload",
+            ReadKind::PipeBuffer => "pipe_buffer",
+        }
+    }
+}
+
 /// Byte accounting of reads from the dead kernel.
 #[derive(Debug, Clone, Default)]
 pub struct ReadStats {
@@ -16,15 +81,15 @@ pub struct ReadStats {
     /// Bytes that were page-table frames.
     pub pt_bytes: u64,
     /// Breakdown by structure kind.
-    pub by_kind: BTreeMap<&'static str, u64>,
+    pub by_kind: BTreeMap<ReadKind, u64>,
 }
 
 impl ReadStats {
     /// Records `bytes` read for structure `kind`.
-    pub fn add(&mut self, kind: &'static str, bytes: u64) {
+    pub fn add(&mut self, kind: ReadKind, bytes: u64) {
         self.total_bytes += bytes;
         *self.by_kind.entry(kind).or_insert(0) += bytes;
-        if kind == "page_tables" {
+        if kind == ReadKind::PageTables {
             self.pt_bytes += bytes;
         }
     }
@@ -42,7 +107,7 @@ impl ReadStats {
     pub fn merge(&mut self, other: &ReadStats) {
         self.total_bytes += other.total_bytes;
         self.pt_bytes += other.pt_bytes;
-        for (k, v) in &other.by_kind {
+        for (&k, v) in &other.by_kind {
             *self.by_kind.entry(k).or_insert(0) += v;
         }
     }
@@ -126,6 +191,10 @@ pub struct MicrorebootReport {
     pub total_seconds: f64,
     /// Integrity cross-check corrections applied (§4 duplication checks).
     pub integrity_fixes: u64,
+    /// The dead kernel's flight record (events, damage counts and the
+    /// metrics registry), recovered from the trace region before the crash
+    /// kernel booted.
+    pub flight: ow_trace::FlightRecord,
 }
 
 impl MicrorebootReport {
@@ -147,8 +216,8 @@ mod tests {
     #[test]
     fn read_stats_accumulate_and_fraction() {
         let mut s = ReadStats::default();
-        s.add("proc_desc", 100);
-        s.add("page_tables", 300);
+        s.add(ReadKind::ProcDesc, 100);
+        s.add(ReadKind::PageTables, 300);
         assert_eq!(s.total_bytes, 400);
         assert_eq!(s.pt_bytes, 300);
         assert!((s.pt_fraction() - 0.75).abs() < 1e-9);
@@ -157,12 +226,12 @@ mod tests {
     #[test]
     fn merge_folds_breakdowns() {
         let mut a = ReadStats::default();
-        a.add("vma", 10);
+        a.add(ReadKind::Vma, 10);
         let mut b = ReadStats::default();
-        b.add("vma", 5);
-        b.add("page_tables", 20);
+        b.add(ReadKind::Vma, 5);
+        b.add(ReadKind::PageTables, 20);
         a.merge(&b);
-        assert_eq!(a.by_kind["vma"], 15);
+        assert_eq!(a.by_kind[&ReadKind::Vma], 15);
         assert_eq!(a.pt_bytes, 20);
     }
 

@@ -17,8 +17,13 @@ use ow_core::{
     microreboot, MicrorebootFailure, OtherworldConfig, PolicySource, ResurrectionPolicy,
 };
 use ow_kernel::{Kernel, KernelConfig, RobustnessFixes};
-use ow_simhw::{machine::MachineConfig, CostModel};
-use rand::{rngs::SmallRng, Rng, SeedableRng};
+use ow_simhw::{machine::MachineConfig, CostModel, SimRng};
+use ow_trace::FlightRecord;
+
+/// How many trailing trace events go into each outcome's cause annotation.
+/// A full handoff emits six panic-path milestones, so ten leaves room for
+/// the syscall that manifested the fault and the injections before it.
+const CAUSE_TAIL_EVENTS: usize = 10;
 
 /// Configuration of one campaign.
 #[derive(Debug, Clone)]
@@ -67,6 +72,18 @@ pub enum Outcome {
     DataCorruption(String),
 }
 
+/// One classified experiment: the Table 5 outcome plus a trace-derived
+/// cause annotation — the tail of the kernel's flight record, recovered
+/// from the trace region exactly the way the crash kernel recovers it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentRecord {
+    /// Table 5 classification.
+    pub outcome: Outcome,
+    /// Last few flight-record events, oldest first (e.g.
+    /// `"fault_injected(kind=4, writes=2) -> panic:entered -> panic:halted"`).
+    pub cause: String,
+}
+
 /// Aggregated campaign counts (one Table 5 row).
 #[derive(Debug, Clone, Default)]
 pub struct CampaignResult {
@@ -84,6 +101,9 @@ pub struct CampaignResult {
     pub data_corruption: usize,
     /// Wild-write damage accounting.
     pub damage: DamageReport,
+    /// Per-experiment records for the effective (crashed) experiments, in
+    /// campaign order, each carrying its trace-derived cause annotation.
+    pub records: Vec<ExperimentRecord>,
 }
 
 impl CampaignResult {
@@ -126,13 +146,22 @@ fn machine_config() -> MachineConfig {
     }
 }
 
+/// Recovers the flight record from a kernel's physical memory exactly the
+/// way the crash kernel does: locate the trace region through the handoff
+/// block, then run the validated per-slot reader over it.
+fn recover_flight(k: &Kernel) -> FlightRecord {
+    ow_kernel::layout::HandoffBlock::read(&k.machine.phys)
+        .map(|(h, _)| FlightRecord::recover(&k.machine.phys, h.trace_base, h.trace_frames))
+        .unwrap_or_default()
+}
+
 /// Runs a single experiment with `seed`.
 pub fn run_experiment<W: Workload>(
     workload: &mut W,
     cfg: &CampaignConfig,
     seed: u64,
-) -> (Outcome, DamageReport) {
-    let mut rng = SmallRng::seed_from_u64(seed);
+) -> (ExperimentRecord, DamageReport) {
+    let mut rng = SimRng::seed_from_u64(seed);
     let kernel_config = KernelConfig {
         user_protection: cfg.user_protection,
         fixes: cfg.fixes,
@@ -143,7 +172,10 @@ pub fn run_experiment<W: Workload>(
         Ok(k) => k,
         Err(e) => {
             return (
-                Outcome::BootFailure(format!("cold boot: {e}")),
+                ExperimentRecord {
+                    outcome: Outcome::BootFailure(format!("cold boot: {e}")),
+                    cause: "no trace (cold boot failed)".into(),
+                },
                 DamageReport::default(),
             )
         }
@@ -179,11 +211,29 @@ pub fn run_experiment<W: Workload>(
     }
 
     if k.panicked.is_none() {
-        // The faults never produced a kernel fault; the application must
-        // still be healthy (§6 discards these experiments).
-        debug_assert_eq!(workload.verify(&mut k, pid), VerifyResult::Intact);
-        return (Outcome::NoCrash, damage);
+        // The faults never produced a kernel fault, so §6 discards the
+        // experiment — regardless of the application's health: a wild
+        // write can silently corrupt user data without ever crashing the
+        // kernel, and the paper's methodology only classifies experiments
+        // that ended in a kernel fault.
+        return (
+            ExperimentRecord {
+                outcome: Outcome::NoCrash,
+                cause: recover_flight(&k).tail_summary(CAUSE_TAIL_EVENTS),
+            },
+            damage,
+        );
     }
+
+    // Recover the dead kernel's flight record *before* the microreboot, so
+    // even boot failures (where no crash kernel ever runs) get a cause
+    // annotation.
+    let flight = recover_flight(&k);
+    let cause = flight.tail_summary(CAUSE_TAIL_EVENTS);
+    let classified = |outcome: Outcome| ExperimentRecord {
+        outcome,
+        cause: cause.clone(),
+    };
 
     // Microreboot.
     let ow_config = OtherworldConfig {
@@ -192,22 +242,24 @@ pub fn run_experiment<W: Workload>(
     };
     let (mut k2, report) = match microreboot(k, &ow_config) {
         Ok(ok) => ok,
-        Err(MicrorebootFailure::SystemHalted(why)) => return (Outcome::BootFailure(why), damage),
+        Err(MicrorebootFailure::SystemHalted(why)) => {
+            return (classified(Outcome::BootFailure(why)), damage)
+        }
         Err(MicrorebootFailure::CrashBootFailed(why)) => {
-            return (Outcome::BootFailure(why), damage)
+            return (classified(Outcome::BootFailure(why)), damage)
         }
         Err(MicrorebootFailure::NotPanicked) => unreachable!("panicked checked above"),
     };
 
     let Some(proc_report) = report.proc_named(workload.name()) else {
         return (
-            Outcome::ResurrectFailure("process list unreadable".into()),
+            classified(Outcome::ResurrectFailure("process list unreadable".into())),
             damage,
         );
     };
     if !proc_report.outcome.is_success() {
         return (
-            Outcome::ResurrectFailure(format!("{:?}", proc_report.outcome)),
+            classified(Outcome::ResurrectFailure(format!("{:?}", proc_report.outcome))),
             damage,
         );
     }
@@ -220,10 +272,10 @@ pub fn run_experiment<W: Workload>(
         k2.run_step();
     }
     match workload.verify(&mut k2, new_pid) {
-        VerifyResult::Intact => (Outcome::Success, damage),
-        VerifyResult::Corrupted(why) => (Outcome::DataCorruption(why), damage),
+        VerifyResult::Intact => (classified(Outcome::Success), damage),
+        VerifyResult::Corrupted(why) => (classified(Outcome::DataCorruption(why)), damage),
         VerifyResult::Missing => (
-            Outcome::ResurrectFailure("gone after restart".into()),
+            classified(Outcome::ResurrectFailure("gone after restart".into())),
             damage,
         ),
     }
@@ -239,30 +291,23 @@ pub fn run_campaign<W: Workload>(
     let mut seed = cfg.seed;
     while result.effective < cfg.effective_experiments {
         let mut workload = make_workload(seed);
-        let (outcome, damage) = run_experiment(&mut workload, cfg, seed);
+        let (record, damage) = run_experiment(&mut workload, cfg, seed);
         seed = seed.wrapping_add(1);
         result.damage.landed += damage.landed;
         result.damage.trapped += damage.trapped;
         result.damage.blocked += damage.blocked;
-        match outcome {
-            Outcome::NoCrash => result.discarded += 1,
-            Outcome::Success => {
-                result.effective += 1;
-                result.success += 1;
+        match &record.outcome {
+            Outcome::NoCrash => {
+                result.discarded += 1;
+                continue;
             }
-            Outcome::BootFailure(_) => {
-                result.effective += 1;
-                result.boot_failure += 1;
-            }
-            Outcome::ResurrectFailure(_) => {
-                result.effective += 1;
-                result.resurrect_failure += 1;
-            }
-            Outcome::DataCorruption(_) => {
-                result.effective += 1;
-                result.data_corruption += 1;
-            }
+            Outcome::Success => result.success += 1,
+            Outcome::BootFailure(_) => result.boot_failure += 1,
+            Outcome::ResurrectFailure(_) => result.resurrect_failure += 1,
+            Outcome::DataCorruption(_) => result.data_corruption += 1,
         }
+        result.effective += 1;
+        result.records.push(record);
     }
     result
 }

@@ -17,8 +17,8 @@
 //! emerge from the memory layout, not from hard-coded probabilities.
 
 use ow_kernel::{Kernel, PanicCause, PendingFault};
-use ow_simhw::{machine::WildWriteOutcome, PAGE_SIZE};
-use rand::{rngs::SmallRng, Rng};
+use ow_simhw::{machine::WildWriteOutcome, SimRng, PAGE_SIZE};
+use ow_trace::{Counter, EventKind};
 
 /// What kind of source-level fault was injected (the Rio taxonomy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +31,18 @@ pub enum FaultKind {
     Operand,
     /// A stray pointer store.
     WildPointer,
+}
+
+impl FaultKind {
+    /// Stable encoding for the flight record's `FaultInjected` events.
+    pub fn code(self) -> u64 {
+        match self {
+            FaultKind::StackValue => 1,
+            FaultKind::Instruction => 2,
+            FaultKind::Operand => 3,
+            FaultKind::WildPointer => 4,
+        }
+    }
 }
 
 /// How a fired fault manifests.
@@ -67,8 +79,8 @@ pub struct Fault {
 pub const P_SILENT: f64 = 0.948;
 
 /// Draws one fault from the model.
-pub fn draw_fault(rng: &mut SmallRng) -> Fault {
-    let kind = match rng.gen_range(0..4) {
+pub fn draw_fault(rng: &mut SimRng) -> Fault {
+    let kind = match rng.gen_range(0..4u32) {
         0 => FaultKind::StackValue,
         1 => FaultKind::Instruction,
         2 => FaultKind::Operand,
@@ -77,11 +89,11 @@ pub fn draw_fault(rng: &mut SmallRng) -> Fault {
     let manifestation = if rng.gen_bool(P_SILENT) {
         Manifestation::Silent
     } else {
-        match rng.gen_range(0..100) {
+        match rng.gen_range(0..100u32) {
             // Fail-stop dominates (the fail-stop literature; §4).
             0..=72 => Manifestation::CleanPanic,
             // Wild writes: damage first, panic after.
-            73..=89 => Manifestation::WildWrites(rng.gen_range(1..=4)),
+            73..=89 => Manifestation::WildWrites(rng.gen_range(1..=4u32)),
             // Together ~10% of crashing faults: the stalls and recursive
             // failures that cost the paper 8% before the §6 fixes.
             90..=93 => Manifestation::Stall,
@@ -115,7 +127,7 @@ pub struct DamageReport {
 /// the rest is uniform over RAM. `via_virtual` models whether the store
 /// went through a virtual user mapping — the only kind the protected mode
 /// can trap (§4).
-pub fn apply_wild_write(k: &mut Kernel, rng: &mut SmallRng, report: &mut DamageReport) {
+pub fn apply_wild_write(k: &mut Kernel, rng: &mut SimRng, report: &mut DamageReport) {
     let total_bytes = k.machine.phys.size();
     let addr = if rng.gen_bool(0.2) {
         // Biased toward hot kernel structures: the IDT and kernel region
@@ -123,7 +135,7 @@ pub fn apply_wild_write(k: &mut Kernel, rng: &mut SmallRng, report: &mut DamageR
         // scribbles there far more often than size alone predicts; direct
         // hits on the current process's descriptor or page tables are
         // rarer (their code is small and unusually well-tested, §4).
-        match rng.gen_range(0..1000) {
+        match rng.gen_range(0..1000u32) {
             0..=169 => {
                 // The handoff/IDT frame: every interrupt walks it.
                 rng.gen_range(0..PAGE_SIZE as u64)
@@ -189,11 +201,16 @@ pub fn apply_wild_write(k: &mut Kernel, rng: &mut SmallRng, report: &mut DamageR
     } else {
         rng.gen_range(0..total_bytes)
     };
-    let mask = rng.gen::<u64>() | 1; // never a no-op
+    let mask = rng.next_u64() | 1; // never a no-op
     let via_virtual = rng.gen_bool(0.9);
     match k.machine.wild_write(addr, mask, via_virtual) {
         WildWriteOutcome::Landed(_) => report.landed += 1,
-        WildWriteOutcome::TrappedByProtection => report.trapped += 1,
+        WildWriteOutcome::TrappedByProtection => {
+            report.trapped += 1;
+            // The protected mode caught the stray store: leave evidence in
+            // the flight record before the ensuing clean panic.
+            k.note_protection_trap(addr);
+        }
         WildWriteOutcome::BlockedByHardware => report.blocked += 1,
     }
 }
@@ -201,12 +218,18 @@ pub fn apply_wild_write(k: &mut Kernel, rng: &mut SmallRng, report: &mut DamageR
 /// Injects a batch of `n` faults into a running kernel: applies all wild
 /// -write damage immediately and queues the first crashing manifestation
 /// as the kernel's pending fault. Returns the drawn faults and damage.
-pub fn inject_batch(k: &mut Kernel, rng: &mut SmallRng, n: u32) -> (Vec<Fault>, DamageReport) {
+pub fn inject_batch(k: &mut Kernel, rng: &mut SimRng, n: u32) -> (Vec<Fault>, DamageReport) {
     let mut faults = Vec::with_capacity(n as usize);
     let mut report = DamageReport::default();
     let mut cause: Option<PanicCause> = None;
     for _ in 0..n {
         let f = draw_fault(rng);
+        let writes = match f.manifestation {
+            Manifestation::WildWrites(w) => w as u64,
+            _ => 0,
+        };
+        k.trace_event(EventKind::FaultInjected, 0, f.kind.code(), writes);
+        k.trace_counter(Counter::FaultsInjected, 1);
         match &f.manifestation {
             Manifestation::Silent => {}
             Manifestation::CleanPanic => {
@@ -248,11 +271,10 @@ pub fn inject_batch(k: &mut Kernel, rng: &mut SmallRng, n: u32) -> (Vec<Fault>, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn silent_rate_yields_about_20_percent_quiet_experiments() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let mut quiet = 0;
         let trials = 2000;
         for _ in 0..trials {
@@ -268,7 +290,7 @@ mod tests {
 
     #[test]
     fn fail_stop_dominates_manifestations() {
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         let mut clean = 0;
         let mut other = 0;
         for _ in 0..20_000 {

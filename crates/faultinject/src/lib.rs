@@ -8,5 +8,7 @@
 pub mod campaign;
 pub mod faults;
 
-pub use campaign::{run_campaign, run_experiment, CampaignConfig, CampaignResult, Outcome};
+pub use campaign::{
+    run_campaign, run_experiment, CampaignConfig, CampaignResult, ExperimentRecord, Outcome,
+};
 pub use faults::{draw_fault, inject_batch, DamageReport, Fault, FaultKind, Manifestation};

@@ -73,3 +73,57 @@ fn protected_campaign_never_increases_corruption() {
     let prot = run_campaign(ViWorkload::new, &prot_cfg);
     assert!(prot.data_corruption <= unprot.data_corruption + 1);
 }
+
+#[test]
+fn every_effective_outcome_carries_a_trace_cause() {
+    let cfg = CampaignConfig {
+        effective_experiments: 20,
+        seed: 11,
+        ..CampaignConfig::default()
+    };
+    let result = run_campaign(ViWorkload::new, &cfg);
+    assert_eq!(result.records.len(), result.effective);
+    for rec in &result.records {
+        assert!(
+            !rec.cause.is_empty(),
+            "outcome {:?} lacks a cause annotation",
+            rec.outcome
+        );
+    }
+    // The dominant case: the flight record caught the injection and the
+    // panic path itself.
+    let panics = result
+        .records
+        .iter()
+        .filter(|r| r.cause.contains("panic:"))
+        .count();
+    assert!(
+        panics * 2 > result.records.len(),
+        "most causes should name a panic step: {}/{}",
+        panics,
+        result.records.len()
+    );
+    assert!(
+        result
+            .records
+            .iter()
+            .any(|r| r.cause.contains("fault_injected")),
+        "some tails should show the injection itself"
+    );
+}
+
+#[test]
+fn single_experiment_cause_ends_at_the_panic_path() {
+    let cfg = CampaignConfig::default();
+    // Scan seeds until one crashes (most do).
+    for seed in 100..140 {
+        let mut w = ViWorkload::new(seed);
+        let (rec, _damage) = ow_faultinject::run_experiment(&mut w, &cfg, seed);
+        if matches!(rec.outcome, ow_faultinject::Outcome::NoCrash) {
+            continue;
+        }
+        assert!(rec.cause.contains("panic:"), "cause: {}", rec.cause);
+        return;
+    }
+    panic!("no seed in 100..140 produced a crash");
+}

@@ -27,6 +27,7 @@ use ow_simhw::{
     paging::VA_LIMIT,
     AddressSpace, FrameAllocator, Pfn, PhysAddr, PAGE_SIZE,
 };
+use ow_trace::{Counter, EventKind, Histogram, PanicStep, TraceRing};
 use std::collections::VecDeque;
 
 /// Cycle costs of the boot phases (Table 6's time model).
@@ -122,6 +123,10 @@ pub struct KernelConfig {
     /// corruption of resurrection-critical state cannot go undetected. Adds
     /// runtime overhead on every descriptor update.
     pub desc_checksums: bool,
+    /// Frames reserved at the very top of RAM for the `ow-trace` flight
+    /// recorder (header + record ring). 0 disables tracing; the region
+    /// survives panics and morphing, like pstore/ramoops.
+    pub trace_frames: u64,
 }
 
 impl Default for KernelConfig {
@@ -135,6 +140,7 @@ impl Default for KernelConfig {
             boot_costs: BootCosts::default(),
             fast_crash_boot: false,
             desc_checksums: false,
+            trace_frames: 16, // 64 KiB: 1 header frame + ~1280 record slots
         }
     }
 }
@@ -332,6 +338,11 @@ pub struct Kernel {
     pub pipes: Vec<crate::ipc::PipeHandle>,
     /// Physical address of the pipe table.
     pub pipe_table_addr: PhysAddr,
+    /// The armed flight-recorder ring (`None` when tracing is disabled).
+    pub trace: Option<TraceRing>,
+    /// Cycle stamp of the most recent syscall entry (inter-arrival and
+    /// latency histograms; host-side scratch, not resurrection state).
+    pub last_syscall_enter: u64,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -435,17 +446,30 @@ impl Kernel {
         machine.set_owner_range(base_frame, config.kernel_frames, FrameOwner::Kernel);
 
         // General allocator: on a cold boot, everything between the kernel
-        // region and the (future) crash reservation at the top of RAM; for
-        // a crash kernel, only the remainder of its own reservation —
-        // resurrection must not step outside it until morphing (§3.3).
-        let (gen_base, gen_end) = if cold {
-            (kernel_end, total_frames - config.crash_frames)
+        // region and the (future) crash reservation; for a crash kernel,
+        // only the remainder of its own reservation — resurrection must not
+        // step outside it until morphing (§3.3). The trace region sits
+        // above everything at the very top of RAM so it survives panics,
+        // reboots and morphing without ever being reallocated.
+        let (gen_base, gen_end, trace_base, trace_frames) = if cold {
+            if config.trace_frames >= total_frames / 4 {
+                return Err(KernelError::Inval("trace region too large"));
+            }
+            let trace_base = total_frames - config.trace_frames;
+            (
+                kernel_end,
+                trace_base - config.crash_frames,
+                trace_base,
+                config.trace_frames,
+            )
         } else {
-            let (crash_base, crash_frames) = {
-                let (h, _) = HandoffBlock::read(&machine.phys)?;
-                (h.crash_base, h.crash_frames)
-            };
-            (kernel_end, crash_base + crash_frames)
+            let (h, _) = HandoffBlock::read(&machine.phys)?;
+            (
+                kernel_end,
+                h.crash_base + h.crash_frames,
+                h.trace_base,
+                h.trace_frames,
+            )
         };
         if gen_base >= gen_end {
             return Err(KernelError::Inval("kernel region too large"));
@@ -494,7 +518,22 @@ impl Kernel {
             term_table_addr: 0,
             pipes: Vec::new(),
             pipe_table_addr: 0,
+            trace: None,
+            last_syscall_enter: 0,
         };
+
+        // Arm the flight recorder for this generation. The crash kernel
+        // re-arms (and thus zeroes) the ring: the dead kernel's record was
+        // already recovered from raw memory before boot_crash ran. Arming
+        // happens before any subsystem that emits events.
+        if trace_frames >= TraceRing::MIN_FRAMES && trace_base + trace_frames <= total_frames {
+            kernel
+                .machine
+                .set_owner_range(trace_base, trace_frames, FrameOwner::Trace);
+            kernel.trace =
+                TraceRing::arm(&mut kernel.machine.phys, trace_base, trace_frames, generation);
+            kernel.trace_event(EventKind::Armed, 0, generation as u64, trace_base);
+        }
 
         // Swap areas: descriptors + bitmaps in kernel memory. The init
         // scripts pick the active partition by generation parity so the
@@ -518,7 +557,8 @@ impl Kernel {
                 .kheap
                 .alloc(nslots as u64)
                 .ok_or(KernelError::NoMemory)?;
-            let area = SwapArea::init(&mut kernel.machine, dev, name, desc_addr, bitmap)?;
+            let mut area = SwapArea::init(&mut kernel.machine, dev, name, desc_addr, bitmap)?;
+            area.trace = kernel.trace;
             kernel.swaps.push(area);
         }
         kernel
@@ -572,6 +612,8 @@ impl Kernel {
                 idt_stamp: IDT_MAGIC,
                 save_area: layout::SAVE_AREA_ADDR,
                 generation,
+                trace_base,
+                trace_frames,
             }
             .write(&mut kernel.machine.phys)?;
             layout::write_idt_gates(&mut kernel.machine.phys)?;
@@ -637,6 +679,38 @@ impl Kernel {
     pub fn free_frame(&mut self, pfn: Pfn) {
         self.falloc.free(pfn);
         self.machine.set_owner(pfn, FrameOwner::Free);
+    }
+
+    /// Appends a cycle-stamped record to the flight recorder, if armed.
+    pub fn trace_event(&mut self, kind: EventKind, pid: u64, arg0: u64, arg1: u64) {
+        if let Some(ring) = self.trace {
+            let now = self.machine.clock.now();
+            ring.emit(&mut self.machine.phys, now, kind, pid, arg0, arg1);
+        }
+    }
+
+    /// Adds `n` to a metrics counter, if the recorder is armed.
+    pub fn trace_counter(&mut self, counter: Counter, n: u64) {
+        if let Some(ring) = self.trace {
+            ring.counter_add(&mut self.machine.phys, counter, n);
+        }
+    }
+
+    /// Records one histogram sample, if the recorder is armed.
+    pub fn trace_hist(&mut self, hist: Histogram, value: u64) {
+        if let Some(ring) = self.trace {
+            ring.hist_record(&mut self.machine.phys, hist, value);
+        }
+    }
+
+    /// Records a panic-path step, if the recorder is armed. The panic path
+    /// itself calls this — tracing must never be able to re-fault it, which
+    /// is why every ring operation is infallible.
+    pub fn trace_panic_step(&mut self, step: PanicStep, detail: u64) {
+        if let Some(ring) = self.trace {
+            let now = self.machine.clock.now();
+            ring.emit_panic_step(&mut self.machine.phys, now, step, detail);
+        }
     }
 
     /// Finds a process handle.

@@ -19,7 +19,9 @@ impl Kernel {
         if frames == 0 || frames >= total / 2 {
             return Err(KernelError::Inval("crash reservation size"));
         }
-        let base = total - frames;
+        // The flight-recorder region keeps the very top of RAM; the crash
+        // reservation sits immediately below it.
+        let base = total - self.config.trace_frames - frames;
         self.load_crash_kernel_at(base, frames)
     }
 
@@ -89,6 +91,11 @@ impl Kernel {
                     FrameOwner::Kernel | FrameOwner::CrashImage => {
                         // Dead kernel's region / consumed crash image: free.
                         self.machine.set_owner(pfn, FrameOwner::Free);
+                    }
+                    FrameOwner::Trace => {
+                        // The flight recorder outlives every kernel
+                        // generation; morphing must not reallocate it.
+                        fresh.mark_used(pfn);
                     }
                     FrameOwner::Handoff | FrameOwner::Free => {}
                 }

@@ -253,11 +253,15 @@ pub struct HandoffBlock {
     pub save_area: PhysAddr,
     /// Microreboot generation counter (0 = first boot).
     pub generation: u32,
+    /// First frame of the flight-recorder trace region (0 = no tracing).
+    pub trace_base: u64,
+    /// Frames in the trace region.
+    pub trace_frames: u64,
 }
 
 impl HandoffBlock {
     /// Serialized size in bytes.
-    pub const SIZE: u64 = 4 + 8 + 8 + 8 + 4 + 4 + 8 + 4;
+    pub const SIZE: u64 = 4 + 8 + 8 + 8 + 4 + 4 + 8 + 4 + 8 + 8;
 
     /// Writes the block at [`HANDOFF_ADDR`].
     pub fn write(&self, phys: &mut PhysMem) -> Result<(), LayoutError> {
@@ -270,6 +274,8 @@ impl HandoffBlock {
         w.u32(self.idt_stamp)?;
         w.u64(self.save_area)?;
         w.u32(self.generation)?;
+        w.u64(self.trace_base)?;
+        w.u64(self.trace_frames)?;
         Ok(())
     }
 
@@ -285,6 +291,8 @@ impl HandoffBlock {
             idt_stamp: c.u32()?,
             save_area: c.u64()?,
             generation: c.u32()?,
+            trace_base: c.u64()?,
+            trace_frames: c.u64()?,
         };
         if b.active_kernel_frame >= phys.frames() {
             return Err(LayoutError::BadValue {
@@ -1445,6 +1453,8 @@ mod tests {
             idt_stamp: IDT_MAGIC,
             save_area: SAVE_AREA_ADDR,
             generation: 3,
+            trace_base: 48,
+            trace_frames: 8,
         };
         b.write(&mut p).unwrap();
         let (got, n) = HandoffBlock::read(&p).unwrap();
@@ -1463,6 +1473,8 @@ mod tests {
             idt_stamp: IDT_MAGIC,
             save_area: SAVE_AREA_ADDR,
             generation: 0,
+            trace_base: 0,
+            trace_frames: 0,
         }
         .write(&mut p)
         .unwrap();

@@ -27,6 +27,7 @@ pub mod program;
 pub mod swap;
 pub mod syscall;
 pub mod term;
+pub mod uprotect;
 pub mod vm;
 
 pub use error::{Errno, KernelError, SysResult};

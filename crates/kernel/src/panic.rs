@@ -18,15 +18,35 @@ use crate::{
     kernel::{HandoffInfo, Kernel, PanicCause, PanicOutcome},
     layout::{CrashImageHeader, HandoffBlock, ProcDesc, IDT_MAGIC, SAVE_AREA_ADDR},
 };
+use ow_trace::PanicStep;
+
+/// Stable encoding of a panic cause for the flight record's `Entered` step.
+fn cause_code(cause: PanicCause) -> u64 {
+    match cause {
+        PanicCause::Oops(_) => 1,
+        PanicCause::DoubleFault => 2,
+        PanicCause::Stall => 3,
+        PanicCause::CorruptedPanicPath => 4,
+    }
+}
 
 impl Kernel {
     /// Executes the panic path for `cause`, recording the outcome in
     /// [`Kernel::panicked`]. Idempotent: a second panic is ignored.
+    ///
+    /// Every milestone is appended to the flight recorder, so the crash
+    /// kernel (or a human reading the recovered record) can see exactly how
+    /// far the ~100 unprotected lines got before handing off or halting.
     pub fn do_panic(&mut self, cause: PanicCause) -> PanicOutcome {
         if let Some(out) = &self.panicked {
             return out.clone();
         }
+        self.trace_panic_step(PanicStep::Entered, cause_code(cause));
         let outcome = self.panic_path(cause);
+        match &outcome {
+            PanicOutcome::Handoff(_) => self.trace_panic_step(PanicStep::Handoff, 0),
+            PanicOutcome::SystemHalted(_) => self.trace_panic_step(PanicStep::Halted, 0),
+        }
         self.panicked = Some(outcome.clone());
         outcome
     }
@@ -69,21 +89,25 @@ impl Kernel {
             Ok((h, _)) => h,
             Err(_) => return PanicOutcome::SystemHalted("handoff block corrupted"),
         };
+        self.trace_panic_step(PanicStep::HandoffRead, handoff.generation as u64);
         if handoff.idt_stamp != IDT_MAGIC || !crate::layout::idt_gates_valid(&self.machine.phys) {
             return PanicOutcome::SystemHalted("IDT corrupted: NMI broadcast impossible");
         }
         if handoff.crash_entry_ok == 0 || handoff.crash_frames == 0 {
             return PanicOutcome::SystemHalted("no crash kernel loaded");
         }
+        self.trace_panic_step(PanicStep::IdtValidated, 0);
 
         // NMI all CPUs: each saves the context of the thread it was running
         // to its save area and halts (§3.2).
         let save_base = handoff.save_area;
+        let ncpus = self.machine.cpus.len() as u64;
         for cpu in &mut self.machine.cpus {
             if cpu.nmi_halt(&mut self.machine.phys, save_base).is_err() {
                 return PanicOutcome::SystemHalted("context save area unreachable");
             }
         }
+        self.trace_panic_step(PanicStep::NmiBroadcast, ncpus);
 
         // Validate the crash-kernel image before jumping to it. The image
         // itself is hardware-protected, but its descriptor must be sane.
@@ -92,6 +116,7 @@ impl Kernel {
             Ok(img) if img.entry_valid != 0 => {}
             _ => return PanicOutcome::SystemHalted("crash image header invalid"),
         }
+        self.trace_panic_step(PanicStep::CrashImageValidated, handoff.crash_base);
 
         // Remove the memory protection from the crash-kernel image and
         // "jump" to it: from here no main-kernel code runs.
@@ -106,6 +131,9 @@ impl Kernel {
     /// Called by the timer path when the watchdog fires: a stall becomes a
     /// microreboot (with the fix) or stays a hang (without).
     pub fn watchdog_fired(&mut self) -> PanicOutcome {
+        if self.panicked.is_none() {
+            self.trace_panic_step(PanicStep::WatchdogFired, 0);
+        }
         self.do_panic(PanicCause::Stall)
     }
 

@@ -8,6 +8,7 @@
 
 use crate::{error::KernelError, layout::SwapDesc};
 use ow_simhw::{machine::Machine, DevId, PhysAddr, PAGE_SIZE};
+use ow_trace::{EventKind, TraceRing};
 
 /// A host-side handle to a swap area whose descriptor lives in kernel memory.
 #[derive(Debug, Clone)]
@@ -22,6 +23,9 @@ pub struct SwapArea {
     pub bitmap: PhysAddr,
     /// Physical address of the serialized [`SwapDesc`].
     pub desc_addr: PhysAddr,
+    /// Flight recorder for swap-I/O events (set by the owning kernel once
+    /// its ring is armed; `None` on handles rebuilt from a dead kernel).
+    pub trace: Option<TraceRing>,
 }
 
 impl SwapArea {
@@ -54,6 +58,7 @@ impl SwapArea {
             nslots,
             bitmap,
             desc_addr,
+            trace: None,
         })
     }
 
@@ -82,6 +87,7 @@ impl SwapArea {
         let mut page = vec![0u8; PAGE_SIZE];
         m.phys.read(pfn * PAGE_SIZE as u64, &mut page)?;
         m.dev_write(self.dev, slot as u64 * PAGE_SIZE as u64, &page)?;
+        self.trace_io(m, EventKind::SwapOut, slot, pfn);
         Ok(())
     }
 
@@ -90,7 +96,16 @@ impl SwapArea {
         let mut page = vec![0u8; PAGE_SIZE];
         m.dev_read(self.dev, slot as u64 * PAGE_SIZE as u64, &mut page)?;
         m.phys.write(pfn * PAGE_SIZE as u64, &page)?;
+        self.trace_io(m, EventKind::SwapIn, slot, pfn);
         Ok(())
+    }
+
+    /// Records one swap-I/O event in the flight recorder, when armed.
+    fn trace_io(&self, m: &mut Machine, kind: EventKind, slot: u32, pfn: u64) {
+        if let Some(ring) = self.trace {
+            let now = m.clock.now();
+            ring.emit(&mut m.phys, now, kind, 0, slot as u64, pfn);
+        }
     }
 
     /// Reads `slot` into a plain buffer (used by the crash kernel when
@@ -136,6 +151,7 @@ impl SwapArea {
             nslots: desc.nslots,
             bitmap: desc.bitmap,
             desc_addr,
+            trace: None,
         })
     }
 }

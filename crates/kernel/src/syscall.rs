@@ -7,6 +7,7 @@
 //! as [`Errno::Restart`] so the application can retry it (§3.5).
 
 use crate::{error::Errno, kernel::Kernel, layout, program::UserApi};
+use ow_trace::{Counter, EventKind, Histogram};
 
 /// Syscall numbers (stored in the descriptor's `in_syscall` field + 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,13 +93,22 @@ impl<'k> KernelApi<'k> {
         }
         let cost = self.kernel.machine.cost.clone();
         self.kernel.machine.clock.charge(cost.syscall_entry);
-        if self.kernel.config.user_protection {
-            // Switch to the kernel-only page-table set (user unmapped).
-            self.kernel.machine.clock.charge(cost.pt_switch);
-            let Kernel { machine, .. } = &mut *self.kernel;
-            machine.mmu.flush(&mut machine.clock, &machine.cost);
-            self.kernel.pt_switches += 1;
+        // Switch to the kernel-only page-table set (user unmapped) when the
+        // protected mode is on.
+        self.kernel.protection_enter();
+
+        // Flight record + metrics: the entry event, the syscall counter,
+        // and the inter-arrival histogram.
+        let now = self.kernel.machine.clock.now();
+        self.kernel
+            .trace_event(EventKind::SyscallEnter, self.pid, nr as u64, 0);
+        self.kernel.trace_counter(Counter::Syscalls, 1);
+        let prev = self.kernel.last_syscall_enter;
+        if prev != 0 {
+            self.kernel
+                .trace_hist(Histogram::InterArrivalCycles, now.saturating_sub(prev));
         }
+        self.kernel.last_syscall_enter = now;
         // Mark the in-flight syscall in the descriptor.
         let desc_addr = self.kernel.proc(self.pid).map_err(|_| Errno::Io)?.desc_addr;
         let _ = self
@@ -121,7 +131,7 @@ impl<'k> KernelApi<'k> {
     }
 
     /// Common syscall exit: clear the marker, switch page tables back.
-    fn sys_exit(&mut self) {
+    fn sys_exit(&mut self, nr: SyscallNr) {
         if self.kernel.panicked.is_some() {
             return;
         }
@@ -134,12 +144,15 @@ impl<'k> KernelApi<'k> {
                 .write_u32(desc_addr + Self::in_syscall_off(), 0);
             let _ = self.kernel.reseal_desc(self.pid);
         }
-        if self.kernel.config.user_protection {
-            let cost = self.kernel.machine.cost.clone();
-            self.kernel.machine.clock.charge(cost.pt_switch);
-            let Kernel { machine, .. } = &mut *self.kernel;
-            machine.mmu.flush(&mut machine.clock, &machine.cost);
-            self.kernel.pt_switches += 1;
+        self.kernel.protection_exit();
+
+        let now = self.kernel.machine.clock.now();
+        let entered = self.kernel.last_syscall_enter;
+        self.kernel
+            .trace_event(EventKind::SyscallExit, self.pid, nr as u64, 0);
+        if entered != 0 {
+            self.kernel
+                .trace_hist(Histogram::SyscallCycles, now.saturating_sub(entered));
         }
     }
 
@@ -150,7 +163,7 @@ impl<'k> KernelApi<'k> {
     ) -> Result<T, Errno> {
         self.sys_enter(nr)?;
         let r = f(self.kernel, self.pid);
-        self.sys_exit();
+        self.sys_exit(nr);
         r
     }
 

@@ -1,0 +1,49 @@
+//! The memory-protected mode's page-table switching (§4).
+//!
+//! When `user_protection` is on, user space is unmapped while the kernel
+//! runs: every syscall entry switches to the kernel-only page-table set
+//! (and back on exit), flushing the TLB both times. That switch is the
+//! source of Table 3's overhead, so it is counted twice over — in the
+//! host-side `pt_switches` diagnostic and in the crash-surviving
+//! [`Counter::PtSwitches`] metrics slot.
+
+use crate::kernel::Kernel;
+use ow_trace::{Counter, EventKind};
+
+impl Kernel {
+    /// Syscall-entry half of the protected mode: switch to the kernel-only
+    /// page-table set, paying the switch and TLB-flush costs. No-op when
+    /// protection is disabled.
+    pub fn protection_enter(&mut self) {
+        if !self.config.user_protection {
+            return;
+        }
+        self.pt_switch();
+    }
+
+    /// Syscall-exit half: switch back to the full page-table set.
+    pub fn protection_exit(&mut self) {
+        if !self.config.user_protection {
+            return;
+        }
+        self.pt_switch();
+    }
+
+    fn pt_switch(&mut self) {
+        let cost = self.machine.cost.clone();
+        self.machine.clock.charge(cost.pt_switch);
+        let Kernel { machine, .. } = self;
+        machine.mmu.flush(&mut machine.clock, &machine.cost);
+        self.pt_switches += 1;
+        self.trace_counter(Counter::PtSwitches, 1);
+    }
+
+    /// Records a wild write that the protected mode trapped before it
+    /// landed (called by the fault injector, which simulates the stray
+    /// store). The trap itself panics the kernel cleanly; the trace record
+    /// is what lets the campaign attribute the outcome afterwards.
+    pub fn note_protection_trap(&mut self, addr: u64) {
+        self.trace_event(EventKind::ProtectionTrap, 0, addr, 0);
+        self.trace_counter(Counter::ProtectionTraps, 1);
+    }
+}

@@ -16,6 +16,7 @@ use ow_simhw::{
     machine::FrameOwner, mmu::AccessKind, paging::PageFault, Pfn, PhysAddr, Pte, PteFlags,
     VirtAddr, PAGE_SIZE,
 };
+use ow_trace::{Counter, EventKind};
 
 /// Flags preserved across a swap-out (so swap-in restores permissions).
 fn preserved(flags: PteFlags) -> PteFlags {
@@ -153,7 +154,10 @@ impl Kernel {
             flags |= PteFlags::FILE;
         }
         self.map_user_page(pid, page_va, pfn, flags)
-            .map_err(|_| Errno::NoMem)
+            .map_err(|_| Errno::NoMem)?;
+        self.trace_event(EventKind::PageFault, pid, page_va, pfn);
+        self.trace_counter(Counter::PageFaults, 1);
+        Ok(())
     }
 
     /// Brings a swapped page back in from the active swap partition.
@@ -174,7 +178,9 @@ impl Kernel {
             .map_err(|_| Errno::Io)?;
         let flags = preserved(old.flags()) | PteFlags::PRESENT | PteFlags::USER;
         self.map_user_page(pid, page_va, pfn, flags)
-            .map_err(|_| Errno::NoMem)
+            .map_err(|_| Errno::NoMem)?;
+        self.trace_counter(Counter::SwapIns, 1);
+        Ok(())
     }
 
     /// Translates a user access, performing demand paging and swap-in.
@@ -269,6 +275,7 @@ impl Kernel {
         }
         self.machine.mmu.invalidate(asp.root(), page_va);
         self.free_frame(pte.pfn());
+        self.trace_counter(Counter::SwapOuts, 1);
         Ok(())
     }
 

@@ -1,5 +1,12 @@
 //! Property-based tests for the kernel substrate: structure layouts,
 //! the kernel heap and the filesystem.
+//!
+//! Gated behind the off-by-default `heavy-tests` feature: proptest is not
+//! vendored, so running these requires network access to fetch it (add
+//! `proptest = "1"` back under `[dev-dependencies]` and enable the
+//! feature). The tier-1 offline gate (`ci.sh`) builds with the feature
+//! off, which compiles this file down to nothing.
+#![cfg(feature = "heavy-tests")]
 
 use ow_kernel::fs::Fs;
 use ow_kernel::kheap::KHeap;

@@ -22,6 +22,7 @@ pub mod machine;
 pub mod mmu;
 pub mod paging;
 pub mod phys;
+pub mod rng;
 pub mod watchdog;
 
 pub use blockdev::{BlockDevice, DevId};
@@ -33,6 +34,7 @@ pub use machine::{Machine, MachineConfig};
 pub use mmu::{AccessKind, Mmu, MmuStats};
 pub use paging::{AddressSpace, Pte, PteFlags};
 pub use phys::{MemError, PhysAddr, PhysMem, PAGE_SIZE};
+pub use rng::SimRng;
 
 /// Page frame number: a physical frame index.
 pub type Pfn = u64;

@@ -45,6 +45,10 @@ pub enum FrameOwner {
     /// Handoff structures: IDT-analog, context save areas, crash-region
     /// descriptor. Corruption here prevents booting the crash kernel.
     Handoff,
+    /// The flight-recorder trace region (`ow-trace`). Deliberately *not*
+    /// hardware-protected: wild writes land here and the per-record CRCs
+    /// contain the damage, mirroring pstore/ramoops on real hardware.
+    Trace,
 }
 
 /// Result of a wild write attempt.

@@ -1,4 +1,11 @@
 //! Property-based tests for the hardware substrate.
+//!
+//! Gated behind the off-by-default `heavy-tests` feature: proptest is not
+//! vendored, so running these requires network access to fetch it (add
+//! `proptest = "1"` back under `[dev-dependencies]` and enable the
+//! feature). The tier-1 offline gate (`ci.sh`) builds with the feature
+//! off, which compiles this file down to nothing.
+#![cfg(feature = "heavy-tests")]
 
 use ow_simhw::{
     paging::{PageFault, VA_LIMIT},

@@ -1,0 +1,212 @@
+//! Binary layout of the trace region.
+//!
+//! The region occupies `trace_frames` frames at the very top of simulated
+//! RAM — above even the crash-kernel reservation — so it survives both the
+//! panic and the subsequent kernel morph (the crash image relocates every
+//! generation; the flight recorder must not). Frame 0 of the region holds
+//! the header plus the metrics registry; the remaining frames hold the
+//! record slots.
+//!
+//! ```text
+//! frame 0:  magic | capacity | write_seq | dropped | generation
+//!           counters[NUM_COUNTERS] | histograms[NUM_HISTOGRAMS][64]
+//! frame 1+: record slots, RECORD_SIZE bytes each, written round-robin
+//! ```
+//!
+//! Every field is little-endian, matching `ow_simhw::PhysMem`.
+
+use crate::metrics::{NUM_COUNTERS, NUM_HISTOGRAMS};
+
+/// `"OWTR"` — the region header magic.
+pub const TRACE_MAGIC: u32 = 0x4f57_5452;
+
+/// Bytes per record slot.
+///
+/// seq(8) + cycles(8) + kind(4) + pid(8) + arg0(8) + arg1(8) + crc(4).
+pub const RECORD_SIZE: u64 = 48;
+
+/// Byte offsets inside one record slot.
+pub mod rec_off {
+    /// Monotonic sequence number (`write_seq` at emit time).
+    pub const SEQ: u64 = 0;
+    /// Simulated cycle timestamp.
+    pub const CYCLES: u64 = 8;
+    /// [`super::EventKind`] discriminant.
+    pub const KIND: u64 = 16;
+    /// Pid the event is attributed to (0 when none).
+    pub const PID: u64 = 20;
+    /// First event argument.
+    pub const ARG0: u64 = 28;
+    /// Second event argument.
+    pub const ARG1: u64 = 36;
+    /// CRC-32 over bytes `[0, CRC)` of the slot.
+    pub const CRC: u64 = 44;
+}
+
+/// Byte offsets inside the header frame.
+pub mod hdr_off {
+    /// [`super::TRACE_MAGIC`].
+    pub const MAGIC: u64 = 0;
+    /// Number of record slots in the region.
+    pub const CAPACITY: u64 = 4;
+    /// Records ever emitted (next slot = `write_seq % capacity`).
+    pub const WRITE_SEQ: u64 = 8;
+    /// Records the writer refused (ring not armed / region too small).
+    pub const DROPPED: u64 = 16;
+    /// Kernel generation that armed the ring.
+    pub const GENERATION: u64 = 24;
+    /// Monotonic counters start here.
+    pub const COUNTERS: u64 = 32;
+    /// Histograms (64 log₂ buckets each) follow the counters.
+    pub const HISTOGRAMS: u64 = COUNTERS + 8 * super::NUM_COUNTERS as u64;
+    /// One past the last header byte; must stay within one frame.
+    pub const END: u64 = HISTOGRAMS + 8 * 64 * super::NUM_HISTOGRAMS as u64;
+}
+
+/// What a trace record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum EventKind {
+    /// The ring was (re-)armed by a booting kernel. arg0 = generation.
+    Armed = 1,
+    /// Syscall entry. arg0 = syscall number.
+    SyscallEnter = 2,
+    /// Syscall exit. arg0 = syscall number, arg1 = cycles spent inside.
+    SyscallExit = 3,
+    /// A page fault was materialized. arg0 = virtual address.
+    PageFault = 4,
+    /// A page was read back from swap. arg0 = virtual address, arg1 = slot.
+    SwapIn = 5,
+    /// A page was written out to swap. arg0 = pfn, arg1 = slot.
+    SwapOut = 6,
+    /// The memory-protected mode trapped a stray store. arg0 = address.
+    ProtectionTrap = 7,
+    /// One step of the panic path executed. arg0 = [`PanicStep`] code,
+    /// arg1 = step-specific detail (cause code, frame, ...).
+    PanicStep = 8,
+    /// The fault injector fired. arg0 = manifestation code,
+    /// arg1 = wild writes applied.
+    FaultInjected = 9,
+}
+
+impl EventKind {
+    /// Decodes a stored discriminant.
+    pub fn from_u32(v: u32) -> Option<EventKind> {
+        Some(match v {
+            1 => EventKind::Armed,
+            2 => EventKind::SyscallEnter,
+            3 => EventKind::SyscallExit,
+            4 => EventKind::PageFault,
+            5 => EventKind::SwapIn,
+            6 => EventKind::SwapOut,
+            7 => EventKind::ProtectionTrap,
+            8 => EventKind::PanicStep,
+            9 => EventKind::FaultInjected,
+            _ => return None,
+        })
+    }
+
+    /// Short stable name (used by the JSON export and cause strings).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Armed => "armed",
+            EventKind::SyscallEnter => "syscall_enter",
+            EventKind::SyscallExit => "syscall_exit",
+            EventKind::PageFault => "page_fault",
+            EventKind::SwapIn => "swap_in",
+            EventKind::SwapOut => "swap_out",
+            EventKind::ProtectionTrap => "protection_trap",
+            EventKind::PanicStep => "panic_step",
+            EventKind::FaultInjected => "fault_injected",
+        }
+    }
+}
+
+/// `arg0` codes of [`EventKind::PanicStep`] records, in panic-path order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum PanicStep {
+    /// `do_panic` entered; arg1 = cause code.
+    Entered = 1,
+    /// The watchdog NMI caught a stall.
+    WatchdogFired = 2,
+    /// The handoff block was read and validated.
+    HandoffRead = 3,
+    /// The IDT crash gate survived validation.
+    IdtValidated = 4,
+    /// NMIs were broadcast to park the other CPUs.
+    NmiBroadcast = 5,
+    /// The crash-kernel image header checked out.
+    CrashImageValidated = 6,
+    /// Control is about to jump to the crash kernel.
+    Handoff = 7,
+    /// The panic path gave up; the machine halted. arg1 = reason code.
+    Halted = 8,
+}
+
+impl PanicStep {
+    /// Decodes a stored step code.
+    pub fn from_u64(v: u64) -> Option<PanicStep> {
+        Some(match v {
+            1 => PanicStep::Entered,
+            2 => PanicStep::WatchdogFired,
+            3 => PanicStep::HandoffRead,
+            4 => PanicStep::IdtValidated,
+            5 => PanicStep::NmiBroadcast,
+            6 => PanicStep::CrashImageValidated,
+            7 => PanicStep::Handoff,
+            8 => PanicStep::Halted,
+            _ => return None,
+        })
+    }
+
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PanicStep::Entered => "panic_entered",
+            PanicStep::WatchdogFired => "watchdog_fired",
+            PanicStep::HandoffRead => "handoff_read",
+            PanicStep::IdtValidated => "idt_validated",
+            PanicStep::NmiBroadcast => "nmi_broadcast",
+            PanicStep::CrashImageValidated => "crash_image_validated",
+            PanicStep::Handoff => "handoff",
+            PanicStep::Halted => "halted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ow_simhw::PAGE_SIZE;
+
+    #[test]
+    fn header_fits_one_frame() {
+        assert!(hdr_off::END <= PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn record_offsets_are_contiguous() {
+        assert_eq!(rec_off::CRC + 4, RECORD_SIZE);
+        assert_eq!(rec_off::ARG1 + 8, rec_off::CRC);
+    }
+
+    #[test]
+    fn kinds_round_trip() {
+        for v in 1..=9u32 {
+            let k = EventKind::from_u32(v).unwrap();
+            assert_eq!(k as u32, v);
+        }
+        assert_eq!(EventKind::from_u32(0), None);
+        assert_eq!(EventKind::from_u32(10), None);
+    }
+
+    #[test]
+    fn panic_steps_round_trip() {
+        for v in 1..=8u64 {
+            let s = PanicStep::from_u64(v).unwrap();
+            assert_eq!(s as u64, v);
+        }
+        assert_eq!(PanicStep::from_u64(99), None);
+    }
+}

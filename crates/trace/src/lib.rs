@@ -1,0 +1,33 @@
+//! `ow-trace`: a crash-surviving flight recorder for the Otherworld kernel.
+//!
+//! The paper's whole mechanism rests on one fact: after a panic, the dead
+//! kernel's state is still sitting in physical memory, and a crash kernel
+//! that knows the layout can parse it. This crate applies the same idea to
+//! *observability*. The main kernel continuously appends fixed-size,
+//! CRC-guarded trace records (syscalls, page faults, swap I/O, protection
+//! traps, panic-path steps, injected faults) into a reserved region of
+//! simulated physical memory — the moral equivalent of Linux's
+//! pstore/ramoops persistent ring. The region is never remapped, never
+//! freed, and never owned by any process, so when the kernel dies the ring
+//! is exactly where it was. The crash kernel then recovers it with the same
+//! validated-reader discipline `ow-core::reader` uses for process
+//! descriptors: every record is bounds-checked and CRC-checked, and a wild
+//! write that landed in the ring costs only the records it hit — recovery
+//! skips and counts them, it never aborts.
+//!
+//! The same region embeds a metrics registry (monotonic counters and
+//! log₂-bucketed latency histograms) that survives the crash too, so the
+//! microreboot report can say what the kernel had been doing, not just
+//! what it managed to resurrect.
+
+pub mod crc;
+pub mod json;
+pub mod layout;
+pub mod metrics;
+pub mod recover;
+pub mod ring;
+
+pub use layout::{EventKind, PanicStep, RECORD_SIZE, TRACE_MAGIC};
+pub use metrics::{Counter, Histogram, MetricsSnapshot, NUM_COUNTERS, NUM_HISTOGRAMS};
+pub use recover::{FlightRecord, TraceEvent};
+pub use ring::TraceRing;

@@ -1,0 +1,129 @@
+//! The metrics registry embedded in the trace region header.
+//!
+//! Counters are plain monotonic `u64`s; histograms bucket a sample by
+//! `log₂(value)` into 64 buckets, the usual trick for latency
+//! distributions whose tails span orders of magnitude. Both live in the
+//! header frame of the trace region, so they survive the panic and are
+//! folded into the microreboot report by the crash kernel.
+
+/// Monotonic counter slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Syscalls entered.
+    Syscalls = 0,
+    /// Page faults materialized.
+    PageFaults = 1,
+    /// Pages read back from swap.
+    SwapIns = 2,
+    /// Pages written out to swap.
+    SwapOuts = 3,
+    /// Page-table switches for the memory-protected mode.
+    PtSwitches = 4,
+    /// Stray stores trapped by the protected mode.
+    ProtectionTraps = 5,
+    /// Faults the injector fired.
+    FaultsInjected = 6,
+    /// Panic-path steps executed.
+    PanicSteps = 7,
+}
+
+/// Number of counter slots reserved in the header.
+pub const NUM_COUNTERS: usize = 8;
+
+/// Histogram slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(usize)]
+pub enum Histogram {
+    /// Cycles spent inside each syscall.
+    #[default]
+    SyscallCycles = 0,
+    /// Cycles between consecutive syscall entries per pid-agnostic stream.
+    InterArrivalCycles = 1,
+}
+
+/// Number of histogram slots reserved in the header.
+pub const NUM_HISTOGRAMS: usize = 2;
+
+/// Bucket index for a sample: `floor(log₂(v))`, with 0 → bucket 0.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        63 - value.leading_zeros() as usize
+    }
+}
+
+/// A recovered copy of the registry (possibly from a dead kernel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values, indexed by [`Counter`].
+    pub counters: [u64; NUM_COUNTERS],
+    /// Histogram buckets, indexed by [`Histogram`].
+    pub histograms: [[u64; 64]; NUM_HISTOGRAMS],
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            counters: [0; NUM_COUNTERS],
+            histograms: [[0; 64]; NUM_HISTOGRAMS],
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Total samples in one histogram.
+    pub fn samples(&self, h: Histogram) -> u64 {
+        self.histograms[h as usize].iter().sum()
+    }
+
+    /// Approximate p-quantile of a histogram (bucket lower bound), or
+    /// `None` when empty.
+    pub fn quantile(&self, h: Histogram, p: f64) -> Option<u64> {
+        let buckets = &self.histograms[h as usize];
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((total as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return Some(if i == 0 { 0 } else { 1u64 << i });
+            }
+        }
+        Some(1u64 << 63)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_is_floor_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantile_walks_buckets() {
+        let mut m = MetricsSnapshot::default();
+        m.histograms[0][3] = 90; // values in [8, 16)
+        m.histograms[0][10] = 10; // values in [1024, 2048)
+        assert_eq!(m.quantile(Histogram::SyscallCycles, 0.5), Some(8));
+        assert_eq!(m.quantile(Histogram::SyscallCycles, 0.99), Some(1024));
+        assert_eq!(m.quantile(Histogram::InterArrivalCycles, 0.5), None);
+    }
+}

@@ -1,0 +1,220 @@
+//! The writer side: a lock-free, wrap-around record ring.
+//!
+//! "Lock-free" is literal in the simulation — the kernel is the only
+//! writer, and each record is completed by writing its CRC last, so a
+//! crash between the payload and the CRC leaves a slot that recovery
+//! rejects rather than misparses. The ring is deliberately *not* covered
+//! by the crash-image hardware protection: wild writes are allowed to
+//! land here, and the per-record CRC is what contains the blast radius.
+
+use crate::crc::crc32;
+use crate::layout::{hdr_off, rec_off, EventKind, PanicStep, RECORD_SIZE, TRACE_MAGIC};
+use crate::metrics::{bucket_of, Counter, Histogram};
+use ow_simhw::{PhysMem, PAGE_SIZE};
+
+/// Handle to the trace region: pure location, no buffered state.
+///
+/// All mutable state (write cursor, counters) lives in simulated physical
+/// memory so that a panic loses nothing; the handle itself is `Copy` and
+/// can be rebuilt from the handoff block by any kernel generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRing {
+    /// First frame of the region.
+    pub base_frame: u64,
+    /// Frames in the region (header frame included).
+    pub frames: u64,
+}
+
+impl TraceRing {
+    /// Minimum region size: one header frame plus one record frame.
+    pub const MIN_FRAMES: u64 = 2;
+
+    /// Record slots a region of `frames` frames holds.
+    pub fn capacity_of(frames: u64) -> u64 {
+        frames.saturating_sub(1) * PAGE_SIZE as u64 / RECORD_SIZE
+    }
+
+    /// Base byte address of the region.
+    pub fn base_addr(&self) -> u64 {
+        self.base_frame * PAGE_SIZE as u64
+    }
+
+    /// Byte address of record slot `i`.
+    fn slot_addr(&self, i: u64) -> u64 {
+        self.base_addr() + PAGE_SIZE as u64 + i * RECORD_SIZE
+    }
+
+    /// Record slots this ring holds.
+    pub fn capacity(&self) -> u64 {
+        Self::capacity_of(self.frames)
+    }
+
+    /// Initializes the region for a fresh kernel generation: magic,
+    /// capacity, zeroed cursor, counters and histograms. Record slots are
+    /// left as-is (stale CRCs from the previous generation simply fail
+    /// validation against the new sequence numbers).
+    pub fn arm(
+        phys: &mut PhysMem,
+        base_frame: u64,
+        frames: u64,
+        generation: u32,
+    ) -> Option<TraceRing> {
+        if frames < Self::MIN_FRAMES {
+            return None;
+        }
+        let ring = TraceRing { base_frame, frames };
+        let base = ring.base_addr();
+        // The whole region is rebuilt from scratch: a zeroed slot is how
+        // recovery tells "never written" from "written then corrupted",
+        // and stale records from the previous generation must not leak
+        // into the next flight record.
+        for f in base_frame..base_frame + frames {
+            phys.zero_frame(f).ok()?;
+        }
+        phys.write_u32(base + hdr_off::MAGIC, TRACE_MAGIC).ok()?;
+        phys.write_u32(base + hdr_off::CAPACITY, ring.capacity() as u32)
+            .ok()?;
+        phys.write_u64(base + hdr_off::WRITE_SEQ, 0).ok()?;
+        phys.write_u64(base + hdr_off::DROPPED, 0).ok()?;
+        phys.write_u32(base + hdr_off::GENERATION, generation).ok()?;
+        Some(ring)
+    }
+
+    /// Appends one record. Infallible by design: on any memory error the
+    /// event is dropped (and counted when the header is still writable) —
+    /// tracing must never panic the kernel it is observing.
+    pub fn emit(
+        &self,
+        phys: &mut PhysMem,
+        cycles: u64,
+        kind: EventKind,
+        pid: u64,
+        arg0: u64,
+        arg1: u64,
+    ) {
+        let base = self.base_addr();
+        let capacity = self.capacity();
+        if capacity == 0 {
+            return;
+        }
+        let seq = match phys.read_u64(base + hdr_off::WRITE_SEQ) {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let slot = self.slot_addr(seq % capacity);
+        let mut buf = [0u8; RECORD_SIZE as usize];
+        buf[rec_off::SEQ as usize..][..8].copy_from_slice(&seq.to_le_bytes());
+        buf[rec_off::CYCLES as usize..][..8].copy_from_slice(&cycles.to_le_bytes());
+        buf[rec_off::KIND as usize..][..4].copy_from_slice(&(kind as u32).to_le_bytes());
+        buf[rec_off::PID as usize..][..8].copy_from_slice(&pid.to_le_bytes());
+        buf[rec_off::ARG0 as usize..][..8].copy_from_slice(&arg0.to_le_bytes());
+        buf[rec_off::ARG1 as usize..][..8].copy_from_slice(&arg1.to_le_bytes());
+        let crc = crc32(&buf[..rec_off::CRC as usize]);
+        buf[rec_off::CRC as usize..][..4].copy_from_slice(&crc.to_le_bytes());
+        if phys.write(slot, &buf).is_err() {
+            let _ = phys
+                .read_u64(base + hdr_off::DROPPED)
+                .and_then(|d| phys.write_u64(base + hdr_off::DROPPED, d + 1));
+            return;
+        }
+        // Cursor bump last: a crash mid-emit leaves the old cursor and a
+        // half-written slot whose CRC recovery will reject.
+        let _ = phys.write_u64(base + hdr_off::WRITE_SEQ, seq.wrapping_add(1));
+    }
+
+    /// Convenience: emit a panic-path step and bump its counter.
+    pub fn emit_panic_step(&self, phys: &mut PhysMem, cycles: u64, step: PanicStep, detail: u64) {
+        self.emit(
+            phys,
+            cycles,
+            EventKind::PanicStep,
+            0,
+            step as u64,
+            detail,
+        );
+        self.counter_add(phys, Counter::PanicSteps, 1);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn counter_add(&self, phys: &mut PhysMem, counter: Counter, n: u64) {
+        let addr = self.base_addr() + hdr_off::COUNTERS + 8 * counter as u64;
+        let _ = phys
+            .read_u64(addr)
+            .and_then(|v| phys.write_u64(addr, v.wrapping_add(n)));
+    }
+
+    /// Records one sample into a histogram.
+    pub fn hist_record(&self, phys: &mut PhysMem, hist: Histogram, value: u64) {
+        let addr = self.base_addr()
+            + hdr_off::HISTOGRAMS
+            + (hist as u64) * 8 * 64
+            + 8 * bucket_of(value) as u64;
+        let _ = phys
+            .read_u64(addr)
+            .and_then(|v| phys.write_u64(addr, v + 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover::FlightRecord;
+
+    fn mem(frames: usize) -> PhysMem {
+        PhysMem::new(frames)
+    }
+
+    #[test]
+    fn arm_rejects_undersized_region() {
+        let mut phys = mem(8);
+        assert!(TraceRing::arm(&mut phys, 4, 1, 0).is_none());
+        assert!(TraceRing::arm(&mut phys, 4, 2, 0).is_some());
+    }
+
+    #[test]
+    fn emit_then_recover_round_trips() {
+        let mut phys = mem(8);
+        let ring = TraceRing::arm(&mut phys, 4, 4, 0).unwrap();
+        ring.emit(&mut phys, 100, EventKind::SyscallEnter, 7, 3, 0);
+        ring.emit(&mut phys, 200, EventKind::PageFault, 7, 0x4000, 0);
+        let rec = FlightRecord::recover(&phys, 4, 4);
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.events[0].kind, EventKind::SyscallEnter);
+        assert_eq!(rec.events[0].cycles, 100);
+        assert_eq!(rec.events[1].arg0, 0x4000);
+        assert_eq!(rec.corrupt_records, 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_records() {
+        let mut phys = mem(8);
+        // 2 frames: 1 header + 1 record frame = 85 slots.
+        let ring = TraceRing::arm(&mut phys, 4, 2, 0).unwrap();
+        let cap = ring.capacity();
+        let total = cap + 10;
+        for i in 0..total {
+            ring.emit(&mut phys, i, EventKind::SyscallEnter, 1, i, 0);
+        }
+        let rec = FlightRecord::recover(&phys, 4, 2);
+        // Exactly one ring's worth survives, and it is the newest window.
+        assert_eq!(rec.events.len() as u64, cap);
+        assert_eq!(rec.events.first().unwrap().seq, total - cap);
+        assert_eq!(rec.events.last().unwrap().seq, total - 1);
+        // Strictly ordered.
+        assert!(rec.events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let mut phys = mem(8);
+        let ring = TraceRing::arm(&mut phys, 4, 2, 3).unwrap();
+        ring.counter_add(&mut phys, Counter::Syscalls, 2);
+        ring.counter_add(&mut phys, Counter::Syscalls, 1);
+        ring.hist_record(&mut phys, Histogram::SyscallCycles, 1000);
+        ring.hist_record(&mut phys, Histogram::SyscallCycles, 1);
+        let rec = FlightRecord::recover(&phys, 4, 2);
+        assert_eq!(rec.metrics.counter(Counter::Syscalls), 3);
+        assert_eq!(rec.metrics.samples(Histogram::SyscallCycles), 2);
+        assert_eq!(rec.generation, 3);
+    }
+}
