@@ -4,5 +4,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
-cargo test -q
+cargo test --workspace -q
 cargo clippy --all-targets -- -D warnings
+cargo fmt --check
+cargo doc --no-deps

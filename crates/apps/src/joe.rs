@@ -237,11 +237,10 @@ fn shadow_apply(s: &mut JoeState, key: u8) {
             }
         }
         0x17 => {}
-        b if ((b' '..=b'~').contains(&b) || b == b'\n')
-            && (s.text[win].len() as u64) < BUF_CAP => {
-                s.text[win].push(b);
-                s.undo.push((win as u64, OP_INSERT, b));
-            }
+        b if ((b' '..=b'~').contains(&b) || b == b'\n') && (s.text[win].len() as u64) < BUF_CAP => {
+            s.text[win].push(b);
+            s.undo.push((win as u64, OP_INSERT, b));
+        }
         _ => {}
     }
 }

@@ -251,10 +251,9 @@ fn shadow_apply(s: &mut DbState, req: &Request) {
     let mut row = req.row.clone();
     row.resize(mempse::ROW_SIZE as usize, 0);
     match req.op {
-        OP_INSERT
-            if n < TABLE_CAP => {
-                rows.push(row);
-            }
+        OP_INSERT if n < TABLE_CAP => {
+            rows.push(row);
+        }
         OP_UPDATE if n > 0 => rows[(req.idx % n) as usize] = row,
         OP_DELETE if n > 0 => {
             let idx = (req.idx % n) as usize;

@@ -196,11 +196,10 @@ fn shadow_apply(s: &mut ViState, key: u8) {
             }
         }
         0x17 => s.saved_len = s.text.len() as u64,
-        b if ((b' '..=b'~').contains(&b) || b == b'\n')
-            && (s.text.len() as u64) < BUF_CAP => {
-                s.text.push(b);
-                s.undo.push((OP_INSERT, b));
-            }
+        b if ((b' '..=b'~').contains(&b) || b == b'\n') && (s.text.len() as u64) < BUF_CAP => {
+            s.text.push(b);
+            s.undo.push((OP_INSERT, b));
+        }
         _ => {}
     }
 }

@@ -31,7 +31,8 @@ fn boot() -> (Kernel, u64) {
         tlb_entries: 16,
         cost: ow_simhw::CostModel::zero_io(),
     });
-    let mut k = Kernel::boot_cold(machine, KernelConfig::default(), ProgramRegistry::new()).unwrap();
+    let mut k =
+        Kernel::boot_cold(machine, KernelConfig::default(), ProgramRegistry::new()).unwrap();
     let mut spec = SpawnSpec::new("db", Box::new(Nop));
     spec.heap_pages = 16;
     let pid = k.spawn(spec).unwrap();

@@ -72,6 +72,14 @@ pub fn table4(batches_per_app: u32) -> Vec<Table4Row> {
                 ..OtherworldConfig::default()
             };
             let (_k2, report) = microreboot(k, &config).expect("microreboot");
+            // Table 4 is only credible if its byte accounting agrees with
+            // the layout registry: every fixed-size bucket must hold a
+            // whole number of registered records.
+            let violations = report.stats.registry_check();
+            assert!(
+                violations.is_empty(),
+                "Table 4 accounting disagrees with the layout registry: {violations:?}"
+            );
             let pr = report.proc_named(w.name()).expect("resurrected");
             Table4Row {
                 name: app_label(app),
@@ -167,6 +175,15 @@ fn campaign_json(c: &CampaignResult) -> Value {
         ("wild_writes_landed", Value::from(c.damage.landed as u64)),
         ("wild_writes_trapped", Value::from(c.damage.trapped as u64)),
         ("wild_writes_blocked", Value::from(c.damage.blocked as u64)),
+        (
+            "wild_write_victims",
+            Value::obj(
+                c.damage
+                    .victims
+                    .iter()
+                    .map(|(&name, &n)| (name, Value::from(n as u64))),
+            ),
+        ),
         ("records", Value::Array(records)),
     ])
 }

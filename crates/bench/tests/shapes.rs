@@ -36,10 +36,18 @@ fn table4_read_sizes_grow_with_app_and_page_tables_dominate() {
         );
     }
     for r in &rows {
-        assert!(r.page_table_pct > 50.0, "{}: page tables must dominate", r.name);
+        assert!(
+            r.page_table_pct > 50.0,
+            "{}: page tables must dominate",
+            r.name
+        );
         // §4: a vanishing share of the address space.
         let share = r.kernel_bytes as f64 / ow_simhw::paging::VA_LIMIT as f64;
-        assert!(share < 0.0013, "{}: {share} must stay below the 0.13% bound", r.name);
+        assert!(
+            share < 0.0013,
+            "{}: {share} must stay below the 0.13% bound",
+            r.name
+        );
     }
 }
 
@@ -66,7 +74,10 @@ fn table5_ablation_loses_the_stall_and_doublefault_classes() {
     let fixed = tables::table5(40, RobustnessFixes::default(), 0xab1a);
     let legacy = tables::table5(40, RobustnessFixes::legacy(), 0xab1a);
     let avg = |rows: &[tables::Table5Row]| {
-        rows.iter().map(|r| r.unprotected.success_pct()).sum::<f64>() / rows.len() as f64
+        rows.iter()
+            .map(|r| r.unprotected.success_pct())
+            .sum::<f64>()
+            / rows.len() as f64
     };
     assert!(
         avg(&legacy) + 3.0 < avg(&fixed),

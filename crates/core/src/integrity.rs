@@ -9,7 +9,7 @@
 //! copy is newer and wins; when the descriptor copy was corrupted the NMI
 //! copy repairs it.
 
-use ow_kernel::layout::{ProcDesc, SAVE_AREA_ADDR};
+use ow_layout::{ProcDesc, SAVE_AREA_ADDR};
 use ow_simhw::{
     cpu::{Context, SAVE_AREA_BYTES},
     PhysMem,
@@ -47,7 +47,7 @@ pub fn cross_check_context(phys: &PhysMem, desc: &ProcDesc) -> (Context, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ow_kernel::layout::pstate;
+    use ow_layout::pstate;
 
     fn desc(pid: u64, pc: u64) -> ProcDesc {
         ProcDesc {

@@ -14,6 +14,7 @@ use ow_kernel::{
     syscall::KernelApi,
     CrashAction, Kernel, KernelConfig, PanicOutcome, ProgramRegistry, SpawnSpec,
 };
+use ow_layout::Record;
 use std::fmt;
 
 /// Ways a microreboot can fail outright (Table 5's "failure to boot the
@@ -85,10 +86,8 @@ pub fn microreboot(
     // generation. The region's location comes from the handoff block, and
     // recovery is validated record-by-record — wild-write damage costs
     // individual records, never the whole recording.
-    let flight = ow_kernel::layout::HandoffBlock::read(&machine.phys)
-        .map(|(h, _)| {
-            ow_trace::FlightRecord::recover(&machine.phys, h.trace_base, h.trace_frames)
-        })
+    let flight = ow_layout::HandoffBlock::read(&machine.phys)
+        .map(|(h, _)| ow_trace::FlightRecord::recover(&machine.phys, h.trace_base, h.trace_frames))
         .unwrap_or_default();
 
     // Stage 3: the crash kernel initializes itself inside its reservation.
@@ -237,7 +236,7 @@ fn resolve_policy(k: &mut Kernel, source: &PolicySource) -> ResurrectionPolicy {
 /// pipes were consistent and restored.
 fn restore_pipes(
     k: &mut Kernel,
-    header: &ow_kernel::layout::KernelHeader,
+    header: &ow_layout::KernelHeader,
     stats: &mut crate::stats::ReadStats,
 ) -> bool {
     let old = reader::read_pipe_table(&k.machine.phys, header, stats);
@@ -263,8 +262,8 @@ fn restore_pipes(
                 }
                 stats.add(ReadKind::PipeBuffer, buf.len() as u64);
                 let _ = k.machine.phys.write(new_pfn * ow_simhw::PAGE_BYTES, &buf);
-                let addr = k.pipe_table_addr + id as u64 * ow_kernel::layout::PipeDesc::SIZE;
-                let _ = ow_kernel::layout::PipeDesc {
+                let addr = k.pipe_table_addr + id as u64 * ow_layout::PipeDesc::SIZE;
+                let _ = ow_layout::PipeDesc {
                     locked: 0,
                     rd: desc.rd,
                     wr: desc.wr,

@@ -2,13 +2,14 @@
 //!
 //! Everything here must assume the bytes may have been corrupted by the
 //! fault that killed the main kernel (§4): every structure is
-//! magic-checked and bounds-checked by [`ow_kernel::layout`], every linked
+//! magic-checked and bounds-checked by [`ow_layout`], every linked
 //! chain is walked with a length guard (a corrupted `next` pointer must not
 //! loop forever), and every byte read is accounted in [`ReadStats`] —
 //! that accounting *is* Table 4.
 
 use crate::stats::{ReadKind, ReadStats};
-use ow_kernel::layout::{
+use ow_layout::Record;
+use ow_layout::{
     FileRecord, FileTable, KernelHeader, LayoutError, PageCacheNode, PipeDesc, ProcDesc, ShmDesc,
     SigTable, SockDesc, SwapDesc, TermDesc, VmaDesc,
 };
@@ -276,7 +277,7 @@ pub fn account_page_tables(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ow_kernel::layout::{pstate, HANDOFF_FRAMES};
+    use ow_layout::{pstate, HANDOFF_FRAMES};
 
     fn desc(mm_head: PhysAddr) -> ProcDesc {
         ProcDesc {

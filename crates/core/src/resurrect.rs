@@ -23,6 +23,7 @@ use ow_kernel::{
     swap::SwapArea,
     Kernel, KernelError,
 };
+use ow_layout::Record;
 use ow_simhw::{machine::FrameOwner, AddressSpace, PhysAddr, Pte, PteFlags, PAGE_SIZE};
 
 /// Page-materialization counters for one process.
@@ -126,7 +127,7 @@ pub fn resurrect_process(
     let mut entries = Vec::new();
     old_asp
         .for_each_mapped(&k.machine.phys, |va, pte| entries.push((va, pte)))
-        .map_err(|e| ReadError::Layout(ow_kernel::layout::LayoutError::Mem(e)))?;
+        .map_err(|e| ReadError::Layout(ow_layout::LayoutError::Mem(e)))?;
 
     let (crash_base, crash_frames) = dead.crash_region;
     for (va, pte) in entries {
@@ -144,13 +145,11 @@ pub fn resurrect_process(
             if old_pfn >= k.machine.frames()
                 || (old_pfn >= crash_base && old_pfn < crash_base + crash_frames)
             {
-                return Err(ReadError::Layout(
-                    ow_kernel::layout::LayoutError::BadValue {
-                        structure: "Pte",
-                        field: "pfn",
-                        addr: va,
-                    },
-                ));
+                return Err(ReadError::Layout(ow_layout::LayoutError::BadValue {
+                    structure: "Pte",
+                    field: "pfn",
+                    addr: va,
+                }));
             }
             let use_map = match strategy {
                 ResurrectionStrategy::MapPages => true,
@@ -185,13 +184,13 @@ pub fn resurrect_process(
         } else if flags.contains(PteFlags::SWAPPED) {
             // Migrate between swap partitions: read from the dead kernel's
             // partition, write to ours (§3.3).
-            let swap = dead.swap.ok_or(ReadError::Layout(
-                ow_kernel::layout::LayoutError::BadValue {
+            let swap = dead
+                .swap
+                .ok_or(ReadError::Layout(ow_layout::LayoutError::BadValue {
                     structure: "SwapDesc",
                     field: "missing",
                     addr: 0,
-                },
-            ))?;
+                }))?;
             let buf = swap
                 .read_slot_buf(&mut k.machine, pte.pfn() as u32)
                 .map_err(|e| corrupt("swap read", e))?;
@@ -304,7 +303,7 @@ pub fn resurrect_process(
 }
 
 fn corrupt(what: &'static str, _cause: KernelError) -> ReadError {
-    ReadError::Layout(ow_kernel::layout::LayoutError::BadValue {
+    ReadError::Layout(ow_layout::LayoutError::BadValue {
         structure: "resurrection",
         field: what,
         addr: 0,
@@ -417,7 +416,7 @@ fn resurrect_file(
 /// reopening must be transparent to the application).
 fn install_fd(k: &mut Kernel, pid: u64, slot: u32, frec_addr: PhysAddr) -> Result<(), KernelError> {
     let desc = k.read_desc(pid)?;
-    let (mut tab, _) = ow_kernel::layout::FileTable::read(&k.machine.phys, desc.files)?;
+    let (mut tab, _) = ow_layout::FileTable::read(&k.machine.phys, desc.files)?;
     tab.fds[slot as usize] = frec_addr;
     tab.write(&mut k.machine.phys, desc.files)?;
     Ok(())
@@ -436,7 +435,7 @@ fn resurrect_terminal(
         .create_terminal()
         .map_err(|e| corrupt("terminal create", e))?;
     // Copy the screen buffer from the dead kernel's frame.
-    let cells = (ow_kernel::layout::TERM_COLS * ow_kernel::layout::TERM_ROWS) as usize;
+    let cells = (ow_layout::TERM_COLS * ow_layout::TERM_ROWS) as usize;
     let mut screen = vec![0u8; cells];
     k.machine
         .phys
@@ -460,11 +459,7 @@ fn resurrect_terminal(
 }
 
 /// Recreates a shared-memory segment with the dead kernel's contents.
-fn restore_shm(
-    k: &mut Kernel,
-    pid: u64,
-    seg: &ow_kernel::layout::ShmDesc,
-) -> Result<(), ReadError> {
+fn restore_shm(k: &mut Kernel, pid: u64, seg: &ow_layout::ShmDesc) -> Result<(), ReadError> {
     let new_frames = k
         .shm_attach(pid, seg.key, seg.npages as u64, seg.attach_vaddr)
         .map_err(|e| corrupt("shm attach", e))?;
@@ -553,10 +548,7 @@ fn resurrect_sockets(
                 .desc_addr;
             k.machine
                 .phys
-                .write_u64(
-                    proc_addr + ow_kernel::layout::proc_off::SOCK_HEAD,
-                    desc_addr,
-                )
+                .write_u64(proc_addr + ow_layout::proc_off::SOCK_HEAD, desc_addr)
                 .map_err(|e| corrupt("sock link", KernelError::Mem(e)))?;
             k.reseal_desc(new_pid)
                 .map_err(|e| corrupt("sock link", e))?;

@@ -71,6 +71,30 @@ impl ReadKind {
             ReadKind::PipeBuffer => "pipe_buffer",
         }
     }
+
+    /// Name of the corresponding [`ow_layout::REGISTRY`] entry for kinds
+    /// that account fixed-size records, or `None` for the variable-size
+    /// buckets (page tables, screens, payload bytes).
+    pub fn registry_name(self) -> Option<&'static str> {
+        Some(match self {
+            ReadKind::KernelHeader => "KernelHeader",
+            ReadKind::ProcDesc => "ProcDesc",
+            ReadKind::Vma => "VmaDesc",
+            ReadKind::FileTable => "FileTable",
+            ReadKind::FileRecord => "FileRecord",
+            ReadKind::PageCacheNode => "PageCacheNode",
+            ReadKind::SigTable => "SigTable",
+            ReadKind::ShmDesc => "ShmDesc",
+            ReadKind::SockDesc => "SockDesc",
+            ReadKind::PipeDesc => "PipeDesc",
+            ReadKind::SwapDesc => "SwapDesc",
+            ReadKind::TermDesc => "TermDesc",
+            ReadKind::PageTables
+            | ReadKind::TerminalScreen
+            | ReadKind::SockPayload
+            | ReadKind::PipeBuffer => return None,
+        })
+    }
 }
 
 /// Byte accounting of reads from the dead kernel.
@@ -101,6 +125,24 @@ impl ReadStats {
         } else {
             self.pt_bytes as f64 / self.total_bytes as f64
         }
+    }
+
+    /// Cross-checks the accounting against the layout registry: every
+    /// fixed-size bucket must hold a whole number of records of that
+    /// structure's registered footprint. Returns the violations (kind,
+    /// bytes, footprint); an empty vec means Table 4 and the registry
+    /// agree.
+    pub fn registry_check(&self) -> Vec<(ReadKind, u64, u64)> {
+        let mut bad = Vec::new();
+        for (&kind, &bytes) in &self.by_kind {
+            if let Some(name) = kind.registry_name() {
+                let size = ow_layout::footprint(name);
+                if size == 0 || bytes % size != 0 {
+                    bad.push((kind, bytes, size));
+                }
+            }
+        }
+        bad
     }
 
     /// Folds another stats block into this one.
@@ -160,7 +202,7 @@ pub struct ProcReport {
     /// Outcome.
     pub outcome: ProcOutcome,
     /// Bitmask of resource types that were not restored
-    /// ([`ow_kernel::layout::resmask`]), as passed to the crash procedure.
+    /// ([`ow_layout::resmask`]), as passed to the crash procedure.
     pub failed_resources: u32,
     /// Dead-kernel bytes read to resurrect this process.
     pub bytes_read: u64,
@@ -233,6 +275,18 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.by_kind[&ReadKind::Vma], 15);
         assert_eq!(a.pt_bytes, 20);
+    }
+
+    #[test]
+    fn registry_check_flags_partial_records() {
+        let mut s = ReadStats::default();
+        s.add(ReadKind::ProcDesc, 2 * ow_layout::footprint("ProcDesc"));
+        s.add(ReadKind::PageTables, 12345); // variable-size: never checked
+        assert!(s.registry_check().is_empty());
+        s.add(ReadKind::Vma, ow_layout::footprint("VmaDesc") - 1);
+        let bad = s.registry_check();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, ReadKind::Vma);
     }
 
     #[test]

@@ -22,7 +22,10 @@ impl Program for Scribbler {
     fn step(&mut self, api: &mut dyn UserApi) -> StepResult {
         let c = api.mem_read_u64(COUNT_ADDR).unwrap_or(0);
         let _ = api.mem_write_u64(COUNT_ADDR, c + 1);
-        if let Ok(fd) = api.open("/flight.log", oflags::WRITE | oflags::CREATE | oflags::APPEND) {
+        if let Ok(fd) = api.open(
+            "/flight.log",
+            oflags::WRITE | oflags::CREATE | oflags::APPEND,
+        ) {
             let _ = api.write(fd, b"tick\n");
             let _ = api.close(fd);
         }
@@ -92,7 +95,10 @@ fn recovered_flight_tells_the_story_of_the_crash() {
 
     // The newest record is the panic path handing off to the crash kernel.
     let last = flight.last_event().expect("events");
-    assert!(last.is_panic_step(), "last event must be a panic step: {last:?}");
+    assert!(
+        last.is_panic_step(),
+        "last event must be a panic step: {last:?}"
+    );
     assert!(
         flight.tail_summary(4).contains("panic:handoff"),
         "{}",
@@ -101,7 +107,10 @@ fn recovered_flight_tells_the_story_of_the_crash() {
 
     // The workload's activity shows up in both the events and the metrics.
     assert!(
-        flight.events.iter().any(|e| e.kind == EventKind::SyscallEnter),
+        flight
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::SyscallEnter),
         "workload syscalls must be on record"
     );
     assert!(flight.metrics.counter(TraceCounter::Syscalls) > 0);
@@ -123,7 +132,9 @@ fn wild_write_into_the_trace_region_costs_one_record_not_the_flight() {
     // slot in the first record frame.
     let trace_base = k.machine.phys.frames() - k.config.trace_frames;
     let slot_addr = (trace_base + 1) * ow_simhw::PAGE_BYTES + 2 * 48 + 16;
-    let out = k.machine.wild_write(slot_addr, 0xdead_beef_dead_beef, false);
+    let out = k
+        .machine
+        .wild_write(slot_addr, 0xdead_beef_dead_beef, false);
     assert_eq!(
         out,
         ow_simhw::machine::WildWriteOutcome::Landed(ow_simhw::machine::FrameOwner::Trace)
@@ -134,7 +145,10 @@ fn wild_write_into_the_trace_region_costs_one_record_not_the_flight() {
     let flight = &report.flight;
 
     // Recovery skipped the damaged record and kept everything else.
-    assert!(flight.corrupt_records >= 1, "damaged record must be counted");
+    assert!(
+        flight.corrupt_records >= 1,
+        "damaged record must be counted"
+    );
     assert!(!flight.events.is_empty(), "the rest of the flight survives");
     assert!(flight.last_event().expect("events").is_panic_step());
     assert!(

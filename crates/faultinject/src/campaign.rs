@@ -259,7 +259,10 @@ pub fn run_experiment<W: Workload>(
     };
     if !proc_report.outcome.is_success() {
         return (
-            classified(Outcome::ResurrectFailure(format!("{:?}", proc_report.outcome))),
+            classified(Outcome::ResurrectFailure(format!(
+                "{:?}",
+                proc_report.outcome
+            ))),
             damage,
         );
     }
@@ -293,9 +296,7 @@ pub fn run_campaign<W: Workload>(
         let mut workload = make_workload(seed);
         let (record, damage) = run_experiment(&mut workload, cfg, seed);
         seed = seed.wrapping_add(1);
-        result.damage.landed += damage.landed;
-        result.damage.trapped += damage.trapped;
-        result.damage.blocked += damage.blocked;
+        result.damage.merge(&damage);
         match &record.outcome {
             Outcome::NoCrash => {
                 result.discarded += 1;

@@ -19,6 +19,7 @@
 use ow_kernel::{Kernel, PanicCause, PendingFault};
 use ow_simhw::{machine::WildWriteOutcome, SimRng, PAGE_SIZE};
 use ow_trace::{Counter, EventKind};
+use std::collections::BTreeMap;
 
 /// What kind of source-level fault was injected (the Rio taxonomy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +109,7 @@ pub fn draw_fault(rng: &mut SimRng) -> Fault {
 }
 
 /// Statistics about where injected wild writes landed.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DamageReport {
     /// Writes that landed somewhere.
     pub landed: u32,
@@ -116,6 +117,22 @@ pub struct DamageReport {
     pub trapped: u32,
     /// Writes refused by the crash-image hardware protection.
     pub blocked: u32,
+    /// Landed writes classified by the registered structure they hit
+    /// ([`ow_layout::classify_victim`]); writes that landed outside any
+    /// registered structure are not counted here.
+    pub victims: BTreeMap<&'static str, u32>,
+}
+
+impl DamageReport {
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: &DamageReport) {
+        self.landed += other.landed;
+        self.trapped += other.trapped;
+        self.blocked += other.blocked;
+        for (&name, &n) in &other.victims {
+            *self.victims.entry(name).or_insert(0) += n;
+        }
+    }
 }
 
 /// Applies one wild write at a model-chosen physical address.
@@ -150,7 +167,7 @@ pub fn apply_wild_write(k: &mut Kernel, rng: &mut SimRng, report: &mut DamageRep
                 // The current process's descriptor neighborhood.
                 let cur = k.machine.cpus[0].current_pid;
                 match k.proc(cur) {
-                    Ok(p) => p.desc_addr + rng.gen_range(0..ow_kernel::layout::ProcDesc::SIZE),
+                    Ok(p) => p.desc_addr + rng.gen_range(0..ow_layout::footprint("ProcDesc")),
                     Err(_) => rng.gen_range(0..total_bytes),
                 }
             }
@@ -203,8 +220,17 @@ pub fn apply_wild_write(k: &mut Kernel, rng: &mut SimRng, report: &mut DamageRep
     };
     let mask = rng.next_u64() | 1; // never a no-op
     let via_virtual = rng.gen_bool(0.9);
+    // Classify before the write lands: classification scans for the
+    // victim's magic, which the write itself may destroy. Purely a memory
+    // read, so campaign outcomes stay deterministic per seed.
+    let victim = ow_layout::classify_victim(&k.machine.phys, addr).map(|e| e.name);
     match k.machine.wild_write(addr, mask, via_virtual) {
-        WildWriteOutcome::Landed(_) => report.landed += 1,
+        WildWriteOutcome::Landed(_) => {
+            report.landed += 1;
+            if let Some(name) = victim {
+                *report.victims.entry(name).or_insert(0) += 1;
+            }
+        }
         WildWriteOutcome::TrappedByProtection => {
             report.trapped += 1;
             // The protected mode caught the stray store: leave evidence in

@@ -28,6 +28,15 @@ pub enum KernelError {
     TooMany(&'static str),
     /// No such process.
     NoProc(u64),
+    /// The handoff block was written by a kernel of a different layout
+    /// generation; parsing its structures would be guesswork, so the crash
+    /// kernel refuses the handoff instead (classified, clean failure).
+    LayoutGeneration {
+        /// Generation stamped into the handoff block.
+        stored: u32,
+        /// Generation this build understands.
+        expected: u32,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -44,6 +53,10 @@ impl fmt::Display for KernelError {
             KernelError::Corrupt(what) => write!(f, "corrupted structure: {what}"),
             KernelError::TooMany(what) => write!(f, "table full: {what}"),
             KernelError::NoProc(pid) => write!(f, "no such process {pid}"),
+            KernelError::LayoutGeneration { stored, expected } => write!(
+                f,
+                "layout generation mismatch: handoff stamped v{stored}, this kernel speaks v{expected}"
+            ),
         }
     }
 }

@@ -19,6 +19,7 @@ use crate::{
     layout::{self, resmask, PipeDesc, ShmDesc, SockDesc, PIPE_CAP},
     KernelResult,
 };
+use ow_layout::Record;
 use ow_simhw::{machine::FrameOwner, PhysAddr, PteFlags, PAGE_SIZE};
 
 /// Maximum pipes in the system.

@@ -21,6 +21,7 @@ use crate::{
     term::TermHandle,
     KernelResult,
 };
+use ow_layout::Record;
 use ow_simhw::{
     clock::CYCLES_PER_SEC,
     machine::{FrameOwner, Machine},
@@ -464,6 +465,15 @@ impl Kernel {
             )
         } else {
             let (h, _) = HandoffBlock::read(&machine.phys)?;
+            // A crash kernel of a different layout generation must refuse
+            // the handoff: every descriptor it would parse out of the dead
+            // kernel's memory could silently mean something else.
+            if h.layout_version != layout::LAYOUT_VERSION {
+                return Err(KernelError::LayoutGeneration {
+                    stored: h.layout_version,
+                    expected: layout::LAYOUT_VERSION,
+                });
+            }
             (
                 kernel_end,
                 h.crash_base + h.crash_frames,
@@ -530,8 +540,12 @@ impl Kernel {
             kernel
                 .machine
                 .set_owner_range(trace_base, trace_frames, FrameOwner::Trace);
-            kernel.trace =
-                TraceRing::arm(&mut kernel.machine.phys, trace_base, trace_frames, generation);
+            kernel.trace = TraceRing::arm(
+                &mut kernel.machine.phys,
+                trace_base,
+                trace_frames,
+                generation,
+            );
             kernel.trace_event(EventKind::Armed, 0, generation as u64, trace_base);
         }
 
@@ -605,6 +619,7 @@ impl Kernel {
         kernel.write_header()?;
         if cold {
             HandoffBlock {
+                layout_version: layout::LAYOUT_VERSION,
                 active_kernel_frame: base_frame,
                 crash_base: 0,
                 crash_frames: 0,

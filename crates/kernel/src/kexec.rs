@@ -7,6 +7,7 @@ use crate::{
     layout::{CrashImageHeader, HandoffBlock},
     KernelResult,
 };
+use ow_layout::Record;
 use ow_simhw::{machine::FrameOwner, FrameAllocator, Pfn, PAGE_BYTES};
 
 impl Kernel {

@@ -1,1734 +1,18 @@
-//! Binary layouts of every kernel structure the crash kernel must parse.
+//! On-memory layout of every kernel structure the crash kernel must parse.
 //!
-//! The paper builds the main and crash kernels from the same source so that
-//! both agree on structure layout (§3.1). This module is that shared source:
-//! the main kernel serializes its process descriptors, memory maps, file
-//! records, page-cache nodes, swap descriptors, terminals, signal tables and
-//! shared-memory segments into physical memory using these layouts, and the
-//! crash kernel re-reads them through the same definitions — validating a
-//! per-structure magic number first, because a wild write may have destroyed
-//! anything (§4).
+//! The definitions themselves live in the shared [`ow_layout`] crate — the
+//! single source of truth for magics, encoded sizes, layout versions and
+//! the [`Record`](ow_layout::Record) codec — so that the main kernel
+//! (writer), the crash kernel (reader, `ow-core`), the flight recorder
+//! (`ow-trace`) and the fault injector (`ow-faultinject`) can never drift
+//! apart. This module re-exports the whole vocabulary under the kernel's
+//! traditional `crate::layout` path.
 //!
-//! Every structure starts with a 4-byte magic. All integers are
-//! little-endian. Strings are fixed-size, zero-padded byte arrays.
-
-use ow_simhw::{MemError, PhysAddr, PhysMem};
-use std::fmt;
-
-/// Maximum open files per process.
-pub const MAX_FDS: usize = 16;
-
-/// Number of signals.
-pub const NSIG: usize = 16;
-
-/// Maximum pages in one shared-memory segment.
-pub const SHM_MAX_PAGES: usize = 64;
-
-/// Maximum length of a stored file path.
-pub const PATH_LEN: usize = 64;
-
-/// Maximum length of a process name (doubles as the executable identity the
-/// crash kernel uses to re-instantiate the program).
-pub const NAME_LEN: usize = 32;
-
-/// Resource-type bits for [`ProcDesc::res_in_use`] and the crash-procedure
-/// bitmask argument (paper §3.4): each set bit is a resource type the crash
-/// kernel did not (or cannot) resurrect.
-pub mod resmask {
-    /// Network sockets (not resurrectable in the prototype).
-    pub const SOCKETS: u32 = 1 << 0;
-    /// Pipes (not resurrectable in the prototype).
-    pub const PIPES: u32 = 1 << 1;
-    /// Pseudo-terminals (only physical terminals are restorable).
-    pub const PTY: u32 = 1 << 2;
-    /// Open files (set in the failure mask only when reopening failed).
-    pub const FILES: u32 = 1 << 3;
-    /// Shared memory segments.
-    pub const SHM: u32 = 1 << 4;
-    /// Physical terminal state.
-    pub const TERMINAL: u32 = 1 << 5;
-    /// Signal handler table.
-    pub const SIGNALS: u32 = 1 << 6;
-}
-
-/// Errors raised when parsing structures out of (possibly corrupted) memory.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum LayoutError {
-    /// The magic number did not match: the structure was corrupted or the
-    /// pointer was garbage.
-    BadMagic {
-        /// Which structure was expected.
-        expected: &'static str,
-        /// Address that was read.
-        addr: PhysAddr,
-    },
-    /// A field failed a sanity bound (e.g. an fd count larger than the
-    /// table, a pointer past the end of RAM).
-    BadValue {
-        /// Which structure.
-        structure: &'static str,
-        /// Which field failed.
-        field: &'static str,
-        /// Address of the structure.
-        addr: PhysAddr,
-    },
-    /// The underlying physical read failed (pointer outside RAM).
-    Mem(MemError),
-}
-
-impl fmt::Display for LayoutError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            LayoutError::BadMagic { expected, addr } => {
-                write!(f, "bad magic for {expected} at {addr:#x}")
-            }
-            LayoutError::BadValue {
-                structure,
-                field,
-                addr,
-            } => {
-                write!(f, "implausible {structure}.{field} at {addr:#x}")
-            }
-            LayoutError::Mem(e) => write!(f, "memory error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for LayoutError {}
-
-impl From<MemError> for LayoutError {
-    fn from(e: MemError) -> Self {
-        LayoutError::Mem(e)
-    }
-}
-
-/// Sequential reader over physical memory.
-pub struct Cursor<'a> {
-    phys: &'a PhysMem,
-    addr: PhysAddr,
-    /// Bytes consumed (the crash kernel accounts every byte it reads from
-    /// the dead kernel — Table 4).
-    pub consumed: u64,
-}
-
-impl<'a> Cursor<'a> {
-    /// Starts reading at `addr`.
-    pub fn new(phys: &'a PhysMem, addr: PhysAddr) -> Self {
-        Cursor {
-            phys,
-            addr,
-            consumed: 0,
-        }
-    }
-
-    /// Current address.
-    pub fn addr(&self) -> PhysAddr {
-        self.addr
-    }
-
-    /// Reads a `u32` and advances.
-    pub fn u32(&mut self) -> Result<u32, LayoutError> {
-        let v = self.phys.read_u32(self.addr)?;
-        self.addr += 4;
-        self.consumed += 4;
-        Ok(v)
-    }
-
-    /// Reads a `u64` and advances.
-    pub fn u64(&mut self) -> Result<u64, LayoutError> {
-        let v = self.phys.read_u64(self.addr)?;
-        self.addr += 8;
-        self.consumed += 8;
-        Ok(v)
-    }
-
-    /// Reads `N` bytes and advances.
-    pub fn bytes<const N: usize>(&mut self) -> Result<[u8; N], LayoutError> {
-        let mut buf = [0u8; N];
-        self.phys.read(self.addr, &mut buf)?;
-        self.addr += N as u64;
-        self.consumed += N as u64;
-        Ok(buf)
-    }
-}
-
-/// Sequential writer over physical memory.
-pub struct CursorMut<'a> {
-    phys: &'a mut PhysMem,
-    addr: PhysAddr,
-}
-
-impl<'a> CursorMut<'a> {
-    /// Starts writing at `addr`.
-    pub fn new(phys: &'a mut PhysMem, addr: PhysAddr) -> Self {
-        CursorMut { phys, addr }
-    }
-
-    /// Current address.
-    pub fn addr(&self) -> PhysAddr {
-        self.addr
-    }
-
-    /// Writes a `u32` and advances.
-    pub fn u32(&mut self, v: u32) -> Result<(), LayoutError> {
-        self.phys.write_u32(self.addr, v)?;
-        self.addr += 4;
-        Ok(())
-    }
-
-    /// Writes a `u64` and advances.
-    pub fn u64(&mut self, v: u64) -> Result<(), LayoutError> {
-        self.phys.write_u64(self.addr, v)?;
-        self.addr += 8;
-        Ok(())
-    }
-
-    /// Writes a fixed byte array and advances.
-    pub fn bytes(&mut self, buf: &[u8]) -> Result<(), LayoutError> {
-        self.phys.write(self.addr, buf)?;
-        self.addr += buf.len() as u64;
-        Ok(())
-    }
-}
-
-/// Encodes a string into a fixed, zero-padded array (truncating).
-pub fn pack_str<const N: usize>(s: &str) -> [u8; N] {
-    let mut buf = [0u8; N];
-    let b = s.as_bytes();
-    let n = b.len().min(N - 1);
-    buf[..n].copy_from_slice(&b[..n]);
-    buf
-}
-
-/// Decodes a zero-padded array back into a string (lossy).
-pub fn unpack_str(buf: &[u8]) -> String {
-    let end = buf.iter().position(|&b| b == 0).unwrap_or(buf.len());
-    String::from_utf8_lossy(&buf[..end]).into_owned()
-}
-
-fn check_magic(cur: &mut Cursor<'_>, expected: u32, name: &'static str) -> Result<(), LayoutError> {
-    let addr = cur.addr();
-    if cur.u32()? != expected {
-        return Err(LayoutError::BadMagic {
-            expected: name,
-            addr,
-        });
-    }
-    Ok(())
-}
-
-// ---------------------------------------------------------------------------
-// Handoff block (fixed at physical frame 0)
-// ---------------------------------------------------------------------------
-
-/// Magic for [`HandoffBlock`].
-pub const HANDOFF_MAGIC: u32 = 0x4f48_574f; // "OWHO"
-/// Secondary validity stamp for the interrupt-descriptor-table analog. The
-/// panic path refuses to run if this is corrupted — the paper's ~100
-/// unprotected lines depend on the IDT and a few kernel page entries (§6).
-pub const IDT_MAGIC: u32 = 0x3054_4449; // "IDT0"
-
-/// Physical address of the handoff block.
-pub const HANDOFF_ADDR: PhysAddr = 0;
-/// Physical address of the per-CPU context save areas (frame 1).
-pub const SAVE_AREA_ADDR: PhysAddr = 4096;
-/// Number of frames reserved for handoff structures (block + save areas).
-pub const HANDOFF_FRAMES: u64 = 2;
-
-/// The fixed-location descriptor both kernels share: where the active
-/// kernel's header lives and where the crash kernel image is loaded.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HandoffBlock {
-    /// Frame of the active kernel's [`KernelHeader`].
-    pub active_kernel_frame: u64,
-    /// First frame of the crash-kernel reservation.
-    pub crash_base: u64,
-    /// Size of the crash-kernel reservation in frames.
-    pub crash_frames: u64,
-    /// Non-zero when a bootable crash-kernel image is loaded.
-    pub crash_entry_ok: u32,
-    /// IDT-analog validity stamp; must equal [`IDT_MAGIC`].
-    pub idt_stamp: u32,
-    /// Physical address of the per-CPU context save areas.
-    pub save_area: PhysAddr,
-    /// Microreboot generation counter (0 = first boot).
-    pub generation: u32,
-    /// First frame of the flight-recorder trace region (0 = no tracing).
-    pub trace_base: u64,
-    /// Frames in the trace region.
-    pub trace_frames: u64,
-}
-
-impl HandoffBlock {
-    /// Serialized size in bytes.
-    pub const SIZE: u64 = 4 + 8 + 8 + 8 + 4 + 4 + 8 + 4 + 8 + 8;
-
-    /// Writes the block at [`HANDOFF_ADDR`].
-    pub fn write(&self, phys: &mut PhysMem) -> Result<(), LayoutError> {
-        let mut w = CursorMut::new(phys, HANDOFF_ADDR);
-        w.u32(HANDOFF_MAGIC)?;
-        w.u64(self.active_kernel_frame)?;
-        w.u64(self.crash_base)?;
-        w.u64(self.crash_frames)?;
-        w.u32(self.crash_entry_ok)?;
-        w.u32(self.idt_stamp)?;
-        w.u64(self.save_area)?;
-        w.u32(self.generation)?;
-        w.u64(self.trace_base)?;
-        w.u64(self.trace_frames)?;
-        Ok(())
-    }
-
-    /// Reads and validates the block.
-    pub fn read(phys: &PhysMem) -> Result<(Self, u64), LayoutError> {
-        let mut c = Cursor::new(phys, HANDOFF_ADDR);
-        check_magic(&mut c, HANDOFF_MAGIC, "HandoffBlock")?;
-        let b = HandoffBlock {
-            active_kernel_frame: c.u64()?,
-            crash_base: c.u64()?,
-            crash_frames: c.u64()?,
-            crash_entry_ok: c.u32()?,
-            idt_stamp: c.u32()?,
-            save_area: c.u64()?,
-            generation: c.u32()?,
-            trace_base: c.u64()?,
-            trace_frames: c.u64()?,
-        };
-        if b.active_kernel_frame >= phys.frames() {
-            return Err(LayoutError::BadValue {
-                structure: "HandoffBlock",
-                field: "active_kernel_frame",
-                addr: HANDOFF_ADDR,
-            });
-        }
-        Ok((b, c.consumed))
-    }
-}
-
-/// First byte of the IDT gate array within the handoff frame (after the
-/// [`HandoffBlock`]).
-pub const IDT_GATES_OFF: u64 = 256;
-/// Gate-entry stamp: every 8-byte gate must carry this value.
-pub const IDT_GATE_STAMP: u64 = 0x4554_4147_5f54_4449; // "IDT_GATE"
-
-/// Fills the IDT-analog gate array (done once at cold boot).
-///
-/// On real hardware the IDT is a full page of gate descriptors and *all* of
-/// it is load-bearing: timer interrupts and exceptions fire constantly, so
-/// a wild write anywhere in the page soon triple-faults the machine. The
-/// panic path (§3.2) depends on NMI delivery through this table — its
-/// corruption is the paper's main cause of "failure to boot the crash
-/// kernel" (§6).
-pub fn write_idt_gates(phys: &mut PhysMem) -> Result<(), LayoutError> {
-    let mut addr = IDT_GATES_OFF;
-    while addr + 8 <= 4096 {
-        phys.write_u64(addr, IDT_GATE_STAMP)?;
-        addr += 8;
-    }
-    Ok(())
-}
-
-/// Validates every IDT gate; any corrupted gate means interrupt delivery
-/// (and therefore the NMI broadcast) cannot be trusted.
-pub fn idt_gates_valid(phys: &PhysMem) -> bool {
-    let mut addr = IDT_GATES_OFF;
-    while addr + 8 <= 4096 {
-        match phys.read_u64(addr) {
-            Ok(v) if v == IDT_GATE_STAMP => addr += 8,
-            _ => return false,
-        }
-    }
-    true
-}
-
-// ---------------------------------------------------------------------------
-// Crash-kernel image header
-// ---------------------------------------------------------------------------
-
-/// Magic for the loaded crash-kernel image.
-pub const CRASH_IMAGE_MAGIC: u32 = 0x4943_574f; // "OWCI"
-
-/// Header of the passive crash-kernel image sitting in its reservation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CrashImageHeader {
-    /// Image format version.
-    pub version: u32,
-    /// Non-zero when the entry point is intact.
-    pub entry_valid: u32,
-}
-
-impl CrashImageHeader {
-    /// Serialized size in bytes.
-    pub const SIZE: u64 = 4 + 4 + 4;
-
-    /// Writes the header at the start of the crash reservation.
-    pub fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
-        let mut w = CursorMut::new(phys, addr);
-        w.u32(CRASH_IMAGE_MAGIC)?;
-        w.u32(self.version)?;
-        w.u32(self.entry_valid)?;
-        Ok(())
-    }
-
-    /// Reads and validates the header.
-    pub fn read(phys: &PhysMem, addr: PhysAddr) -> Result<Self, LayoutError> {
-        let mut c = Cursor::new(phys, addr);
-        check_magic(&mut c, CRASH_IMAGE_MAGIC, "CrashImageHeader")?;
-        Ok(CrashImageHeader {
-            version: c.u32()?,
-            entry_valid: c.u32()?,
-        })
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Kernel header
-// ---------------------------------------------------------------------------
-
-/// Magic for [`KernelHeader`].
-pub const KERNEL_HEADER_MAGIC: u32 = 0x484b_574f; // "OWKH"
-
-/// The root structure of a running kernel, at the start of its region.
-///
-/// Linux equivalent: the fixed, compile-time kernel start address through
-/// which the crash kernel locates the process list and swap descriptors
-/// (§3.3).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct KernelHeader {
-    /// Kernel version (both kernels are built from the same source).
-    pub version: u32,
-    /// First frame of this kernel's region.
-    pub base_frame: u64,
-    /// Frames in this kernel's region.
-    pub nframes: u64,
-    /// Physical address of the first [`ProcDesc`] (0 = empty list).
-    pub proc_head: PhysAddr,
-    /// Number of processes on the list (cross-check for walking).
-    pub nprocs: u64,
-    /// Physical address of the swap-descriptor array.
-    pub swap_array: PhysAddr,
-    /// Number of swap descriptors.
-    pub nswap: u32,
-    /// Whether this kernel booted as a crash kernel.
-    pub is_crash: u32,
-    /// Physical address of the terminal-descriptor array.
-    pub term_table: PhysAddr,
-    /// Number of terminal descriptors.
-    pub nterms: u32,
-    /// Physical address of the pipe-descriptor array.
-    pub pipe_table: PhysAddr,
-    /// Number of pipe descriptors.
-    pub npipes: u32,
-}
-
-impl KernelHeader {
-    /// Serialized size in bytes.
-    pub const SIZE: u64 = 4 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 8 + 4 + 8 + 4 + 4;
-
-    /// Writes the header at `addr`.
-    pub fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
-        let mut w = CursorMut::new(phys, addr);
-        w.u32(KERNEL_HEADER_MAGIC)?;
-        w.u32(self.version)?;
-        w.u64(self.base_frame)?;
-        w.u64(self.nframes)?;
-        w.u64(self.proc_head)?;
-        w.u64(self.nprocs)?;
-        w.u64(self.swap_array)?;
-        w.u32(self.nswap)?;
-        w.u32(self.is_crash)?;
-        w.u64(self.term_table)?;
-        w.u32(self.nterms)?;
-        w.u64(self.pipe_table)?;
-        w.u32(self.npipes)?;
-        w.u32(0)?; // padding
-        Ok(())
-    }
-
-    /// Reads and validates the header, returning it plus bytes consumed.
-    pub fn read(phys: &PhysMem, addr: PhysAddr) -> Result<(Self, u64), LayoutError> {
-        let mut c = Cursor::new(phys, addr);
-        check_magic(&mut c, KERNEL_HEADER_MAGIC, "KernelHeader")?;
-        let h = KernelHeader {
-            version: c.u32()?,
-            base_frame: c.u64()?,
-            nframes: c.u64()?,
-            proc_head: c.u64()?,
-            nprocs: c.u64()?,
-            swap_array: c.u64()?,
-            nswap: c.u32()?,
-            is_crash: c.u32()?,
-            term_table: c.u64()?,
-            nterms: c.u32()?,
-            pipe_table: c.u64()?,
-            npipes: c.u32()?,
-        };
-        let _pad = c.u32()?;
-        if h.nprocs > 4096 {
-            return Err(LayoutError::BadValue {
-                structure: "KernelHeader",
-                field: "nprocs",
-                addr,
-            });
-        }
-        if h.nswap > 8 || h.nterms > 64 || h.npipes > 64 {
-            return Err(LayoutError::BadValue {
-                structure: "KernelHeader",
-                field: "nswap/nterms/npipes",
-                addr,
-            });
-        }
-        Ok((h, c.consumed))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Process descriptor
-// ---------------------------------------------------------------------------
-
-/// Magic for [`ProcDesc`].
-pub const PROC_MAGIC: u32 = 0x434f_5250; // "PROC"
-
-/// Process run state, mirrored into memory.
-pub mod pstate {
-    /// Runnable / running.
-    pub const RUNNABLE: u32 = 1;
-    /// Blocked in a system call.
-    pub const BLOCKED: u32 = 2;
-    /// Exited.
-    pub const EXITED: u32 = 3;
-}
-
-/// Byte offsets of [`ProcDesc`] fields (single source of truth for the
-/// kernel paths that update individual fields in place).
-pub mod proc_off {
-    use super::NAME_LEN;
-    /// `state` field.
-    pub const STATE: u64 = 4;
-    /// `pid` field.
-    pub const PID: u64 = 8;
-    /// `name` field.
-    pub const NAME: u64 = 16;
-    /// `crash_proc` field.
-    pub const CRASH_PROC: u64 = NAME + NAME_LEN as u64;
-    /// `term_id` field.
-    pub const TERM_ID: u64 = CRASH_PROC + 4;
-    /// `page_root` field.
-    pub const PAGE_ROOT: u64 = TERM_ID + 4;
-    /// `mm_head` field.
-    pub const MM_HEAD: u64 = PAGE_ROOT + 8;
-    /// `files` field.
-    pub const FILES: u64 = MM_HEAD + 8;
-    /// `sig` field.
-    pub const SIG: u64 = FILES + 8;
-    /// `shm_head` field.
-    pub const SHM_HEAD: u64 = SIG + 8;
-    /// `sock_head` field.
-    pub const SOCK_HEAD: u64 = SHM_HEAD + 8;
-    /// `res_in_use` field.
-    pub const RES_IN_USE: u64 = SOCK_HEAD + 8;
-    /// `in_syscall` field.
-    pub const IN_SYSCALL: u64 = RES_IN_USE + 4;
-    /// `saved_pc` field.
-    pub const SAVED_PC: u64 = IN_SYSCALL + 4;
-    /// `saved_sp` field.
-    pub const SAVED_SP: u64 = SAVED_PC + 8;
-    /// `saved_regs` field.
-    pub const SAVED_REGS: u64 = SAVED_SP + 8;
-    /// `checksum` field (0 = checksums disabled).
-    pub const CHECKSUM: u64 = SAVED_REGS + 8 * 8;
-    /// `next` field.
-    pub const NEXT: u64 = CHECKSUM + 8;
-}
-
-/// A process descriptor (Linux `task_struct` analog).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ProcDesc {
-    /// Process id.
-    pub pid: u64,
-    /// Run state (see [`pstate`]).
-    pub state: u32,
-    /// Process name — also the executable identity for rehydration.
-    pub name: String,
-    /// Non-zero when the application registered a crash procedure (§3.4).
-    pub crash_proc: u32,
-    /// Root frame of the process page tables.
-    pub page_root: u64,
-    /// Physical address of the first [`VmaDesc`] (0 = none).
-    pub mm_head: PhysAddr,
-    /// Physical address of the [`FileTable`].
-    pub files: PhysAddr,
-    /// Physical address of the [`SigTable`].
-    pub sig: PhysAddr,
-    /// Attached terminal id (`u32::MAX` = none).
-    pub term_id: u32,
-    /// Physical address of the first attached [`ShmDesc`] (0 = none).
-    pub shm_head: PhysAddr,
-    /// Physical address of the first [`SockDesc`] (0 = none).
-    pub sock_head: PhysAddr,
-    /// Bitmask of resource types the process currently uses that the crash
-    /// kernel cannot resurrect (see [`resmask`]).
-    pub res_in_use: u32,
-    /// Non-zero while the process is executing a system call; holds the
-    /// syscall number + 1.
-    pub in_syscall: u32,
-    /// Saved user context: program counter (resume step index).
-    pub saved_pc: u64,
-    /// Saved user stack pointer.
-    pub saved_sp: u64,
-    /// Saved general-purpose registers.
-    pub saved_regs: [u64; 8],
-    /// Optional integrity checksum over the descriptor (§4 hardening;
-    /// 0 = checksums disabled). Excludes the `checksum` and `next` fields.
-    pub checksum: u64,
-    /// Next process on the list (0 = end).
-    pub next: PhysAddr,
-}
-
-impl ProcDesc {
-    /// Serialized size in bytes.
-    pub const SIZE: u64 = proc_off::NEXT + 8;
-
-    /// Writes the descriptor at `addr`.
-    pub fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
-        let mut w = CursorMut::new(phys, addr);
-        w.u32(PROC_MAGIC)?;
-        w.u32(self.state)?;
-        w.u64(self.pid)?;
-        w.bytes(&pack_str::<NAME_LEN>(&self.name))?;
-        w.u32(self.crash_proc)?;
-        w.u32(self.term_id)?;
-        w.u64(self.page_root)?;
-        w.u64(self.mm_head)?;
-        w.u64(self.files)?;
-        w.u64(self.sig)?;
-        w.u64(self.shm_head)?;
-        w.u64(self.sock_head)?;
-        w.u32(self.res_in_use)?;
-        w.u32(self.in_syscall)?;
-        w.u64(self.saved_pc)?;
-        w.u64(self.saved_sp)?;
-        for r in self.saved_regs {
-            w.u64(r)?;
-        }
-        w.u64(self.checksum)?;
-        w.u64(self.next)?;
-        Ok(())
-    }
-
-    /// Reads and validates a descriptor, returning it plus bytes consumed.
-    pub fn read(phys: &PhysMem, addr: PhysAddr) -> Result<(Self, u64), LayoutError> {
-        let mut c = Cursor::new(phys, addr);
-        check_magic(&mut c, PROC_MAGIC, "ProcDesc")?;
-        let state = c.u32()?;
-        let pid = c.u64()?;
-        let name = unpack_str(&c.bytes::<NAME_LEN>()?);
-        let crash_proc = c.u32()?;
-        let term_id = c.u32()?;
-        let page_root = c.u64()?;
-        let mm_head = c.u64()?;
-        let files = c.u64()?;
-        let sig = c.u64()?;
-        let shm_head = c.u64()?;
-        let sock_head = c.u64()?;
-        let res_in_use = c.u32()?;
-        let in_syscall = c.u32()?;
-        let saved_pc = c.u64()?;
-        let saved_sp = c.u64()?;
-        let mut saved_regs = [0u64; 8];
-        for r in &mut saved_regs {
-            *r = c.u64()?;
-        }
-        let checksum = c.u64()?;
-        let next = c.u64()?;
-        if !(pstate::RUNNABLE..=pstate::EXITED).contains(&state) {
-            return Err(LayoutError::BadValue {
-                structure: "ProcDesc",
-                field: "state",
-                addr,
-            });
-        }
-        if page_root >= phys.frames() {
-            return Err(LayoutError::BadValue {
-                structure: "ProcDesc",
-                field: "page_root",
-                addr,
-            });
-        }
-        let desc = ProcDesc {
-            pid,
-            state,
-            name,
-            crash_proc,
-            page_root,
-            mm_head,
-            files,
-            sig,
-            term_id,
-            shm_head,
-            sock_head,
-            res_in_use,
-            in_syscall,
-            saved_pc,
-            saved_sp,
-            saved_regs,
-            checksum,
-            next,
-        };
-        // §4 hardening: when a checksum is maintained, corruption anywhere
-        // in the descriptor is detected even if it passed the shallower
-        // plausibility checks above.
-        if desc.checksum != 0 && desc.compute_checksum() != desc.checksum {
-            return Err(LayoutError::BadValue {
-                structure: "ProcDesc",
-                field: "checksum",
-                addr,
-            });
-        }
-        Ok((desc, c.consumed))
-    }
-
-    /// Computes the §4 integrity checksum over the descriptor's contents
-    /// (excluding the `checksum` and `next` fields, which the kernel
-    /// updates through checksum-aware paths of their own).
-    pub fn compute_checksum(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a basis
-        let mut mix = |v: u64| {
-            h ^= v;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        };
-        mix(self.pid);
-        mix(self.state as u64);
-        for b in pack_str::<NAME_LEN>(&self.name) {
-            mix(b as u64);
-        }
-        mix(self.crash_proc as u64);
-        mix(self.term_id as u64);
-        mix(self.page_root);
-        mix(self.mm_head);
-        mix(self.files);
-        mix(self.sig);
-        mix(self.shm_head);
-        mix(self.sock_head);
-        mix(self.res_in_use as u64);
-        mix(self.in_syscall as u64);
-        mix(self.saved_pc);
-        mix(self.saved_sp);
-        for r in self.saved_regs {
-            mix(r);
-        }
-        h | 1 // never zero (zero means "disabled")
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Memory region descriptor (VMA)
-// ---------------------------------------------------------------------------
-
-/// Magic for [`VmaDesc`].
-pub const VMA_MAGIC: u32 = 0x3041_4d56; // "VMA0"
-
-/// VMA flag bits.
-pub mod vmaflags {
-    /// Region is readable.
-    pub const READ: u64 = 1 << 0;
-    /// Region is writable.
-    pub const WRITE: u64 = 1 << 1;
-    /// Region is shared (e.g. shm attach).
-    pub const SHARED: u64 = 1 << 2;
-    /// Region is a file mapping.
-    pub const FILE: u64 = 1 << 3;
-    /// Region grows down (stack).
-    pub const STACK: u64 = 1 << 4;
-}
-
-/// A memory-region descriptor (Linux `vm_area_struct` analog).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct VmaDesc {
-    /// Start virtual address (page-aligned).
-    pub start: u64,
-    /// End virtual address (exclusive, page-aligned).
-    pub end: u64,
-    /// Flag bits (see [`vmaflags`]).
-    pub flags: u64,
-    /// Backing [`FileRecord`] for file mappings (0 = anonymous).
-    pub file: PhysAddr,
-    /// Offset of the mapping within the backing file.
-    pub file_off: u64,
-    /// Next region (0 = end of list).
-    pub next: PhysAddr,
-}
-
-impl VmaDesc {
-    /// Serialized size in bytes.
-    pub const SIZE: u64 = 4 + 4 + 8 * 6;
-
-    /// Writes the descriptor at `addr`.
-    pub fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
-        let mut w = CursorMut::new(phys, addr);
-        w.u32(VMA_MAGIC)?;
-        w.u32(0)?;
-        w.u64(self.start)?;
-        w.u64(self.end)?;
-        w.u64(self.flags)?;
-        w.u64(self.file)?;
-        w.u64(self.file_off)?;
-        w.u64(self.next)?;
-        Ok(())
-    }
-
-    /// Reads and validates a descriptor, returning it plus bytes consumed.
-    pub fn read(phys: &PhysMem, addr: PhysAddr) -> Result<(Self, u64), LayoutError> {
-        let mut c = Cursor::new(phys, addr);
-        check_magic(&mut c, VMA_MAGIC, "VmaDesc")?;
-        let _pad = c.u32()?;
-        let v = VmaDesc {
-            start: c.u64()?,
-            end: c.u64()?,
-            flags: c.u64()?,
-            file: c.u64()?,
-            file_off: c.u64()?,
-            next: c.u64()?,
-        };
-        if v.start >= v.end
-            || !v.start.is_multiple_of(4096)
-            || !v.end.is_multiple_of(4096)
-            || v.end > ow_simhw::paging::VA_LIMIT
-        {
-            return Err(LayoutError::BadValue {
-                structure: "VmaDesc",
-                field: "start/end",
-                addr,
-            });
-        }
-        Ok((v, c.consumed))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// File table & file record
-// ---------------------------------------------------------------------------
-
-/// Magic for [`FileTable`].
-pub const FTAB_MAGIC: u32 = 0x4241_5446; // "FTAB"
-
-/// A process's open-file table (Linux `files_struct` analog).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FileTable {
-    /// One entry per fd slot; 0 = closed, otherwise the address of a
-    /// [`FileRecord`].
-    pub fds: [PhysAddr; MAX_FDS],
-}
-
-impl FileTable {
-    /// Serialized size in bytes.
-    pub const SIZE: u64 = 4 + 4 + 8 * MAX_FDS as u64;
-
-    /// Writes the table at `addr`.
-    pub fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
-        let mut w = CursorMut::new(phys, addr);
-        w.u32(FTAB_MAGIC)?;
-        w.u32(0)?;
-        for fd in self.fds {
-            w.u64(fd)?;
-        }
-        Ok(())
-    }
-
-    /// Reads and validates the table, returning it plus bytes consumed.
-    pub fn read(phys: &PhysMem, addr: PhysAddr) -> Result<(Self, u64), LayoutError> {
-        let mut c = Cursor::new(phys, addr);
-        check_magic(&mut c, FTAB_MAGIC, "FileTable")?;
-        let _pad = c.u32()?;
-        let mut fds = [0u64; MAX_FDS];
-        for fd in &mut fds {
-            *fd = c.u64()?;
-        }
-        Ok((FileTable { fds }, c.consumed))
-    }
-}
-
-/// Magic for [`FileRecord`].
-pub const FILE_MAGIC: u32 = 0x454c_4946; // "FILE"
-
-/// File open flags.
-pub mod oflags {
-    /// Open for reading.
-    pub const READ: u32 = 1 << 0;
-    /// Open for writing.
-    pub const WRITE: u32 = 1 << 1;
-    /// Create if absent.
-    pub const CREATE: u32 = 1 << 2;
-    /// Append mode.
-    pub const APPEND: u32 = 1 << 3;
-    /// Truncate on open.
-    pub const TRUNC: u32 = 1 << 4;
-}
-
-/// An open file (Linux `struct file`, *modified as in §3.1*: the paper keeps
-/// the location, name and open flags directly in the file structure so
-/// resurrection needs only this one record rather than `file`+`inode`+
-/// `dentry` chains).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FileRecord {
-    /// Open flags (see [`oflags`]).
-    pub flags: u32,
-    /// Reference count (fd table entries pointing here).
-    pub refcnt: u32,
-    /// Current file offset.
-    pub offset: u64,
-    /// Logical file size including not-yet-written-back cached data.
-    pub fsize: u64,
-    /// Inode number (cross-check against the path at resurrection).
-    pub inode: u64,
-    /// Full path, stored inline per the paper's kernel modification.
-    pub path: String,
-    /// First [`PageCacheNode`] of this file's buffer tree (0 = none).
-    pub cache_head: PhysAddr,
-}
-
-impl FileRecord {
-    /// Serialized size in bytes.
-    pub const SIZE: u64 = 4 + 4 + 4 + 4 + 8 + 8 + 8 + PATH_LEN as u64 + 8;
-
-    /// Writes the record at `addr`.
-    pub fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
-        let mut w = CursorMut::new(phys, addr);
-        w.u32(FILE_MAGIC)?;
-        w.u32(self.flags)?;
-        w.u32(self.refcnt)?;
-        w.u32(0)?;
-        w.u64(self.offset)?;
-        w.u64(self.fsize)?;
-        w.u64(self.inode)?;
-        w.bytes(&pack_str::<PATH_LEN>(&self.path))?;
-        w.u64(self.cache_head)?;
-        Ok(())
-    }
-
-    /// Reads and validates the record, returning it plus bytes consumed.
-    pub fn read(phys: &PhysMem, addr: PhysAddr) -> Result<(Self, u64), LayoutError> {
-        let mut c = Cursor::new(phys, addr);
-        check_magic(&mut c, FILE_MAGIC, "FileRecord")?;
-        let flags = c.u32()?;
-        let refcnt = c.u32()?;
-        let _pad = c.u32()?;
-        let offset = c.u64()?;
-        let fsize = c.u64()?;
-        let inode = c.u64()?;
-        let path = unpack_str(&c.bytes::<PATH_LEN>()?);
-        let cache_head = c.u64()?;
-        if path.is_empty() {
-            return Err(LayoutError::BadValue {
-                structure: "FileRecord",
-                field: "path",
-                addr,
-            });
-        }
-        Ok((
-            FileRecord {
-                flags,
-                refcnt,
-                offset,
-                fsize,
-                inode,
-                path,
-                cache_head,
-            },
-            c.consumed,
-        ))
-    }
-}
-
-/// Magic for [`PageCacheNode`].
-pub const PGCACHE_MAGIC: u32 = 0x4e43_4750; // "PGCN"
-
-/// One page of cached file data (leaf of the paper's buffer tree, §3.3).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PageCacheNode {
-    /// Offset of this page's data within the file (page-aligned).
-    pub file_off: u64,
-    /// Physical frame holding the data.
-    pub pfn: u64,
-    /// Non-zero when the page must be written back to disk.
-    pub dirty: u32,
-    /// Next node (0 = end).
-    pub next: PhysAddr,
-}
-
-impl PageCacheNode {
-    /// Serialized size in bytes.
-    pub const SIZE: u64 = 4 + 4 + 8 + 8 + 4 + 4 + 8;
-
-    /// Writes the node at `addr`.
-    pub fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
-        let mut w = CursorMut::new(phys, addr);
-        w.u32(PGCACHE_MAGIC)?;
-        w.u32(0)?;
-        w.u64(self.file_off)?;
-        w.u64(self.pfn)?;
-        w.u32(self.dirty)?;
-        w.u32(0)?;
-        w.u64(self.next)?;
-        Ok(())
-    }
-
-    /// Reads and validates the node, returning it plus bytes consumed.
-    pub fn read(phys: &PhysMem, addr: PhysAddr) -> Result<(Self, u64), LayoutError> {
-        let mut c = Cursor::new(phys, addr);
-        check_magic(&mut c, PGCACHE_MAGIC, "PageCacheNode")?;
-        let _pad = c.u32()?;
-        let file_off = c.u64()?;
-        let pfn = c.u64()?;
-        let dirty = c.u32()?;
-        let _pad2 = c.u32()?;
-        let next = c.u64()?;
-        if file_off % 4096 != 0 || pfn >= phys.frames() {
-            return Err(LayoutError::BadValue {
-                structure: "PageCacheNode",
-                field: "file_off/pfn",
-                addr,
-            });
-        }
-        Ok((
-            PageCacheNode {
-                file_off,
-                pfn,
-                dirty,
-                next,
-            },
-            c.consumed,
-        ))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Swap descriptor
-// ---------------------------------------------------------------------------
-
-/// Magic for [`SwapDesc`].
-pub const SWAP_MAGIC: u32 = 0x5041_5753; // "SWAP"
-
-/// Length of a swap device name.
-pub const SWAP_NAME_LEN: usize = 16;
-
-/// A swap-area descriptor (Linux `swap_info_struct` analog): the symbolic
-/// device name is stored so the crash kernel can reopen the device (§3.3).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SwapDesc {
-    /// Symbolic device name (e.g. `"swap-main"`).
-    pub dev_name: String,
-    /// Device id at the time of writing (cross-check only; the name is
-    /// authoritative, exactly as in the paper).
-    pub dev_id: u32,
-    /// Total slots in the area.
-    pub nslots: u32,
-    /// Physical address of the slot-allocation bitmap (one byte per slot).
-    pub bitmap: PhysAddr,
-}
-
-impl SwapDesc {
-    /// Serialized size in bytes.
-    pub const SIZE: u64 = 4 + SWAP_NAME_LEN as u64 + 4 + 4 + 8 + 4;
-
-    /// Writes the descriptor at `addr`.
-    pub fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
-        let mut w = CursorMut::new(phys, addr);
-        w.u32(SWAP_MAGIC)?;
-        w.bytes(&pack_str::<SWAP_NAME_LEN>(&self.dev_name))?;
-        w.u32(self.dev_id)?;
-        w.u32(self.nslots)?;
-        w.u64(self.bitmap)?;
-        w.u32(0)?;
-        Ok(())
-    }
-
-    /// Reads and validates the descriptor, returning it plus bytes consumed.
-    pub fn read(phys: &PhysMem, addr: PhysAddr) -> Result<(Self, u64), LayoutError> {
-        let mut c = Cursor::new(phys, addr);
-        check_magic(&mut c, SWAP_MAGIC, "SwapDesc")?;
-        let dev_name = unpack_str(&c.bytes::<SWAP_NAME_LEN>()?);
-        let dev_id = c.u32()?;
-        let nslots = c.u32()?;
-        let bitmap = c.u64()?;
-        let _pad = c.u32()?;
-        if dev_name.is_empty() || nslots > 1 << 24 {
-            return Err(LayoutError::BadValue {
-                structure: "SwapDesc",
-                field: "name/nslots",
-                addr,
-            });
-        }
-        Ok((
-            SwapDesc {
-                dev_name,
-                dev_id,
-                nslots,
-                bitmap,
-            },
-            c.consumed,
-        ))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Terminal descriptor
-// ---------------------------------------------------------------------------
-
-/// Magic for [`TermDesc`].
-pub const TERM_MAGIC: u32 = 0x4d52_4554; // "TERM"
-
-/// Terminal geometry: columns.
-pub const TERM_COLS: u32 = 80;
-/// Terminal geometry: rows.
-pub const TERM_ROWS: u32 = 25;
-
-/// A physical terminal: settings plus an in-kernel screen buffer frame
-/// (§3.3 — the crash kernel restores screen contents and settings).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TermDesc {
-    /// Terminal id.
-    pub id: u32,
-    /// Cursor position (row * cols + col).
-    pub cursor: u32,
-    /// Terminal settings word (echo, raw mode, ...).
-    pub settings: u64,
-    /// Frame holding the screen contents (cols*rows bytes).
-    pub screen_pfn: u64,
-}
-
-impl TermDesc {
-    /// Serialized size in bytes.
-    pub const SIZE: u64 = 4 + 4 + 4 + 4 + 8 + 8;
-
-    /// Writes the descriptor at `addr`.
-    pub fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
-        let mut w = CursorMut::new(phys, addr);
-        w.u32(TERM_MAGIC)?;
-        w.u32(self.id)?;
-        w.u32(self.cursor)?;
-        w.u32(0)?;
-        w.u64(self.settings)?;
-        w.u64(self.screen_pfn)?;
-        Ok(())
-    }
-
-    /// Reads and validates the descriptor, returning it plus bytes consumed.
-    pub fn read(phys: &PhysMem, addr: PhysAddr) -> Result<(Self, u64), LayoutError> {
-        let mut c = Cursor::new(phys, addr);
-        check_magic(&mut c, TERM_MAGIC, "TermDesc")?;
-        let id = c.u32()?;
-        let cursor = c.u32()?;
-        let _pad = c.u32()?;
-        let settings = c.u64()?;
-        let screen_pfn = c.u64()?;
-        if cursor >= TERM_COLS * TERM_ROWS || screen_pfn >= phys.frames() {
-            return Err(LayoutError::BadValue {
-                structure: "TermDesc",
-                field: "cursor/screen_pfn",
-                addr,
-            });
-        }
-        Ok((
-            TermDesc {
-                id,
-                cursor,
-                settings,
-                screen_pfn,
-            },
-            c.consumed,
-        ))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Signal table
-// ---------------------------------------------------------------------------
-
-/// Magic for [`SigTable`].
-pub const SIG_MAGIC: u32 = 0x5447_4953; // "SIGT"
-
-/// A process's signal-handler table.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SigTable {
-    /// Handler slot per signal (0 = default, otherwise an application
-    /// handler token).
-    pub handlers: [u64; NSIG],
-}
-
-impl SigTable {
-    /// Serialized size in bytes.
-    pub const SIZE: u64 = 4 + 4 + 8 * NSIG as u64;
-
-    /// Writes the table at `addr`.
-    pub fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
-        let mut w = CursorMut::new(phys, addr);
-        w.u32(SIG_MAGIC)?;
-        w.u32(0)?;
-        for h in self.handlers {
-            w.u64(h)?;
-        }
-        Ok(())
-    }
-
-    /// Reads and validates the table, returning it plus bytes consumed.
-    pub fn read(phys: &PhysMem, addr: PhysAddr) -> Result<(Self, u64), LayoutError> {
-        let mut c = Cursor::new(phys, addr);
-        check_magic(&mut c, SIG_MAGIC, "SigTable")?;
-        let _pad = c.u32()?;
-        let mut handlers = [0u64; NSIG];
-        for h in &mut handlers {
-            *h = c.u64()?;
-        }
-        Ok((SigTable { handlers }, c.consumed))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Shared memory
-// ---------------------------------------------------------------------------
-
-/// Magic for [`ShmDesc`].
-pub const SHM_MAGIC: u32 = 0x444d_4853; // "SHMD"
-
-/// A System-V-style shared memory segment.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ShmDesc {
-    /// Segment key.
-    pub key: u64,
-    /// Segment size in bytes.
-    pub size: u64,
-    /// Virtual address the owning process attached it at (0 = detached).
-    pub attach_vaddr: u64,
-    /// Number of pages used.
-    pub npages: u32,
-    /// Frames backing the segment.
-    pub pages: Vec<u64>,
-    /// Next segment attached to the same process (0 = end).
-    pub next: PhysAddr,
-}
-
-impl ShmDesc {
-    /// Serialized size in bytes (pages array is fixed capacity).
-    pub const SIZE: u64 = 4 + 4 + 8 + 8 + 8 + 8 + 8 * SHM_MAX_PAGES as u64;
-
-    /// Writes the descriptor at `addr`.
-    pub fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
-        assert!(self.pages.len() <= SHM_MAX_PAGES);
-        let mut w = CursorMut::new(phys, addr);
-        w.u32(SHM_MAGIC)?;
-        w.u32(self.npages)?;
-        w.u64(self.key)?;
-        w.u64(self.size)?;
-        w.u64(self.attach_vaddr)?;
-        w.u64(self.next)?;
-        for i in 0..SHM_MAX_PAGES {
-            w.u64(self.pages.get(i).copied().unwrap_or(0))?;
-        }
-        Ok(())
-    }
-
-    /// Reads and validates the descriptor, returning it plus bytes consumed.
-    pub fn read(phys: &PhysMem, addr: PhysAddr) -> Result<(Self, u64), LayoutError> {
-        let mut c = Cursor::new(phys, addr);
-        check_magic(&mut c, SHM_MAGIC, "ShmDesc")?;
-        let npages = c.u32()?;
-        let key = c.u64()?;
-        let size = c.u64()?;
-        let attach_vaddr = c.u64()?;
-        let next = c.u64()?;
-        if npages as usize > SHM_MAX_PAGES {
-            return Err(LayoutError::BadValue {
-                structure: "ShmDesc",
-                field: "npages",
-                addr,
-            });
-        }
-        let mut pages = Vec::with_capacity(npages as usize);
-        for i in 0..SHM_MAX_PAGES {
-            let p = c.u64()?;
-            if i < npages as usize {
-                if p >= phys.frames() {
-                    return Err(LayoutError::BadValue {
-                        structure: "ShmDesc",
-                        field: "pages",
-                        addr,
-                    });
-                }
-                pages.push(p);
-            }
-        }
-        Ok((
-            ShmDesc {
-                key,
-                size,
-                attach_vaddr,
-                npages,
-                pages,
-                next,
-            },
-            c.consumed,
-        ))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Pipes (§3.3 discussion; resurrectable as a §7 extension)
-// ---------------------------------------------------------------------------
-
-/// Magic for [`PipeDesc`].
-pub const PIPE_MAGIC: u32 = 0x4550_4950; // "PIPE"
-
-/// Pipe ring-buffer capacity in bytes (one frame, one slot reserved).
-pub const PIPE_CAP: u32 = 4095;
-
-/// A pipe: a ring buffer shared between processes, serialized by a
-/// semaphore. Per §3.3, when the semaphore is **not** held the structure is
-/// consistent and resurrectable; when it is held at crash time, the pipe
-/// was mid-update and must be considered lost.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PipeDesc {
-    /// Non-zero while a reader/writer holds the pipe semaphore.
-    pub locked: u32,
-    /// Read cursor into the ring.
-    pub rd: u32,
-    /// Write cursor into the ring.
-    pub wr: u32,
-    /// Frame holding the ring buffer.
-    pub buf_pfn: u64,
-}
-
-impl PipeDesc {
-    /// Serialized size in bytes.
-    pub const SIZE: u64 = 4 + 4 + 4 + 4 + 8;
-
-    /// Writes the descriptor at `addr`.
-    pub fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
-        let mut w = CursorMut::new(phys, addr);
-        w.u32(PIPE_MAGIC)?;
-        w.u32(self.locked)?;
-        w.u32(self.rd)?;
-        w.u32(self.wr)?;
-        w.u64(self.buf_pfn)?;
-        Ok(())
-    }
-
-    /// Reads and validates the descriptor, returning it plus bytes consumed.
-    pub fn read(phys: &PhysMem, addr: PhysAddr) -> Result<(Self, u64), LayoutError> {
-        let mut c = Cursor::new(phys, addr);
-        check_magic(&mut c, PIPE_MAGIC, "PipeDesc")?;
-        let d = PipeDesc {
-            locked: c.u32()?,
-            rd: c.u32()?,
-            wr: c.u32()?,
-            buf_pfn: c.u64()?,
-        };
-        if d.rd > PIPE_CAP + 1 || d.wr > PIPE_CAP + 1 || d.buf_pfn >= phys.frames() {
-            return Err(LayoutError::BadValue {
-                structure: "PipeDesc",
-                field: "cursors",
-                addr,
-            });
-        }
-        Ok((d, c.consumed))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Sockets (§7 extension: TCP/UDP resurrection)
-// ---------------------------------------------------------------------------
-
-/// Magic for [`SockDesc`].
-pub const SOCK_MAGIC: u32 = 0x4b43_4f53; // "SOCK"
-
-/// Socket protocol values.
-pub mod sockproto {
-    /// Datagram (UDP-like): payload may be discarded on resurrection.
-    pub const UDP: u32 = 0;
-    /// Stream (TCP-like): connection parameters plus unacknowledged
-    /// outbound payload must be restored.
-    pub const TCP: u32 = 1;
-}
-
-/// A socket descriptor on a process's socket chain.
-///
-/// The paper's prototype cannot resurrect these (§3.3) but argues they are
-/// resurrectable: UDP needs only the connection parameters; TCP also needs
-/// the sequence state and all outbound payload not yet acknowledged. This
-/// structure carries exactly that, as the §7 extension implements it.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SockDesc {
-    /// Protocol (see [`sockproto`]).
-    pub proto: u32,
-    /// 1 = open, 0 = closed.
-    pub state: u32,
-    /// Socket id within the owning process.
-    pub sid: u32,
-    /// Local port (connection parameter).
-    pub local_port: u32,
-    /// Send sequence number.
-    pub seq: u64,
-    /// Frame buffering unacknowledged outbound payload.
-    pub outbuf_pfn: u64,
-    /// Bytes of unacknowledged payload in the buffer.
-    pub outbuf_len: u32,
-    /// Next socket on the chain (0 = end).
-    pub next: PhysAddr,
-}
-
-impl SockDesc {
-    /// Serialized size in bytes.
-    pub const SIZE: u64 = 4 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 4 + 4 + 8;
-
-    /// Writes the descriptor at `addr`.
-    pub fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
-        let mut w = CursorMut::new(phys, addr);
-        w.u32(SOCK_MAGIC)?;
-        w.u32(self.proto)?;
-        w.u32(self.state)?;
-        w.u32(self.sid)?;
-        w.u32(self.local_port)?;
-        w.u32(0)?;
-        w.u64(self.seq)?;
-        w.u64(self.outbuf_pfn)?;
-        w.u32(self.outbuf_len)?;
-        w.u32(0)?;
-        w.u64(self.next)?;
-        Ok(())
-    }
-
-    /// Reads and validates the descriptor, returning it plus bytes consumed.
-    pub fn read(phys: &PhysMem, addr: PhysAddr) -> Result<(Self, u64), LayoutError> {
-        let mut c = Cursor::new(phys, addr);
-        check_magic(&mut c, SOCK_MAGIC, "SockDesc")?;
-        let proto = c.u32()?;
-        let state = c.u32()?;
-        let sid = c.u32()?;
-        let local_port = c.u32()?;
-        let _pad = c.u32()?;
-        let seq = c.u64()?;
-        let outbuf_pfn = c.u64()?;
-        let outbuf_len = c.u32()?;
-        let _pad2 = c.u32()?;
-        let next = c.u64()?;
-        if proto > 1 || state > 1 || outbuf_len > 4096 || outbuf_pfn >= phys.frames() {
-            return Err(LayoutError::BadValue {
-                structure: "SockDesc",
-                field: "fields",
-                addr,
-            });
-        }
-        Ok((
-            SockDesc {
-                proto,
-                state,
-                sid,
-                local_port,
-                seq,
-                outbuf_pfn,
-                outbuf_len,
-                next,
-            },
-            c.consumed,
-        ))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn phys() -> PhysMem {
-        PhysMem::new(64)
-    }
-
-    #[test]
-    fn handoff_round_trip() {
-        let mut p = phys();
-        let b = HandoffBlock {
-            active_kernel_frame: 4,
-            crash_base: 32,
-            crash_frames: 16,
-            crash_entry_ok: 1,
-            idt_stamp: IDT_MAGIC,
-            save_area: SAVE_AREA_ADDR,
-            generation: 3,
-            trace_base: 48,
-            trace_frames: 8,
-        };
-        b.write(&mut p).unwrap();
-        let (got, n) = HandoffBlock::read(&p).unwrap();
-        assert_eq!(got, b);
-        assert_eq!(n, HandoffBlock::SIZE);
-    }
-
-    #[test]
-    fn corrupted_handoff_detected() {
-        let mut p = phys();
-        HandoffBlock {
-            active_kernel_frame: 4,
-            crash_base: 32,
-            crash_frames: 16,
-            crash_entry_ok: 1,
-            idt_stamp: IDT_MAGIC,
-            save_area: SAVE_AREA_ADDR,
-            generation: 0,
-            trace_base: 0,
-            trace_frames: 0,
-        }
-        .write(&mut p)
-        .unwrap();
-        p.corrupt_u64(HANDOFF_ADDR, 0xdead);
-        assert!(matches!(
-            HandoffBlock::read(&p),
-            Err(LayoutError::BadMagic {
-                expected: "HandoffBlock",
-                ..
-            })
-        ));
-    }
-
-    #[test]
-    fn proc_desc_round_trip() {
-        let mut p = phys();
-        let d = ProcDesc {
-            pid: 42,
-            state: pstate::RUNNABLE,
-            name: "mysqld".into(),
-            crash_proc: 1,
-            page_root: 9,
-            mm_head: 0x3000,
-            files: 0x3100,
-            sig: 0x3200,
-            term_id: u32::MAX,
-            shm_head: 0,
-            sock_head: 0x3300,
-            res_in_use: resmask::SOCKETS,
-            in_syscall: 3,
-            saved_pc: 17,
-            saved_sp: 0xff00,
-            saved_regs: [1, 2, 3, 4, 5, 6, 7, 8],
-            checksum: 0,
-            next: 0,
-        };
-        d.write(&mut p, 0x1000).unwrap();
-        let (got, n) = ProcDesc::read(&p, 0x1000).unwrap();
-        assert_eq!(got, d);
-        assert_eq!(n, ProcDesc::SIZE);
-    }
-
-    #[test]
-    fn proc_desc_rejects_wild_state() {
-        let mut p = phys();
-        let mut d = ProcDesc {
-            pid: 1,
-            state: pstate::RUNNABLE,
-            name: "vi".into(),
-            crash_proc: 0,
-            page_root: 1,
-            mm_head: 0,
-            files: 0,
-            sig: 0,
-            term_id: 0,
-            shm_head: 0,
-            sock_head: 0,
-            res_in_use: 0,
-            in_syscall: 0,
-            saved_pc: 0,
-            saved_sp: 0,
-            saved_regs: [0; 8],
-            checksum: 0,
-            next: 0,
-        };
-        d.write(&mut p, 0x1000).unwrap();
-        // Corrupt the state field (offset 4).
-        p.write_u32(0x1004, 999).unwrap();
-        assert!(matches!(
-            ProcDesc::read(&p, 0x1000),
-            Err(LayoutError::BadValue { field: "state", .. })
-        ));
-        // And an out-of-RAM page root.
-        d.state = pstate::RUNNABLE;
-        d.page_root = 1 << 40;
-        d.write(&mut p, 0x1000).unwrap();
-        assert!(ProcDesc::read(&p, 0x1000).is_err());
-    }
-
-    #[test]
-    fn vma_round_trip_and_validation() {
-        let mut p = phys();
-        let v = VmaDesc {
-            start: 0x1000,
-            end: 0x4000,
-            flags: vmaflags::READ | vmaflags::WRITE,
-            file: 0,
-            file_off: 0,
-            next: 0x8888,
-        };
-        v.write(&mut p, 0x2000).unwrap();
-        let (got, _) = VmaDesc::read(&p, 0x2000).unwrap();
-        assert_eq!(got, v);
-
-        let bad = VmaDesc {
-            start: 0x4000,
-            end: 0x1000,
-            ..v
-        };
-        bad.write(&mut p, 0x2100).unwrap();
-        assert!(VmaDesc::read(&p, 0x2100).is_err());
-    }
-
-    #[test]
-    fn file_record_round_trip() {
-        let mut p = phys();
-        let f = FileRecord {
-            flags: oflags::READ | oflags::WRITE,
-            refcnt: 1,
-            offset: 12345,
-            fsize: 20000,
-            inode: 7,
-            path: "/data/table.db".into(),
-            cache_head: 0x9000,
-        };
-        f.write(&mut p, 0x5000).unwrap();
-        let (got, n) = FileRecord::read(&p, 0x5000).unwrap();
-        assert_eq!(got, f);
-        assert_eq!(n, FileRecord::SIZE);
-    }
-
-    #[test]
-    fn empty_path_fails_read_validation() {
-        let mut p = phys();
-        // Write a record with an empty path manually.
-        let f = FileRecord {
-            flags: 0,
-            refcnt: 1,
-            offset: 0,
-            fsize: 0,
-            inode: 0,
-            path: "x".into(),
-            cache_head: 0,
-        };
-        f.write(&mut p, 0x5000).unwrap();
-        // Zero the path bytes.
-        let path_off = 0x5000 + 4 + 4 + 4 + 4 + 8 + 8 + 8;
-        p.write(path_off, &[0u8; PATH_LEN]).unwrap();
-        assert!(matches!(
-            FileRecord::read(&p, 0x5000),
-            Err(LayoutError::BadValue { field: "path", .. })
-        ));
-    }
-
-    #[test]
-    fn swap_terminal_sig_shm_round_trips() {
-        let mut p = phys();
-        let s = SwapDesc {
-            dev_name: "swap-main".into(),
-            dev_id: 1,
-            nslots: 1024,
-            bitmap: 0x7000,
-        };
-        s.write(&mut p, 0x6000).unwrap();
-        assert_eq!(SwapDesc::read(&p, 0x6000).unwrap().0, s);
-
-        let t = TermDesc {
-            id: 0,
-            cursor: 81,
-            settings: 0b11,
-            screen_pfn: 5,
-        };
-        t.write(&mut p, 0x6100).unwrap();
-        assert_eq!(TermDesc::read(&p, 0x6100).unwrap().0, t);
-
-        let mut sig = SigTable {
-            handlers: [0; NSIG],
-        };
-        sig.handlers[2] = 0xbeef;
-        sig.write(&mut p, 0x6200).unwrap();
-        assert_eq!(SigTable::read(&p, 0x6200).unwrap().0, sig);
-
-        let shm = ShmDesc {
-            key: 0x5e55,
-            size: 8192,
-            attach_vaddr: 0x10_0000,
-            npages: 2,
-            pages: vec![11, 12],
-            next: 0,
-        };
-        shm.write(&mut p, 0x6400).unwrap();
-        assert_eq!(ShmDesc::read(&p, 0x6400).unwrap().0, shm);
-    }
-
-    #[test]
-    fn page_cache_node_round_trip_and_validation() {
-        let mut p = phys();
-        let n = PageCacheNode {
-            file_off: 8192,
-            pfn: 3,
-            dirty: 1,
-            next: 0,
-        };
-        n.write(&mut p, 0x6800).unwrap();
-        assert_eq!(PageCacheNode::read(&p, 0x6800).unwrap().0, n);
-
-        let bad = PageCacheNode {
-            file_off: 100,
-            pfn: 3,
-            dirty: 0,
-            next: 0,
-        };
-        bad.write(&mut p, 0x6900).unwrap();
-        assert!(PageCacheNode::read(&p, 0x6900).is_err());
-    }
-
-    #[test]
-    fn kernel_header_round_trip() {
-        let mut p = phys();
-        let h = KernelHeader {
-            version: 1,
-            base_frame: 4,
-            nframes: 16,
-            proc_head: 0x5000,
-            nprocs: 3,
-            swap_array: 0x5800,
-            nswap: 2,
-            is_crash: 0,
-            term_table: 0x5900,
-            nterms: 2,
-            pipe_table: 0x5a00,
-            npipes: 1,
-        };
-        h.write(&mut p, 4 * 4096).unwrap();
-        let (got, _) = KernelHeader::read(&p, 4 * 4096).unwrap();
-        assert_eq!(got, h);
-    }
-
-    #[test]
-    fn kernel_header_rejects_implausible_counts() {
-        let mut p = phys();
-        let h = KernelHeader {
-            version: 1,
-            base_frame: 4,
-            nframes: 16,
-            proc_head: 0,
-            nprocs: 100_000,
-            swap_array: 0,
-            nswap: 0,
-            is_crash: 0,
-            term_table: 0,
-            nterms: 0,
-            pipe_table: 0,
-            npipes: 0,
-        };
-        h.write(&mut p, 4 * 4096).unwrap();
-        assert!(KernelHeader::read(&p, 4 * 4096).is_err());
-    }
-
-    #[test]
-    fn pack_unpack_str() {
-        let a = pack_str::<8>("hello");
-        assert_eq!(unpack_str(&a), "hello");
-        let b = pack_str::<4>("toolong");
-        assert_eq!(unpack_str(&b), "too");
-    }
-}
+//! Simulated physical memory is the kernel's ground truth (§3): process
+//! descriptors, VMAs, file tables, page-cache nodes, swap descriptors,
+//! terminal and IPC state are all written through to `ow_simhw::PhysMem`
+//! in these layouts, and the handoff block at frame 0 carries the
+//! [`LAYOUT_VERSION`](ow_layout::LAYOUT_VERSION) stamp that lets a crash
+//! kernel of a different generation refuse cleanly instead of misparsing.
+
+pub use ow_layout::*;

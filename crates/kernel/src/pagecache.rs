@@ -14,6 +14,7 @@ use crate::{
     layout::{oflags, FileRecord, FileTable, PageCacheNode},
     KernelResult,
 };
+use ow_layout::Record;
 use ow_simhw::{machine::FrameOwner, machine::Machine, PhysAddr, PAGE_SIZE};
 
 /// Walks a file's cache chain, writing every dirty page back to disk and

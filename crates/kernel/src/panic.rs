@@ -18,6 +18,7 @@ use crate::{
     kernel::{HandoffInfo, Kernel, PanicCause, PanicOutcome},
     layout::{CrashImageHeader, HandoffBlock, ProcDesc, IDT_MAGIC, SAVE_AREA_ADDR},
 };
+use ow_layout::Record;
 use ow_trace::PanicStep;
 
 /// Stable encoding of a panic cause for the flight record's `Entered` step.
@@ -113,7 +114,7 @@ impl Kernel {
         // itself is hardware-protected, but its descriptor must be sane.
         let image_addr = handoff.crash_base * ow_simhw::PAGE_BYTES;
         match CrashImageHeader::read(&self.machine.phys, image_addr) {
-            Ok(img) if img.entry_valid != 0 => {}
+            Ok((img, _)) if img.entry_valid != 0 => {}
             _ => return PanicOutcome::SystemHalted("crash image header invalid"),
         }
         self.trace_panic_step(PanicStep::CrashImageValidated, handoff.crash_base);

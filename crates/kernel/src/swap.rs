@@ -7,6 +7,7 @@
 //! device) and the slot bitmap live in kernel memory per [`crate::layout`].
 
 use crate::{error::KernelError, layout::SwapDesc};
+use ow_layout::Record;
 use ow_simhw::{machine::Machine, DevId, PhysAddr, PAGE_SIZE};
 use ow_trace::{EventKind, TraceRing};
 

@@ -12,6 +12,7 @@ use crate::{
     layout::{TermDesc, TERM_COLS, TERM_ROWS},
     KernelResult,
 };
+use ow_layout::Record;
 use ow_simhw::{machine::FrameOwner, PhysAddr, PAGE_SIZE};
 use std::collections::VecDeque;
 

@@ -12,6 +12,7 @@ use crate::{
     layout::{self, FileRecord, ProcDesc, VmaDesc},
     KernelResult,
 };
+use ow_layout::Record;
 use ow_simhw::{
     machine::FrameOwner, mmu::AccessKind, paging::PageFault, Pfn, PhysAddr, Pte, PteFlags,
     VirtAddr, PAGE_SIZE,
@@ -56,7 +57,10 @@ impl Kernel {
         file: PhysAddr,
         file_off: u64,
     ) -> KernelResult<()> {
-        if !start.is_multiple_of(PAGE_SIZE as u64) || !end.is_multiple_of(PAGE_SIZE as u64) || start >= end {
+        if !start.is_multiple_of(PAGE_SIZE as u64)
+            || !end.is_multiple_of(PAGE_SIZE as u64)
+            || start >= end
+        {
             return Err(KernelError::Inval("vma bounds"));
         }
         let desc_addr = self.proc(pid)?.desc_addr;

@@ -294,7 +294,9 @@ fn reap_frees_socket_resources() {
     let mut k = boot();
     let free_frames = k.falloc.free_frames();
     let heap = k.kheap.allocated_bytes();
-    let pid = k.spawn(SpawnSpec::new("s", Box::new(ExitAfter(2)))).unwrap();
+    let pid = k
+        .spawn(SpawnSpec::new("s", Box::new(ExitAfter(2))))
+        .unwrap();
     let s0 = k.sock_open(pid).unwrap();
     k.sock_open(pid).unwrap();
     k.sock_send(pid, s0, b"payload").unwrap();
@@ -303,6 +305,14 @@ fn reap_frees_socket_resources() {
         k.run_step();
     }
     assert!(k.procs.is_empty());
-    assert_eq!(k.falloc.free_frames(), free_frames, "outbuf frames returned");
-    assert_eq!(k.kheap.allocated_bytes(), heap, "socket descriptors returned");
+    assert_eq!(
+        k.falloc.free_frames(),
+        free_frames,
+        "outbuf frames returned"
+    );
+    assert_eq!(
+        k.kheap.allocated_bytes(),
+        heap,
+        "socket descriptors returned"
+    );
 }

@@ -1,8 +1,10 @@
-//! CRC-32 (IEEE 802.3 polynomial), the guard on every trace record.
+//! CRC-32 (IEEE 802.3 polynomial), the shared integrity guard.
 //!
-//! A wild write that lands in the ring flips bits in at most a few
-//! records; the CRC lets recovery tell exactly which ones. The table is
-//! built at compile time so there is no runtime init to corrupt.
+//! One implementation serves every CRC-framed structure in the system: the
+//! flight-recorder record slots and the §4 descriptor checksums. A wild
+//! write that lands in guarded memory flips bits in at most a few records;
+//! the CRC lets recovery tell exactly which ones. The table is built at
+//! compile time so there is no runtime init to corrupt.
 
 const fn build_table() -> [u32; 256] {
     let mut table = [0u32; 256];
@@ -11,7 +13,11 @@ const fn build_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;

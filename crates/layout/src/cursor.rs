@@ -1,0 +1,212 @@
+//! Checked little-endian cursors over simulated physical memory, plus the
+//! error type every validated parse reports through.
+//!
+//! Every structure starts with a 4-byte magic. All integers are
+//! little-endian. Strings are fixed-size, zero-padded byte arrays.
+
+use ow_simhw::{MemError, PhysAddr, PhysMem};
+use std::fmt;
+
+/// Errors raised when parsing structures out of (possibly corrupted) memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The magic number did not match: the structure was corrupted or the
+    /// pointer was garbage.
+    BadMagic {
+        /// Which structure was expected.
+        expected: &'static str,
+        /// Address that was read.
+        addr: PhysAddr,
+    },
+    /// A field failed a sanity bound (e.g. an fd count larger than the
+    /// table, a pointer past the end of RAM).
+    BadValue {
+        /// Which structure.
+        structure: &'static str,
+        /// Which field failed.
+        field: &'static str,
+        /// Address of the structure.
+        addr: PhysAddr,
+    },
+    /// The underlying physical read failed (pointer outside RAM).
+    Mem(MemError),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::BadMagic { expected, addr } => {
+                write!(f, "bad magic for {expected} at {addr:#x}")
+            }
+            LayoutError::BadValue {
+                structure,
+                field,
+                addr,
+            } => {
+                write!(f, "implausible {structure}.{field} at {addr:#x}")
+            }
+            LayoutError::Mem(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+impl From<MemError> for LayoutError {
+    fn from(e: MemError) -> Self {
+        LayoutError::Mem(e)
+    }
+}
+
+/// Sequential reader over physical memory.
+pub struct Cursor<'a> {
+    phys: &'a PhysMem,
+    addr: PhysAddr,
+    /// Bytes consumed (the crash kernel accounts every byte it reads from
+    /// the dead kernel — Table 4).
+    pub consumed: u64,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts reading at `addr`.
+    pub fn new(phys: &'a PhysMem, addr: PhysAddr) -> Self {
+        Cursor {
+            phys,
+            addr,
+            consumed: 0,
+        }
+    }
+
+    /// Current address.
+    pub fn addr(&self) -> PhysAddr {
+        self.addr
+    }
+
+    /// The memory being read.
+    pub fn phys(&self) -> &PhysMem {
+        self.phys
+    }
+
+    /// Reads a `u32` and advances.
+    pub fn u32(&mut self) -> Result<u32, LayoutError> {
+        let v = self.phys.read_u32(self.addr)?;
+        self.addr += 4;
+        self.consumed += 4;
+        Ok(v)
+    }
+
+    /// Reads a `u64` and advances.
+    pub fn u64(&mut self) -> Result<u64, LayoutError> {
+        let v = self.phys.read_u64(self.addr)?;
+        self.addr += 8;
+        self.consumed += 8;
+        Ok(v)
+    }
+
+    /// Reads `N` bytes and advances.
+    pub fn bytes<const N: usize>(&mut self) -> Result<[u8; N], LayoutError> {
+        let mut buf = [0u8; N];
+        self.phys.read(self.addr, &mut buf)?;
+        self.addr += N as u64;
+        self.consumed += N as u64;
+        Ok(buf)
+    }
+}
+
+/// Sequential writer over physical memory.
+pub struct CursorMut<'a> {
+    phys: &'a mut PhysMem,
+    addr: PhysAddr,
+}
+
+impl<'a> CursorMut<'a> {
+    /// Starts writing at `addr`.
+    pub fn new(phys: &'a mut PhysMem, addr: PhysAddr) -> Self {
+        CursorMut { phys, addr }
+    }
+
+    /// Current address.
+    pub fn addr(&self) -> PhysAddr {
+        self.addr
+    }
+
+    /// Writes a `u32` and advances.
+    pub fn u32(&mut self, v: u32) -> Result<(), LayoutError> {
+        self.phys.write_u32(self.addr, v)?;
+        self.addr += 4;
+        Ok(())
+    }
+
+    /// Writes a `u64` and advances.
+    pub fn u64(&mut self, v: u64) -> Result<(), LayoutError> {
+        self.phys.write_u64(self.addr, v)?;
+        self.addr += 8;
+        Ok(())
+    }
+
+    /// Writes a fixed byte array and advances.
+    pub fn bytes(&mut self, buf: &[u8]) -> Result<(), LayoutError> {
+        self.phys.write(self.addr, buf)?;
+        self.addr += buf.len() as u64;
+        Ok(())
+    }
+}
+
+/// Encodes a string into a fixed, zero-padded array (truncating).
+pub fn pack_str<const N: usize>(s: &str) -> [u8; N] {
+    let mut buf = [0u8; N];
+    let b = s.as_bytes();
+    let n = b.len().min(N - 1);
+    buf[..n].copy_from_slice(&b[..n]);
+    buf
+}
+
+/// Decodes a zero-padded array back into a string (lossy).
+pub fn unpack_str(buf: &[u8]) -> String {
+    let end = buf.iter().position(|&b| b == 0).unwrap_or(buf.len());
+    String::from_utf8_lossy(&buf[..end]).into_owned()
+}
+
+/// The one magic-number gate every validated read goes through: reads a
+/// `u32` and fails with [`LayoutError::BadMagic`] unless it matches.
+pub fn check_magic(
+    cur: &mut Cursor<'_>,
+    expected: u32,
+    name: &'static str,
+) -> Result<(), LayoutError> {
+    let addr = cur.addr();
+    if cur.u32()? != expected {
+        return Err(LayoutError::BadMagic {
+            expected: name,
+            addr,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_str() {
+        let a = pack_str::<8>("hello");
+        assert_eq!(unpack_str(&a), "hello");
+        let b = pack_str::<4>("toolong");
+        assert_eq!(unpack_str(&b), "too");
+    }
+
+    #[test]
+    fn cursor_accounts_consumed_bytes() {
+        let mut p = PhysMem::new(1);
+        let mut w = CursorMut::new(&mut p, 0);
+        w.u32(7).unwrap();
+        w.u64(9).unwrap();
+        w.bytes(&[1, 2, 3, 4]).unwrap();
+        let mut c = Cursor::new(&p, 0);
+        assert_eq!(c.u32().unwrap(), 7);
+        assert_eq!(c.u64().unwrap(), 9);
+        assert_eq!(c.bytes::<4>().unwrap(), [1, 2, 3, 4]);
+        assert_eq!(c.consumed, 16);
+    }
+}

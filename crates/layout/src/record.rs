@@ -1,0 +1,74 @@
+//! The declarative record codec: one trait carrying a structure's magic,
+//! layout version, footprint and body codec, with `write`/`read` provided
+//! on top so the magic gate and byte accounting exist exactly once.
+
+use crate::cursor::{check_magic, Cursor, CursorMut, LayoutError};
+use ow_simhw::{PhysAddr, PhysMem};
+
+/// A fixed-layout structure serialized into simulated physical memory.
+///
+/// Implementations supply the body codec ([`Record::encode_body`] /
+/// [`Record::decode_body`]) and optional deep validation
+/// ([`Record::validate`]); the trait provides [`Record::write`] and
+/// [`Record::read`], which bracket the body with the 4-byte magic and the
+/// Table 4 byte accounting. The paper builds main and crash kernels from
+/// the same source so both agree on structure layout (§3.1); this trait is
+/// that shared source, and [`crate::registry::REGISTRY`] enumerates every
+/// implementor.
+pub trait Record: Sized {
+    /// Structure name used in error reports and the registry.
+    const NAME: &'static str;
+    /// 4-byte magic prefix.
+    const MAGIC: u32;
+    /// Layout version of this record's encoding. Bumped whenever the byte
+    /// layout (or the semantics of a guarded field) changes; the maximum
+    /// over all records feeds [`crate::registry::LAYOUT_VERSION`].
+    const VERSION: u32;
+    /// Serialized size in bytes (magic included).
+    const SIZE: u64;
+
+    /// Encodes every field after the magic.
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError>;
+
+    /// Decodes every field after the magic, consuming exactly
+    /// `SIZE - 4` bytes regardless of field values (so corrupted counts
+    /// cannot change the footprint).
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError>;
+
+    /// Deep validation after a structurally successful decode; `addr` is
+    /// the structure's start (for error reports), `phys` the memory it was
+    /// read from (for pointer bounds).
+    fn validate(&self, _phys: &PhysMem, _addr: PhysAddr) -> Result<(), LayoutError> {
+        Ok(())
+    }
+
+    /// Writes the record (magic, then body) at `addr`.
+    fn write(&self, phys: &mut PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
+        let mut w = CursorMut::new(phys, addr);
+        w.u32(Self::MAGIC)?;
+        self.encode_body(&mut w)?;
+        debug_assert_eq!(
+            w.addr() - addr,
+            Self::SIZE,
+            "{} encode drifted from declared SIZE",
+            Self::NAME
+        );
+        Ok(())
+    }
+
+    /// Reads and validates a record at `addr`, returning it plus bytes
+    /// consumed.
+    fn read(phys: &PhysMem, addr: PhysAddr) -> Result<(Self, u64), LayoutError> {
+        let mut c = Cursor::new(phys, addr);
+        check_magic(&mut c, Self::MAGIC, Self::NAME)?;
+        let v = Self::decode_body(&mut c)?;
+        debug_assert_eq!(
+            c.consumed,
+            Self::SIZE,
+            "{} decode drifted from declared SIZE",
+            Self::NAME
+        );
+        v.validate(phys, addr)?;
+        Ok((v, c.consumed))
+    }
+}

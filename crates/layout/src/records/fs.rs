@@ -1,0 +1,252 @@
+//! Filesystem-side structures: the per-process file table, open-file
+//! records, the page cache and swap descriptors.
+
+use super::{MAX_FDS, PATH_LEN};
+use crate::cursor::{pack_str, unpack_str, Cursor, CursorMut, LayoutError};
+use crate::record::Record;
+use ow_simhw::{PhysAddr, PhysMem};
+
+/// Magic for [`FileTable`].
+pub const FTAB_MAGIC: u32 = 0x4241_5446; // "FTAB"
+
+/// A process's open-file table (Linux `files_struct` analog).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileTable {
+    /// One entry per fd slot; 0 = closed, otherwise the address of a
+    /// [`FileRecord`].
+    pub fds: [PhysAddr; MAX_FDS],
+}
+
+impl Record for FileTable {
+    const NAME: &'static str = "FileTable";
+    const MAGIC: u32 = FTAB_MAGIC;
+    const VERSION: u32 = 1;
+    const SIZE: u64 = 4 + 4 + 8 * MAX_FDS as u64;
+
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError> {
+        w.u32(0)?;
+        for fd in self.fds {
+            w.u64(fd)?;
+        }
+        Ok(())
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError> {
+        let _pad = c.u32()?;
+        let mut fds = [0u64; MAX_FDS];
+        for fd in &mut fds {
+            *fd = c.u64()?;
+        }
+        Ok(FileTable { fds })
+    }
+}
+
+/// Magic for [`FileRecord`].
+pub const FILE_MAGIC: u32 = 0x454c_4946; // "FILE"
+
+/// File open flags.
+pub mod oflags {
+    /// Open for reading.
+    pub const READ: u32 = 1 << 0;
+    /// Open for writing.
+    pub const WRITE: u32 = 1 << 1;
+    /// Create if absent.
+    pub const CREATE: u32 = 1 << 2;
+    /// Append mode.
+    pub const APPEND: u32 = 1 << 3;
+    /// Truncate on open.
+    pub const TRUNC: u32 = 1 << 4;
+}
+
+/// An open file (Linux `struct file`, *modified as in §3.1*: the paper keeps
+/// the location, name and open flags directly in the file structure so
+/// resurrection needs only this one record rather than `file`+`inode`+
+/// `dentry` chains).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileRecord {
+    /// Open flags (see [`oflags`]).
+    pub flags: u32,
+    /// Reference count (fd table entries pointing here).
+    pub refcnt: u32,
+    /// Current file offset.
+    pub offset: u64,
+    /// Logical file size including not-yet-written-back cached data.
+    pub fsize: u64,
+    /// Inode number (cross-check against the path at resurrection).
+    pub inode: u64,
+    /// Full path, stored inline per the paper's kernel modification.
+    pub path: String,
+    /// First [`PageCacheNode`] of this file's buffer tree (0 = none).
+    pub cache_head: PhysAddr,
+}
+
+impl Record for FileRecord {
+    const NAME: &'static str = "FileRecord";
+    const MAGIC: u32 = FILE_MAGIC;
+    const VERSION: u32 = 1;
+    const SIZE: u64 = 4 + 4 + 4 + 4 + 8 + 8 + 8 + PATH_LEN as u64 + 8;
+
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError> {
+        w.u32(self.flags)?;
+        w.u32(self.refcnt)?;
+        w.u32(0)?;
+        w.u64(self.offset)?;
+        w.u64(self.fsize)?;
+        w.u64(self.inode)?;
+        w.bytes(&pack_str::<PATH_LEN>(&self.path))?;
+        w.u64(self.cache_head)?;
+        Ok(())
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError> {
+        let flags = c.u32()?;
+        let refcnt = c.u32()?;
+        let _pad = c.u32()?;
+        let offset = c.u64()?;
+        let fsize = c.u64()?;
+        let inode = c.u64()?;
+        let path = unpack_str(&c.bytes::<PATH_LEN>()?);
+        let cache_head = c.u64()?;
+        Ok(FileRecord {
+            flags,
+            refcnt,
+            offset,
+            fsize,
+            inode,
+            path,
+            cache_head,
+        })
+    }
+
+    fn validate(&self, _phys: &PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
+        if self.path.is_empty() {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "path",
+                addr,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Magic for [`PageCacheNode`].
+pub const PGCACHE_MAGIC: u32 = 0x4e43_4750; // "PGCN"
+
+/// One page of cached file data (leaf of the paper's buffer tree, §3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageCacheNode {
+    /// Offset of this page's data within the file (page-aligned).
+    pub file_off: u64,
+    /// Physical frame holding the data.
+    pub pfn: u64,
+    /// Non-zero when the page must be written back to disk.
+    pub dirty: u32,
+    /// Next node (0 = end).
+    pub next: PhysAddr,
+}
+
+impl Record for PageCacheNode {
+    const NAME: &'static str = "PageCacheNode";
+    const MAGIC: u32 = PGCACHE_MAGIC;
+    const VERSION: u32 = 1;
+    const SIZE: u64 = 4 + 4 + 8 + 8 + 4 + 4 + 8;
+
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError> {
+        w.u32(0)?;
+        w.u64(self.file_off)?;
+        w.u64(self.pfn)?;
+        w.u32(self.dirty)?;
+        w.u32(0)?;
+        w.u64(self.next)?;
+        Ok(())
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError> {
+        let _pad = c.u32()?;
+        let file_off = c.u64()?;
+        let pfn = c.u64()?;
+        let dirty = c.u32()?;
+        let _pad2 = c.u32()?;
+        let next = c.u64()?;
+        Ok(PageCacheNode {
+            file_off,
+            pfn,
+            dirty,
+            next,
+        })
+    }
+
+    fn validate(&self, phys: &PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
+        if !self.file_off.is_multiple_of(4096) || self.pfn >= phys.frames() {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "file_off/pfn",
+                addr,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Magic for [`SwapDesc`].
+pub const SWAP_MAGIC: u32 = 0x5041_5753; // "SWAP"
+
+/// Length of a swap device name.
+pub const SWAP_NAME_LEN: usize = 16;
+
+/// A swap-area descriptor (Linux `swap_info_struct` analog): the symbolic
+/// device name is stored so the crash kernel can reopen the device (§3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapDesc {
+    /// Symbolic device name (e.g. `"swap-main"`).
+    pub dev_name: String,
+    /// Device id at the time of writing (cross-check only; the name is
+    /// authoritative, exactly as in the paper).
+    pub dev_id: u32,
+    /// Total slots in the area.
+    pub nslots: u32,
+    /// Physical address of the slot-allocation bitmap (one byte per slot).
+    pub bitmap: PhysAddr,
+}
+
+impl Record for SwapDesc {
+    const NAME: &'static str = "SwapDesc";
+    const MAGIC: u32 = SWAP_MAGIC;
+    const VERSION: u32 = 1;
+    const SIZE: u64 = 4 + SWAP_NAME_LEN as u64 + 4 + 4 + 8 + 4;
+
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError> {
+        w.bytes(&pack_str::<SWAP_NAME_LEN>(&self.dev_name))?;
+        w.u32(self.dev_id)?;
+        w.u32(self.nslots)?;
+        w.u64(self.bitmap)?;
+        w.u32(0)?;
+        Ok(())
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError> {
+        let dev_name = unpack_str(&c.bytes::<SWAP_NAME_LEN>()?);
+        let dev_id = c.u32()?;
+        let nslots = c.u32()?;
+        let bitmap = c.u64()?;
+        let _pad = c.u32()?;
+        Ok(SwapDesc {
+            dev_name,
+            dev_id,
+            nslots,
+            bitmap,
+        })
+    }
+
+    fn validate(&self, _phys: &PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
+        if self.dev_name.is_empty() || self.nslots > 1 << 24 {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "name/nslots",
+                addr,
+            });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,307 @@
+//! IPC-side structures: terminals, shared memory, pipes and sockets.
+
+use super::SHM_MAX_PAGES;
+use crate::cursor::{Cursor, CursorMut, LayoutError};
+use crate::record::Record;
+use ow_simhw::{PhysAddr, PhysMem};
+
+/// Magic for [`TermDesc`].
+pub const TERM_MAGIC: u32 = 0x4d52_4554; // "TERM"
+
+/// Terminal geometry: columns.
+pub const TERM_COLS: u32 = 80;
+/// Terminal geometry: rows.
+pub const TERM_ROWS: u32 = 25;
+
+/// A physical terminal: settings plus an in-kernel screen buffer frame
+/// (§3.3 — the crash kernel restores screen contents and settings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermDesc {
+    /// Terminal id.
+    pub id: u32,
+    /// Cursor position (row * cols + col).
+    pub cursor: u32,
+    /// Terminal settings word (echo, raw mode, ...).
+    pub settings: u64,
+    /// Frame holding the screen contents (cols*rows bytes).
+    pub screen_pfn: u64,
+}
+
+impl Record for TermDesc {
+    const NAME: &'static str = "TermDesc";
+    const MAGIC: u32 = TERM_MAGIC;
+    const VERSION: u32 = 1;
+    const SIZE: u64 = 4 + 4 + 4 + 4 + 8 + 8;
+
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError> {
+        w.u32(self.id)?;
+        w.u32(self.cursor)?;
+        w.u32(0)?;
+        w.u64(self.settings)?;
+        w.u64(self.screen_pfn)?;
+        Ok(())
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError> {
+        let id = c.u32()?;
+        let cursor = c.u32()?;
+        let _pad = c.u32()?;
+        let settings = c.u64()?;
+        let screen_pfn = c.u64()?;
+        Ok(TermDesc {
+            id,
+            cursor,
+            settings,
+            screen_pfn,
+        })
+    }
+
+    fn validate(&self, phys: &PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
+        if self.cursor >= TERM_COLS * TERM_ROWS || self.screen_pfn >= phys.frames() {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "cursor/screen_pfn",
+                addr,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Magic for [`ShmDesc`].
+pub const SHM_MAGIC: u32 = 0x444d_4853; // "SHMD"
+
+/// A System-V-style shared memory segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShmDesc {
+    /// Segment key.
+    pub key: u64,
+    /// Segment size in bytes.
+    pub size: u64,
+    /// Virtual address the owning process attached it at (0 = detached).
+    pub attach_vaddr: u64,
+    /// Number of pages used.
+    pub npages: u32,
+    /// Frames backing the segment.
+    pub pages: Vec<u64>,
+    /// Next segment attached to the same process (0 = end).
+    pub next: PhysAddr,
+}
+
+impl Record for ShmDesc {
+    const NAME: &'static str = "ShmDesc";
+    const MAGIC: u32 = SHM_MAGIC;
+    const VERSION: u32 = 1;
+    const SIZE: u64 = 4 + 4 + 8 + 8 + 8 + 8 + 8 * SHM_MAX_PAGES as u64;
+
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError> {
+        assert!(self.pages.len() <= SHM_MAX_PAGES);
+        w.u32(self.npages)?;
+        w.u64(self.key)?;
+        w.u64(self.size)?;
+        w.u64(self.attach_vaddr)?;
+        w.u64(self.next)?;
+        for i in 0..SHM_MAX_PAGES {
+            w.u64(self.pages.get(i).copied().unwrap_or(0))?;
+        }
+        Ok(())
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError> {
+        let npages = c.u32()?;
+        let key = c.u64()?;
+        let size = c.u64()?;
+        let attach_vaddr = c.u64()?;
+        let next = c.u64()?;
+        // Always consume the whole fixed-capacity array so a corrupted
+        // count cannot change the record's footprint; a too-large count is
+        // rejected in validate().
+        let mut pages = Vec::with_capacity((npages as usize).min(SHM_MAX_PAGES));
+        for i in 0..SHM_MAX_PAGES {
+            let p = c.u64()?;
+            if i < npages as usize {
+                pages.push(p);
+            }
+        }
+        Ok(ShmDesc {
+            key,
+            size,
+            attach_vaddr,
+            npages,
+            pages,
+            next,
+        })
+    }
+
+    fn validate(&self, phys: &PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
+        if self.npages as usize > SHM_MAX_PAGES {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "npages",
+                addr,
+            });
+        }
+        if self.pages.iter().any(|&p| p >= phys.frames()) {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "pages",
+                addr,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Magic for [`PipeDesc`].
+pub const PIPE_MAGIC: u32 = 0x4550_4950; // "PIPE"
+
+/// Pipe ring-buffer capacity in bytes (one frame, one slot reserved).
+pub const PIPE_CAP: u32 = 4095;
+
+/// A pipe: a ring buffer shared between processes, serialized by a
+/// semaphore. Per §3.3, when the semaphore is **not** held the structure is
+/// consistent and resurrectable; when it is held at crash time, the pipe
+/// was mid-update and must be considered lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipeDesc {
+    /// Non-zero while a reader/writer holds the pipe semaphore.
+    pub locked: u32,
+    /// Read cursor into the ring.
+    pub rd: u32,
+    /// Write cursor into the ring.
+    pub wr: u32,
+    /// Frame holding the ring buffer.
+    pub buf_pfn: u64,
+}
+
+impl Record for PipeDesc {
+    const NAME: &'static str = "PipeDesc";
+    const MAGIC: u32 = PIPE_MAGIC;
+    const VERSION: u32 = 1;
+    const SIZE: u64 = 4 + 4 + 4 + 4 + 8;
+
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError> {
+        w.u32(self.locked)?;
+        w.u32(self.rd)?;
+        w.u32(self.wr)?;
+        w.u64(self.buf_pfn)?;
+        Ok(())
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError> {
+        Ok(PipeDesc {
+            locked: c.u32()?,
+            rd: c.u32()?,
+            wr: c.u32()?,
+            buf_pfn: c.u64()?,
+        })
+    }
+
+    fn validate(&self, phys: &PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
+        if self.rd > PIPE_CAP + 1 || self.wr > PIPE_CAP + 1 || self.buf_pfn >= phys.frames() {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "cursors",
+                addr,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Magic for [`SockDesc`].
+pub const SOCK_MAGIC: u32 = 0x4b43_4f53; // "SOCK"
+
+/// Socket protocol values.
+pub mod sockproto {
+    /// Datagram (UDP-like): payload may be discarded on resurrection.
+    pub const UDP: u32 = 0;
+    /// Stream (TCP-like): connection parameters plus unacknowledged
+    /// outbound payload must be restored.
+    pub const TCP: u32 = 1;
+}
+
+/// A socket descriptor on a process's socket chain.
+///
+/// The paper's prototype cannot resurrect these (§3.3) but argues they are
+/// resurrectable: UDP needs only the connection parameters; TCP also needs
+/// the sequence state and all outbound payload not yet acknowledged. This
+/// structure carries exactly that, as the §7 extension implements it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SockDesc {
+    /// Protocol (see [`sockproto`]).
+    pub proto: u32,
+    /// 1 = open, 0 = closed.
+    pub state: u32,
+    /// Socket id within the owning process.
+    pub sid: u32,
+    /// Local port (connection parameter).
+    pub local_port: u32,
+    /// Send sequence number.
+    pub seq: u64,
+    /// Frame buffering unacknowledged outbound payload.
+    pub outbuf_pfn: u64,
+    /// Bytes of unacknowledged payload in the buffer.
+    pub outbuf_len: u32,
+    /// Next socket on the chain (0 = end).
+    pub next: PhysAddr,
+}
+
+impl Record for SockDesc {
+    const NAME: &'static str = "SockDesc";
+    const MAGIC: u32 = SOCK_MAGIC;
+    const VERSION: u32 = 1;
+    const SIZE: u64 = 4 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 4 + 4 + 8;
+
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError> {
+        w.u32(self.proto)?;
+        w.u32(self.state)?;
+        w.u32(self.sid)?;
+        w.u32(self.local_port)?;
+        w.u32(0)?;
+        w.u64(self.seq)?;
+        w.u64(self.outbuf_pfn)?;
+        w.u32(self.outbuf_len)?;
+        w.u32(0)?;
+        w.u64(self.next)?;
+        Ok(())
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError> {
+        let proto = c.u32()?;
+        let state = c.u32()?;
+        let sid = c.u32()?;
+        let local_port = c.u32()?;
+        let _pad = c.u32()?;
+        let seq = c.u64()?;
+        let outbuf_pfn = c.u64()?;
+        let outbuf_len = c.u32()?;
+        let _pad2 = c.u32()?;
+        let next = c.u64()?;
+        Ok(SockDesc {
+            proto,
+            state,
+            sid,
+            local_port,
+            seq,
+            outbuf_pfn,
+            outbuf_len,
+            next,
+        })
+    }
+
+    fn validate(&self, phys: &PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
+        if self.proto > 1
+            || self.state > 1
+            || self.outbuf_len > 4096
+            || self.outbuf_pfn >= phys.frames()
+        {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "fields",
+                addr,
+            });
+        }
+        Ok(())
+    }
+}

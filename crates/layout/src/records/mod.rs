@@ -1,0 +1,56 @@
+//! Binary layouts of every kernel structure the crash kernel must parse.
+//!
+//! The paper builds the main and crash kernels from the same source so that
+//! both agree on structure layout (§3.1). These modules are that shared
+//! source: the main kernel serializes its process descriptors, memory maps,
+//! file records, page-cache nodes, swap descriptors, terminals, signal
+//! tables and shared-memory segments into physical memory using these
+//! layouts, and the crash kernel re-reads them through the same definitions
+//! — validating a per-structure magic number first, because a wild write
+//! may have destroyed anything (§4).
+
+mod fs;
+mod handoff;
+mod ipc;
+mod proc;
+
+pub use fs::*;
+pub use handoff::*;
+pub use ipc::*;
+pub use proc::*;
+
+/// Maximum open files per process.
+pub const MAX_FDS: usize = 16;
+
+/// Number of signals.
+pub const NSIG: usize = 16;
+
+/// Maximum pages in one shared-memory segment.
+pub const SHM_MAX_PAGES: usize = 64;
+
+/// Maximum length of a stored file path.
+pub const PATH_LEN: usize = 64;
+
+/// Maximum length of a process name (doubles as the executable identity the
+/// crash kernel uses to re-instantiate the program).
+pub const NAME_LEN: usize = 32;
+
+/// Resource-type bits for [`ProcDesc::res_in_use`] and the crash-procedure
+/// bitmask argument (paper §3.4): each set bit is a resource type the crash
+/// kernel did not (or cannot) resurrect.
+pub mod resmask {
+    /// Network sockets (not resurrectable in the prototype).
+    pub const SOCKETS: u32 = 1 << 0;
+    /// Pipes (not resurrectable in the prototype).
+    pub const PIPES: u32 = 1 << 1;
+    /// Pseudo-terminals (only physical terminals are restorable).
+    pub const PTY: u32 = 1 << 2;
+    /// Open files (set in the failure mask only when reopening failed).
+    pub const FILES: u32 = 1 << 3;
+    /// Shared memory segments.
+    pub const SHM: u32 = 1 << 4;
+    /// Physical terminal state.
+    pub const TERMINAL: u32 = 1 << 5;
+    /// Signal handler table.
+    pub const SIGNALS: u32 = 1 << 6;
+}

@@ -1,0 +1,367 @@
+//! Process-side structures: the process descriptor, memory-region
+//! descriptors and the signal-handler table.
+
+use super::{NAME_LEN, NSIG};
+use crate::crc::crc32;
+use crate::cursor::{pack_str, unpack_str, Cursor, CursorMut, LayoutError};
+use crate::record::Record;
+use ow_simhw::{PhysAddr, PhysMem};
+
+/// Magic for [`ProcDesc`].
+pub const PROC_MAGIC: u32 = 0x434f_5250; // "PROC"
+
+/// Process run state, mirrored into memory.
+pub mod pstate {
+    /// Runnable / running.
+    pub const RUNNABLE: u32 = 1;
+    /// Blocked in a system call.
+    pub const BLOCKED: u32 = 2;
+    /// Exited.
+    pub const EXITED: u32 = 3;
+}
+
+/// Byte offsets of [`ProcDesc`] fields (single source of truth for the
+/// kernel paths that update individual fields in place).
+pub mod proc_off {
+    use super::NAME_LEN;
+    /// `state` field.
+    pub const STATE: u64 = 4;
+    /// `pid` field.
+    pub const PID: u64 = 8;
+    /// `name` field.
+    pub const NAME: u64 = 16;
+    /// `crash_proc` field.
+    pub const CRASH_PROC: u64 = NAME + NAME_LEN as u64;
+    /// `term_id` field.
+    pub const TERM_ID: u64 = CRASH_PROC + 4;
+    /// `page_root` field.
+    pub const PAGE_ROOT: u64 = TERM_ID + 4;
+    /// `mm_head` field.
+    pub const MM_HEAD: u64 = PAGE_ROOT + 8;
+    /// `files` field.
+    pub const FILES: u64 = MM_HEAD + 8;
+    /// `sig` field.
+    pub const SIG: u64 = FILES + 8;
+    /// `shm_head` field.
+    pub const SHM_HEAD: u64 = SIG + 8;
+    /// `sock_head` field.
+    pub const SOCK_HEAD: u64 = SHM_HEAD + 8;
+    /// `res_in_use` field.
+    pub const RES_IN_USE: u64 = SOCK_HEAD + 8;
+    /// `in_syscall` field.
+    pub const IN_SYSCALL: u64 = RES_IN_USE + 4;
+    /// `saved_pc` field.
+    pub const SAVED_PC: u64 = IN_SYSCALL + 4;
+    /// `saved_sp` field.
+    pub const SAVED_SP: u64 = SAVED_PC + 8;
+    /// `saved_regs` field.
+    pub const SAVED_REGS: u64 = SAVED_SP + 8;
+    /// `checksum` field (0 = checksums disabled).
+    pub const CHECKSUM: u64 = SAVED_REGS + 8 * 8;
+    /// `next` field.
+    pub const NEXT: u64 = CHECKSUM + 8;
+}
+
+/// A process descriptor (Linux `task_struct` analog).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcDesc {
+    /// Process id.
+    pub pid: u64,
+    /// Run state (see [`pstate`]).
+    pub state: u32,
+    /// Process name — also the executable identity for rehydration.
+    pub name: String,
+    /// Non-zero when the application registered a crash procedure (§3.4).
+    pub crash_proc: u32,
+    /// Root frame of the process page tables.
+    pub page_root: u64,
+    /// Physical address of the first [`super::VmaDesc`] (0 = none).
+    pub mm_head: PhysAddr,
+    /// Physical address of the [`super::FileTable`].
+    pub files: PhysAddr,
+    /// Physical address of the [`SigTable`].
+    pub sig: PhysAddr,
+    /// Attached terminal id (`u32::MAX` = none).
+    pub term_id: u32,
+    /// Physical address of the first attached [`super::ShmDesc`] (0 = none).
+    pub shm_head: PhysAddr,
+    /// Physical address of the first [`super::SockDesc`] (0 = none).
+    pub sock_head: PhysAddr,
+    /// Bitmask of resource types the process currently uses that the crash
+    /// kernel cannot resurrect (see [`super::resmask`]).
+    pub res_in_use: u32,
+    /// Non-zero while the process is executing a system call; holds the
+    /// syscall number + 1.
+    pub in_syscall: u32,
+    /// Saved user context: program counter (resume step index).
+    pub saved_pc: u64,
+    /// Saved user stack pointer.
+    pub saved_sp: u64,
+    /// Saved general-purpose registers.
+    pub saved_regs: [u64; 8],
+    /// Optional integrity checksum over the descriptor (§4 hardening;
+    /// 0 = checksums disabled). Excludes the `checksum` and `next` fields.
+    pub checksum: u64,
+    /// Next process on the list (0 = end).
+    pub next: PhysAddr,
+}
+
+impl Record for ProcDesc {
+    const NAME: &'static str = "ProcDesc";
+    const MAGIC: u32 = PROC_MAGIC;
+    const VERSION: u32 = 2; // v2: §4 checksum switched from FNV-1a to CRC-32
+    const SIZE: u64 = proc_off::NEXT + 8;
+
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError> {
+        w.u32(self.state)?;
+        w.u64(self.pid)?;
+        w.bytes(&pack_str::<NAME_LEN>(&self.name))?;
+        w.u32(self.crash_proc)?;
+        w.u32(self.term_id)?;
+        w.u64(self.page_root)?;
+        w.u64(self.mm_head)?;
+        w.u64(self.files)?;
+        w.u64(self.sig)?;
+        w.u64(self.shm_head)?;
+        w.u64(self.sock_head)?;
+        w.u32(self.res_in_use)?;
+        w.u32(self.in_syscall)?;
+        w.u64(self.saved_pc)?;
+        w.u64(self.saved_sp)?;
+        for r in self.saved_regs {
+            w.u64(r)?;
+        }
+        w.u64(self.checksum)?;
+        w.u64(self.next)?;
+        Ok(())
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError> {
+        let state = c.u32()?;
+        let pid = c.u64()?;
+        let name = unpack_str(&c.bytes::<NAME_LEN>()?);
+        let crash_proc = c.u32()?;
+        let term_id = c.u32()?;
+        let page_root = c.u64()?;
+        let mm_head = c.u64()?;
+        let files = c.u64()?;
+        let sig = c.u64()?;
+        let shm_head = c.u64()?;
+        let sock_head = c.u64()?;
+        let res_in_use = c.u32()?;
+        let in_syscall = c.u32()?;
+        let saved_pc = c.u64()?;
+        let saved_sp = c.u64()?;
+        let mut saved_regs = [0u64; 8];
+        for r in &mut saved_regs {
+            *r = c.u64()?;
+        }
+        let checksum = c.u64()?;
+        let next = c.u64()?;
+        Ok(ProcDesc {
+            pid,
+            state,
+            name,
+            crash_proc,
+            page_root,
+            mm_head,
+            files,
+            sig,
+            term_id,
+            shm_head,
+            sock_head,
+            res_in_use,
+            in_syscall,
+            saved_pc,
+            saved_sp,
+            saved_regs,
+            checksum,
+            next,
+        })
+    }
+
+    fn validate(&self, phys: &PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
+        if !(pstate::RUNNABLE..=pstate::EXITED).contains(&self.state) {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "state",
+                addr,
+            });
+        }
+        if self.page_root >= phys.frames() {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "page_root",
+                addr,
+            });
+        }
+        // §4 hardening: when a checksum is maintained, corruption anywhere
+        // in the covered extent is detected even if it passed the shallower
+        // plausibility checks above. The CRC runs over the *raw encoded
+        // bytes* rather than the decoded value, so corruption that decoding
+        // normalizes away (e.g. garbage in the name field's zero padding)
+        // is still caught.
+        if self.checksum != 0 {
+            let mut covered = vec![0u8; (proc_off::CHECKSUM - proc_off::STATE) as usize];
+            phys.read(addr + proc_off::STATE, &mut covered)
+                .map_err(LayoutError::Mem)?;
+            if (crc32(&covered) as u64 | (1 << 32)) != self.checksum {
+                return Err(LayoutError::BadValue {
+                    structure: Self::NAME,
+                    field: "checksum",
+                    addr,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ProcDesc {
+    /// Computes the §4 integrity checksum over the descriptor's contents
+    /// (excluding the `checksum` and `next` fields, which the kernel
+    /// updates through checksum-aware paths of their own).
+    ///
+    /// The guard is the system-wide shared [`crc32`] over the covered
+    /// fields serialized exactly as [`Record::encode_body`] lays them out
+    /// (bytes `[proc_off::STATE, proc_off::CHECKSUM)` of the encoding), so
+    /// [`Record::validate`] can check it against the raw bytes in memory.
+    /// The value is widened with a marker bit so a valid checksum is never
+    /// zero (zero means "disabled").
+    pub fn compute_checksum(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(Self::SIZE as usize);
+        bytes.extend_from_slice(&self.state.to_le_bytes());
+        bytes.extend_from_slice(&self.pid.to_le_bytes());
+        bytes.extend_from_slice(&pack_str::<NAME_LEN>(&self.name));
+        bytes.extend_from_slice(&self.crash_proc.to_le_bytes());
+        bytes.extend_from_slice(&self.term_id.to_le_bytes());
+        bytes.extend_from_slice(&self.page_root.to_le_bytes());
+        bytes.extend_from_slice(&self.mm_head.to_le_bytes());
+        bytes.extend_from_slice(&self.files.to_le_bytes());
+        bytes.extend_from_slice(&self.sig.to_le_bytes());
+        bytes.extend_from_slice(&self.shm_head.to_le_bytes());
+        bytes.extend_from_slice(&self.sock_head.to_le_bytes());
+        bytes.extend_from_slice(&self.res_in_use.to_le_bytes());
+        bytes.extend_from_slice(&self.in_syscall.to_le_bytes());
+        bytes.extend_from_slice(&self.saved_pc.to_le_bytes());
+        bytes.extend_from_slice(&self.saved_sp.to_le_bytes());
+        for r in self.saved_regs {
+            bytes.extend_from_slice(&r.to_le_bytes());
+        }
+        crc32(&bytes) as u64 | (1 << 32)
+    }
+}
+
+/// Magic for [`VmaDesc`].
+pub const VMA_MAGIC: u32 = 0x3041_4d56; // "VMA0"
+
+/// VMA flag bits.
+pub mod vmaflags {
+    /// Region is readable.
+    pub const READ: u64 = 1 << 0;
+    /// Region is writable.
+    pub const WRITE: u64 = 1 << 1;
+    /// Region is shared (e.g. shm attach).
+    pub const SHARED: u64 = 1 << 2;
+    /// Region is a file mapping.
+    pub const FILE: u64 = 1 << 3;
+    /// Region grows down (stack).
+    pub const STACK: u64 = 1 << 4;
+}
+
+/// A memory-region descriptor (Linux `vm_area_struct` analog).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmaDesc {
+    /// Start virtual address (page-aligned).
+    pub start: u64,
+    /// End virtual address (exclusive, page-aligned).
+    pub end: u64,
+    /// Flag bits (see [`vmaflags`]).
+    pub flags: u64,
+    /// Backing [`super::FileRecord`] for file mappings (0 = anonymous).
+    pub file: PhysAddr,
+    /// Offset of the mapping within the backing file.
+    pub file_off: u64,
+    /// Next region (0 = end of list).
+    pub next: PhysAddr,
+}
+
+impl Record for VmaDesc {
+    const NAME: &'static str = "VmaDesc";
+    const MAGIC: u32 = VMA_MAGIC;
+    const VERSION: u32 = 1;
+    const SIZE: u64 = 4 + 4 + 8 * 6;
+
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError> {
+        w.u32(0)?;
+        w.u64(self.start)?;
+        w.u64(self.end)?;
+        w.u64(self.flags)?;
+        w.u64(self.file)?;
+        w.u64(self.file_off)?;
+        w.u64(self.next)?;
+        Ok(())
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError> {
+        let _pad = c.u32()?;
+        Ok(VmaDesc {
+            start: c.u64()?,
+            end: c.u64()?,
+            flags: c.u64()?,
+            file: c.u64()?,
+            file_off: c.u64()?,
+            next: c.u64()?,
+        })
+    }
+
+    fn validate(&self, _phys: &PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
+        if self.start >= self.end
+            || !self.start.is_multiple_of(4096)
+            || !self.end.is_multiple_of(4096)
+            || self.end > ow_simhw::paging::VA_LIMIT
+        {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "start/end",
+                addr,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Magic for [`SigTable`].
+pub const SIG_MAGIC: u32 = 0x5447_4953; // "SIGT"
+
+/// A process's signal-handler table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigTable {
+    /// Handler slot per signal (0 = default, otherwise an application
+    /// handler token).
+    pub handlers: [u64; NSIG],
+}
+
+impl Record for SigTable {
+    const NAME: &'static str = "SigTable";
+    const MAGIC: u32 = SIG_MAGIC;
+    const VERSION: u32 = 1;
+    const SIZE: u64 = 4 + 4 + 8 * NSIG as u64;
+
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError> {
+        w.u32(0)?;
+        for h in self.handlers {
+            w.u64(h)?;
+        }
+        Ok(())
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError> {
+        let _pad = c.u32()?;
+        let mut handlers = [0u64; NSIG];
+        for h in &mut handlers {
+            *h = c.u64()?;
+        }
+        Ok(SigTable { handlers })
+    }
+}

@@ -1,0 +1,268 @@
+//! Canonical sample values for every registered record — the shared
+//! harness behind the golden-encoding test (which freezes each record's
+//! exact byte encoding) and the corruption property test (which flips
+//! bytes and demands detection or a stable re-parse).
+//!
+//! Samples are deterministic and chosen to pass validation inside a
+//! [`SAMPLE_FRAMES`]-frame memory.
+
+use crate::cursor::LayoutError;
+use crate::record::Record;
+use crate::records::{
+    pstate, resmask, vmaflags, CrashImageHeader, FileRecord, FileTable, HandoffBlock, KernelHeader,
+    PageCacheNode, PipeDesc, ProcDesc, ShmDesc, SigTable, SockDesc, SwapDesc, TermDesc, VmaDesc,
+    IDT_MAGIC, NSIG, SAVE_AREA_ADDR,
+};
+use crate::registry::LAYOUT_VERSION;
+use ow_simhw::{PhysAddr, PhysMem};
+
+/// Frames in the scratch memories the sample harness uses.
+pub const SAMPLE_FRAMES: usize = 64;
+
+/// One sample: a canonical value of a registered record plus type-erased
+/// hooks to encode it, decode it, and check a decoded value re-encodes
+/// stably.
+pub struct SampleCase {
+    /// Display label (the record name, plus a variant tag where one record
+    /// has several interesting configurations).
+    pub label: &'static str,
+    /// Registry name of the underlying record.
+    pub name: &'static str,
+    /// Encoded size in bytes.
+    pub size: u64,
+    /// Layout version of the encoding.
+    pub version: u32,
+    /// 4-byte magic prefix.
+    pub magic: u32,
+    /// Flips at byte offsets below this bound must make `read` fail (the
+    /// magic for every record; the whole checksummed extent for a
+    /// [`ProcDesc`] carrying its §4 checksum).
+    pub guarded_to: u64,
+    /// Writes the canonical value at `addr`.
+    #[allow(clippy::type_complexity)]
+    pub write: Box<dyn Fn(&mut PhysMem, PhysAddr) -> Result<(), LayoutError>>,
+    /// Reads at `addr`; on success, re-encodes the decoded value into a
+    /// fresh memory, decodes that, and errors (via panic) unless the
+    /// second decode equals the first and consumed exactly `size` bytes.
+    #[allow(clippy::type_complexity)]
+    pub read_stable: Box<dyn Fn(&PhysMem, PhysAddr) -> Result<(), LayoutError>>,
+}
+
+fn case<R>(label: &'static str, guarded_to: u64, value: R) -> SampleCase
+where
+    R: Record + Clone + PartialEq + std::fmt::Debug + 'static,
+{
+    let write_value = value.clone();
+    SampleCase {
+        label,
+        name: R::NAME,
+        size: R::SIZE,
+        version: R::VERSION,
+        magic: R::MAGIC,
+        guarded_to,
+        write: Box::new(move |phys, addr| Record::write(&write_value, phys, addr)),
+        read_stable: Box::new(move |phys, addr| {
+            let (decoded, consumed) = R::read(phys, addr)?;
+            assert_eq!(consumed, R::SIZE, "{} consumed a wrong byte count", R::NAME);
+            let mut scratch = PhysMem::new(SAMPLE_FRAMES);
+            Record::write(&decoded, &mut scratch, addr)
+                .unwrap_or_else(|e| panic!("{}: re-encode failed: {e}", R::NAME));
+            let (again, _) = R::read(&scratch, addr)
+                .unwrap_or_else(|e| panic!("{}: re-decode failed: {e}", R::NAME));
+            assert_eq!(again, decoded, "{} re-encode is not a fixed point", R::NAME);
+            Ok(())
+        }),
+    }
+}
+
+/// The canonical sample set, one (or two, for checksummed records) per
+/// registered [`Record`] implementor, in registry order.
+pub fn samples() -> Vec<SampleCase> {
+    let proc_desc = ProcDesc {
+        pid: 42,
+        state: pstate::RUNNABLE,
+        name: "mysqld".into(),
+        crash_proc: 1,
+        page_root: 9,
+        mm_head: 0x3000,
+        files: 0x3100,
+        sig: 0x3200,
+        term_id: u32::MAX,
+        shm_head: 0,
+        sock_head: 0x3300,
+        res_in_use: resmask::SOCKETS,
+        in_syscall: 3,
+        saved_pc: 17,
+        saved_sp: 0xff00,
+        saved_regs: [1, 2, 3, 4, 5, 6, 7, 8],
+        checksum: 0,
+        next: 0x3400,
+    };
+    let mut sealed = proc_desc.clone();
+    sealed.checksum = sealed.compute_checksum();
+
+    let mut sig = SigTable {
+        handlers: [0; NSIG],
+    };
+    sig.handlers[2] = 0xbeef;
+    let mut ftab = FileTable {
+        fds: [0; crate::records::MAX_FDS],
+    };
+    ftab.fds[0] = 0x5000;
+    ftab.fds[3] = 0x5100;
+
+    vec![
+        case(
+            "HandoffBlock",
+            4,
+            HandoffBlock {
+                layout_version: LAYOUT_VERSION,
+                active_kernel_frame: 4,
+                crash_base: 32,
+                crash_frames: 16,
+                crash_entry_ok: 1,
+                idt_stamp: IDT_MAGIC,
+                save_area: SAVE_AREA_ADDR,
+                generation: 3,
+                trace_base: 48,
+                trace_frames: 8,
+            },
+        ),
+        case(
+            "CrashImageHeader",
+            4,
+            CrashImageHeader {
+                version: 1,
+                entry_valid: 1,
+            },
+        ),
+        case(
+            "KernelHeader",
+            4,
+            KernelHeader {
+                version: 1,
+                base_frame: 4,
+                nframes: 16,
+                proc_head: 0x5000,
+                nprocs: 3,
+                swap_array: 0x5800,
+                nswap: 2,
+                is_crash: 0,
+                term_table: 0x5900,
+                nterms: 2,
+                pipe_table: 0x5a00,
+                npipes: 1,
+            },
+        ),
+        case("ProcDesc", 4, proc_desc),
+        // With the §4 checksum sealed, every covered byte is guarded: a
+        // flip anywhere before `next` must be detected.
+        case(
+            "ProcDesc(checksummed)",
+            crate::records::proc_off::NEXT,
+            sealed,
+        ),
+        case(
+            "VmaDesc",
+            4,
+            VmaDesc {
+                start: 0x1000,
+                end: 0x4000,
+                flags: vmaflags::READ | vmaflags::WRITE,
+                file: 0x5000,
+                file_off: 8192,
+                next: 0x8888,
+            },
+        ),
+        case("SigTable", 4, sig),
+        case("FileTable", 4, ftab),
+        case(
+            "FileRecord",
+            4,
+            FileRecord {
+                flags: crate::records::oflags::READ | crate::records::oflags::WRITE,
+                refcnt: 1,
+                offset: 12345,
+                fsize: 20000,
+                inode: 7,
+                path: "/data/table.db".into(),
+                cache_head: 0x9000,
+            },
+        ),
+        case(
+            "PageCacheNode",
+            4,
+            PageCacheNode {
+                file_off: 8192,
+                pfn: 3,
+                dirty: 1,
+                next: 0xa000,
+            },
+        ),
+        case(
+            "SwapDesc",
+            4,
+            SwapDesc {
+                dev_name: "swap-main".into(),
+                dev_id: 1,
+                nslots: 1024,
+                bitmap: 0x7000,
+            },
+        ),
+        case(
+            "TermDesc",
+            4,
+            TermDesc {
+                id: 0,
+                cursor: 81,
+                settings: 0b11,
+                screen_pfn: 5,
+            },
+        ),
+        case(
+            "ShmDesc",
+            4,
+            ShmDesc {
+                key: 0x5e55,
+                size: 8192,
+                attach_vaddr: 0x10_0000,
+                npages: 2,
+                pages: vec![11, 12],
+                next: 0xb000,
+            },
+        ),
+        case(
+            "PipeDesc",
+            4,
+            PipeDesc {
+                locked: 0,
+                rd: 5,
+                wr: 9,
+                buf_pfn: 6,
+            },
+        ),
+        case(
+            "SockDesc",
+            4,
+            SockDesc {
+                proto: crate::records::sockproto::TCP,
+                state: 1,
+                sid: 2,
+                local_port: 8080,
+                seq: 777,
+                outbuf_pfn: 7,
+                outbuf_len: 120,
+                next: 0xc000,
+            },
+        ),
+    ]
+}
+
+/// Encodes a sample into a fresh memory and returns its raw bytes.
+pub fn encode_sample(case: &SampleCase, addr: PhysAddr) -> Vec<u8> {
+    let mut phys = PhysMem::new(SAMPLE_FRAMES);
+    (case.write)(&mut phys, addr).expect("sample encodes");
+    let mut buf = vec![0u8; case.size as usize];
+    phys.read(addr, &mut buf).expect("sample bytes readable");
+    buf
+}

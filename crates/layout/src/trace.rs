@@ -1,0 +1,121 @@
+//! Binary layout of the flight-recorder trace region.
+//!
+//! The region occupies `trace_frames` frames at the very top of simulated
+//! RAM — above even the crash-kernel reservation — so it survives both the
+//! panic and the subsequent kernel morph (the crash image relocates every
+//! generation; the flight recorder must not). Frame 0 of the region holds
+//! the header plus the metrics registry; the remaining frames hold the
+//! record slots.
+//!
+//! ```text
+//! frame 0:  magic | capacity | write_seq | dropped | generation
+//!           counters[TRACE_NUM_COUNTERS] | histograms[TRACE_NUM_HISTOGRAMS][64]
+//! frame 1+: record slots, RECORD_SIZE bytes each, written round-robin
+//! ```
+//!
+//! Every field is little-endian, matching `ow_simhw::PhysMem`. Record
+//! slots are framed by the shared [`crc32`] rather than a magic: the
+//! writer seals each slot with [`seal_slot`] and recovery re-checks it
+//! with [`slot_crc_ok`].
+
+use crate::crc::crc32;
+
+/// `"OWTR"` — the region header magic.
+pub const TRACE_MAGIC: u32 = 0x4f57_5452;
+
+/// Monotonic counters in the header frame.
+pub const TRACE_NUM_COUNTERS: usize = 8;
+
+/// Histograms in the header frame (64 log₂ buckets each).
+pub const TRACE_NUM_HISTOGRAMS: usize = 2;
+
+/// Buckets per histogram.
+pub const TRACE_HIST_BUCKETS: usize = 64;
+
+/// Bytes per record slot.
+///
+/// seq(8) + cycles(8) + kind(4) + pid(8) + arg0(8) + arg1(8) + crc(4).
+pub const RECORD_SIZE: u64 = 48;
+
+/// Byte offsets inside one record slot.
+pub mod rec_off {
+    /// Monotonic sequence number (`write_seq` at emit time).
+    pub const SEQ: u64 = 0;
+    /// Simulated cycle timestamp.
+    pub const CYCLES: u64 = 8;
+    /// Event-kind discriminant.
+    pub const KIND: u64 = 16;
+    /// Pid the event is attributed to (0 when none).
+    pub const PID: u64 = 20;
+    /// First event argument.
+    pub const ARG0: u64 = 28;
+    /// Second event argument.
+    pub const ARG1: u64 = 36;
+    /// CRC-32 over bytes `[0, CRC)` of the slot.
+    pub const CRC: u64 = 44;
+}
+
+/// Byte offsets inside the header frame.
+pub mod hdr_off {
+    /// [`super::TRACE_MAGIC`].
+    pub const MAGIC: u64 = 0;
+    /// Number of record slots in the region.
+    pub const CAPACITY: u64 = 4;
+    /// Records ever emitted (next slot = `write_seq % capacity`).
+    pub const WRITE_SEQ: u64 = 8;
+    /// Records the writer refused (ring not armed / region too small).
+    pub const DROPPED: u64 = 16;
+    /// Kernel generation that armed the ring.
+    pub const GENERATION: u64 = 24;
+    /// Monotonic counters start here.
+    pub const COUNTERS: u64 = 32;
+    /// Histograms follow the counters.
+    pub const HISTOGRAMS: u64 = COUNTERS + 8 * super::TRACE_NUM_COUNTERS as u64;
+    /// One past the last header byte; must stay within one frame.
+    pub const END: u64 =
+        HISTOGRAMS + 8 * super::TRACE_HIST_BUCKETS as u64 * super::TRACE_NUM_HISTOGRAMS as u64;
+}
+
+/// Seals a record slot: computes the shared CRC-32 over the payload and
+/// stores it in the slot's trailing CRC field.
+pub fn seal_slot(buf: &mut [u8; RECORD_SIZE as usize]) {
+    let crc = crc32(&buf[..rec_off::CRC as usize]);
+    buf[rec_off::CRC as usize..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Whether a record slot's stored CRC matches its payload.
+pub fn slot_crc_ok(buf: &[u8; RECORD_SIZE as usize]) -> bool {
+    let stored = u32::from_le_bytes([
+        buf[rec_off::CRC as usize],
+        buf[rec_off::CRC as usize + 1],
+        buf[rec_off::CRC as usize + 2],
+        buf[rec_off::CRC as usize + 3],
+    ]);
+    crc32(&buf[..rec_off::CRC as usize]) == stored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_fits_one_frame() {
+        assert!(hdr_off::END <= ow_simhw::PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn record_offsets_are_contiguous() {
+        assert_eq!(rec_off::CRC + 4, RECORD_SIZE);
+        assert_eq!(rec_off::ARG1 + 8, rec_off::CRC);
+    }
+
+    #[test]
+    fn seal_then_check_round_trips() {
+        let mut buf = [0u8; RECORD_SIZE as usize];
+        buf[..8].copy_from_slice(&42u64.to_le_bytes());
+        seal_slot(&mut buf);
+        assert!(slot_crc_ok(&buf));
+        buf[3] ^= 0x80;
+        assert!(!slot_crc_ok(&buf));
+    }
+}

@@ -1,0 +1,90 @@
+//! Generic corruption property test (heavy-tests only).
+//!
+//! For every canonical sample and a few hundred deterministic random byte
+//! flips each, the codec must uphold the crash kernel's §4 contract:
+//!
+//! * a flip inside the guarded prefix (the magic; for a checksummed
+//!   [`ProcDesc`](ow_layout::ProcDesc), the whole covered extent) must make
+//!   `read` fail — corruption there is always *detected*;
+//! * any other flip either fails validation or decodes to a value whose
+//!   re-encode/re-decode is a fixed point — a flipped byte may be visible
+//!   in the decoded value, but it must never parse as a *different* valid
+//!   value that then drifts further on the next round trip.
+//!
+//! Run with `cargo test -p ow-layout --features heavy-tests`.
+#![cfg(feature = "heavy-tests")]
+
+use ow_layout::samples::{samples, SAMPLE_FRAMES};
+use ow_simhw::{PhysMem, SimRng};
+
+/// Where each sample is encoded.
+const ADDR: u64 = 0x8000;
+/// Random flips tried per sample.
+const FLIPS_PER_SAMPLE: u64 = 512;
+
+#[test]
+fn random_byte_flips_are_detected_or_reparse_stably() {
+    let mut rng = SimRng::seed_from_u64(0x1a_0ff_5e7);
+    for case in samples() {
+        for trial in 0..FLIPS_PER_SAMPLE {
+            let mut phys = PhysMem::new(SAMPLE_FRAMES);
+            (case.write)(&mut phys, ADDR).expect("sample encodes");
+
+            let mut pristine = vec![0u8; case.size as usize];
+            phys.read(ADDR, &mut pristine).unwrap();
+
+            // Flip one to three bytes somewhere in the encoded extent.
+            let nflips = rng.gen_range(1..=3u32);
+            for _ in 0..nflips {
+                let off = rng.gen_range(0..case.size);
+                let mut b = [0u8; 1];
+                phys.read(ADDR + off, &mut b).unwrap();
+                let x = (rng.gen_range(1..256u32)) as u8;
+                phys.write(ADDR + off, &[b[0] ^ x]).unwrap();
+            }
+
+            // Two flips on one offset can cancel; what matters is the
+            // lowest byte that actually changed.
+            let mut now = vec![0u8; case.size as usize];
+            phys.read(ADDR, &mut now).unwrap();
+            let min_off = match pristine.iter().zip(&now).position(|(a, b)| a != b) {
+                Some(off) => off as u64,
+                None => continue, // flips cancelled out entirely
+            };
+
+            let result = (case.read_stable)(&phys, ADDR);
+            if min_off < case.guarded_to {
+                assert!(
+                    result.is_err(),
+                    "{}: flip at guarded offset {min_off} (trial {trial}) was not detected",
+                    case.label
+                );
+            }
+            // Outside the guarded prefix, either outcome is fine:
+            // read_stable itself panics if a successful decode is not a
+            // re-encode fixed point.
+            let _ = result;
+        }
+    }
+}
+
+#[test]
+fn truncated_extent_never_reads() {
+    // A record written flush against the end of RAM so its tail is cut off
+    // must fail cleanly, not read out of bounds.
+    for case in samples() {
+        let end = SAMPLE_FRAMES as u64 * ow_simhw::PAGE_SIZE as u64;
+        let addr = end - case.size + 1;
+        let mut phys = PhysMem::new(SAMPLE_FRAMES);
+        assert!(
+            (case.write)(&mut phys, addr).is_err(),
+            "{}: truncated write must fail",
+            case.label
+        );
+        assert!(
+            (case.read_stable)(&phys, addr).is_err(),
+            "{}: truncated read must fail",
+            case.label
+        );
+    }
+}

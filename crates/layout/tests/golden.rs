@@ -1,0 +1,126 @@
+//! Golden-encoding test: freezes the exact byte encoding of every
+//! registered record.
+//!
+//! The crash kernel parses these encodings out of a dead kernel's memory;
+//! an accidental change to a magic, a field order, a width or a version is
+//! exactly the kind of silent drift the layout registry exists to prevent.
+//! The canonical samples from [`ow_layout::samples`] are encoded and
+//! compared byte-for-byte against the checked-in `golden_layout.txt`. On
+//! mismatch the test fails and prints the regenerated file so an
+//! *intentional* layout change (which must also bump the record's VERSION
+//! and [`ow_layout::LAYOUT_VERSION`]) can update it consciously.
+
+use ow_layout::samples::{encode_sample, samples};
+use ow_layout::{proc_off, Record};
+
+/// Where every sample is encoded (a harmless interior address).
+const GOLDEN_ADDR: u64 = 0x8000;
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for (i, chunk) in bytes.chunks(16).enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str("    ");
+        for (j, b) in chunk.iter().enumerate() {
+            if j > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{b:02x}"));
+        }
+    }
+    out
+}
+
+fn render() -> String {
+    let mut out = String::new();
+    out.push_str("# Golden byte encodings of every registered record.\n");
+    out.push_str("# Regenerated output is printed by crates/layout/tests/golden.rs on mismatch;\n");
+    out.push_str(
+        "# an intentional layout change must bump the record VERSION and LAYOUT_VERSION.\n",
+    );
+    out.push_str(&format!("layout_version {}\n\n", ow_layout::LAYOUT_VERSION));
+    // ProcDesc field offsets are load-bearing for the §4 checksum extent
+    // and the fault injector's descriptor-neighborhood bias: freeze them.
+    out.push_str("ProcDesc offsets:");
+    for (name, off) in [
+        ("state", proc_off::STATE),
+        ("saved_sp", proc_off::SAVED_SP),
+        ("checksum", proc_off::CHECKSUM),
+        ("next", proc_off::NEXT),
+    ] {
+        out.push_str(&format!(" {name}={off}"));
+    }
+    out.push_str("\n\n");
+    for case in samples() {
+        out.push_str(&format!(
+            "record {} name={} magic={:#010x} version={} size={}\n",
+            case.label, case.name, case.magic, case.version, case.size
+        ));
+        out.push_str(&hex(&encode_sample(&case, GOLDEN_ADDR)));
+        out.push_str("\n\n");
+    }
+    out
+}
+
+#[test]
+fn golden_encodings_are_frozen() {
+    let got = render();
+    // `UPDATE_GOLDEN=1 cargo test -p ow-layout golden` rewrites the file
+    // after an intentional, version-bumped layout change.
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_layout.txt"),
+            &got,
+        )
+        .expect("write golden file");
+        return;
+    }
+    let want = include_str!("golden_layout.txt");
+    assert_eq!(
+        got, want,
+        "\n=== byte encodings changed; if intentional, bump the record VERSION \
+         and LAYOUT_VERSION, then replace crates/layout/tests/golden_layout.txt \
+         with: ===\n{got}\n=== end regenerated golden file ==="
+    );
+}
+
+#[test]
+fn golden_covers_every_magic_guarded_registry_entry() {
+    let labels: Vec<&str> = samples().iter().map(|c| c.name).collect();
+    for entry in ow_layout::REGISTRY {
+        if let ow_layout::Guard::Magic(_) = entry.guard {
+            // Trace structures are not Record implementors (the ring is a
+            // streaming format, not a struct codec); everything else must
+            // have a golden sample.
+            if entry.name.starts_with("Trace") {
+                continue;
+            }
+            assert!(
+                labels.contains(&entry.name),
+                "{} has no golden sample",
+                entry.name
+            );
+        }
+    }
+}
+
+#[test]
+fn registry_sizes_match_golden_samples() {
+    for case in samples() {
+        assert_eq!(
+            ow_layout::footprint(case.name),
+            case.size,
+            "{} registry size drifted",
+            case.label
+        );
+        assert_eq!(
+            encode_sample(&case, GOLDEN_ADDR).len() as u64,
+            case.size,
+            "{} encoded size drifted",
+            case.label
+        );
+    }
+    assert_eq!(ow_layout::footprint("ProcDesc"), ow_layout::ProcDesc::SIZE);
+}

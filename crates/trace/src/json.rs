@@ -28,12 +28,7 @@ pub enum Value {
 impl Value {
     /// Builds an object from `(key, value)` pairs.
     pub fn obj<'a>(pairs: impl IntoIterator<Item = (&'a str, Value)>) -> Value {
-        Value::Object(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Looks a key up in an object.
@@ -274,12 +269,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
     }
 }
 
-fn parse_lit(
-    bytes: &[u8],
-    pos: &mut usize,
-    lit: &[u8],
-    value: Value,
-) -> Result<Value, ParseError> {
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &[u8], value: Value) -> Result<Value, ParseError> {
     if bytes[*pos..].starts_with(lit) {
         *pos += lit.len();
         Ok(value)
@@ -370,12 +360,12 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                 while *pos < bytes.len() && bytes[*pos] & 0xc0 == 0x80 {
                     *pos += 1;
                 }
-                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|_| {
-                    ParseError {
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos]).map_err(|_| ParseError {
                         pos: start,
                         what: "invalid utf-8",
-                    }
-                })?);
+                    })?,
+                );
             }
         }
     }

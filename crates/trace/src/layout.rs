@@ -13,55 +13,12 @@
 //! frame 1+: record slots, RECORD_SIZE bytes each, written round-robin
 //! ```
 //!
-//! Every field is little-endian, matching `ow_simhw::PhysMem`.
+//! The offsets and sizes themselves are defined once, in
+//! [`ow_layout::trace`], alongside every other resurrection-relevant
+//! layout; this module re-exports them and adds the event vocabulary
+//! ([`EventKind`], [`PanicStep`]) the recorder speaks.
 
-use crate::metrics::{NUM_COUNTERS, NUM_HISTOGRAMS};
-
-/// `"OWTR"` — the region header magic.
-pub const TRACE_MAGIC: u32 = 0x4f57_5452;
-
-/// Bytes per record slot.
-///
-/// seq(8) + cycles(8) + kind(4) + pid(8) + arg0(8) + arg1(8) + crc(4).
-pub const RECORD_SIZE: u64 = 48;
-
-/// Byte offsets inside one record slot.
-pub mod rec_off {
-    /// Monotonic sequence number (`write_seq` at emit time).
-    pub const SEQ: u64 = 0;
-    /// Simulated cycle timestamp.
-    pub const CYCLES: u64 = 8;
-    /// [`super::EventKind`] discriminant.
-    pub const KIND: u64 = 16;
-    /// Pid the event is attributed to (0 when none).
-    pub const PID: u64 = 20;
-    /// First event argument.
-    pub const ARG0: u64 = 28;
-    /// Second event argument.
-    pub const ARG1: u64 = 36;
-    /// CRC-32 over bytes `[0, CRC)` of the slot.
-    pub const CRC: u64 = 44;
-}
-
-/// Byte offsets inside the header frame.
-pub mod hdr_off {
-    /// [`super::TRACE_MAGIC`].
-    pub const MAGIC: u64 = 0;
-    /// Number of record slots in the region.
-    pub const CAPACITY: u64 = 4;
-    /// Records ever emitted (next slot = `write_seq % capacity`).
-    pub const WRITE_SEQ: u64 = 8;
-    /// Records the writer refused (ring not armed / region too small).
-    pub const DROPPED: u64 = 16;
-    /// Kernel generation that armed the ring.
-    pub const GENERATION: u64 = 24;
-    /// Monotonic counters start here.
-    pub const COUNTERS: u64 = 32;
-    /// Histograms (64 log₂ buckets each) follow the counters.
-    pub const HISTOGRAMS: u64 = COUNTERS + 8 * super::NUM_COUNTERS as u64;
-    /// One past the last header byte; must stay within one frame.
-    pub const END: u64 = HISTOGRAMS + 8 * 64 * super::NUM_HISTOGRAMS as u64;
-}
+pub use ow_layout::trace::{hdr_off, rec_off, RECORD_SIZE, TRACE_MAGIC};
 
 /// What a trace record describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,17 +135,12 @@ impl PanicStep {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ow_simhw::PAGE_SIZE;
+    use crate::metrics::{NUM_COUNTERS, NUM_HISTOGRAMS};
 
     #[test]
-    fn header_fits_one_frame() {
-        assert!(hdr_off::END <= PAGE_SIZE as u64);
-    }
-
-    #[test]
-    fn record_offsets_are_contiguous() {
-        assert_eq!(rec_off::CRC + 4, RECORD_SIZE);
-        assert_eq!(rec_off::ARG1 + 8, rec_off::CRC);
+    fn metrics_registry_matches_shared_layout() {
+        assert_eq!(NUM_COUNTERS, ow_layout::trace::TRACE_NUM_COUNTERS);
+        assert_eq!(NUM_HISTOGRAMS, ow_layout::trace::TRACE_NUM_HISTOGRAMS);
     }
 
     #[test]

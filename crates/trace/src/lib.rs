@@ -20,7 +20,8 @@
 //! microreboot report can say what the kernel had been doing, not just
 //! what it managed to resurrect.
 
-pub mod crc;
+pub use ow_layout::crc;
+
 pub mod json;
 pub mod layout;
 pub mod metrics;

@@ -28,8 +28,9 @@ pub enum Counter {
     PanicSteps = 7,
 }
 
-/// Number of counter slots reserved in the header.
-pub const NUM_COUNTERS: usize = 8;
+/// Number of counter slots reserved in the header (fixed by the shared
+/// region layout in [`ow_layout::trace`]).
+pub const NUM_COUNTERS: usize = ow_layout::trace::TRACE_NUM_COUNTERS;
 
 /// Histogram slots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,8 +43,9 @@ pub enum Histogram {
     InterArrivalCycles = 1,
 }
 
-/// Number of histogram slots reserved in the header.
-pub const NUM_HISTOGRAMS: usize = 2;
+/// Number of histogram slots reserved in the header (fixed by the shared
+/// region layout in [`ow_layout::trace`]).
+pub const NUM_HISTOGRAMS: usize = ow_layout::trace::TRACE_NUM_HISTOGRAMS;
 
 /// Bucket index for a sample: `floor(log₂(v))`, with 0 → bucket 0.
 pub fn bucket_of(value: u64) -> usize {

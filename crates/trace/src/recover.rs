@@ -9,10 +9,10 @@
 //! only loses the metrics, never the events. Nothing here can abort: the
 //! worst possible input yields an empty record with everything counted.
 
-use crate::crc::crc32;
 use crate::layout::{hdr_off, rec_off, EventKind, PanicStep, RECORD_SIZE, TRACE_MAGIC};
 use crate::metrics::{MetricsSnapshot, NUM_COUNTERS, NUM_HISTOGRAMS};
 use crate::ring::TraceRing;
+use ow_layout::trace::slot_crc_ok;
 use ow_simhw::{PhysMem, PAGE_SIZE};
 
 /// One validated, decoded trace record.
@@ -93,8 +93,7 @@ impl FlightRecord {
         // Header: validated independently of the records. A corrupt header
         // costs the metrics, not the events.
         let magic_ok = phys.read_u32(base + hdr_off::MAGIC) == Ok(TRACE_MAGIC);
-        let cap_ok =
-            phys.read_u32(base + hdr_off::CAPACITY).map(u64::from) == Ok(capacity);
+        let cap_ok = phys.read_u32(base + hdr_off::CAPACITY).map(u64::from) == Ok(capacity);
         rec.header_valid = magic_ok && cap_ok;
         if rec.header_valid {
             rec.write_seq = phys.read_u64(base + hdr_off::WRITE_SEQ).unwrap_or(0);
@@ -125,9 +124,7 @@ impl FlightRecord {
             if buf.iter().all(|&b| b == 0) {
                 continue; // never written (arm() zeroes the region)
             }
-            let stored_crc =
-                u32::from_le_bytes(buf[rec_off::CRC as usize..][..4].try_into().unwrap());
-            if crc32(&buf[..rec_off::CRC as usize]) != stored_crc {
+            if !slot_crc_ok(&buf) {
                 rec.corrupt_records += 1;
                 continue;
             }
@@ -175,8 +172,7 @@ impl FlightRecord {
             };
         }
         let start = self.events.len().saturating_sub(n);
-        let mut parts: Vec<String> =
-            self.events[start..].iter().map(|e| e.describe()).collect();
+        let mut parts: Vec<String> = self.events[start..].iter().map(|e| e.describe()).collect();
         if self.corrupt_records > 0 {
             parts.push(format!("[{} corrupt]", self.corrupt_records));
         }

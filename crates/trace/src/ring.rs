@@ -7,9 +7,9 @@
 //! by the crash-image hardware protection: wild writes are allowed to
 //! land here, and the per-record CRC is what contains the blast radius.
 
-use crate::crc::crc32;
 use crate::layout::{hdr_off, rec_off, EventKind, PanicStep, RECORD_SIZE, TRACE_MAGIC};
 use crate::metrics::{bucket_of, Counter, Histogram};
+use ow_layout::trace::seal_slot;
 use ow_simhw::{PhysMem, PAGE_SIZE};
 
 /// Handle to the trace region: pure location, no buffered state.
@@ -76,7 +76,8 @@ impl TraceRing {
             .ok()?;
         phys.write_u64(base + hdr_off::WRITE_SEQ, 0).ok()?;
         phys.write_u64(base + hdr_off::DROPPED, 0).ok()?;
-        phys.write_u32(base + hdr_off::GENERATION, generation).ok()?;
+        phys.write_u32(base + hdr_off::GENERATION, generation)
+            .ok()?;
         Some(ring)
     }
 
@@ -109,8 +110,7 @@ impl TraceRing {
         buf[rec_off::PID as usize..][..8].copy_from_slice(&pid.to_le_bytes());
         buf[rec_off::ARG0 as usize..][..8].copy_from_slice(&arg0.to_le_bytes());
         buf[rec_off::ARG1 as usize..][..8].copy_from_slice(&arg1.to_le_bytes());
-        let crc = crc32(&buf[..rec_off::CRC as usize]);
-        buf[rec_off::CRC as usize..][..4].copy_from_slice(&crc.to_le_bytes());
+        seal_slot(&mut buf);
         if phys.write(slot, &buf).is_err() {
             let _ = phys
                 .read_u64(base + hdr_off::DROPPED)
@@ -124,14 +124,7 @@ impl TraceRing {
 
     /// Convenience: emit a panic-path step and bump its counter.
     pub fn emit_panic_step(&self, phys: &mut PhysMem, cycles: u64, step: PanicStep, detail: u64) {
-        self.emit(
-            phys,
-            cycles,
-            EventKind::PanicStep,
-            0,
-            step as u64,
-            detail,
-        );
+        self.emit(phys, cycles, EventKind::PanicStep, 0, step as u64, detail);
         self.counter_add(phys, Counter::PanicSteps, 1);
     }
 

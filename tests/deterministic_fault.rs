@@ -52,9 +52,15 @@ fn run_with_crash_kernel(crash_version: u32, max_reboots: u32) -> Option<u32> {
             tlb_entries: 64,
             cost: otherworld::simhw::CostModel::zero_io(),
         },
-        KernelConfig { version: BUGGY_VERSION, ..KernelConfig::default() },
+        KernelConfig {
+            version: BUGGY_VERSION,
+            ..KernelConfig::default()
+        },
         OtherworldConfig {
-            crash_kernel: KernelConfig { version: crash_version, ..KernelConfig::default() },
+            crash_kernel: KernelConfig {
+                version: crash_version,
+                ..KernelConfig::default()
+            },
             ..OtherworldConfig::default()
         },
         {

@@ -4,6 +4,7 @@
 //! kernel updates.
 
 use otherworld::core::{microreboot, Otherworld, OtherworldConfig, ProcOutcome};
+use otherworld::kernel::layout::Record;
 use otherworld::kernel::layout::{sockproto, SockDesc};
 use otherworld::kernel::program::{Program, ProgramRegistry, StepResult, UserApi};
 use otherworld::kernel::{Errno, Kernel, KernelConfig, PanicCause, PendingFault, SpawnSpec};

@@ -1,0 +1,83 @@
+//! Layout-generation safety: a crash kernel that finds a handoff block
+//! stamped by a different layout generation must refuse the microreboot
+//! with a classified error — never misparse the dead kernel's structures.
+
+use otherworld::core::{microreboot, MicrorebootFailure, OtherworldConfig};
+use otherworld::kernel::layout::{HandoffBlock, LAYOUT_VERSION};
+use otherworld::kernel::program::{Program, ProgramRegistry, StepResult, UserApi};
+use otherworld::kernel::{Kernel, KernelConfig, PanicCause, SpawnSpec};
+use otherworld::simhw::machine::MachineConfig;
+
+struct Idle;
+
+impl Program for Idle {
+    fn step(&mut self, api: &mut dyn UserApi) -> StepResult {
+        api.compute(1);
+        StepResult::Running
+    }
+    fn save_state(&mut self, _api: &mut dyn UserApi) {}
+}
+
+fn boot() -> Kernel {
+    let machine = otherworld::kernel::standard_machine(MachineConfig {
+        ram_frames: 4096,
+        cpus: 2,
+        tlb_entries: 64,
+        cost: otherworld::simhw::CostModel::zero_io(),
+    });
+    let mut registry = ProgramRegistry::new();
+    registry.register("idle", |_a, _g| Box::new(Idle), |_a| Box::new(Idle));
+    let mut k = Kernel::boot_cold(machine, KernelConfig::default(), registry).expect("boot");
+    k.spawn(SpawnSpec::new("idle", Box::new(Idle))).unwrap();
+    k
+}
+
+#[test]
+fn handoff_carries_this_builds_layout_version() {
+    let k = boot();
+    let (h, _) = HandoffBlock::read(&k.machine.phys).expect("handoff readable");
+    assert_eq!(h.layout_version, LAYOUT_VERSION);
+}
+
+#[test]
+fn mismatched_layout_generation_is_refused_cleanly() {
+    let mut k = boot();
+    for _ in 0..3 {
+        k.run_step();
+    }
+
+    // Simulate a dead kernel from a previous layout generation: rewrite the
+    // handoff block with a bumped version stamp (everything else intact).
+    let (mut h, _) = HandoffBlock::read(&k.machine.phys).expect("handoff readable");
+    h.layout_version = LAYOUT_VERSION + 1;
+    h.write(&mut k.machine.phys).expect("handoff writable");
+
+    k.do_panic(PanicCause::Oops("generation test"));
+    let err = microreboot(k, &OtherworldConfig::default())
+        .expect_err("mismatched generation must not resurrect");
+    match err {
+        MicrorebootFailure::CrashBootFailed(why) => {
+            assert!(
+                why.contains("layout generation"),
+                "refusal must be classified, got: {why}"
+            );
+            assert!(
+                why.contains(&format!("v{}", LAYOUT_VERSION + 1)),
+                "refusal must name the stored generation, got: {why}"
+            );
+        }
+        other => panic!("expected CrashBootFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn matching_layout_generation_still_resurrects() {
+    let mut k = boot();
+    for _ in 0..3 {
+        k.run_step();
+    }
+    k.do_panic(PanicCause::Oops("control"));
+    let (_k2, report) =
+        microreboot(k, &OtherworldConfig::default()).expect("matching generation microreboots");
+    assert!(report.generation >= 1);
+}

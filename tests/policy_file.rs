@@ -86,8 +86,12 @@ fn dirty_policy_file_written_just_before_the_crash_is_still_honored() {
     let fd = k
         .file_open(keep, "/etc/resurrect.conf", oflags::CREATE | oflags::WRITE)
         .unwrap();
-    k.file_write(keep, fd, ResurrectionPolicy::only(["keepme"]).to_json().as_bytes())
-        .unwrap();
+    k.file_write(
+        keep,
+        fd,
+        ResurrectionPolicy::only(["keepme"]).to_json().as_bytes(),
+    )
+    .unwrap();
     k.file_fsync(keep, fd).unwrap(); // the admin syncs the config
     k.do_panic(PanicCause::Oops("synced policy"));
     let config = OtherworldConfig {
