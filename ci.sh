@@ -5,6 +5,6 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test --workspace -q
-cargo clippy --all-targets -- -D warnings
+cargo clippy --all-targets --all-features -- -D warnings
 cargo fmt --check
 cargo doc --no-deps

@@ -4,7 +4,10 @@
 use crate::{boot_eval, perf};
 use ow_apps::{make_workload, workload::TABLE5_APPS, Workload};
 use ow_core::{microreboot, MicrorebootReport, OtherworldConfig, PolicySource, ResurrectionPolicy};
-use ow_faultinject::{run_campaign, CampaignConfig, CampaignResult, Outcome};
+use ow_faultinject::{
+    run_campaign, run_recovery_campaign, CampaignConfig, CampaignResult, Outcome,
+    RecoveryCampaignConfig, RecoveryCampaignResult, RecoverySide,
+};
 use ow_kernel::{Kernel, PanicCause, RobustnessFixes, SpawnSpec};
 use ow_trace::json::Value;
 
@@ -207,6 +210,59 @@ pub fn table5_json(rows: &[Table5Row]) -> Value {
     Value::obj([
         ("rows", Value::Array(row_values)),
         ("sample_flight", sample.flight.to_json()),
+        ("sample_timings", sample.timings_json()),
+    ])
+}
+
+/// Runs the recovery-robustness campaign (the resurrection-supervisor
+/// ablation: identical seeded recovery-time faults, supervisor on vs off).
+pub fn recovery_table(experiments: usize, seed: u64) -> RecoveryCampaignResult {
+    run_recovery_campaign(&RecoveryCampaignConfig { experiments, seed })
+}
+
+fn recovery_side_json(s: &RecoverySide) -> Value {
+    Value::obj([
+        ("full_resurrection", Value::from(s.full as u64)),
+        ("degraded", Value::from(s.degraded as u64)),
+        ("clean_restart", Value::from(s.clean_restart as u64)),
+        ("gen2_restart", Value::from(s.gen2 as u64)),
+        (
+            "per_process_failure",
+            Value::from(s.per_process_failure as u64),
+        ),
+        ("whole_failure", Value::from(s.whole_failure as u64)),
+        ("survived", Value::from(s.survived() as u64)),
+        ("contained_panics", Value::from(s.contained_panics)),
+        ("watchdog_fires", Value::from(s.watchdog_fires)),
+    ])
+}
+
+/// JSON form of the recovery-robustness table: both ablation sides plus the
+/// per-experiment paired records.
+pub fn recovery_json(r: &RecoveryCampaignResult) -> Value {
+    let records: Vec<Value> = r
+        .records
+        .iter()
+        .map(|rec| {
+            Value::obj([
+                ("fault", Value::from(rec.fault.name())),
+                ("with_supervisor", Value::from(rec.with_supervisor.name())),
+                (
+                    "without_supervisor",
+                    Value::from(rec.without_supervisor.name()),
+                ),
+            ])
+        })
+        .collect();
+    Value::obj([
+        ("experiments", Value::from(r.experiments as u64)),
+        ("with_supervisor", recovery_side_json(&r.with_supervisor)),
+        (
+            "without_supervisor",
+            recovery_side_json(&r.without_supervisor),
+        ),
+        ("panic_escapes", Value::from(r.panic_escapes as u64)),
+        ("records", Value::Array(records)),
     ])
 }
 

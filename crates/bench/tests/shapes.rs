@@ -106,6 +106,43 @@ fn table6_interruption_is_below_cold_boot_and_fast_boot_helps() {
 }
 
 #[test]
+fn recovery_table_shows_the_supervisor_ablation_delta() {
+    let result = tables::recovery_table(10, 0x5ec0_4e4a);
+    assert_eq!(result.records.len(), 10);
+    assert_eq!(result.panic_escapes, 0, "no panic may escape microreboot()");
+    assert!(
+        result.without_supervisor.whole_failure > result.with_supervisor.whole_failure,
+        "supervisor must convert whole-microreboot failures: on={} off={}",
+        result.with_supervisor.whole_failure,
+        result.without_supervisor.whole_failure
+    );
+    let doc = tables::recovery_json(&result);
+    for key in [
+        "experiments",
+        "with_supervisor",
+        "without_supervisor",
+        "panic_escapes",
+        "records",
+    ] {
+        assert!(doc.get(key).is_some(), "recovery_json missing {key}");
+    }
+    for key in [
+        "full_resurrection",
+        "degraded",
+        "clean_restart",
+        "gen2_restart",
+        "whole_failure",
+    ] {
+        assert!(
+            doc.get("with_supervisor")
+                .and_then(|s| s.get(key))
+                .is_some(),
+            "side json missing {key}"
+        );
+    }
+}
+
+#[test]
 fn checkpointing_to_memory_beats_disk_by_over_10x() {
     use ow_apps::blcr::{BlcrWorkload, CkptMode, CKPT_PERIOD};
     use ow_apps::Workload;

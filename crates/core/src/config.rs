@@ -15,6 +15,127 @@ pub enum ResurrectionStrategy {
     MapPages,
 }
 
+/// One rung of the resurrection supervisor's degradation ladder, from the
+/// full-fidelity engine down to a clean restart from the program registry.
+/// On a hard read error, a contained panic, or a blown cycle budget the
+/// supervisor retries the process one rung weaker (ReHype-style: degrade
+/// rather than give up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LadderRung {
+    /// The full resurrection engine: all memory including swapped-out
+    /// pages, files, terminal, signals, shm, optional sockets/pipes.
+    Full = 0,
+    /// Skip swap migration: swapped-out pages are abandoned (the swap area
+    /// descriptors or bitmap may be what is corrupted). Loses `MEMORY`.
+    NoSwapMigration = 1,
+    /// Anonymous memory only: additionally drop file-backed contents, open
+    /// files, terminal, signal handlers, shm, and sockets — only the
+    /// resident anonymous address space and registers survive.
+    AnonymousOnly = 2,
+    /// Give up on the dead image entirely and start a fresh instance from
+    /// the program registry (the crash-procedure "restart" path without any
+    /// saved state).
+    CleanRestart = 3,
+}
+
+impl LadderRung {
+    /// The next-weaker rung, or `None` from the bottom.
+    pub fn weaker(self) -> Option<LadderRung> {
+        match self {
+            LadderRung::Full => Some(LadderRung::NoSwapMigration),
+            LadderRung::NoSwapMigration => Some(LadderRung::AnonymousOnly),
+            LadderRung::AnonymousOnly => Some(LadderRung::CleanRestart),
+            LadderRung::CleanRestart => None,
+        }
+    }
+
+    /// Stable short name (used by reports and the JSON export).
+    pub fn name(self) -> &'static str {
+        match self {
+            LadderRung::Full => "full",
+            LadderRung::NoSwapMigration => "no_swap_migration",
+            LadderRung::AnonymousOnly => "anonymous_only",
+            LadderRung::CleanRestart => "clean_restart",
+        }
+    }
+}
+
+/// Resurrection-supervisor knobs (the tentpole of the robustness work):
+/// panic containment, the degradation ladder, the per-process recovery
+/// watchdog, and second-generation escalation.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Master switch. Off = the pre-supervisor single-shot semantics: any
+    /// recovery-time fault fails the whole microreboot (panics are still
+    /// contained at the boundary and classified, never propagated).
+    pub enabled: bool,
+    /// Hard per-process failures (contained panics + watchdog firings)
+    /// tolerated before the supervisor stops trusting this crash-kernel
+    /// generation and escalates to a restart-only generation 2.
+    pub escalation_threshold: u32,
+    /// Crash-kernel generations the supervisor may consume for one
+    /// microreboot (1 = never escalate, 2 = one generation-2 retry).
+    pub max_generations: u32,
+    /// Per-process cycle budget for the recovery watchdog. `None` derives
+    /// one from the machine's cost model and the reservation size.
+    pub per_process_budget: Option<u64>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            enabled: true,
+            escalation_threshold: 3,
+            max_generations: 2,
+            per_process_budget: None,
+        }
+    }
+}
+
+/// A deterministic plan of faults to inject *into the recovery path itself*
+/// (the ow-faultinject recovery campaign fills this in; production configs
+/// leave it empty). It lives here rather than in ow-faultinject because the
+/// injection points are inside `microreboot()`.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryFaultPlan {
+    /// Fail this many crash-kernel boot attempts before letting one
+    /// succeed (models a crash kernel that itself crashes early).
+    pub crash_boot_failures: u32,
+    /// Panic the resurrection engine for selected processes.
+    pub engine_panics: Vec<EnginePanicFault>,
+    /// Stall the engine for selected processes (models a walk stuck in a
+    /// corrupted structure), burning simulated cycles at the full rung.
+    pub stalls: Vec<StallFault>,
+}
+
+impl RecoveryFaultPlan {
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.crash_boot_failures == 0 && self.engine_panics.is_empty() && self.stalls.is_empty()
+    }
+}
+
+/// Panic the resurrection engine while it works on the `victim`-th
+/// resurrectable process (policy-selected order), at every rung up to and
+/// including `panics_through`.
+#[derive(Debug, Clone, Copy)]
+pub struct EnginePanicFault {
+    /// Index into the policy-selected process list.
+    pub victim: usize,
+    /// Weakest rung that still panics; weaker rungs succeed.
+    pub panics_through: LadderRung,
+}
+
+/// Burn `cycles` simulated cycles while resurrecting the `victim`-th
+/// process at the full rung — a stall the recovery watchdog must cut off.
+#[derive(Debug, Clone, Copy)]
+pub struct StallFault {
+    /// Index into the policy-selected process list.
+    pub victim: usize,
+    /// Simulated cycles the stall burns.
+    pub cycles: u64,
+}
+
 /// Where the crash kernel finds the resurrection policy.
 #[derive(Debug, Clone)]
 pub enum PolicySource {
@@ -45,6 +166,12 @@ pub struct OtherworldConfig {
     /// §7 extension: resurrect pipes whose semaphore was free at crash time
     /// (§3.3's consistency rule). Off by default.
     pub resurrect_pipes: bool,
+    /// Resurrection-supervisor knobs (containment, ladder, watchdog,
+    /// escalation). Enabled by default.
+    pub supervisor: SupervisorConfig,
+    /// Faults to inject into the recovery path itself; empty outside the
+    /// ow-faultinject recovery campaign.
+    pub recovery_faults: RecoveryFaultPlan,
 }
 
 impl Default for OtherworldConfig {
@@ -55,6 +182,8 @@ impl Default for OtherworldConfig {
             crash_kernel: KernelConfig::default(),
             resurrect_sockets: false,
             resurrect_pipes: false,
+            supervisor: SupervisorConfig::default(),
+            recovery_faults: RecoveryFaultPlan::default(),
         }
     }
 }

@@ -15,6 +15,12 @@
 //! 5. **Morphing** into the main kernel and installing a fresh crash kernel
 //!    (§3.6, [`ow_kernel::Kernel::morph_into_main`]).
 //!
+//! 6. **Resurrection supervisor** ([`supervisor`] + the orchestration in
+//!    [`otherworld`]): panic containment around every engine call, a
+//!    degradation ladder ([`config::LadderRung`]), a recovery watchdog with
+//!    a per-process cycle budget, and second-generation escalation when the
+//!    crash kernel itself fails.
+//!
 //! The entry points are [`microreboot`] (one-shot) and the [`Otherworld`]
 //! session wrapper (continuous operation across generations).
 
@@ -25,8 +31,14 @@ pub mod policy;
 pub mod reader;
 pub mod resurrect;
 pub mod stats;
+pub mod supervisor;
 
-pub use config::{OtherworldConfig, PolicySource, ResurrectionStrategy};
+pub use config::{
+    EnginePanicFault, LadderRung, OtherworldConfig, PolicySource, RecoveryFaultPlan,
+    ResurrectionStrategy, StallFault, SupervisorConfig,
+};
 pub use otherworld::{microreboot, MicrorebootFailure, Otherworld};
 pub use policy::ResurrectionPolicy;
-pub use stats::{MicrorebootReport, ProcOutcome, ProcReport, ReadKind, ReadStats};
+pub use stats::{
+    MicrorebootReport, ProcOutcome, ProcReport, ReadKind, ReadStats, SupervisorSummary,
+};

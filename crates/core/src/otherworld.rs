@@ -1,20 +1,32 @@
 //! The microreboot orchestrator: panic → crash-kernel boot → resurrection →
-//! crash procedures → morph (the five stages of §3).
+//! crash procedures → morph (the five stages of §3), run under the
+//! resurrection supervisor.
+//!
+//! The supervisor makes the recovery path itself fault-tolerant
+//! (ReHype-style): every per-process engine call runs inside a panic
+//! containment boundary and a watchdog cycle budget, hard failures retry
+//! down a degradation ladder ([`LadderRung`]), and when the crash kernel
+//! itself fails — boot failure or a storm of per-process faults — recovery
+//! escalates to a restart-only generation-2 crash kernel instead of giving
+//! up on the machine.
 
 use crate::{
-    config::{OtherworldConfig, PolicySource, ResurrectionStrategy},
+    config::{LadderRung, OtherworldConfig, PolicySource, ResurrectionStrategy},
     policy::ResurrectionPolicy,
-    reader,
+    reader::{self, ReadError},
     resurrect::{self, DeadKernel},
-    stats::{MicrorebootReport, ProcOutcome, ProcReport, ReadKind, ReadStats},
+    stats::{MicrorebootReport, ProcOutcome, ProcReport, ReadKind, ReadStats, SupervisorSummary},
+    supervisor,
 };
 use ow_kernel::{
     layout::pstate,
     program::{Program, StepResult, UserApi},
     syscall::KernelApi,
-    CrashAction, Kernel, KernelConfig, PanicOutcome, ProgramRegistry, SpawnSpec,
+    CrashAction, HandoffInfo, Kernel, KernelConfig, PanicOutcome, ProgramRegistry, SpawnSpec,
 };
 use ow_layout::Record;
+use ow_simhw::Machine;
+use ow_trace::EventKind;
 use std::fmt;
 
 /// Ways a microreboot can fail outright (Table 5's "failure to boot the
@@ -24,10 +36,17 @@ pub enum MicrorebootFailure {
     /// The panic path could not transfer control (corrupted handoff
     /// structures, unhandled double fault, stall with no watchdog, ...).
     SystemHalted(String),
-    /// Control transferred but the crash kernel failed to initialize.
+    /// Control transferred but the crash kernel failed to initialize (and
+    /// the supervisor's generation budget, if any, is exhausted).
     CrashBootFailed(String),
     /// The kernel has not panicked; nothing to do.
     NotPanicked,
+    /// The recovery path itself failed after the crash kernel booted: a
+    /// panic escaped to the outer containment boundary, or — with the
+    /// supervisor disabled — an engine panic, a stalled resurrection, or a
+    /// panic storm with no generations left. Always a classified error,
+    /// never a propagated panic.
+    RecoveryFailed(String),
 }
 
 impl fmt::Display for MicrorebootFailure {
@@ -38,6 +57,7 @@ impl fmt::Display for MicrorebootFailure {
                 write!(f, "crash kernel boot failed: {why}")
             }
             MicrorebootFailure::NotPanicked => write!(f, "kernel has not panicked"),
+            MicrorebootFailure::RecoveryFailed(why) => write!(f, "recovery failed: {why}"),
         }
     }
 }
@@ -61,9 +81,14 @@ impl Program for StubProgram {
 ///
 /// # Errors
 ///
-/// Fails when the handoff never happened ([`PanicOutcome::SystemHalted`]) or
-/// the crash kernel could not boot. Per-process resurrection failures do
-/// *not* fail the microreboot; they are recorded in the report.
+/// Fails when the handoff never happened ([`PanicOutcome::SystemHalted`]),
+/// the crash kernel could not boot within the supervisor's generation
+/// budget, or the recovery path itself died
+/// ([`MicrorebootFailure::RecoveryFailed`]). Per-process resurrection
+/// failures do *not* fail the microreboot; they are recorded in the report.
+/// No fault injected into the recovery path can propagate a panic out of
+/// this function: the whole post-handoff path runs inside
+/// [`supervisor::contain`].
 pub fn microreboot(
     dead: Kernel,
     config: &OtherworldConfig,
@@ -90,108 +115,187 @@ pub fn microreboot(
         .map(|(h, _)| ow_trace::FlightRecord::recover(&machine.phys, h.trace_base, h.trace_frames))
         .unwrap_or_default();
 
+    // Outermost containment boundary: even a bug in the supervisor itself
+    // surfaces as a classified failure, never an unwinding panic.
+    match supervisor::contain(move || {
+        run_recovery(
+            machine,
+            registry,
+            dead_generation,
+            info,
+            config,
+            flight,
+            t_panic,
+        )
+    }) {
+        Ok(result) => result,
+        Err(msg) => Err(MicrorebootFailure::RecoveryFailed(format!(
+            "recovery panicked: {msg}"
+        ))),
+    }
+}
+
+/// A hard per-process recovery failure, classified for the ladder.
+enum HardFault {
+    /// Corruption made the engine return a read error.
+    Read(ReadError),
+    /// The engine panicked and the panic was contained.
+    Panic(String),
+    /// The recovery watchdog cut off a blown cycle budget.
+    Budget,
+}
+
+impl HardFault {
+    /// Stable class code recorded in [`EventKind::RecoveryDegraded`].
+    fn class(&self) -> u64 {
+        match self {
+            HardFault::Read(_) => 0,
+            HardFault::Panic(_) => 1,
+            HardFault::Budget => 2,
+        }
+    }
+}
+
+/// Stage-4 outcome of the full resurrection pass.
+enum StageOutcome {
+    /// Resurrection ran to completion (individual processes may have
+    /// failed or degraded).
+    Done(Vec<ProcReport>),
+    /// Too many processes hit hard recovery faults: this crash-kernel
+    /// generation is not trustworthy.
+    PanicStorm(String),
+}
+
+/// Everything after the handoff: stage-3 crash-kernel boot (with
+/// escalation), stage-4 resurrection under the supervisor, stage-5 morph.
+fn run_recovery(
+    mut machine: Machine,
+    registry: ProgramRegistry,
+    dead_generation: u32,
+    info: HandoffInfo,
+    config: &OtherworldConfig,
+    flight: ow_trace::FlightRecord,
+    t_panic: u64,
+) -> Result<(Kernel, MicrorebootReport), MicrorebootFailure> {
+    let sup = &config.supervisor;
+    let plan = &config.recovery_faults;
+    let mut summary = SupervisorSummary {
+        enabled: sup.enabled,
+        ..SupervisorSummary::default()
+    };
+
     // Stage 3: the crash kernel initializes itself inside its reservation.
-    let mut k = Kernel::boot_crash(machine, config.crash_kernel.clone(), registry.clone(), info)
-        .map_err(|e| MicrorebootFailure::CrashBootFailed(e.to_string()))?;
+    // When a boot attempt fails the supervisor escalates: the next
+    // generation boots in restart-only mode (it will not trust the dead
+    // image at all) and tolerates a stale layout version.
+    let mut gen_bump: u32 = 0;
+    let mut restart_only = false;
+    let mut injected_boot_failures = 0u32;
+    let mut k = loop {
+        summary.crash_boot_attempts += 1;
+        let why = if injected_boot_failures < plan.crash_boot_failures {
+            injected_boot_failures += 1;
+            "injected fault: crash kernel panicked during boot".to_string()
+        } else {
+            let handoff = HandoffInfo {
+                generation: info.generation + gen_bump,
+                ..info
+            };
+            match Kernel::try_boot_crash(
+                machine,
+                config.crash_kernel.clone(),
+                registry.clone(),
+                handoff,
+                restart_only,
+            ) {
+                Ok(k) => break k,
+                Err((e, m)) => {
+                    machine = *m;
+                    e.to_string()
+                }
+            }
+        };
+        if !sup.enabled || summary.crash_boot_attempts >= sup.max_generations {
+            return Err(MicrorebootFailure::CrashBootFailed(why));
+        }
+        gen_bump += 1;
+        restart_only = true;
+        summary.escalated = true;
+    };
+    if summary.escalated {
+        k.trace_event(EventKind::RecoveryEscalated, 0, gen_bump as u64, 0);
+    }
     let t_booted = k.machine.clock.now();
 
     // Stage 4: resurrection.
     let mut stats = ReadStats::default();
-    let mut procs_report = Vec::new();
     let mut integrity_fixes = 0u64;
-
     let policy = resolve_policy(&mut k, &config.policy);
 
-    let header = reader::read_header(&k.machine.phys, info.dead_kernel_frame, &mut stats);
-    if let Ok(header) = header {
-        // The dead kernel's active swap partition, reopened by symbolic
-        // device name from its descriptor (§3.3).
-        let dead_swap = reader::read_swap_descs(&k.machine.phys, &header, &mut stats)
-            .ok()
-            .and_then(|descs| {
-                let want = format!("swap{}", dead_generation % 2);
-                descs.into_iter().find(|(_, d)| d.dev_name == want)
-            })
-            .and_then(|(addr, d)| {
-                ow_kernel::swap::SwapArea::from_desc(&mut k.machine, &d, addr).ok()
-            });
-
-        // §7 extension: restore consistent pipes globally before the
-        // processes that reference them (§3.3's semaphore rule — a pipe
-        // locked at crash time was mid-update and is lost).
-        let pipes_restored = if config.resurrect_pipes {
-            Some(restore_pipes(&mut k, &header, &mut stats))
-        } else {
-            None
-        };
-
-        let proc_list =
-            reader::read_proc_list(&k.machine.phys, &header, &mut stats).unwrap_or_default();
-
-        for (_addr, old_desc) in proc_list {
-            if old_desc.state == pstate::EXITED || !policy.selects(&old_desc.name) {
-                continue;
-            }
-            let before = stats.total_bytes;
-            let before_pt = stats.pt_bytes;
-            let dead_view = DeadKernel {
-                header: &header,
-                swap: dead_swap.as_ref(),
-                crash_region: (info.crash_base, info.crash_frames),
-                resurrect_sockets: config.resurrect_sockets,
-                pipes_restored,
-            };
-            let mut report = ProcReport {
-                old_pid: old_desc.pid,
-                new_pid: None,
-                name: old_desc.name.clone(),
-                outcome: ProcOutcome::FailedCorrupt("unset".into()),
-                failed_resources: 0,
-                bytes_read: 0,
-                pt_bytes: 0,
-                pages_copied: 0,
-                pages_mapped: 0,
-                pages_swapped: 0,
-            };
-            match resurrect::resurrect_process(
-                &mut k,
-                &dead_view,
-                &old_desc,
-                config.strategy,
-                &mut stats,
-            ) {
-                Ok(r) => {
-                    integrity_fixes += r.integrity_fixes;
-                    report.failed_resources = r.failed_resources;
-                    report.pages_copied = r.pages.copied;
-                    report.pages_mapped = r.pages.mapped;
-                    report.pages_swapped = r.pages.swapped;
-                    let (outcome, new_pid) = finish_process(
-                        &mut k,
-                        &registry,
-                        &old_desc.name,
-                        r.new_pid,
-                        r.failed_resources,
-                        old_desc.crash_proc != 0,
-                    );
-                    report.outcome = outcome;
-                    report.new_pid = new_pid;
+    let procs_report = if restart_only {
+        restart_only_recovery(&mut k, &registry, &policy, info, &mut stats)
+    } else {
+        match resurrect_all(
+            &mut k,
+            &registry,
+            &policy,
+            info,
+            config,
+            dead_generation,
+            &mut stats,
+            &mut integrity_fixes,
+            &mut summary,
+        )? {
+            StageOutcome::Done(reports) => reports,
+            StageOutcome::PanicStorm(why) => {
+                // The engine keeps dying inside this generation; stop
+                // trusting it and hand the machine to a fresh restart-only
+                // crash kernel (generation 2).
+                if summary.crash_boot_attempts >= sup.max_generations {
+                    return Err(MicrorebootFailure::RecoveryFailed(format!(
+                        "panic storm with no generations left: {why}"
+                    )));
                 }
-                Err(e) => {
-                    report.outcome = ProcOutcome::FailedCorrupt(e.to_string());
-                }
+                summary.crash_boot_attempts += 1;
+                summary.escalated = true;
+                gen_bump += 1;
+                let handoff = HandoffInfo {
+                    generation: info.generation + gen_bump,
+                    ..info
+                };
+                let machine = k.machine;
+                k = match Kernel::try_boot_crash(
+                    machine,
+                    config.crash_kernel.clone(),
+                    registry.clone(),
+                    handoff,
+                    true,
+                ) {
+                    Ok(k2) => k2,
+                    Err((e, _m)) => {
+                        return Err(MicrorebootFailure::CrashBootFailed(format!(
+                            "generation-2 boot: {e}"
+                        )))
+                    }
+                };
+                k.trace_event(EventKind::RecoveryEscalated, 0, gen_bump as u64, 1);
+                stats = ReadStats::default();
+                integrity_fixes = 0;
+                restart_only_recovery(&mut k, &registry, &policy, info, &mut stats)
             }
-            report.bytes_read = stats.total_bytes - before;
-            report.pt_bytes = stats.pt_bytes - before_pt;
-            procs_report.push(report);
         }
-    }
+    };
     let t_resurrected = k.machine.clock.now();
 
     // Stage 5: morph into the main kernel and install a fresh crash kernel.
     k.morph_into_main()
         .map_err(|e| MicrorebootFailure::CrashBootFailed(format!("morph: {e}")))?;
     let t_done = k.machine.clock.now();
+
+    summary.degraded_procs = procs_report
+        .iter()
+        .filter(|p| p.rung != LadderRung::Full)
+        .count() as u32;
 
     let secs = |c: u64| c as f64 / ow_simhw::clock::CYCLES_PER_SEC as f64;
     let report = MicrorebootReport {
@@ -200,11 +304,339 @@ pub fn microreboot(
         stats,
         crash_boot_seconds: secs(t_booted - t_panic),
         resurrection_seconds: secs(t_resurrected - t_booted),
+        morph_seconds: secs(t_done - t_resurrected),
         total_seconds: secs(t_done - t_panic),
+        supervisor: summary,
         integrity_fixes,
         flight,
     };
     Ok((k, report))
+}
+
+/// The supervised stage-4 pass: every policy-selected process gets the full
+/// engine, each attempt wrapped in panic containment and a watchdog budget,
+/// degrading one ladder rung per hard failure down to a clean restart.
+#[allow(clippy::too_many_arguments)]
+fn resurrect_all(
+    k: &mut Kernel,
+    registry: &ProgramRegistry,
+    policy: &ResurrectionPolicy,
+    info: HandoffInfo,
+    config: &OtherworldConfig,
+    dead_generation: u32,
+    stats: &mut ReadStats,
+    integrity_fixes: &mut u64,
+    summary: &mut SupervisorSummary,
+) -> Result<StageOutcome, MicrorebootFailure> {
+    let sup = &config.supervisor;
+    let plan = &config.recovery_faults;
+    let mut reports = Vec::new();
+
+    let Ok(header) = reader::read_header(&k.machine.phys, info.dead_kernel_frame, stats) else {
+        return Ok(StageOutcome::Done(reports));
+    };
+
+    // The dead kernel's active swap partition, reopened by symbolic device
+    // name from its descriptor (§3.3).
+    let dead_swap = reader::read_swap_descs(&k.machine.phys, &header, stats)
+        .ok()
+        .and_then(|descs| {
+            let want = format!("swap{}", dead_generation % 2);
+            descs.into_iter().find(|(_, d)| d.dev_name == want)
+        })
+        .and_then(|(addr, d)| ow_kernel::swap::SwapArea::from_desc(&mut k.machine, &d, addr).ok());
+
+    // §7 extension: restore consistent pipes globally before the processes
+    // that reference them (§3.3's semaphore rule — a pipe locked at crash
+    // time was mid-update and is lost).
+    let pipes_restored = if config.resurrect_pipes {
+        Some(restore_pipes(k, &header, stats))
+    } else {
+        None
+    };
+
+    let selected: Vec<_> = reader::read_proc_list(&k.machine.phys, &header, stats)
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|(_, d)| d.state != pstate::EXITED && policy.selects(&d.name))
+        .collect();
+
+    let budget = sup
+        .per_process_budget
+        .unwrap_or_else(|| supervisor::per_process_budget(&k.machine.cost, info.crash_frames));
+    let mut dog = ow_simhw::watchdog::Watchdog::new(budget);
+    dog.enable(k.machine.clock.now());
+
+    // Distinct processes that hit at least one hard fault — the storm
+    // counter. Counting processes (not raw panics) means one thoroughly
+    // broken process walking the whole ladder never triggers escalation by
+    // itself.
+    let mut storm_procs = 0u32;
+
+    for (idx, (_addr, old_desc)) in selected.iter().enumerate() {
+        if sup.enabled && storm_procs >= sup.escalation_threshold {
+            return Ok(StageOutcome::PanicStorm(format!(
+                "{storm_procs} of {} processes hit hard recovery faults",
+                selected.len()
+            )));
+        }
+        let before = stats.total_bytes;
+        let before_pt = stats.pt_bytes;
+        let mut report = ProcReport {
+            old_pid: old_desc.pid,
+            new_pid: None,
+            name: old_desc.name.clone(),
+            outcome: ProcOutcome::FailedCorrupt("unset".into()),
+            failed_resources: 0,
+            bytes_read: 0,
+            pt_bytes: 0,
+            pages_copied: 0,
+            pages_mapped: 0,
+            pages_swapped: 0,
+            rung: LadderRung::Full,
+            attempts: 0,
+        };
+        let mut rung = LadderRung::Full;
+        let mut had_hard_fault = false;
+
+        report.outcome = loop {
+            report.attempts += 1;
+            report.rung = rung;
+
+            // Bottom rung: abandon the dead image, restart from the
+            // registry. Still contained — a panicking `fresh` factory
+            // costs this process only.
+            if rung == LadderRung::CleanRestart {
+                match supervisor::contain(|| clean_restart(k, registry, &old_desc.name)) {
+                    Ok((outcome, new_pid)) => {
+                        report.new_pid = new_pid;
+                        break outcome;
+                    }
+                    Err(msg) => {
+                        summary.contained_panics += 1;
+                        break ProcOutcome::FailedCorrupt(format!("clean restart panicked: {msg}"));
+                    }
+                }
+            }
+
+            dog.rearm(k.machine.clock.now());
+            if rung == LadderRung::Full {
+                if let Some(s) = plan.stalls.iter().find(|s| s.victim == idx) {
+                    // Injected stall: the engine spins in a corrupted
+                    // structure, burning simulated cycles.
+                    k.machine.clock.charge(s.cycles);
+                }
+            }
+            // Everything the engine creates from here on has pid >= the
+            // watermark and is scrubbed if the attempt dies.
+            let watermark = k.next_pid;
+            let inject_panic = plan
+                .engine_panics
+                .iter()
+                .any(|p| p.victim == idx && rung <= p.panics_through);
+            let dead_view = DeadKernel {
+                header: &header,
+                swap: dead_swap.as_ref(),
+                crash_region: (info.crash_base, info.crash_frames),
+                resurrect_sockets: config.resurrect_sockets,
+                pipes_restored,
+            };
+            let attempt = supervisor::contain(|| {
+                if inject_panic {
+                    panic!("injected fault: resurrection engine panic");
+                }
+                resurrect::resurrect_process(k, &dead_view, old_desc, config.strategy, rung, stats)
+                    .map(|r| {
+                        let (outcome, new_pid) = finish_process(
+                            k,
+                            registry,
+                            &old_desc.name,
+                            r.new_pid,
+                            r.failed_resources,
+                            old_desc.crash_proc != 0,
+                        );
+                        (r, outcome, new_pid)
+                    })
+            });
+            let over_budget = dog.check_fire(k.machine.clock.now());
+
+            let hard = match attempt {
+                Err(msg) => {
+                    summary.contained_panics += 1;
+                    k.trace_event(
+                        EventKind::RecoveryPanicContained,
+                        old_desc.pid,
+                        rung as u64,
+                        0,
+                    );
+                    HardFault::Panic(msg)
+                }
+                Ok(Err(e)) => HardFault::Read(e),
+                Ok(Ok(_)) if over_budget => {
+                    // The attempt "finished" only because simulated time
+                    // kept running; past the budget the watchdog has
+                    // already cut it off, so the late result is discarded.
+                    summary.watchdog_fires += 1;
+                    k.trace_event(EventKind::RecoveryWatchdogFired, old_desc.pid, budget, 0);
+                    HardFault::Budget
+                }
+                Ok(Ok((r, outcome, new_pid))) => {
+                    *integrity_fixes += r.integrity_fixes;
+                    report.failed_resources = r.failed_resources;
+                    report.pages_copied = r.pages.copied;
+                    report.pages_mapped = r.pages.mapped;
+                    report.pages_swapped = r.pages.swapped;
+                    report.new_pid = new_pid;
+                    break outcome;
+                }
+            };
+
+            // Hard failure: scrub whatever the attempt half-created, then
+            // retry one rung weaker (or fail legacy-style with the
+            // supervisor off).
+            had_hard_fault = true;
+            scrub_partial(k, watermark);
+            if !sup.enabled {
+                match hard {
+                    HardFault::Read(e) => break ProcOutcome::FailedCorrupt(e.to_string()),
+                    HardFault::Panic(msg) => {
+                        return Err(MicrorebootFailure::RecoveryFailed(format!(
+                            "unsupervised resurrection engine panic: {msg}"
+                        )))
+                    }
+                    HardFault::Budget => {
+                        return Err(MicrorebootFailure::RecoveryFailed(
+                            "resurrection stalled past its cycle budget with the supervisor \
+                             disabled; recovery never completes"
+                                .to_string(),
+                        ))
+                    }
+                }
+            }
+            let class = hard.class();
+            rung = rung
+                .weaker()
+                .expect("hard faults are classified above the bottom rung");
+            k.trace_event(
+                EventKind::RecoveryDegraded,
+                old_desc.pid,
+                rung as u64,
+                class,
+            );
+        };
+
+        if had_hard_fault {
+            storm_procs += 1;
+        }
+        report.bytes_read = stats.total_bytes - before;
+        report.pt_bytes = stats.pt_bytes - before_pt;
+        reports.push(report);
+    }
+    Ok(StageOutcome::Done(reports))
+}
+
+/// Reaps every process the dead attempt created (pids at or above the
+/// watermark). A descriptor too corrupt even to reap is dropped from the
+/// process table; morph's memory reclaim frees its orphaned frames.
+fn scrub_partial(k: &mut Kernel, watermark: u64) {
+    let pids: Vec<u64> = k
+        .procs
+        .iter()
+        .map(|p| p.pid)
+        .filter(|&p| p >= watermark)
+        .collect();
+    for pid in pids {
+        if k.reap(pid).is_err() {
+            k.procs.retain(|p| p.pid != pid);
+        }
+    }
+}
+
+/// Generation-2 recovery: the dead image is not trusted at all. Names of
+/// the processes to revive come from a *contained* read of the dead process
+/// list (best effort), falling back to the program registry; each is
+/// started fresh via the bottom ladder rung.
+fn restart_only_recovery(
+    k: &mut Kernel,
+    registry: &ProgramRegistry,
+    policy: &ResurrectionPolicy,
+    info: HandoffInfo,
+    stats: &mut ReadStats,
+) -> Vec<ProcReport> {
+    let named: Vec<(u64, String)> = supervisor::contain(|| {
+        let header = reader::read_header(&k.machine.phys, info.dead_kernel_frame, stats).ok()?;
+        let list = reader::read_proc_list(&k.machine.phys, &header, stats).ok()?;
+        Some(
+            list.into_iter()
+                .filter(|(_, d)| d.state != pstate::EXITED && policy.selects(&d.name))
+                .map(|(_, d)| (d.pid, d.name))
+                .collect::<Vec<_>>(),
+        )
+    })
+    .ok()
+    .flatten()
+    .unwrap_or_else(|| {
+        registry
+            .names()
+            .into_iter()
+            .filter(|n| policy.selects(n))
+            .map(|n| (0, n))
+            .collect()
+    });
+
+    let mut reports = Vec::new();
+    for (old_pid, name) in named {
+        let (outcome, new_pid) = match supervisor::contain(|| clean_restart(k, registry, &name)) {
+            Ok(pair) => pair,
+            Err(msg) => (
+                ProcOutcome::FailedCorrupt(format!("clean restart panicked: {msg}")),
+                None,
+            ),
+        };
+        reports.push(ProcReport {
+            old_pid,
+            new_pid,
+            name,
+            outcome,
+            failed_resources: 0,
+            bytes_read: 0,
+            pt_bytes: 0,
+            pages_copied: 0,
+            pages_mapped: 0,
+            pages_swapped: 0,
+            rung: LadderRung::CleanRestart,
+            attempts: 1,
+        });
+    }
+    reports
+}
+
+/// The bottom ladder rung: starts a fresh instance of `name` from the
+/// program registry, abandoning the dead image entirely.
+fn clean_restart(
+    k: &mut Kernel,
+    registry: &ProgramRegistry,
+    name: &str,
+) -> (ProcOutcome, Option<u64>) {
+    let Some(image) = registry.get(name) else {
+        return (ProcOutcome::FailedNoExecutable, None);
+    };
+    match k.spawn(SpawnSpec::new(name, Box::new(StubProgram))) {
+        Ok(pid) => {
+            let fresh = {
+                let mut api = KernelApi::new(k, pid);
+                (image.fresh)(&mut api, &[])
+            };
+            if let Ok(p) = k.proc_mut(pid) {
+                p.program = Some(fresh);
+            }
+            (ProcOutcome::RestartedClean, Some(pid))
+        }
+        Err(e) => (
+            ProcOutcome::FailedCorrupt(format!("clean restart: {e}")),
+            None,
+        ),
+    }
 }
 
 /// Reads the resurrection policy, possibly from the re-mounted filesystem

@@ -18,10 +18,13 @@ use std::fmt;
 
 /// Upper bounds on chain walks; anything longer is corruption.
 const MAX_VMAS: usize = 1024;
-/// Maximum page-cache nodes per file.
-const MAX_CACHE_NODES: usize = 1 << 16;
+/// Global ceiling on page-cache nodes per file (callers pass a tighter
+/// per-file bound to [`read_cache_chain`]).
+pub const MAX_CACHE_NODES: usize = 1 << 16;
 /// Maximum shared-memory attachments per process.
 const MAX_SHM: usize = 64;
+/// Maximum sockets per process.
+const MAX_SOCKS: usize = 64;
 
 /// Errors raised while reading the dead kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,14 +33,50 @@ pub enum ReadError {
     Layout(LayoutError),
     /// A linked chain exceeded its plausible maximum length.
     ChainTooLong(&'static str),
+    /// A linked chain revisited a node: a pointer cycle. Every cycle is
+    /// corruption — the dead kernel's chains are all null-terminated.
+    ChainCycle(&'static str),
 }
 
 impl fmt::Display for ReadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReadError::Layout(e) => write!(f, "{e}"),
-            ReadError::ChainTooLong(what) => write!(f, "corrupted {what} chain (loop?)"),
+            ReadError::ChainTooLong(what) => write!(f, "corrupted {what} chain (too long)"),
+            ReadError::ChainCycle(what) => write!(f, "corrupted {what} chain (cycle)"),
         }
+    }
+}
+
+/// Walk guard shared by every chain reader: enforces an explicit maximum
+/// length and detects pointer cycles outright. Both overflow and revisits
+/// classify as corruption — a crafted cycle of CRC-valid records must not
+/// be walked up to the length bound (it would charge the cycle budget for
+/// nothing), let alone forever.
+struct ChainGuard {
+    what: &'static str,
+    max: usize,
+    seen: std::collections::HashSet<PhysAddr>,
+}
+
+impl ChainGuard {
+    fn new(what: &'static str, max: usize) -> ChainGuard {
+        ChainGuard {
+            what,
+            max,
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Accounts one link at `addr`; fails on a revisit or past `max` links.
+    fn step(&mut self, addr: PhysAddr) -> Result<(), ReadError> {
+        if !self.seen.insert(addr) {
+            return Err(ReadError::ChainCycle(self.what));
+        }
+        if self.seen.len() > self.max {
+            return Err(ReadError::ChainTooLong(self.what));
+        }
+        Ok(())
     }
 }
 
@@ -68,11 +107,10 @@ pub fn read_proc_list(
     stats: &mut ReadStats,
 ) -> Result<Vec<(PhysAddr, ProcDesc)>, ReadError> {
     let mut out = Vec::new();
+    let mut guard = ChainGuard::new("process list", header.nprocs as usize);
     let mut addr = header.proc_head;
     while addr != 0 {
-        if out.len() as u64 > header.nprocs {
-            return Err(ReadError::ChainTooLong("process list"));
-        }
+        guard.step(addr)?;
         let (desc, n) = ProcDesc::read(phys, addr)?;
         stats.add(ReadKind::ProcDesc, n);
         let next = desc.next;
@@ -89,11 +127,10 @@ pub fn read_vmas(
     stats: &mut ReadStats,
 ) -> Result<Vec<(PhysAddr, VmaDesc)>, ReadError> {
     let mut out = Vec::new();
+    let mut guard = ChainGuard::new("vma", MAX_VMAS);
     let mut addr = desc.mm_head;
     while addr != 0 {
-        if out.len() >= MAX_VMAS {
-            return Err(ReadError::ChainTooLong("vma"));
-        }
+        guard.step(addr)?;
         let (vma, n) = VmaDesc::read(phys, addr)?;
         stats.add(ReadKind::Vma, n);
         let next = vma.next;
@@ -126,17 +163,22 @@ pub fn read_file_record(
 }
 
 /// Walks a file's page-cache chain (the paper's buffer tree).
+///
+/// `max_nodes` is the caller's per-file plausibility bound (derived from
+/// the file's recorded size); it is clamped to the global
+/// [`MAX_CACHE_NODES`] ceiling. A chain longer than the file could
+/// possibly need is corruption even when every node validates.
 pub fn read_cache_chain(
     phys: &PhysMem,
     cache_head: PhysAddr,
+    max_nodes: usize,
     stats: &mut ReadStats,
 ) -> Result<Vec<(PhysAddr, PageCacheNode)>, ReadError> {
     let mut out = Vec::new();
+    let mut guard = ChainGuard::new("page cache", max_nodes.min(MAX_CACHE_NODES));
     let mut addr = cache_head;
     while addr != 0 {
-        if out.len() >= MAX_CACHE_NODES {
-            return Err(ReadError::ChainTooLong("page cache"));
-        }
+        guard.step(addr)?;
         let (node, n) = PageCacheNode::read(phys, addr)?;
         stats.add(ReadKind::PageCacheNode, n);
         let next = node.next;
@@ -164,11 +206,10 @@ pub fn read_shm_chain(
     stats: &mut ReadStats,
 ) -> Result<Vec<ShmDesc>, ReadError> {
     let mut out = Vec::new();
+    let mut guard = ChainGuard::new("shm", MAX_SHM);
     let mut addr = desc.shm_head;
     while addr != 0 {
-        if out.len() >= MAX_SHM {
-            return Err(ReadError::ChainTooLong("shm"));
-        }
+        guard.step(addr)?;
         let (shm, n) = ShmDesc::read(phys, addr)?;
         stats.add(ReadKind::ShmDesc, n);
         let next = shm.next;
@@ -185,11 +226,10 @@ pub fn read_sock_chain(
     stats: &mut ReadStats,
 ) -> Result<Vec<SockDesc>, ReadError> {
     let mut out = Vec::new();
+    let mut guard = ChainGuard::new("socket", MAX_SOCKS);
     let mut addr = desc.sock_head;
     while addr != 0 {
-        if out.len() >= 64 {
-            return Err(ReadError::ChainTooLong("socket"));
-        }
+        guard.step(addr)?;
         let (sock, n) = SockDesc::read(phys, addr)?;
         stats.add(ReadKind::SockDesc, n);
         let next = sock.next;
@@ -305,7 +345,8 @@ mod tests {
     #[test]
     fn vma_loop_detected() {
         let mut phys = PhysMem::new(16);
-        // A VMA pointing at itself: must terminate with ChainTooLong.
+        // A VMA pointing at itself: must be classified as a cycle after a
+        // single revisit, not walked MAX_VMAS times.
         let addr = HANDOFF_FRAMES * PAGE_SIZE as u64;
         VmaDesc {
             start: 0x1000,
@@ -320,12 +361,15 @@ mod tests {
         let mut stats = ReadStats::default();
         assert_eq!(
             read_vmas(&phys, &desc(addr), &mut stats),
-            Err(ReadError::ChainTooLong("vma"))
+            Err(ReadError::ChainCycle("vma"))
         );
+        // The revisit is refused before re-reading the node: exactly one
+        // VmaDesc was read and accounted.
+        assert_eq!(stats.by_kind[&ReadKind::Vma], VmaDesc::SIZE);
     }
 
     #[test]
-    fn proc_list_longer_than_header_count_is_corrupt() {
+    fn cyclic_proc_list_is_corrupt() {
         let mut phys = PhysMem::new(16);
         let a1 = 0x2000u64;
         let a2 = 0x3000u64;
@@ -333,7 +377,7 @@ mod tests {
         d1.next = a2;
         d1.write(&mut phys, a1).unwrap();
         let mut d2 = desc(0);
-        d2.next = a1; // loop
+        d2.next = a1; // loop back to the head
         d2.write(&mut phys, a2).unwrap();
         let header = KernelHeader {
             version: 1,
@@ -352,8 +396,106 @@ mod tests {
         let mut stats = ReadStats::default();
         assert_eq!(
             read_proc_list(&phys, &header, &mut stats),
+            Err(ReadError::ChainCycle("process list"))
+        );
+    }
+
+    #[test]
+    fn proc_list_longer_than_header_count_is_corrupt() {
+        // A cycle-free chain that simply outgrows the header's duplicated
+        // count (§4 integrity check) is ChainTooLong.
+        let mut phys = PhysMem::new(16);
+        let base = 0x2000u64;
+        for i in 0..3u64 {
+            let mut d = desc(0);
+            d.pid = i + 1;
+            d.next = if i < 2 { base + (i + 1) * 0x100 } else { 0 };
+            d.write(&mut phys, base + i * 0x100).unwrap();
+        }
+        let header = KernelHeader {
+            version: 1,
+            base_frame: 1,
+            nframes: 1,
+            proc_head: base,
+            nprocs: 1, // the chain actually has 3 entries
+            swap_array: 0,
+            nswap: 0,
+            is_crash: 0,
+            term_table: 0,
+            nterms: 0,
+            pipe_table: 0,
+            npipes: 0,
+        };
+        let mut stats = ReadStats::default();
+        assert_eq!(
+            read_proc_list(&phys, &header, &mut stats),
             Err(ReadError::ChainTooLong("process list"))
         );
+    }
+
+    #[test]
+    fn cache_chain_respects_per_file_bound() {
+        let mut phys = PhysMem::new(16);
+        let base = 0x4000u64;
+        // Five valid nodes; a file whose size plausibly needs only two.
+        for i in 0..5u64 {
+            PageCacheNode {
+                file_off: i * PAGE_SIZE as u64,
+                pfn: 2,
+                dirty: 0,
+                next: if i < 4 { base + (i + 1) * 0x100 } else { 0 },
+            }
+            .write(&mut phys, base + i * 0x100)
+            .unwrap();
+        }
+        let mut stats = ReadStats::default();
+        assert!(read_cache_chain(&phys, base, 5, &mut stats).is_ok());
+        assert_eq!(
+            read_cache_chain(&phys, base, 2, &mut stats),
+            Err(ReadError::ChainTooLong("page cache"))
+        );
+    }
+
+    /// Property test: random CRC-valid chains with a cycle spliced in at a
+    /// random position must always classify as corruption, and the walk
+    /// must never read more nodes than the chain has distinct links — the
+    /// guard's promise to the recovery cycle budget.
+    #[test]
+    fn cyclic_chains_always_classify_as_corruption() {
+        use ow_simhw::SimRng;
+        let mut rng = SimRng::seed_from_u64(0xc4a1_c4a1);
+        for case in 0..64 {
+            let mut phys = PhysMem::new(32);
+            let len = 2 + (rng.next_u64() % 30) as usize;
+            let base = HANDOFF_FRAMES * PAGE_SIZE as u64;
+            let addrs: Vec<u64> = (0..len).map(|i| base + i as u64 * 0x80).collect();
+            // The last node loops back to a random earlier link.
+            let back_to = (rng.next_u64() % len as u64) as usize;
+            for (i, &addr) in addrs.iter().enumerate() {
+                VmaDesc {
+                    start: 0x1000 * (i as u64 + 1),
+                    end: 0x1000 * (i as u64 + 2),
+                    flags: 0,
+                    file: 0,
+                    file_off: 0,
+                    next: if i + 1 < len {
+                        addrs[i + 1]
+                    } else {
+                        addrs[back_to]
+                    },
+                }
+                .write(&mut phys, addr)
+                .unwrap();
+            }
+            let mut stats = ReadStats::default();
+            let err = read_vmas(&phys, &desc(addrs[0]), &mut stats)
+                .expect_err("a cyclic chain must never read cleanly");
+            assert_eq!(err, ReadError::ChainCycle("vma"), "case {case}");
+            assert!(
+                stats.by_kind[&ReadKind::Vma] <= len as u64 * VmaDesc::SIZE,
+                "case {case}: walk read more nodes than the chain has"
+            );
+        }
     }
 
     #[test]

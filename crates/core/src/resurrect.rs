@@ -9,7 +9,7 @@
 //! the failure bitmask.
 
 use crate::{
-    config::ResurrectionStrategy,
+    config::{LadderRung, ResurrectionStrategy},
     integrity,
     reader::{self, ReadError},
     stats::{ReadKind, ReadStats},
@@ -74,6 +74,15 @@ pub struct DeadKernel<'a> {
 
 /// Rebuilds `old_desc`'s process inside the crash kernel `k`.
 ///
+/// `rung` is the supervisor's degradation-ladder rung for this attempt:
+/// [`LadderRung::Full`] runs the whole engine;
+/// [`LadderRung::NoSwapMigration`] abandons swapped-out pages (setting
+/// [`resmask::MEMORY`]); [`LadderRung::AnonymousOnly`] additionally drops
+/// file backing, open files, terminal, signals, shm and sockets — only the
+/// resident anonymous address space and registers survive. The engine is
+/// never called at [`LadderRung::CleanRestart`]; the supervisor restarts
+/// from the program registry instead.
+///
 /// # Errors
 ///
 /// Returns [`ReadError`] when corruption of dead-kernel structures makes the
@@ -87,8 +96,12 @@ pub fn resurrect_process(
     dead: &DeadKernel<'_>,
     old_desc: &ProcDesc,
     strategy: ResurrectionStrategy,
+    rung: LadderRung,
     stats: &mut ReadStats,
 ) -> Result<Resurrected, ReadError> {
+    debug_assert!(rung != LadderRung::CleanRestart);
+    let skip_swap = rung >= LadderRung::NoSwapMigration;
+    let anon_only = rung >= LadderRung::AnonymousOnly;
     let mut failed = 0u32;
     let mut pages = PageCounters::default();
 
@@ -105,14 +118,21 @@ pub fn resurrect_process(
         let mut file = 0u64;
         let file_off = vma.file_off;
         if vma.flags & vmaflags::FILE != 0 && vma.file != 0 {
-            // Reopen the backing file for the mapping.
-            match reopen_for_mapping(k, vma.file, stats) {
-                Ok(frec_addr) => file = frec_addr,
-                Err(_) => {
-                    // Pages are materialized below anyway; lose only the
-                    // backing (future faults become anonymous).
-                    flags &= !vmaflags::FILE;
-                    failed |= resmask::FILES;
+            if anon_only {
+                // Degraded rung: don't even touch the dead file record —
+                // the mapping continues as anonymous memory.
+                flags &= !vmaflags::FILE;
+                failed |= resmask::FILES | resmask::MEMORY;
+            } else {
+                // Reopen the backing file for the mapping.
+                match reopen_for_mapping(k, vma.file, stats) {
+                    Ok(frec_addr) => file = frec_addr,
+                    Err(_) => {
+                        // Pages are materialized below anyway; lose only the
+                        // backing (future faults become anonymous).
+                        flags &= !vmaflags::FILE;
+                        failed |= resmask::FILES;
+                    }
                 }
             }
         }
@@ -182,6 +202,12 @@ pub fn resurrect_process(
                 pages.mapped += 1;
             }
         } else if flags.contains(PteFlags::SWAPPED) {
+            if skip_swap {
+                // Degraded rung: the swap path (descriptors, bitmap, or
+                // the partition itself) is suspect — abandon the page.
+                failed |= resmask::MEMORY;
+                continue;
+            }
             // Migrate between swap partitions: read from the dead kernel's
             // partition, write to ours (§3.3).
             let swap = dead
@@ -207,58 +233,82 @@ pub fn resurrect_process(
     }
 
     // 4. Open files: reopen by stored path/flags/offset, flush the dead
-    //    kernel's dirty buffers first (§3.3).
-    let old_tab = reader::read_file_table(&k.machine.phys, old_desc, stats)?;
-    for (slot, &frec_addr) in old_tab.fds.iter().enumerate() {
-        if frec_addr == 0 {
-            continue;
+    //    kernel's dirty buffers first (§3.3). The anonymous-only rung does
+    //    not walk the file records or cache chains at all — the file table
+    //    itself is one fixed-size validated read, enough to report what
+    //    was lost.
+    if anon_only {
+        match reader::read_file_table(&k.machine.phys, old_desc, stats) {
+            Ok(tab) if tab.fds.iter().all(|&a| a == 0) => {}
+            _ => failed |= resmask::FILES,
         }
-        match resurrect_file(k, frec_addr, stats) {
-            Ok(new_frec_addr) => {
-                install_fd(k, new_pid, slot as u32, new_frec_addr)
-                    .map_err(|e| corrupt("fd install", e))?;
+    } else {
+        let old_tab = reader::read_file_table(&k.machine.phys, old_desc, stats)?;
+        for (slot, &frec_addr) in old_tab.fds.iter().enumerate() {
+            if frec_addr == 0 {
+                continue;
             }
-            Err(_) => failed |= resmask::FILES,
+            match resurrect_file(k, frec_addr, stats) {
+                Ok(new_frec_addr) => {
+                    install_fd(k, new_pid, slot as u32, new_frec_addr)
+                        .map_err(|e| corrupt("fd install", e))?;
+                }
+                Err(_) => failed |= resmask::FILES,
+            }
         }
     }
 
     // 5. Physical terminal (§3.3).
     if old_desc.term_id != u32::MAX {
-        match resurrect_terminal(k, dead.header, old_desc.term_id, stats) {
-            Ok(new_term) => {
-                k.update_desc(new_pid, |d| d.term_id = new_term)
-                    .map_err(|e| corrupt("term attach", e))?;
+        if anon_only {
+            failed |= resmask::TERMINAL;
+        } else {
+            match resurrect_terminal(k, dead.header, old_desc.term_id, stats) {
+                Ok(new_term) => {
+                    k.update_desc(new_pid, |d| d.term_id = new_term)
+                        .map_err(|e| corrupt("term attach", e))?;
+                }
+                Err(_) => failed |= resmask::TERMINAL,
             }
-            Err(_) => failed |= resmask::TERMINAL,
         }
     }
 
     // 6. Signal handlers.
-    match reader::read_sig_table(&k.machine.phys, old_desc, stats) {
-        Ok(tab) => {
-            let new_desc = k.read_desc(new_pid).map_err(|e| corrupt("desc read", e))?;
-            tab.write(&mut k.machine.phys, new_desc.sig)
-                .map_err(ReadError::Layout)?;
+    if anon_only {
+        failed |= resmask::SIGNALS;
+    } else {
+        match reader::read_sig_table(&k.machine.phys, old_desc, stats) {
+            Ok(tab) => {
+                let new_desc = k.read_desc(new_pid).map_err(|e| corrupt("desc read", e))?;
+                tab.write(&mut k.machine.phys, new_desc.sig)
+                    .map_err(ReadError::Layout)?;
+            }
+            Err(_) => failed |= resmask::SIGNALS,
         }
-        Err(_) => failed |= resmask::SIGNALS,
     }
 
     // 7. Shared memory: recreate segments with copied contents.
-    match reader::read_shm_chain(&k.machine.phys, old_desc, stats) {
-        Ok(segs) => {
-            for seg in segs {
-                if restore_shm(k, new_pid, &seg).is_err() {
-                    failed |= resmask::SHM;
+    if anon_only {
+        if old_desc.shm_head != 0 {
+            failed |= resmask::SHM;
+        }
+    } else {
+        match reader::read_shm_chain(&k.machine.phys, old_desc, stats) {
+            Ok(segs) => {
+                for seg in segs {
+                    if restore_shm(k, new_pid, &seg).is_err() {
+                        failed |= resmask::SHM;
+                    }
                 }
             }
+            Err(_) => failed |= resmask::SHM,
         }
-        Err(_) => failed |= resmask::SHM,
     }
 
     // 8. Sockets: unresurrectable in the paper's prototype; the §7
     //    extension restores connection parameters, sequence state and
     //    unacknowledged outbound payload (TCP) per §3.3's analysis.
-    if dead.resurrect_sockets {
+    if dead.resurrect_sockets && !anon_only {
         match resurrect_sockets(k, old_desc, new_pid, stats) {
             Ok(()) => {}
             Err(_) => failed |= resmask::SOCKETS,
@@ -370,8 +420,10 @@ fn resurrect_file(
     };
 
     // Flush dirty buffers using the *validated* inode (cross-checking the
-    // one stored in the record — §4).
-    let nodes = reader::read_cache_chain(&k.machine.phys, old.cache_head, stats)?;
+    // one stored in the record — §4). The chain can't plausibly hold more
+    // nodes than the file has pages (plus slack for trailing appends).
+    let max_nodes = (old.fsize / PAGE_SIZE as u64 + 8) as usize;
+    let nodes = reader::read_cache_chain(&k.machine.phys, old.cache_head, max_nodes, stats)?;
     for (node_addr, node) in nodes {
         if node.dirty != 0 {
             let valid = old

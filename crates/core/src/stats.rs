@@ -6,6 +6,7 @@
 //! tables; Table 5 classifies per-experiment outcomes. Both are computed
 //! from these structures.
 
+use crate::config::LadderRung;
 use std::collections::BTreeMap;
 
 /// What kind of dead-kernel structure a validated read pulled in.
@@ -175,6 +176,13 @@ pub enum ProcOutcome {
     FailedCorrupt(String),
     /// The executable is unknown to this system (cannot rehydrate).
     FailedNoExecutable,
+    /// The supervisor's bottom ladder rung: the dead image was abandoned
+    /// and a fresh instance was started from the program registry. The
+    /// application is running but its in-memory data is gone, so this is
+    /// *not* a successful resurrection by Table 5's data-preservation
+    /// definition — it is the contained-failure alternative to losing the
+    /// whole microreboot.
+    RestartedClean,
 }
 
 impl ProcOutcome {
@@ -214,6 +222,29 @@ pub struct ProcReport {
     pub pages_mapped: u64,
     /// Pages migrated between swap partitions.
     pub pages_swapped: u64,
+    /// Degradation-ladder rung the process ended on ([`LadderRung::Full`]
+    /// when the first attempt succeeded).
+    pub rung: LadderRung,
+    /// Resurrection attempts consumed (1 = no retries).
+    pub attempts: u32,
+}
+
+/// What the resurrection supervisor did during one microreboot.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorSummary {
+    /// Whether the supervisor was enabled for this microreboot.
+    pub enabled: bool,
+    /// Panics contained inside the resurrection engine.
+    pub contained_panics: u32,
+    /// Per-process cycle budgets cut off by the recovery watchdog.
+    pub watchdog_fires: u32,
+    /// Processes that ended below [`LadderRung::Full`].
+    pub degraded_procs: u32,
+    /// Whether recovery escalated to a restart-only crash-kernel
+    /// generation.
+    pub escalated: bool,
+    /// Crash-kernel boot attempts consumed (1 = first boot succeeded).
+    pub crash_boot_attempts: u32,
 }
 
 /// Report of one complete microreboot.
@@ -229,8 +260,14 @@ pub struct MicrorebootReport {
     pub crash_boot_seconds: f64,
     /// Simulated seconds spent resurrecting processes.
     pub resurrection_seconds: f64,
+    /// Simulated seconds morphing into the main kernel (memory reclaim +
+    /// next crash-kernel install).
+    pub morph_seconds: f64,
     /// Simulated seconds for the whole microreboot (panic → morphed).
     pub total_seconds: f64,
+    /// What the resurrection supervisor did (containment, ladder,
+    /// watchdog, escalation).
+    pub supervisor: SupervisorSummary,
     /// Integrity cross-check corrections applied (§4 duplication checks).
     pub integrity_fixes: u64,
     /// The dead kernel's flight record (events, damage counts and the
@@ -248,6 +285,21 @@ impl MicrorebootReport {
     /// Finds a process report by (old) name.
     pub fn proc_named(&self, name: &str) -> Option<&ProcReport> {
         self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// Per-stage timings (panic → crash boot → resurrection → morph) as a
+    /// JSON object, for the bench export path.
+    pub fn timings_json(&self) -> ow_trace::json::Value {
+        use ow_trace::json::Value;
+        Value::obj([
+            ("crash_boot_seconds", Value::from(self.crash_boot_seconds)),
+            (
+                "resurrection_seconds",
+                Value::from(self.resurrection_seconds),
+            ),
+            ("morph_seconds", Value::from(self.morph_seconds)),
+            ("total_seconds", Value::from(self.total_seconds)),
+        ])
     }
 }
 

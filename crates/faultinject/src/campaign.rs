@@ -235,9 +235,17 @@ pub fn run_experiment<W: Workload>(
         cause: cause.clone(),
     };
 
-    // Microreboot.
+    // Microreboot. The resurrection supervisor is disabled here on purpose:
+    // Table 5 measures the paper's original single-shot recovery semantics,
+    // and the supervisor's contribution is measured separately by the
+    // recovery-robustness campaign (`crate::recovery`) with an explicit
+    // on/off ablation.
     let ow_config = OtherworldConfig {
         policy: PolicySource::Inline(ResurrectionPolicy::only([workload.name()])),
+        supervisor: ow_core::SupervisorConfig {
+            enabled: false,
+            ..ow_core::SupervisorConfig::default()
+        },
         ..OtherworldConfig::default()
     };
     let (mut k2, report) = match microreboot(k, &ow_config) {
@@ -247,6 +255,9 @@ pub fn run_experiment<W: Workload>(
         }
         Err(MicrorebootFailure::CrashBootFailed(why)) => {
             return (classified(Outcome::BootFailure(why)), damage)
+        }
+        Err(MicrorebootFailure::RecoveryFailed(why)) => {
+            return (classified(Outcome::ResurrectFailure(why)), damage)
         }
         Err(MicrorebootFailure::NotPanicked) => unreachable!("panicked checked above"),
     };

@@ -7,8 +7,13 @@
 
 pub mod campaign;
 pub mod faults;
+pub mod recovery;
 
 pub use campaign::{
     run_campaign, run_experiment, CampaignConfig, CampaignResult, ExperimentRecord, Outcome,
 };
 pub use faults::{draw_fault, inject_batch, DamageReport, Fault, FaultKind, Manifestation};
+pub use recovery::{
+    run_recovery_campaign, run_recovery_experiment, RecoveryCampaignConfig, RecoveryCampaignResult,
+    RecoveryFaultKind, RecoveryOutcome, RecoveryRecord, RecoverySide,
+};

@@ -1,0 +1,369 @@
+//! The recovery-robustness campaign: faults injected into the *recovery
+//! path itself*, closing the loop on the resurrection supervisor.
+//!
+//! Table 5's campaign ([`crate::campaign`]) injects faults into the main
+//! kernel and measures whether applications survive. This campaign instead
+//! lets the main kernel die cleanly and then attacks the recovery: cycles
+//! spliced into dead-kernel chains, panics and stalls inside the
+//! resurrection engine, crash-kernel boot failures, and panic storms. Each
+//! seeded experiment runs twice — supervisor on and supervisor off — so the
+//! ablation shows exactly which whole-microreboot failures the supervisor
+//! converts into per-process degradations or generation-2 restarts.
+
+use ow_apps::Workload;
+use ow_core::{
+    microreboot, reader, EnginePanicFault, LadderRung, MicrorebootReport, OtherworldConfig,
+    PolicySource, ProcOutcome, ReadStats, RecoveryFaultPlan, ResurrectionPolicy, StallFault,
+    SupervisorConfig,
+};
+use ow_kernel::{
+    layout::{pstate, Record},
+    Kernel, KernelConfig, PanicOutcome,
+};
+use ow_simhw::{clock::CYCLES_PER_SEC, machine::MachineConfig, CostModel, SimRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The recovery-time fault family (the supervisor's threat model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryFaultKind {
+    /// A CRC-valid cycle spliced into the victim's VMA chain in dead
+    /// memory: every engine rung sees the same corruption, so the ladder
+    /// rides down to a clean restart.
+    ChainCycle,
+    /// The resurrection engine panics on the victim at the stronger rungs.
+    EnginePanic,
+    /// The engine panics for enough distinct processes to cross the
+    /// escalation threshold — a panic storm.
+    PanicStorm,
+    /// The crash kernel itself fails to boot (first generation).
+    CrashBootFailure,
+    /// The engine stalls past its cycle budget on the victim.
+    RecoveryStall,
+}
+
+impl RecoveryFaultKind {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryFaultKind::ChainCycle => "chain_cycle",
+            RecoveryFaultKind::EnginePanic => "engine_panic",
+            RecoveryFaultKind::PanicStorm => "panic_storm",
+            RecoveryFaultKind::CrashBootFailure => "crash_boot_failure",
+            RecoveryFaultKind::RecoveryStall => "recovery_stall",
+        }
+    }
+
+    fn draw(rng: &mut SimRng) -> Self {
+        match rng.next_u64() % 5 {
+            0 => RecoveryFaultKind::ChainCycle,
+            1 => RecoveryFaultKind::EnginePanic,
+            2 => RecoveryFaultKind::PanicStorm,
+            3 => RecoveryFaultKind::CrashBootFailure,
+            _ => RecoveryFaultKind::RecoveryStall,
+        }
+    }
+}
+
+/// Classified outcome of one recovery under injected faults, ordered from
+/// best to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// Every process resurrected at the full rung.
+    FullResurrection,
+    /// At least one process needed a weaker engine rung but kept (most of)
+    /// its state.
+    Degraded,
+    /// At least one process was restarted clean from the registry (data
+    /// lost, application running).
+    CleanRestart,
+    /// Recovery escalated to a restart-only generation-2 crash kernel.
+    Gen2Restart,
+    /// Some process failed outright, but the microreboot completed.
+    PerProcessFailure,
+    /// The whole microreboot was lost (a classified error — never a
+    /// propagated panic).
+    WholeFailure,
+}
+
+impl RecoveryOutcome {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryOutcome::FullResurrection => "full_resurrection",
+            RecoveryOutcome::Degraded => "degraded",
+            RecoveryOutcome::CleanRestart => "clean_restart",
+            RecoveryOutcome::Gen2Restart => "gen2_restart",
+            RecoveryOutcome::PerProcessFailure => "per_process_failure",
+            RecoveryOutcome::WholeFailure => "whole_failure",
+        }
+    }
+}
+
+/// One experiment's paired result.
+#[derive(Debug, Clone)]
+pub struct RecoveryRecord {
+    /// The injected fault kind.
+    pub fault: RecoveryFaultKind,
+    /// Outcome with the supervisor enabled.
+    pub with_supervisor: RecoveryOutcome,
+    /// Outcome with the supervisor disabled.
+    pub without_supervisor: RecoveryOutcome,
+}
+
+/// Outcome counts for one supervisor setting.
+#[derive(Debug, Clone, Default)]
+pub struct RecoverySide {
+    /// Full-rung resurrections.
+    pub full: usize,
+    /// Degraded (weaker rung, state kept).
+    pub degraded: usize,
+    /// Clean restarts from the registry.
+    pub clean_restart: usize,
+    /// Generation-2 escalations.
+    pub gen2: usize,
+    /// Completed microreboots with a failed process.
+    pub per_process_failure: usize,
+    /// Whole-microreboot failures.
+    pub whole_failure: usize,
+    /// Contained engine panics (from the reports).
+    pub contained_panics: u64,
+    /// Recovery-watchdog firings (from the reports).
+    pub watchdog_fires: u64,
+}
+
+impl RecoverySide {
+    fn count(&mut self, outcome: RecoveryOutcome) {
+        match outcome {
+            RecoveryOutcome::FullResurrection => self.full += 1,
+            RecoveryOutcome::Degraded => self.degraded += 1,
+            RecoveryOutcome::CleanRestart => self.clean_restart += 1,
+            RecoveryOutcome::Gen2Restart => self.gen2 += 1,
+            RecoveryOutcome::PerProcessFailure => self.per_process_failure += 1,
+            RecoveryOutcome::WholeFailure => self.whole_failure += 1,
+        }
+    }
+
+    /// Experiments where the application layer survived in some form
+    /// (anything but a whole-microreboot failure).
+    pub fn survived(&self) -> usize {
+        self.full + self.degraded + self.clean_restart + self.gen2 + self.per_process_failure
+    }
+}
+
+/// Aggregated recovery-robustness campaign (the new bench table's data).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryCampaignResult {
+    /// Paired experiments run.
+    pub experiments: usize,
+    /// Counts with the supervisor enabled.
+    pub with_supervisor: RecoverySide,
+    /// Counts with the supervisor disabled.
+    pub without_supervisor: RecoverySide,
+    /// Panics that escaped `microreboot()` into the campaign harness. The
+    /// supervisor's containment guarantee is that this stays zero.
+    pub panic_escapes: usize,
+    /// Per-experiment records in campaign order.
+    pub records: Vec<RecoveryRecord>,
+}
+
+/// Configuration of the recovery campaign.
+#[derive(Debug, Clone)]
+pub struct RecoveryCampaignConfig {
+    /// Paired (on/off) experiments to run.
+    pub experiments: usize,
+    /// Campaign seed (experiment i uses `seed + i`).
+    pub seed: u64,
+}
+
+impl Default for RecoveryCampaignConfig {
+    fn default() -> Self {
+        RecoveryCampaignConfig {
+            experiments: 40,
+            seed: 0x5ec0_4e4a, // distinct from the Table 5 campaign seed
+        }
+    }
+}
+
+/// The applications each experiment boots and drives before the crash. Four
+/// processes give the panic-storm path (threshold 3) a process to spare.
+const APPS: [&str; 4] = ["vi", "mysqld", "httpd", "joe"];
+
+fn machine_config() -> MachineConfig {
+    MachineConfig {
+        ram_frames: 8192, // 32 MiB
+        cpus: 2,
+        tlb_entries: 64,
+        cost: CostModel::zero_io(),
+    }
+}
+
+/// Boots the standard four-app system, drives each workload a little, and
+/// panics the kernel — the deterministic "dead kernel" every recovery
+/// experiment starts from.
+fn build_dead_system(seed: u64) -> Kernel {
+    let machine = ow_kernel::standard_machine(machine_config());
+    let mut k = Kernel::boot_cold(machine, KernelConfig::default(), ow_apps::full_registry())
+        .expect("cold boot");
+    for name in APPS {
+        let mut w = ow_apps::make_workload(name, seed);
+        let pid = w.setup(&mut k);
+        for _ in 0..3 {
+            w.drive(&mut k, pid);
+        }
+    }
+    k.do_panic(ow_kernel::PanicCause::Oops("recovery-campaign crash"));
+    k
+}
+
+/// Splices a CRC-valid cycle into the `victim`-th selected process's VMA
+/// chain in the dead kernel's memory: the last VMA's `next` is pointed back
+/// at the head, so a naive walk never terminates. The write goes through
+/// the normal record codec, so the corruption is *not* detectable by
+/// checksums — only the chain guard catches it.
+fn inject_chain_cycle(k: &mut Kernel, victim: usize) {
+    let Some(PanicOutcome::Handoff(info)) = k.panicked else {
+        return;
+    };
+    let mut stats = ReadStats::default();
+    let Ok(header) = reader::read_header(&k.machine.phys, info.dead_kernel_frame, &mut stats)
+    else {
+        return;
+    };
+    let selected: Vec<_> = reader::read_proc_list(&k.machine.phys, &header, &mut stats)
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|(_, d)| d.state != pstate::EXITED && APPS.contains(&d.name.as_str()))
+        .collect();
+    let Some((_, desc)) = selected.get(victim % selected.len().max(1)) else {
+        return;
+    };
+    let Ok(vmas) = reader::read_vmas(&k.machine.phys, desc, &mut stats) else {
+        return;
+    };
+    let (Some((head_addr, _)), Some((tail_addr, tail))) = (vmas.first(), vmas.last()) else {
+        return;
+    };
+    let mut looped = tail.clone();
+    looped.next = *head_addr;
+    looped
+        .write(&mut k.machine.phys, *tail_addr)
+        .expect("rewrite tail VMA");
+}
+
+/// Builds the fault plan (and pre-corrupts dead memory) for one experiment.
+fn arm_fault(k: &mut Kernel, kind: RecoveryFaultKind, rng: &mut SimRng) -> RecoveryFaultPlan {
+    let victim = (rng.next_u64() % APPS.len() as u64) as usize;
+    let mut plan = RecoveryFaultPlan::default();
+    match kind {
+        RecoveryFaultKind::ChainCycle => inject_chain_cycle(k, victim),
+        RecoveryFaultKind::EnginePanic => {
+            let panics_through = match rng.next_u64() % 3 {
+                0 => LadderRung::Full,
+                1 => LadderRung::NoSwapMigration,
+                _ => LadderRung::AnonymousOnly,
+            };
+            plan.engine_panics.push(EnginePanicFault {
+                victim,
+                panics_through,
+            });
+        }
+        RecoveryFaultKind::PanicStorm => {
+            // Every process's engine dies at every rung: the storm counter
+            // crosses the threshold and recovery must escalate.
+            for v in 0..APPS.len() {
+                plan.engine_panics.push(EnginePanicFault {
+                    victim: v,
+                    panics_through: LadderRung::AnonymousOnly,
+                });
+            }
+        }
+        RecoveryFaultKind::CrashBootFailure => plan.crash_boot_failures = 1,
+        RecoveryFaultKind::RecoveryStall => plan.stalls.push(StallFault {
+            victim,
+            cycles: 600 * CYCLES_PER_SEC,
+        }),
+    }
+    plan
+}
+
+/// Classifies a completed microreboot report.
+fn classify(report: &MicrorebootReport) -> RecoveryOutcome {
+    if report.supervisor.escalated {
+        RecoveryOutcome::Gen2Restart
+    } else if report
+        .procs
+        .iter()
+        .any(|p| matches!(p.outcome, ProcOutcome::RestartedClean))
+    {
+        RecoveryOutcome::CleanRestart
+    } else if report.procs.iter().any(|p| p.rung != LadderRung::Full) {
+        RecoveryOutcome::Degraded
+    } else if report.procs.iter().any(|p| !p.outcome.is_success()) {
+        RecoveryOutcome::PerProcessFailure
+    } else {
+        RecoveryOutcome::FullResurrection
+    }
+}
+
+/// Runs one recovery experiment: build the dead system, arm `kind`, run the
+/// microreboot with the supervisor `enabled`, classify. Returns the outcome
+/// plus supervisor counters and whether a panic escaped the microreboot.
+pub fn run_recovery_experiment(
+    seed: u64,
+    kind: RecoveryFaultKind,
+    enabled: bool,
+) -> (RecoveryOutcome, u64, u64, bool) {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xdead_5afe);
+    let mut k = build_dead_system(seed);
+    let plan = arm_fault(&mut k, kind, &mut rng);
+    let config = OtherworldConfig {
+        policy: PolicySource::Inline(ResurrectionPolicy::only(APPS)),
+        supervisor: SupervisorConfig {
+            enabled,
+            ..SupervisorConfig::default()
+        },
+        recovery_faults: plan,
+        ..OtherworldConfig::default()
+    };
+    match catch_unwind(AssertUnwindSafe(|| microreboot(k, &config))) {
+        Ok(Ok((_k2, report))) => (
+            classify(&report),
+            report.supervisor.contained_panics as u64,
+            report.supervisor.watchdog_fires as u64,
+            false,
+        ),
+        Ok(Err(_failure)) => (RecoveryOutcome::WholeFailure, 0, 0, false),
+        Err(_panic) => (RecoveryOutcome::WholeFailure, 0, 0, true),
+    }
+}
+
+/// Runs the full paired campaign: each seeded experiment draws one fault
+/// kind and runs twice (supervisor on, then off) on identically built
+/// systems.
+pub fn run_recovery_campaign(cfg: &RecoveryCampaignConfig) -> RecoveryCampaignResult {
+    let mut result = RecoveryCampaignResult::default();
+    for i in 0..cfg.experiments {
+        let seed = cfg.seed.wrapping_add(i as u64);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let kind = RecoveryFaultKind::draw(&mut rng);
+
+        let (on, panics, fires, escaped_on) = run_recovery_experiment(seed, kind, true);
+        result.with_supervisor.count(on);
+        result.with_supervisor.contained_panics += panics;
+        result.with_supervisor.watchdog_fires += fires;
+
+        let (off, panics, fires, escaped_off) = run_recovery_experiment(seed, kind, false);
+        result.without_supervisor.count(off);
+        result.without_supervisor.contained_panics += panics;
+        result.without_supervisor.watchdog_fires += fires;
+
+        result.panic_escapes += usize::from(escaped_on) + usize::from(escaped_off);
+        result.records.push(RecoveryRecord {
+            fault: kind,
+            with_supervisor: on,
+            without_supervisor: off,
+        });
+        result.experiments += 1;
+    }
+    result
+}

@@ -1,0 +1,92 @@
+//! Recovery-fault campaign acceptance: determinism, zero escaped panics,
+//! and the supervisor ablation delta (whole-microreboot failures converted
+//! into per-process degradations, clean restarts, or gen-2 escalations).
+
+use ow_faultinject::{run_recovery_campaign, RecoveryCampaignConfig, RecoveryOutcome};
+
+const EXPERIMENTS: usize = 12;
+
+fn config() -> RecoveryCampaignConfig {
+    RecoveryCampaignConfig {
+        experiments: EXPERIMENTS,
+        seed: 0x5ec0_4e4a,
+    }
+}
+
+#[test]
+fn campaign_is_deterministic_for_a_fixed_seed() {
+    let a = run_recovery_campaign(&config());
+    let b = run_recovery_campaign(&config());
+    assert_eq!(a.experiments, b.experiments);
+    assert_eq!(a.records.len(), b.records.len());
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.fault, rb.fault);
+        assert_eq!(ra.with_supervisor, rb.with_supervisor);
+        assert_eq!(ra.without_supervisor, rb.without_supervisor);
+    }
+}
+
+#[test]
+fn no_injected_recovery_fault_propagates_a_panic_out_of_microreboot() {
+    // The core acceptance property: every experiment — with or without the
+    // supervisor — either returns Ok or a classified MicrorebootFailure.
+    // A panic unwinding out of microreboot() is counted as an escape.
+    let result = run_recovery_campaign(&config());
+    assert_eq!(
+        result.panic_escapes, 0,
+        "panics escaped the microreboot boundary"
+    );
+    // Every paired run produced a classified outcome.
+    assert_eq!(result.records.len(), EXPERIMENTS);
+}
+
+#[test]
+fn supervisor_converts_whole_failures_into_graceful_degradation() {
+    let result = run_recovery_campaign(&config());
+    let on = &result.with_supervisor;
+    let off = &result.without_supervisor;
+
+    // The ablation delta: without the supervisor, recovery-time faults kill
+    // whole microreboots; with it, they do not (or far less often).
+    assert!(
+        off.whole_failure > on.whole_failure,
+        "supervisor must reduce whole-microreboot failures: on={} off={}",
+        on.whole_failure,
+        off.whole_failure
+    );
+    // And the conversions are visible: degradations, clean restarts, or
+    // second-generation escalations actually occurred.
+    assert!(
+        on.degraded + on.clean_restart + on.gen2 > 0,
+        "supervisor runs must show graceful-degradation outcomes"
+    );
+    // The supervisor side keeps the machine alive in every experiment for
+    // this seeded plan.
+    assert_eq!(on.survived(), EXPERIMENTS);
+}
+
+#[test]
+fn per_record_supervisor_outcome_is_never_strictly_worse() {
+    // Rank outcomes from best to worst; the supervised run must never land
+    // in a worse class than the unsupervised run of the same experiment.
+    fn rank(o: RecoveryOutcome) -> u8 {
+        match o {
+            RecoveryOutcome::FullResurrection => 0,
+            RecoveryOutcome::Degraded => 1,
+            RecoveryOutcome::CleanRestart => 2,
+            RecoveryOutcome::Gen2Restart => 3,
+            RecoveryOutcome::PerProcessFailure => 4,
+            RecoveryOutcome::WholeFailure => 5,
+        }
+    }
+    let result = run_recovery_campaign(&config());
+    for r in &result.records {
+        assert!(
+            rank(r.with_supervisor) <= rank(r.without_supervisor),
+            "{:?}: supervised {:?} worse than unsupervised {:?}",
+            r.fault,
+            r.with_supervisor,
+            r.without_supervisor
+        );
+    }
+}

@@ -378,7 +378,8 @@ impl Kernel {
         registry: ProgramRegistry,
     ) -> KernelResult<Kernel> {
         let base_frame = HANDOFF_FRAMES;
-        Kernel::boot_common(machine, config, registry, base_frame, 0, true)
+        Kernel::boot_common(machine, config, registry, base_frame, 0, true, false)
+            .map_err(|(e, _)| e)
     }
 
     /// Boots the crash kernel inside its reservation after a handoff. Uses
@@ -389,6 +390,23 @@ impl Kernel {
         registry: ProgramRegistry,
         handoff: HandoffInfo,
     ) -> KernelResult<Kernel> {
+        Kernel::try_boot_crash(machine, config, registry, handoff, false).map_err(|(e, _)| e)
+    }
+
+    /// Like [`Kernel::boot_crash`], but hands the [`Machine`] back on
+    /// failure so the caller can try again — the resurrection supervisor
+    /// uses this to boot a generation-2 crash kernel in restart-only mode
+    /// after generation 1 fails. `tolerate_layout_mismatch` skips the
+    /// layout-version refusal: a restart-only crash kernel never parses the
+    /// dead kernel's structures, so a mismatched handoff generation is
+    /// survivable for it.
+    pub fn try_boot_crash(
+        machine: Machine,
+        config: KernelConfig,
+        registry: ProgramRegistry,
+        handoff: HandoffInfo,
+        tolerate_layout_mismatch: bool,
+    ) -> Result<Kernel, (KernelError, Box<Machine>)> {
         Kernel::boot_common(
             machine,
             config,
@@ -396,6 +414,7 @@ impl Kernel {
             handoff.crash_base,
             handoff.generation + 1,
             false,
+            tolerate_layout_mismatch,
         )
     }
 
@@ -406,7 +425,8 @@ impl Kernel {
         base_frame: Pfn,
         generation: u32,
         cold: bool,
-    ) -> KernelResult<Kernel> {
+        tolerate_layout_mismatch: bool,
+    ) -> Result<Kernel, (KernelError, Box<Machine>)> {
         let mut boot_log = Vec::new();
         let costs = config.boot_costs.clone();
         let phase = |m: &mut Machine, name: &str, cycles: u64, log: &mut Vec<(String, u64)>| {
@@ -454,7 +474,10 @@ impl Kernel {
         // reboots and morphing without ever being reallocated.
         let (gen_base, gen_end, trace_base, trace_frames) = if cold {
             if config.trace_frames >= total_frames / 4 {
-                return Err(KernelError::Inval("trace region too large"));
+                return Err((
+                    KernelError::Inval("trace region too large"),
+                    Box::new(machine),
+                ));
             }
             let trace_base = total_frames - config.trace_frames;
             (
@@ -464,15 +487,23 @@ impl Kernel {
                 config.trace_frames,
             )
         } else {
-            let (h, _) = HandoffBlock::read(&machine.phys)?;
+            let (h, _) = match HandoffBlock::read(&machine.phys) {
+                Ok(v) => v,
+                Err(e) => return Err((e.into(), Box::new(machine))),
+            };
             // A crash kernel of a different layout generation must refuse
             // the handoff: every descriptor it would parse out of the dead
-            // kernel's memory could silently mean something else.
-            if h.layout_version != layout::LAYOUT_VERSION {
-                return Err(KernelError::LayoutGeneration {
-                    stored: h.layout_version,
-                    expected: layout::LAYOUT_VERSION,
-                });
+            // kernel's memory could silently mean something else. A
+            // restart-only generation-2 crash kernel may tolerate the
+            // mismatch — it never parses those descriptors.
+            if h.layout_version != layout::LAYOUT_VERSION && !tolerate_layout_mismatch {
+                return Err((
+                    KernelError::LayoutGeneration {
+                        stored: h.layout_version,
+                        expected: layout::LAYOUT_VERSION,
+                    },
+                    Box::new(machine),
+                ));
             }
             (
                 kernel_end,
@@ -482,7 +513,10 @@ impl Kernel {
             )
         };
         if gen_base >= gen_end {
-            return Err(KernelError::Inval("kernel region too large"));
+            return Err((
+                KernelError::Inval("kernel region too large"),
+                Box::new(machine),
+            ));
         }
         let falloc = FrameAllocator::new(gen_base, (gen_end - gen_base) as usize);
 
@@ -493,14 +527,17 @@ impl Kernel {
         );
 
         // Filesystem: mount, formatting on first cold boot.
-        let sda = machine
-            .device_by_name("sda")
-            .map(|d| d.id)
-            .ok_or(KernelError::Inval("no root device"))?;
+        let sda = match machine.device_by_name("sda").map(|d| d.id) {
+            Some(id) => id,
+            None => return Err((KernelError::Inval("no root device"), Box::new(machine))),
+        };
         let fs = match Fs::mount(&mut machine, sda) {
             Ok(fs) => fs,
-            Err(_) if cold => Fs::format(&mut machine, sda, 128)?,
-            Err(e) => return Err(e),
+            Err(_) if cold => match Fs::format(&mut machine, sda, 128) {
+                Ok(fs) => fs,
+                Err(e) => return Err((e, Box::new(machine))),
+            },
+            Err(e) => return Err((e, Box::new(machine))),
         };
         phase(&mut machine, "fs_mount", costs.fs_mount, &mut boot_log);
 
@@ -531,6 +568,25 @@ impl Kernel {
             trace: None,
             last_syscall_enter: 0,
         };
+
+        // Everything past this point can fail without losing the machine:
+        // it lives inside the kernel struct now, so a failed finish phase
+        // hands it back to the caller (the resurrection supervisor reuses
+        // it for a generation-2 crash kernel).
+        match kernel.boot_finish(cold, trace_base, trace_frames) {
+            Ok(()) => Ok(kernel),
+            Err(e) => Err((e, Box::new(kernel.machine))),
+        }
+    }
+
+    /// Boot phases that run after the kernel struct exists: flight
+    /// recorder, swap areas, terminal/pipe tables, base services, CPU
+    /// reset, header/handoff publication, watchdog.
+    fn boot_finish(&mut self, cold: bool, trace_base: Pfn, trace_frames: u64) -> KernelResult<()> {
+        let kernel = self;
+        let total_frames = kernel.machine.frames();
+        let generation = kernel.generation;
+        let base_frame = kernel.base_frame;
 
         // Arm the flight recorder for this generation. The crash kernel
         // re-arms (and thus zeroes) the ring: the dead kernel's record was
@@ -649,7 +705,7 @@ impl Kernel {
             kernel.machine.watchdog.enable(now);
         }
 
-        Ok(kernel)
+        Ok(())
     }
 
     /// (Re)writes this kernel's header from current state.

@@ -74,48 +74,45 @@ impl Kernel {
             }
         }
         // Frames adopted by mapping instead of copying (resurrection's
-        // page-mapping optimization) are tagged User/PageTable outside the
-        // old allocator range; keep them too.
+        // page-mapping optimization) live outside the confined allocator;
+        // keep exactly the frames reachable from a live process's page
+        // tables. Frame *tags* are not enough: pids restart at 1 in every
+        // generation, so a dead generation's User/PageTable tags collide
+        // with live pids — trusting them leaks a few frames per microreboot
+        // and fragments RAM until a later morph cannot place its contiguous
+        // crash reservation.
+        for p in &self.procs {
+            p.asp.for_each_frame(&self.machine.phys, |pfn| {
+                if fresh.contains(pfn) {
+                    fresh.mark_used(pfn);
+                }
+            })?;
+        }
         for pfn in 0..total {
             if fresh.contains(pfn) && !fresh.is_used(pfn) {
                 match self.machine.owner(pfn) {
-                    FrameOwner::User { .. }
-                    | FrameOwner::PageTable { .. }
-                    | FrameOwner::PageCache => {
-                        // Owned by a live resurrected process or cache.
-                        if self.frame_is_live(pfn) {
-                            fresh.mark_used(pfn);
-                        } else {
-                            self.machine.set_owner(pfn, FrameOwner::Free);
-                        }
-                    }
-                    FrameOwner::Kernel | FrameOwner::CrashImage => {
-                        // Dead kernel's region / consumed crash image: free.
-                        self.machine.set_owner(pfn, FrameOwner::Free);
-                    }
                     FrameOwner::Trace => {
                         // The flight recorder outlives every kernel
                         // generation; morphing must not reallocate it.
                         fresh.mark_used(pfn);
                     }
                     FrameOwner::Handoff | FrameOwner::Free => {}
+                    FrameOwner::User { .. }
+                    | FrameOwner::PageTable { .. }
+                    | FrameOwner::PageCache
+                    | FrameOwner::Kernel
+                    | FrameOwner::CrashImage => {
+                        // Unreachable from any live process and not this
+                        // kernel's own allocation: the dead generation's
+                        // page tables, flushed page cache, kernel region,
+                        // or consumed crash image. All reclaimed.
+                        self.machine.set_owner(pfn, FrameOwner::Free);
+                    }
                 }
             }
         }
         self.falloc = fresh;
         Ok(())
-    }
-
-    /// Whether a tagged frame belongs to one of this kernel's live
-    /// processes (by pid match on User/PageTable tags).
-    fn frame_is_live(&self, pfn: Pfn) -> bool {
-        match self.machine.owner(pfn) {
-            FrameOwner::User { pid } | FrameOwner::PageTable { pid } => {
-                pid == 0 || self.procs.iter().any(|p| p.pid == pid)
-            }
-            FrameOwner::PageCache => true,
-            _ => false,
-        }
     }
 
     /// Morph step 2 (§3.6): choose a region in reclaimed memory for the

@@ -53,4 +53,8 @@ pub mod resmask {
     pub const TERMINAL: u32 = 1 << 5;
     /// Signal handler table.
     pub const SIGNALS: u32 = 1 << 6;
+    /// Part of the address space was abandoned by a degraded resurrection
+    /// rung (swapped-out pages skipped, or file-backed contents dropped).
+    /// Set only in failure masks, never in `res_in_use`.
+    pub const MEMORY: u32 = 1 << 7;
 }

@@ -339,6 +339,32 @@ impl AddressSpace {
         Ok(())
     }
 
+    /// Calls `f(pfn)` for every physical frame this address space holds
+    /// onto: the root, every live L2 table, and every *present* leaf page
+    /// (swapped entries hold swap slots, not frames). This is the ground
+    /// truth for "which frames does this process own" — frame tags can go
+    /// stale across kernel generations, this walk cannot.
+    pub fn for_each_frame<F>(&self, phys: &PhysMem, mut f: F) -> Result<(), MemError>
+    where
+        F: FnMut(Pfn),
+    {
+        f(self.root);
+        for i1 in 0..TABLE_ENTRIES {
+            let l1 = Pte(phys.read_u64(entry_addr(self.root, i1))?);
+            if !l1.flags().contains(PteFlags::PRESENT) {
+                continue;
+            }
+            f(l1.pfn());
+            for i2 in 0..TABLE_ENTRIES {
+                let pte = Pte(phys.read_u64(entry_addr(l1.pfn(), i2))?);
+                if pte.flags().contains(PteFlags::PRESENT) {
+                    f(pte.pfn());
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of table frames (root + live L2 tables). Table 4 counts these
     /// bytes as the "page tables" portion of resurrection reads.
     pub fn table_frames(&self, phys: &PhysMem) -> Result<u64, MemError> {

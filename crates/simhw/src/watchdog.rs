@@ -56,6 +56,18 @@ impl Watchdog {
         }
         false
     }
+
+    /// Re-arms a fired watchdog: restarts the countdown at `now` and clears
+    /// the one-shot `fired` latch, without toggling the enabled state. The
+    /// crash kernel's recovery supervisor uses this to guard each process
+    /// resurrection with a fresh deadline inside a single microreboot —
+    /// `enable()` would work too, but `rearm` keeps a disabled watchdog
+    /// disabled (an un-armed dog must never start firing because a guard
+    /// loop reset it).
+    pub fn rearm(&mut self, now: u64) {
+        self.last_pet = now;
+        self.fired = false;
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +87,24 @@ mod tests {
         assert!(!w.check_fire(50));
         assert!(w.check_fire(150));
         assert!(!w.check_fire(200), "must fire only once");
+    }
+
+    #[test]
+    fn rearm_allows_a_second_fire() {
+        let mut w = Watchdog::new(100);
+        w.enable(0);
+        assert!(w.check_fire(150));
+        assert!(!w.check_fire(200), "latched until rearmed");
+        w.rearm(200);
+        assert!(!w.check_fire(250), "rearm restarts the countdown at now");
+        assert!(w.check_fire(300), "fires again after a fresh timeout");
+    }
+
+    #[test]
+    fn rearm_keeps_a_disabled_watchdog_disabled() {
+        let mut w = Watchdog::new(100);
+        w.rearm(0);
+        assert!(!w.check_fire(1_000_000));
     }
 
     #[test]

@@ -1,82 +1,96 @@
-//! Property-based tests for the hardware substrate.
+//! Property-based tests for the hardware substrate, driven by the vendored
+//! [`SimRng`] instead of proptest so they run fully offline.
 //!
-//! Gated behind the off-by-default `heavy-tests` feature: proptest is not
-//! vendored, so running these requires network access to fetch it (add
-//! `proptest = "1"` back under `[dev-dependencies]` and enable the
-//! feature). The tier-1 offline gate (`ci.sh`) builds with the feature
-//! off, which compiles this file down to nothing.
+//! Gated behind the off-by-default `heavy-tests` feature: these are the
+//! slow, many-cases sweeps. The tier-1 offline gate (`ci.sh`) builds them
+//! with `--all-features` clippy so they stay warning-clean, but only runs
+//! them when asked (`cargo test --features heavy-tests`).
 #![cfg(feature = "heavy-tests")]
 
 use ow_simhw::{
     paging::{PageFault, VA_LIMIT},
-    AddressSpace, FrameAllocator, PhysMem, Pte, PteFlags, PAGE_SIZE,
+    AddressSpace, FrameAllocator, PhysMem, Pte, PteFlags, SimRng, PAGE_SIZE,
 };
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
-proptest! {
-    /// PTE pack/unpack is lossless for any frame number and flag set.
-    #[test]
-    fn pte_round_trip(pfn in 0u64..(1 << 40), flags in 0u64..0x80) {
-        let pte = Pte::new(pfn, PteFlags::from_bits(flags));
-        prop_assert_eq!(pte.pfn(), pfn);
-        prop_assert_eq!(pte.flags().bits(), flags);
-    }
+const CASES: u64 = 64;
 
-    /// Every allocated frame is unique and within range; freeing makes the
-    /// allocator reach its full capacity again.
-    #[test]
-    fn frame_allocator_never_double_allocates(
-        base in 0u64..100,
-        count in 1usize..64,
-        ops in prop::collection::vec(any::<bool>(), 0..200),
-    ) {
+/// PTE pack/unpack is lossless for any frame number and flag set.
+#[test]
+fn pte_round_trip() {
+    let mut rng = SimRng::seed_from_u64(0x907e_0001);
+    for _ in 0..CASES * 4 {
+        let pfn = rng.gen_range(0u64..(1 << 40));
+        let flags = rng.gen_range(0u64..0x80);
+        let pte = Pte::new(pfn, PteFlags::from_bits(flags));
+        assert_eq!(pte.pfn(), pfn);
+        assert_eq!(pte.flags().bits(), flags);
+    }
+}
+
+/// Every allocated frame is unique and within range; freeing makes the
+/// allocator reach its full capacity again.
+#[test]
+fn frame_allocator_never_double_allocates() {
+    let mut rng = SimRng::seed_from_u64(0x907e_0002);
+    for _ in 0..CASES {
+        let base = rng.gen_range(0u64..100);
+        let count = rng.gen_range(1usize..64);
+        let nops = rng.gen_range(0usize..200);
         let mut fa = FrameAllocator::new(base, count);
         let mut live: Vec<u64> = Vec::new();
         let mut seen = HashSet::new();
-        for free_op in ops {
-            if free_op && !live.is_empty() {
+        for _ in 0..nops {
+            if rng.gen_bool(0.5) && !live.is_empty() {
                 let f = live.pop().unwrap();
                 fa.free(f);
                 seen.remove(&f);
             } else if let Some(f) = fa.alloc() {
-                prop_assert!(fa.contains(f), "frame in range");
-                prop_assert!(seen.insert(f), "frame {f} double-allocated");
+                assert!(fa.contains(f), "frame in range");
+                assert!(seen.insert(f), "frame {f} double-allocated");
                 live.push(f);
             }
         }
-        prop_assert_eq!(fa.allocated_frames(), live.len());
+        assert_eq!(fa.allocated_frames(), live.len());
         for f in live.drain(..) {
             fa.free(f);
         }
         // Full capacity is reusable.
         for _ in 0..count {
-            prop_assert!(fa.alloc().is_some());
+            assert!(fa.alloc().is_some());
         }
-        prop_assert!(fa.alloc().is_none());
+        assert!(fa.alloc().is_none());
     }
+}
 
-    /// The page-table walk agrees with a software map oracle under random
-    /// map/unmap sequences.
-    #[test]
-    fn page_walk_matches_oracle(
-        ops in prop::collection::vec(
-            (0u64..256, any::<bool>(), 1u64..512),
-            1..80
-        ),
-    ) {
+/// The page-table walk agrees with a software map oracle under random
+/// map/unmap sequences.
+#[test]
+fn page_walk_matches_oracle() {
+    let mut rng = SimRng::seed_from_u64(0x907e_0003);
+    for _ in 0..CASES {
         let mut phys = PhysMem::new(512);
         let mut fa = FrameAllocator::new(0, 512);
         let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
         let mut oracle: HashMap<u64, u64> = HashMap::new();
-        for (page, unmap, pfn) in ops {
+        let nops = rng.gen_range(1usize..80);
+        for _ in 0..nops {
+            let page = rng.gen_range(0u64..256);
+            let unmap = rng.gen_bool(0.5);
+            let pfn = rng.gen_range(1u64..512);
             // Spread pages across both levels of the table.
             let vaddr = (page % 16) * 0x20_0000 + (page / 16) * PAGE_SIZE as u64;
             if unmap {
                 asp.unmap(&mut phys, vaddr).unwrap();
                 oracle.remove(&vaddr);
             } else if asp
-                .map(&mut phys, &mut fa, vaddr, pfn, PteFlags::WRITABLE | PteFlags::USER)
+                .map(
+                    &mut phys,
+                    &mut fa,
+                    vaddr,
+                    pfn,
+                    PteFlags::WRITABLE | PteFlags::USER,
+                )
                 .is_ok()
             {
                 oracle.insert(vaddr, pfn);
@@ -84,7 +98,7 @@ proptest! {
         }
         for (vaddr, pfn) in &oracle {
             let pte = asp.walk(&phys, *vaddr).unwrap();
-            prop_assert_eq!(pte.pfn(), *pfn);
+            assert_eq!(pte.pfn(), *pfn);
         }
         // And nothing else is mapped.
         let mut mapped = 0;
@@ -93,32 +107,40 @@ proptest! {
             mapped += 1;
         })
         .unwrap();
-        prop_assert_eq!(mapped, oracle.len());
+        assert_eq!(mapped, oracle.len());
     }
+}
 
-    /// Physical memory behaves like a byte array (random read/write oracle).
-    #[test]
-    fn phys_mem_matches_byte_oracle(
-        writes in prop::collection::vec((0usize..8192, any::<u8>()), 0..200),
-    ) {
+/// Physical memory behaves like a byte array (random read/write oracle).
+#[test]
+fn phys_mem_matches_byte_oracle() {
+    let mut rng = SimRng::seed_from_u64(0x907e_0004);
+    for _ in 0..CASES {
         let mut phys = PhysMem::new(2);
         let mut oracle = vec![0u8; 8192];
-        for (addr, v) in writes {
+        let nwrites = rng.gen_range(0usize..200);
+        for _ in 0..nwrites {
+            let addr = rng.gen_range(0usize..8192);
+            let v = rng.gen_range(0u32..256) as u8;
             phys.write_u8(addr as u64, v).unwrap();
             oracle[addr] = v;
         }
         let mut got = vec![0u8; 8192];
         phys.read(0, &mut got).unwrap();
-        prop_assert_eq!(got, oracle);
+        assert_eq!(got, oracle);
     }
+}
 
-    /// Out-of-space virtual addresses always fault, never alias.
-    #[test]
-    fn addresses_beyond_va_limit_fault(off in 0u64..(1 << 33)) {
-        let mut phys = PhysMem::new(16);
-        let mut fa = FrameAllocator::new(0, 16);
-        let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
+/// Out-of-space virtual addresses always fault, never alias.
+#[test]
+fn addresses_beyond_va_limit_fault() {
+    let mut rng = SimRng::seed_from_u64(0x907e_0005);
+    let mut phys = PhysMem::new(16);
+    let mut fa = FrameAllocator::new(0, 16);
+    let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
+    for _ in 0..CASES * 4 {
+        let off = rng.gen_range(0u64..(1 << 33));
         let vaddr = VA_LIMIT + off;
-        prop_assert_eq!(asp.walk(&phys, vaddr), Err(PageFault::OutOfSpace(vaddr)));
+        assert_eq!(asp.walk(&phys, vaddr), Err(PageFault::OutOfSpace(vaddr)));
     }
 }

@@ -44,6 +44,21 @@ pub enum EventKind {
     /// The fault injector fired. arg0 = manifestation code,
     /// arg1 = wild writes applied.
     FaultInjected = 9,
+    /// The resurrection supervisor contained a panic inside the recovery
+    /// engine. pid = dead pid of the victim, arg0 = ladder rung that
+    /// panicked.
+    RecoveryPanicContained = 10,
+    /// A process was retried at a weaker ladder rung. pid = dead pid,
+    /// arg0 = rung now being attempted, arg1 = failure class
+    /// (0 = read error, 1 = contained panic, 2 = budget exhausted).
+    RecoveryDegraded = 11,
+    /// The recovery watchdog cut off a per-process cycle budget. pid = dead
+    /// pid of the victim, arg0 = budget in cycles.
+    RecoveryWatchdogFired = 12,
+    /// The supervisor escalated to a fresh crash-kernel generation in
+    /// restart-only mode. arg0 = generation offset, arg1 = reason code
+    /// (0 = boot failure, 1 = panic storm / budget exhaustion).
+    RecoveryEscalated = 13,
 }
 
 impl EventKind {
@@ -59,6 +74,10 @@ impl EventKind {
             7 => EventKind::ProtectionTrap,
             8 => EventKind::PanicStep,
             9 => EventKind::FaultInjected,
+            10 => EventKind::RecoveryPanicContained,
+            11 => EventKind::RecoveryDegraded,
+            12 => EventKind::RecoveryWatchdogFired,
+            13 => EventKind::RecoveryEscalated,
             _ => return None,
         })
     }
@@ -75,6 +94,10 @@ impl EventKind {
             EventKind::ProtectionTrap => "protection_trap",
             EventKind::PanicStep => "panic_step",
             EventKind::FaultInjected => "fault_injected",
+            EventKind::RecoveryPanicContained => "recovery_panic_contained",
+            EventKind::RecoveryDegraded => "recovery_degraded",
+            EventKind::RecoveryWatchdogFired => "recovery_watchdog_fired",
+            EventKind::RecoveryEscalated => "recovery_escalated",
         }
     }
 }
@@ -145,12 +168,12 @@ mod tests {
 
     #[test]
     fn kinds_round_trip() {
-        for v in 1..=9u32 {
+        for v in 1..=13u32 {
             let k = EventKind::from_u32(v).unwrap();
             assert_eq!(k as u32, v);
         }
         assert_eq!(EventKind::from_u32(0), None);
-        assert_eq!(EventKind::from_u32(10), None);
+        assert_eq!(EventKind::from_u32(14), None);
     }
 
     #[test]

@@ -50,6 +50,27 @@ impl TraceEvent {
                 format!("fault_injected(kind={}, writes={})", self.arg0, self.arg1)
             }
             EventKind::Armed => format!("armed(gen={})", self.arg0),
+            EventKind::RecoveryPanicContained => {
+                format!(
+                    "recovery_panic_contained(pid={}, rung={})",
+                    self.pid, self.arg0
+                )
+            }
+            EventKind::RecoveryDegraded => {
+                format!("recovery_degraded(pid={}, rung={})", self.pid, self.arg0)
+            }
+            EventKind::RecoveryWatchdogFired => {
+                format!(
+                    "recovery_watchdog_fired(pid={}, budget={})",
+                    self.pid, self.arg0
+                )
+            }
+            EventKind::RecoveryEscalated => {
+                format!(
+                    "recovery_escalated(gen_offset={}, reason={})",
+                    self.arg0, self.arg1
+                )
+            }
         }
     }
 

@@ -2,7 +2,7 @@
 //! stamped by a different layout generation must refuse the microreboot
 //! with a classified error — never misparse the dead kernel's structures.
 
-use otherworld::core::{microreboot, MicrorebootFailure, OtherworldConfig};
+use otherworld::core::{microreboot, MicrorebootFailure, OtherworldConfig, SupervisorConfig};
 use otherworld::kernel::layout::{HandoffBlock, LAYOUT_VERSION};
 use otherworld::kernel::program::{Program, ProgramRegistry, StepResult, UserApi};
 use otherworld::kernel::{Kernel, KernelConfig, PanicCause, SpawnSpec};
@@ -39,22 +39,33 @@ fn handoff_carries_this_builds_layout_version() {
     assert_eq!(h.layout_version, LAYOUT_VERSION);
 }
 
-#[test]
-fn mismatched_layout_generation_is_refused_cleanly() {
+/// Panics the kernel with a handoff block stamped by a different (future)
+/// layout generation — as if the dead kernel were an incompatible build.
+fn panic_with_bumped_layout() -> Kernel {
     let mut k = boot();
     for _ in 0..3 {
         k.run_step();
     }
-
-    // Simulate a dead kernel from a previous layout generation: rewrite the
-    // handoff block with a bumped version stamp (everything else intact).
     let (mut h, _) = HandoffBlock::read(&k.machine.phys).expect("handoff readable");
     h.layout_version = LAYOUT_VERSION + 1;
     h.write(&mut k.machine.phys).expect("handoff writable");
-
     k.do_panic(PanicCause::Oops("generation test"));
-    let err = microreboot(k, &OtherworldConfig::default())
-        .expect_err("mismatched generation must not resurrect");
+    k
+}
+
+#[test]
+fn mismatched_layout_generation_is_refused_cleanly() {
+    // Without the resurrection supervisor, a mismatched layout generation
+    // fails the microreboot with a classified error.
+    let k = panic_with_bumped_layout();
+    let config = OtherworldConfig {
+        supervisor: SupervisorConfig {
+            enabled: false,
+            ..SupervisorConfig::default()
+        },
+        ..OtherworldConfig::default()
+    };
+    let err = microreboot(k, &config).expect_err("mismatched generation must not resurrect");
     match err {
         MicrorebootFailure::CrashBootFailed(why) => {
             assert!(
@@ -68,6 +79,27 @@ fn mismatched_layout_generation_is_refused_cleanly() {
         }
         other => panic!("expected CrashBootFailed, got {other:?}"),
     }
+}
+
+#[test]
+fn mismatched_layout_generation_escalates_to_restart_only() {
+    // With the supervisor (the default), the refused first boot escalates
+    // to a restart-only generation 2: the machine survives, but nothing may
+    // be resurrected from the incompatible dead image — every process comes
+    // back as a clean restart at best, never as a successful resurrection.
+    let k = panic_with_bumped_layout();
+    let (_k2, report) = microreboot(k, &OtherworldConfig::default())
+        .expect("supervisor keeps the machine alive across the mismatch");
+    assert!(report.supervisor.escalated, "must have escalated");
+    assert!(
+        report.supervisor.crash_boot_attempts >= 2,
+        "first boot must have been refused"
+    );
+    assert!(
+        report.procs.iter().all(|p| !p.outcome.is_success()),
+        "no process may count as resurrected from a mismatched image: {:?}",
+        report.procs
+    );
 }
 
 #[test]
