@@ -6,5 +6,6 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test --workspace -q
 cargo clippy --all-targets --all-features -- -D warnings
+cargo run -p ow-lint --release -- --deny
 cargo fmt --check
 cargo doc --no-deps

@@ -10,6 +10,8 @@
 //! with a workload driver that maintains a remote-log shadow model for data
 //! verification, exactly as the fault-injection experiments require.
 
+#![forbid(unsafe_code)]
+
 pub mod blcr;
 pub mod joe;
 pub mod memio;

@@ -3,6 +3,8 @@
 //! footnote 3's "mapping instead of copying significantly speeds up
 //! resurrection of large processes".
 
+#![forbid(unsafe_code)]
+
 use ow_apps::blcr::{BlcrWorkload, CkptMode};
 use ow_apps::{make_workload, Workload};
 use ow_core::{OtherworldConfig, ResurrectionStrategy};

@@ -7,6 +7,8 @@
 //! supervisor converts into per-process degradations, clean restarts, or
 //! generation-2 escalations.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let experiments: usize = args

@@ -1,6 +1,8 @@
 //! Regenerates Table 2: modifications to the applications to support
 //! Otherworld.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let rows: Vec<Vec<String>> = ow_apps::table2_rows()
         .into_iter()

@@ -1,6 +1,8 @@
 //! Regenerates Table 3: performance overhead of enabling user memory space
 //! protection while executing system calls.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let batches: u32 = std::env::args()
         .nth(1)

@@ -1,6 +1,8 @@
 //! Regenerates Table 4: size of the data read by the crash kernel during
 //! the resurrection process, plus §4's footprint ratio.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let batches: u32 = std::env::args()
         .nth(1)

@@ -1,6 +1,8 @@
 //! Regenerates Table 5: results of the resurrection experiments, and (with
 //! `--ablation`) the §6 robustness-fix ablation (89% → 97%).
 
+#![forbid(unsafe_code)]
+
 use ow_kernel::RobustnessFixes;
 
 fn main() {

@@ -1,5 +1,7 @@
 //! Regenerates Table 6: service interruption time (seconds).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
     let rows = if fast {

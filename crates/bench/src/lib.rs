@@ -6,6 +6,8 @@
 //! resurrection speed and the copy-vs-map ablation, in-memory vs on-disk
 //! checkpointing, handoff robustness 89%→97%).
 
+#![forbid(unsafe_code)]
+
 pub mod perf;
 pub mod tables;
 

@@ -24,6 +24,8 @@
 //! The entry points are [`microreboot`] (one-shot) and the [`Otherworld`]
 //! session wrapper (continuous operation across generations).
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod integrity;
 pub mod otherworld;

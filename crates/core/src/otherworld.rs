@@ -514,9 +514,10 @@ fn resurrect_all(
                 }
             }
             let class = hard.class();
-            rung = rung
-                .weaker()
-                .expect("hard faults are classified above the bottom rung");
+            // Hard faults are classified above the bottom rung, so weaker()
+            // always succeeds here; the fallback keeps the ladder monotone
+            // even if classification is ever wrong.
+            rung = rung.weaker().unwrap_or(LadderRung::CleanRestart);
             k.trace_event(
                 EventKind::RecoveryDegraded,
                 old_desc.pid,
@@ -682,13 +683,14 @@ fn restore_pipes(
                     continue;
                 };
                 // Copy the ring contents byte-exactly.
-                let new_pfn = k.pipes[id as usize].buf_pfn;
+                let Some(new_pfn) = k.pipes.get(id as usize).map(|p| p.buf_pfn) else {
+                    all_ok = false;
+                    continue;
+                };
                 let mut buf = vec![0u8; ow_simhw::PAGE_SIZE];
-                if k.machine
-                    .phys
-                    .read(desc.buf_pfn * ow_simhw::PAGE_BYTES, &mut buf)
-                    .is_err()
-                {
+                let src = desc.buf_pfn * ow_simhw::PAGE_BYTES;
+                // ow-lint: allow(untrusted-read) -- bulk pipe-buffer payload copy; desc came from the validated pipe-table reader and any byte pattern is a legal buffer
+                if k.machine.phys.read(src, &mut buf).is_err() {
                     all_ok = false;
                     continue;
                 }
@@ -845,6 +847,7 @@ impl Otherworld {
     ///
     /// Panics if called during a failed microreboot (kernel consumed).
     pub fn kernel(&self) -> &Kernel {
+        // ow-lint: allow(recovery-panic) -- documented # Panics API contract for a consumed (dead) session
         self.kernel.as_ref().expect("kernel present")
     }
 
@@ -854,6 +857,7 @@ impl Otherworld {
     ///
     /// Panics if called during a failed microreboot (kernel consumed).
     pub fn kernel_mut(&mut self) -> &mut Kernel {
+        // ow-lint: allow(recovery-panic) -- documented # Panics API contract for a consumed (dead) session
         self.kernel.as_mut().expect("kernel present")
     }
 
@@ -872,15 +876,13 @@ impl Otherworld {
     /// call — as on hardware, where that outcome is a full reboot with all
     /// volatile state lost.
     pub fn microreboot_now(&mut self) -> Result<&MicrorebootReport, MicrorebootFailure> {
-        if self.kernel().panicked.is_none() {
+        let Some(dead) = self.kernel.take_if(|k| k.panicked.is_some()) else {
             return Err(MicrorebootFailure::NotPanicked);
-        }
-        let dead = self.kernel.take().expect("kernel present");
+        };
         match microreboot(dead, &self.config) {
             Ok((k, report)) => {
                 self.kernel = Some(k);
-                self.last_report = Some(report);
-                Ok(self.last_report.as_ref().expect("just set"))
+                Ok(self.last_report.insert(report))
             }
             Err(e) => Err(e),
         }

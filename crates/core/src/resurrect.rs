@@ -220,7 +220,11 @@ pub fn resurrect_process(
             let buf = swap
                 .read_slot_buf(&mut k.machine, pte.pfn() as u32)
                 .map_err(|e| corrupt("swap read", e))?;
-            let ours = k.swaps[k.active_swap].clone();
+            let ours = k
+                .swaps
+                .get(k.active_swap)
+                .cloned()
+                .ok_or_else(|| corrupt("swap target", KernelError::Inval("no active swap")))?;
             let slot = ours
                 .alloc_slot(&mut k.machine)
                 .map_err(|e| corrupt("swap alloc", e))?;
@@ -434,6 +438,7 @@ fn resurrect_file(
                 let mut buf = vec![0u8; valid as usize];
                 k.machine
                     .phys
+                    // ow-lint: allow(untrusted-read) -- bulk cache-page payload copy; the node came from the validated cache-chain reader and any byte pattern is legal file data
                     .read(node.pfn * PAGE_SIZE as u64, &mut buf)
                     .map_err(|e| corrupt("cache read", KernelError::Mem(e)))?;
                 fs.write_at(&mut k.machine, ino, node.file_off, &buf)
@@ -469,7 +474,9 @@ fn resurrect_file(
 fn install_fd(k: &mut Kernel, pid: u64, slot: u32, frec_addr: PhysAddr) -> Result<(), KernelError> {
     let desc = k.read_desc(pid)?;
     let (mut tab, _) = ow_layout::FileTable::read(&k.machine.phys, desc.files)?;
-    tab.fds[slot as usize] = frec_addr;
+    *tab.fds
+        .get_mut(slot as usize)
+        .ok_or(KernelError::Inval("fd slot out of range"))? = frec_addr;
     tab.write(&mut k.machine.phys, desc.files)?;
     Ok(())
 }
@@ -491,6 +498,7 @@ fn resurrect_terminal(
     let mut screen = vec![0u8; cells];
     k.machine
         .phys
+        // ow-lint: allow(untrusted-read) -- bulk screen-buffer payload copy; the descriptor came from the validated terminal reader and any byte pattern is a legal glyph
         .read(old.screen_pfn * PAGE_SIZE as u64, &mut screen)
         .map_err(|e| corrupt("screen read", KernelError::Mem(e)))?;
     stats.add(ReadKind::TerminalScreen, cells as u64);
@@ -551,6 +559,7 @@ fn resurrect_sockets(
         if old.proto == sockproto::TCP && old.outbuf_len > 0 {
             k.machine
                 .phys
+                // ow-lint: allow(untrusted-read) -- bulk unacked-payload copy; the descriptor came from the validated socket-chain reader and any byte pattern is legal payload
                 .read(old.outbuf_pfn * PAGE_SIZE as u64, &mut payload)
                 .map_err(|e| corrupt("sock payload", KernelError::Mem(e)))?;
             stats.add(ReadKind::SockPayload, old.outbuf_len as u64);

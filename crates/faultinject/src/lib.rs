@@ -5,6 +5,8 @@
 //! produces Table 5's outcome classification over hundreds of seeded,
 //! reproducible experiments per application.
 
+#![forbid(unsafe_code)]
+
 pub mod campaign;
 pub mod faults;
 pub mod recovery;

@@ -104,20 +104,16 @@ impl Inode {
     }
 
     fn from_bytes(b: &[u8]) -> Self {
-        let used = u32::from_le_bytes(b[0..4].try_into().unwrap()) == INODE_USED;
-        let size = u64::from_le_bytes(b[4..12].try_into().unwrap());
-        let pend = b[12..12 + FPATH_LEN]
-            .iter()
-            .position(|&c| c == 0)
-            .unwrap_or(FPATH_LEN);
-        let path = String::from_utf8_lossy(&b[12..12 + pend]).into_owned();
+        let used = le_u32(b, 0) == INODE_USED;
+        let size = le_u64(b, 4);
+        let name = b.get(12..12 + FPATH_LEN).unwrap_or(&[]);
+        let pend = name.iter().position(|&c| c == 0).unwrap_or(name.len());
+        let path = String::from_utf8_lossy(name.get(..pend).unwrap_or(&[])).into_owned();
         let mut direct = [0u32; NDIRECT];
         for (i, d) in direct.iter_mut().enumerate() {
-            let off = 12 + FPATH_LEN + i * 4;
-            *d = u32::from_le_bytes(b[off..off + 4].try_into().unwrap());
+            *d = le_u32(b, 12 + FPATH_LEN + i * 4);
         }
-        let off = 12 + FPATH_LEN + NDIRECT * 4;
-        let indirect = u32::from_le_bytes(b[off..off + 4].try_into().unwrap());
+        let indirect = le_u32(b, 12 + FPATH_LEN + NDIRECT * 4);
         Inode {
             used,
             size,
@@ -126,6 +122,30 @@ impl Inode {
             indirect,
         }
     }
+}
+
+/// Little-endian `u32` at `off`, zero-padding past the end of `b`. On-disk
+/// metadata is decoded on the resurrection path too, where a truncated or
+/// corrupted buffer must decode to a value validation rejects, not panic.
+fn le_u32(b: &[u8], off: usize) -> u32 {
+    let mut v = 0u32;
+    let mut k = 4usize;
+    while k > 0 {
+        k -= 1;
+        v = (v << 8) | u32::from(b.get(off + k).copied().unwrap_or(0));
+    }
+    v
+}
+
+/// Little-endian `u64` at `off`, zero-padding past the end of `b`.
+fn le_u64(b: &[u8], off: usize) -> u64 {
+    let mut v = 0u64;
+    let mut k = 8usize;
+    while k > 0 {
+        k -= 1;
+        v = (v << 8) | u64::from(b.get(off + k).copied().unwrap_or(0));
+    }
+    v
 }
 
 /// A mounted filesystem: a host-side handle; all state is on the device.
@@ -188,10 +208,10 @@ impl Fs {
     pub fn mount(m: &mut Machine, dev: DevId) -> Result<Fs, KernelError> {
         let mut blk = [0u8; 32];
         m.dev_read(dev, 0, &mut blk)?;
-        if u32::from_le_bytes(blk[0..4].try_into().unwrap()) != FS_MAGIC {
+        if le_u32(&blk, 0) != FS_MAGIC {
             return Err(KernelError::Corrupt("superblock magic".into()));
         }
-        let g = |i: usize| u32::from_le_bytes(blk[4 + i * 4..8 + i * 4].try_into().unwrap());
+        let g = |i: usize| le_u32(&blk, 4 + i * 4);
         let sb = SuperBlock {
             nblocks: g(0),
             ninodes: g(1),
@@ -425,7 +445,7 @@ impl Fs {
             let chunk = (BLOCK_SIZE - boff).min(data.len() - done);
             let bno = self
                 .bmap(m, &mut inode, lbn, true)?
-                .expect("bmap with alloc returns a block");
+                .ok_or_else(|| KernelError::Corrupt("bmap with alloc returned no block".into()))?;
             m.dev_write(
                 self.dev,
                 bno as u64 * BLOCK_SIZE as u64 + boff as u64,
@@ -567,7 +587,8 @@ mod tests {
         let ino = fs.create(&mut m, "/persist").unwrap();
         fs.write_at(&mut m, ino, 0, b"durable").unwrap();
         let dev = fs.dev;
-        drop(fs);
+        // Discard the handle; all filesystem state lives on the device.
+        let _ = fs;
         let fs2 = Fs::mount(&mut m, dev).unwrap();
         let ino2 = fs2.lookup(&mut m, "/persist").unwrap().unwrap();
         let mut buf = [0u8; 7];

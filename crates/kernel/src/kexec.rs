@@ -33,16 +33,16 @@ impl Kernel {
         // wild writes bounce off CrashImage frames.
         self.machine
             .set_owner_range(base, frames, FrameOwner::CrashImage);
-        CrashImageHeader {
+        let header = CrashImageHeader {
             version: self.config.version,
             entry_valid: 1,
-        }
-        .write(&mut self.machine.phys, base * PAGE_BYTES)?;
-        let (mut h, _) = HandoffBlock::read(&self.machine.phys)?;
-        h.crash_base = base;
-        h.crash_frames = frames;
-        h.crash_entry_ok = 1;
-        h.write(&mut self.machine.phys)?;
+        };
+        header.write(&mut self.machine.phys, base * PAGE_BYTES)?;
+        let mut handoff: HandoffBlock = HandoffBlock::read(&self.machine.phys)?.0;
+        handoff.crash_base = base;
+        handoff.crash_frames = frames;
+        handoff.crash_entry_ok = 1;
+        handoff.write(&mut self.machine.phys)?;
         self.crash_region = Some((base, frames));
         Ok(())
     }

@@ -78,15 +78,18 @@ impl KHeap {
     /// (double free) — heap corruption in the substrate is a bug.
     pub fn free(&mut self, addr: PhysAddr, size: u64) {
         let size = size.max(1).div_ceil(ALIGN) * ALIGN;
+        // ow-lint: allow(recovery-panic) -- documented # Panics contract: heap corruption in the substrate is a bug
         assert!(
             addr >= self.base && addr + size <= self.base + self.len,
             "free of {addr:#x}+{size} outside heap"
         );
         let pos = self.free.partition_point(|&(a, _)| a < addr);
         if let Some(&(prev_a, prev_l)) = pos.checked_sub(1).and_then(|p| self.free.get(p)) {
+            // ow-lint: allow(recovery-panic) -- documented # Panics contract: double free is a substrate bug
             assert!(prev_a + prev_l <= addr, "double free at {addr:#x}");
         }
         if let Some(&(next_a, _)) = self.free.get(pos) {
+            // ow-lint: allow(recovery-panic) -- documented # Panics contract: double free is a substrate bug
             assert!(addr + size <= next_a, "double free at {addr:#x}");
         }
         self.free.insert(pos, (addr, size));

@@ -14,6 +14,8 @@
 //! crash-kernel boot, the resurrection engine, crash procedures and
 //! morphing.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod fs;
 pub mod ipc;

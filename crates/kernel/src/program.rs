@@ -72,7 +72,6 @@ pub trait Program {
 /// [`Errno::Restart`] after a microreboot aborted an in-flight call (§3.5).
 /// The `mem_*` methods model ordinary user-mode loads/stores: they go
 /// through the MMU with demand paging but cost no kernel transition.
-#[allow(clippy::missing_errors_doc)]
 pub trait UserApi {
     /// This process's pid.
     fn pid(&self) -> u64;

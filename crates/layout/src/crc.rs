@@ -32,6 +32,7 @@ static TABLE: [u32; 256] = build_table();
 pub fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xffff_ffffu32;
     for &b in data {
+        // ow-lint: allow(recovery-panic) -- 256-entry table indexed by a masked byte
         c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
     }
     c ^ 0xffff_ffff

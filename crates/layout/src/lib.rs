@@ -25,6 +25,8 @@
 //! * [`samples`] — canonical sample values behind the golden-encoding and
 //!   corruption tests.
 
+#![forbid(unsafe_code)]
+
 pub mod crc;
 mod cursor;
 mod record;

@@ -76,22 +76,58 @@ pub mod hdr_off {
         HISTOGRAMS + 8 * super::TRACE_HIST_BUCKETS as u64 * super::TRACE_NUM_HISTOGRAMS as u64;
 }
 
+/// Reads the little-endian `u64` at `off`, zero-padding past the end of
+/// `buf`. Cannot panic: the trace codec runs on the recovery path, and a
+/// short buffer just yields a value downstream validation rejects.
+pub fn field_u64(buf: &[u8], off: u64) -> u64 {
+    let mut v = 0u64;
+    let mut k = 8usize;
+    while k > 0 {
+        k -= 1;
+        let b = buf.get(off as usize + k).copied().unwrap_or(0);
+        v = (v << 8) | u64::from(b);
+    }
+    v
+}
+
+/// Reads the little-endian `u32` at `off`, zero-padding past the end.
+pub fn field_u32(buf: &[u8], off: u64) -> u32 {
+    let mut v = 0u32;
+    let mut k = 4usize;
+    while k > 0 {
+        k -= 1;
+        let b = buf.get(off as usize + k).copied().unwrap_or(0);
+        v = (v << 8) | u32::from(b);
+    }
+    v
+}
+
+/// Writes `bytes` at `off`, silently truncating at the end of `buf`
+/// (cannot panic; in-bounds by construction for every record field).
+pub fn put_field(buf: &mut [u8], off: u64, bytes: &[u8]) {
+    if let Some(dst) = buf
+        .get_mut(off as usize..)
+        .and_then(|s| s.get_mut(..bytes.len()))
+    {
+        dst.copy_from_slice(bytes);
+    }
+}
+
+/// The CRC-covered prefix of a record slot.
+fn payload(buf: &[u8]) -> &[u8] {
+    buf.get(..rec_off::CRC as usize).unwrap_or(buf)
+}
+
 /// Seals a record slot: computes the shared CRC-32 over the payload and
 /// stores it in the slot's trailing CRC field.
 pub fn seal_slot(buf: &mut [u8; RECORD_SIZE as usize]) {
-    let crc = crc32(&buf[..rec_off::CRC as usize]);
-    buf[rec_off::CRC as usize..].copy_from_slice(&crc.to_le_bytes());
+    let crc = crc32(payload(buf));
+    put_field(buf, rec_off::CRC, &crc.to_le_bytes());
 }
 
 /// Whether a record slot's stored CRC matches its payload.
 pub fn slot_crc_ok(buf: &[u8; RECORD_SIZE as usize]) -> bool {
-    let stored = u32::from_le_bytes([
-        buf[rec_off::CRC as usize],
-        buf[rec_off::CRC as usize + 1],
-        buf[rec_off::CRC as usize + 2],
-        buf[rec_off::CRC as usize + 3],
-    ]);
-    crc32(&buf[..rec_off::CRC as usize]) == stored
+    crc32(payload(buf)) == field_u32(buf, rec_off::CRC)
 }
 
 #[cfg(test)]

@@ -1,0 +1,10 @@
+//! Seeded-violation fixture: panic sites reachable only transitively from
+//! the recovery root, so findings here must carry a call-graph witness.
+
+pub fn helper(v: u64) -> u64 {
+    // Transitive panic sites: reachable from otherworld.rs::microreboot().
+    if v == 0 {
+        panic!("zero");
+    }
+    v.checked_add(1).expect("overflow")
+}

@@ -1,0 +1,18 @@
+//! Seeded-violation fixture: a recovery root that panics directly,
+//! transitively, and through slice indexing, plus broken escape hatches.
+
+pub fn microreboot(input: Option<u64>) -> u64 {
+    // Direct panic site in a recovery root.
+    let v = input.unwrap();
+    // Indexing in a dead-data-interpreting crate (core is in index_scope).
+    let table = [1u64, 2, 3];
+    let picked = table[v as usize];
+    helper(picked)
+}
+
+pub fn misuse_of_allows(x: Option<u64>) -> u64 {
+    // ow-lint: allow(recovery-panic)
+    let no_reason = x.unwrap();
+    // ow-lint: allow(recovery-panic) -- nothing here actually panics
+    no_reason + 1
+}

@@ -1,0 +1,20 @@
+//! Seeded-violation fixture: the panic path allocates from the kernel heap.
+
+pub struct KHeap;
+
+impl KHeap {
+    pub fn alloc(&mut self, _size: u64) -> Option<u64> {
+        Some(0)
+    }
+}
+
+pub fn do_panic(kheap: &mut KHeap) {
+    // The handoff must not depend on a heap the fault may have corrupted.
+    let _ = kheap.alloc(64);
+    record_cause(kheap);
+}
+
+fn record_cause(kheap: &mut KHeap) {
+    // Transitive allocation, also on the panic path.
+    let _ = kheap.alloc(16);
+}

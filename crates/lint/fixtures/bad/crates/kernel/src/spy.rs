@@ -1,0 +1,14 @@
+//! Seeded-violation fixture: a raw dead-memory read outside the
+//! validated-cursor layer and the allowlist.
+
+pub struct PhysMem;
+
+impl PhysMem {
+    pub fn read_u64(&self, _addr: u64) -> Result<u64, ()> {
+        Ok(0)
+    }
+}
+
+pub fn peek(phys: &PhysMem) -> u64 {
+    phys.read_u64(0x1000).unwrap_or(0)
+}

@@ -1,0 +1,21 @@
+//! Fixture records: Alpha is fully wired, Beta has neither a registry
+//! entry nor a golden sample.
+
+pub trait Record {
+    fn size(&self) -> u64;
+}
+
+pub struct Alpha;
+pub struct Beta;
+
+impl Record for Alpha {
+    fn size(&self) -> u64 {
+        8
+    }
+}
+
+impl Record for Beta {
+    fn size(&self) -> u64 {
+        16
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture registry: only Alpha is registered.
+
+macro_rules! reg {
+    ($t:ident) => {
+        stringify!($t)
+    };
+}
+
+pub fn all() -> &'static str {
+    reg!(Alpha)
+}

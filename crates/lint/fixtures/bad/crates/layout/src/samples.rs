@@ -1,0 +1,5 @@
+//! Fixture samples: only Alpha has a golden-encoding case.
+
+pub fn cases() -> Vec<&'static str> {
+    vec!["Alpha"]
+}

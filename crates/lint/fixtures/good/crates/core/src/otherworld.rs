@@ -1,0 +1,17 @@
+//! Clean fixture: the same shape as the bad tree, panic-free.
+
+pub fn microreboot(input: Option<u64>) -> Result<u64, &'static str> {
+    let v = input.ok_or("missing input")?;
+    let table = [1u64, 2, 3];
+    let picked = table.get(v as usize).copied().ok_or("out of range")?;
+    Ok(helper(picked))
+}
+
+fn helper(v: u64) -> u64 {
+    v.saturating_add(1)
+}
+
+pub fn justified_allow(x: Option<u64>) -> u64 {
+    // ow-lint: allow(recovery-panic) -- fixture: exercises a justified, used escape hatch
+    x.expect("fixture invariant")
+}

@@ -1,0 +1,16 @@
+//! Clean fixture: the panic path touches no heap.
+
+pub struct Ring;
+
+impl Ring {
+    pub fn emit(&mut self, _word: u64) {}
+}
+
+pub fn do_panic(ring: &mut Ring) {
+    ring.emit(0xdead);
+    record_cause(ring);
+}
+
+fn record_cause(ring: &mut Ring) {
+    ring.emit(0xbeef);
+}

@@ -1,0 +1,20 @@
+//! Fixture records: both types fully wired into registry and samples.
+
+pub trait Record {
+    fn size(&self) -> u64;
+}
+
+pub struct Alpha;
+pub struct Beta;
+
+impl Record for Alpha {
+    fn size(&self) -> u64 {
+        8
+    }
+}
+
+impl Record for Beta {
+    fn size(&self) -> u64 {
+        16
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture registry: every record type is registered.
+
+macro_rules! reg {
+    ($t:ident) => {
+        stringify!($t)
+    };
+}
+
+pub fn all() -> [&'static str; 2] {
+    [reg!(Alpha), reg!(Beta)]
+}

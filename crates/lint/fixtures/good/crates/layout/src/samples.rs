@@ -1,0 +1,5 @@
+//! Fixture samples: every record type has a golden-encoding case.
+
+pub fn cases() -> Vec<&'static str> {
+    vec!["Alpha", "Beta(default)"]
+}

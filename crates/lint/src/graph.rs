@@ -1,0 +1,326 @@
+//! Workspace-wide call graph: indexes every extracted function, resolves
+//! call sites against workspace definitions (names outside the workspace —
+//! `std`, core — simply don't resolve and fall away), and computes
+//! reachability with per-function witness paths.
+//!
+//! Resolution is deliberately over-approximate: a method call with an
+//! unknown receiver type matches every workspace method of that name. The
+//! extractor's binding-type inference ([`crate::extract::FnDef::types`])
+//! plus a few domain receiver hints (`phys` is always the simulated
+//! physical memory) keep the approximation tight in practice.
+
+use crate::extract::{Call, CallKind, FileModel, FnDef};
+use std::collections::{HashMap, VecDeque};
+
+/// One scanned file: workspace-relative path plus its extracted model.
+pub struct FileEntry {
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// Extracted model.
+    pub model: FileModel,
+}
+
+/// Identifier of a function definition in the graph.
+pub type DefId = usize;
+
+/// The workspace call graph.
+pub struct Graph<'a> {
+    files: &'a [FileEntry],
+    /// Flattened (file index, fn index) per definition.
+    defs: Vec<(usize, usize)>,
+    by_name: HashMap<&'a str, Vec<DefId>>,
+    /// Receiver-name → type hints that hold workspace-wide by naming
+    /// convention, tried after local binding inference.
+    hints: HashMap<&'static str, &'static str>,
+}
+
+impl<'a> Graph<'a> {
+    /// Builds the graph over all non-test functions in `files`.
+    pub fn build(files: &'a [FileEntry]) -> Self {
+        let mut defs = Vec::new();
+        let mut by_name: HashMap<&str, Vec<DefId>> = HashMap::new();
+        for (fi, entry) in files.iter().enumerate() {
+            for (ni, f) in entry.model.fns.iter().enumerate() {
+                if f.in_test {
+                    continue;
+                }
+                let id = defs.len();
+                defs.push((fi, ni));
+                by_name.entry(f.name.as_str()).or_default().push(id);
+            }
+        }
+        let hints = HashMap::from([
+            ("phys", "PhysMem"),
+            ("machine", "Machine"),
+            ("kheap", "KHeap"),
+        ]);
+        Graph {
+            files,
+            defs,
+            by_name,
+            hints,
+        }
+    }
+
+    /// The definition behind an id.
+    pub fn def(&self, id: DefId) -> &'a FnDef {
+        let (fi, ni) = self.defs[id];
+        &self.files[fi].model.fns[ni]
+    }
+
+    /// The file path a definition lives in.
+    pub fn file_of(&self, id: DefId) -> &'a str {
+        &self.files[self.defs[id].0].path
+    }
+
+    /// All definition ids, in file order.
+    pub fn all_defs(&self) -> impl Iterator<Item = DefId> {
+        0..self.defs.len()
+    }
+
+    /// Ids of every non-test function defined in `path`.
+    pub fn defs_in_file(&self, path: &str) -> Vec<DefId> {
+        self.defs
+            .iter()
+            .enumerate()
+            .filter(|(_, (fi, _))| self.files[*fi].path == path)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Resolves one call site made from `caller` to workspace definitions.
+    pub fn resolve(&self, call: &Call, caller: &FnDef) -> Vec<DefId> {
+        let Some(cands) = self.by_name.get(call.name.as_str()) else {
+            return Vec::new();
+        };
+        let with_ctx = |want: &str| -> Vec<DefId> {
+            cands
+                .iter()
+                .copied()
+                .filter(|&id| self.def(id).ctx.as_deref() == Some(want))
+                .collect()
+        };
+        let trait_defaults = || -> Vec<DefId> {
+            cands
+                .iter()
+                .copied()
+                .filter(|&id| self.def(id).ctx_is_trait)
+                .collect()
+        };
+        match &call.kind {
+            CallKind::Free => cands
+                .iter()
+                .copied()
+                .filter(|&id| self.def(id).ctx.is_none())
+                .collect(),
+            CallKind::Qualified { qualifier } => {
+                let want = if qualifier == "Self" {
+                    caller.ctx.clone().unwrap_or_default()
+                } else {
+                    qualifier.clone()
+                };
+                let direct = with_ctx(&want);
+                if !direct.is_empty() {
+                    return direct;
+                }
+                let defaults = trait_defaults();
+                if !defaults.is_empty() {
+                    return defaults;
+                }
+                // `module::free_fn(...)` — the qualifier was a module.
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.def(id).ctx.is_none())
+                    .collect()
+            }
+            CallKind::Method { receiver } => {
+                let rtype: Option<String> = match receiver.as_deref() {
+                    Some("self") => caller.ctx.clone(),
+                    Some(r) => caller
+                        .types
+                        .iter()
+                        .rev()
+                        .find(|(n, _)| n == r)
+                        .map(|(_, t)| t.clone())
+                        .or_else(|| self.hints.get(r).map(|t| (*t).to_string())),
+                    None => None,
+                };
+                match rtype {
+                    Some(t) => {
+                        let direct = with_ctx(&t);
+                        if !direct.is_empty() {
+                            direct
+                        } else {
+                            // The concrete type doesn't define it: a trait
+                            // default, or a non-workspace (std) method.
+                            trait_defaults()
+                        }
+                    }
+                    // Unknown receiver: every workspace method of the name.
+                    None => cands
+                        .iter()
+                        .copied()
+                        .filter(|&id| self.def(id).ctx.is_some())
+                        .collect(),
+                }
+            }
+        }
+    }
+
+    /// BFS reachability from `roots`. Calls made inside `contain(...)`
+    /// regions are not traversed when `skip_contained` is set — the
+    /// supervisor's runtime boundary already owns those panics. Returns,
+    /// for each reachable definition, the id of the call-graph parent it
+    /// was first reached through (roots map to themselves).
+    pub fn reach(&self, roots: &[DefId], skip_contained: bool) -> HashMap<DefId, DefId> {
+        let mut parent: HashMap<DefId, DefId> = HashMap::new();
+        let mut queue: VecDeque<DefId> = VecDeque::new();
+        for &r in roots {
+            if parent.insert(r, r).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            let f = self.def(id);
+            for call in &f.calls {
+                if skip_contained && call.contained {
+                    continue;
+                }
+                for target in self.resolve(call, f) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(target) {
+                        e.insert(id);
+                        queue.push_back(target);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// The witness path root → … → `id`, as `file:fn` strings.
+    pub fn witness(&self, parents: &HashMap<DefId, DefId>, id: DefId) -> Vec<String> {
+        let mut path = Vec::new();
+        let mut cur = id;
+        loop {
+            let f = self.def(cur);
+            path.push(format!("{}:{}", self.file_of(cur), f.name));
+            match parents.get(&cur) {
+                Some(&p) if p != cur => cur = p,
+                _ => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+    use crate::lexer::lex;
+
+    fn entry(path: &str, src: &str) -> FileEntry {
+        let (toks, ds) = lex(src);
+        FileEntry {
+            path: path.to_string(),
+            model: extract(&toks, ds, false),
+        }
+    }
+
+    #[test]
+    fn free_call_reaches_across_files() {
+        let files = vec![
+            entry("a.rs", "fn root() { helper(); }"),
+            entry("b.rs", "fn helper() { leaf(); }\nfn leaf() {}"),
+        ];
+        let g = Graph::build(&files);
+        let roots = g.defs_in_file("a.rs");
+        let reach = g.reach(&roots, true);
+        assert_eq!(reach.len(), 3);
+        let leaf = g.all_defs().find(|&id| g.def(id).name == "leaf").unwrap();
+        let w = g.witness(&reach, leaf);
+        assert_eq!(w, vec!["a.rs:root", "b.rs:helper", "b.rs:leaf"]);
+    }
+
+    #[test]
+    fn typed_receiver_narrows_resolution() {
+        let files = vec![entry(
+            "a.rs",
+            "fn root(g: &Guard) { g.check(); }\n\
+                 impl Guard { fn check(&self) { self.inner(); } fn inner(&self) {} }\n\
+                 impl Other { fn check(&self) { bad(); } }\n\
+                 fn bad() {}",
+        )];
+        let g = Graph::build(&files);
+        let root = g.all_defs().find(|&id| g.def(id).name == "root").unwrap();
+        let reach = g.reach(&[root], true);
+        let names: Vec<&str> = reach.keys().map(|&id| g.def(id).name.as_str()).collect();
+        assert!(names.contains(&"inner"), "Guard::check reached via type");
+        assert!(
+            !names.contains(&"bad"),
+            "Other::check must not be pulled in"
+        );
+    }
+
+    #[test]
+    fn unknown_receiver_over_approximates() {
+        let files = vec![entry(
+            "a.rs",
+            "fn root(x: &Unknown) { y.check(); }\nimpl A { fn check(&self) {} }\nimpl B { fn check(&self) {} }",
+        )];
+        let g = Graph::build(&files);
+        let root = g.all_defs().find(|&id| g.def(id).name == "root").unwrap();
+        let reach = g.reach(&[root], true);
+        assert_eq!(reach.len(), 3, "both candidate methods reached");
+    }
+
+    #[test]
+    fn contained_calls_are_not_traversed() {
+        let files = vec![entry(
+            "a.rs",
+            "fn root() { contain(|| risky()); safe(); }\nfn risky() {}\nfn safe() {}",
+        )];
+        let g = Graph::build(&files);
+        let root = g.all_defs().find(|&id| g.def(id).name == "root").unwrap();
+        let reach = g.reach(&[root], true);
+        let names: Vec<&str> = reach.keys().map(|&id| g.def(id).name.as_str()).collect();
+        assert!(names.contains(&"safe"));
+        assert!(!names.contains(&"risky"));
+    }
+
+    #[test]
+    fn phys_hint_resolves_without_annotation() {
+        let files = vec![entry(
+            "a.rs",
+            "fn root(k: &Kernel) { k.machine.phys.read(0, b); }\n\
+             impl PhysMem { fn read(&self) { leaf(); } }\n\
+             impl Kernel { fn read(&self) { other(); } }\n\
+             fn leaf() {}\nfn other() {}",
+        )];
+        let g = Graph::build(&files);
+        let root = g.all_defs().find(|&id| g.def(id).name == "root").unwrap();
+        let reach = g.reach(&[root], true);
+        let names: Vec<&str> = reach.keys().map(|&id| g.def(id).name.as_str()).collect();
+        assert!(names.contains(&"leaf"));
+        assert!(
+            !names.contains(&"other"),
+            "phys receiver must not match Kernel::read"
+        );
+    }
+
+    #[test]
+    fn self_calls_resolve_to_own_impl() {
+        let files = vec![entry(
+            "a.rs",
+            "impl A { fn go(&self) { self.helper(); } fn helper(&self) {} }\n\
+             impl B { fn helper(&self) { bad(); } }\nfn bad() {}",
+        )];
+        let g = Graph::build(&files);
+        let root = g.all_defs().find(|&id| g.def(id).name == "go").unwrap();
+        let reach = g.reach(&[root], true);
+        let names: Vec<&str> = reach.keys().map(|&id| g.def(id).name.as_str()).collect();
+        assert!(!names.contains(&"bad"));
+    }
+}

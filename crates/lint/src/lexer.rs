@@ -1,0 +1,392 @@
+//! A lightweight Rust lexer: just enough token structure for call-graph
+//! extraction and rule matching, with `// ow-lint:` directives preserved.
+//!
+//! This is deliberately not a full Rust grammar. The lint reasons about
+//! identifiers, literals, punctuation and bracket structure; everything a
+//! rule needs (calls, macro invocations, slice indexing, escape-hatch
+//! comments) is recoverable from that stream plus line numbers.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal (raw or cooked); the decoded-ish content is kept so
+    /// the record-registry rule can match registered names.
+    Str(String),
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// Single punctuation character (multi-char operators arrive as
+    /// consecutive tokens; the extractor peeks where it matters).
+    Punct(char),
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A parsed `// ow-lint:` escape-hatch comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Rule names inside `allow(...)`, e.g. `recovery-panic`.
+    pub allows: Vec<String>,
+    /// Justification text after `--`, if any.
+    pub reason: Option<String>,
+}
+
+/// Lexes `src`, returning tokens and any `ow-lint:` directives.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Directive>) {
+    let mut toks = Vec::new();
+    let mut directives = Vec::new();
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                // Line comment; harvest an ow-lint directive if present.
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                if let Some(d) = parse_directive(&text, line) {
+                    directives.push(d);
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Block comment, nested per Rust rules.
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (s, ni, nl) = lex_string(&b, i, line);
+                toks.push(Token {
+                    tok: Tok::Str(s),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let (s, ni, nl) = lex_prefixed_string(&b, i, line);
+                toks.push(Token {
+                    tok: Tok::Str(s),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Lifetime vs char literal: a lifetime is `'` + ident not
+                // closed by another `'`.
+                if i + 1 < n && is_ident_start(b[i + 1]) {
+                    let mut j = i + 1;
+                    while j < n && is_ident(b[j]) {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' {
+                        // 'a' — a char literal.
+                        toks.push(Token {
+                            tok: Tok::Char,
+                            line,
+                        });
+                        i = j + 1;
+                    } else {
+                        toks.push(Token {
+                            tok: Tok::Lifetime,
+                            line,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: '\n', '\'', '('.
+                    let mut j = i + 1;
+                    if j < n && b[j] == '\\' {
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                    while j < n && b[j] != '\'' {
+                        j += 1;
+                    }
+                    toks.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    i = (j + 1).min(n);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n {
+                    let d = b[j];
+                    if is_ident(d) {
+                        j += 1;
+                    } else if d == '.' && j + 1 < n && b[j + 1].is_ascii_digit() {
+                        // `1.5`, but not the range `1..5`.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Num,
+                    line,
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < n && is_ident(b[j]) {
+                    j += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Ident(b[i..j].iter().collect()),
+                    line,
+                });
+                i = j;
+            }
+            other => {
+                toks.push(Token {
+                    tok: Tok::Punct(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, directives)
+}
+
+/// Does position `i` start a raw/byte string (`r"`, `r#"`, `b"`, `br#"`)?
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j < n && b[j] == 'r' {
+        j += 1;
+        while j < n && b[j] == '#' {
+            j += 1;
+        }
+    }
+    j > i && j < n && b[j] == '"'
+}
+
+/// Lexes a cooked string starting at the opening quote. Returns (content,
+/// next index, next line).
+fn lex_string(b: &[char], start: usize, mut line: u32) -> (String, usize, u32) {
+    let n = b.len();
+    let mut i = start + 1;
+    let mut out = String::new();
+    while i < n {
+        match b[i] {
+            '\\' => {
+                // Keep escapes undecoded; rule matching only needs plain
+                // names, which contain none.
+                if i + 1 < n && b[i + 1] == '\n' {
+                    line += 1;
+                }
+                i += 2;
+            }
+            '"' => return (out, i + 1, line),
+            '\n' => {
+                line += 1;
+                out.push('\n');
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, n, line)
+}
+
+/// Lexes a `b"…"`, `r"…"`, `r#"…"#` (etc.) string starting at the prefix.
+fn lex_prefixed_string(b: &[char], start: usize, mut line: u32) -> (String, usize, u32) {
+    let n = b.len();
+    let mut i = start;
+    let mut raw = false;
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if i < n && b[i] == 'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < n && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    // b[i] == '"'
+    if !raw {
+        return lex_string(b, i, line);
+    }
+    i += 1;
+    let mut out = String::new();
+    while i < n {
+        if b[i] == '"' {
+            // Close only when followed by the right number of hashes.
+            let mut j = i + 1;
+            let mut h = 0;
+            while j < n && b[j] == '#' && h < hashes {
+                j += 1;
+                h += 1;
+            }
+            if h == hashes {
+                return (out, j, line);
+            }
+        }
+        if b[i] == '\n' {
+            line += 1;
+        }
+        out.push(b[i]);
+        i += 1;
+    }
+    (out, n, line)
+}
+
+/// Parses `// ow-lint: allow(rule-a, rule-b) -- reason` from a line
+/// comment. Returns `None` if the comment is not an ow-lint directive.
+fn parse_directive(comment: &str, line: u32) -> Option<Directive> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("ow-lint:")?.trim();
+    let (spec, reason) = match rest.split_once("--") {
+        Some((s, r)) => (
+            s.trim(),
+            Some(r.trim().to_string()).filter(|r| !r.is_empty()),
+        ),
+        None => (rest, None),
+    };
+    let inner = spec.strip_prefix("allow(")?.strip_suffix(')')?;
+    let allows: Vec<String> = inner
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if allows.is_empty() {
+        return None;
+    }
+    Some(Directive {
+        line,
+        allows,
+        reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let src = r##"
+            // panic!("in comment")
+            /* unwrap() in /* nested */ block */
+            let s = "panic!(\"in string\")";
+            let r = r#"unwrap() raw"#;
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.iter().any(|t| t.tok == Tok::Lifetime));
+        assert!(toks.iter().any(|t| t.tok == Tok::Char));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let (toks, _) = lex("for i in 0..5 { a[i]; } let f = 1.5;");
+        let dots = toks.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+        assert_eq!(dots, 2, "0..5 keeps both range dots");
+    }
+
+    #[test]
+    fn directive_with_reason_parses() {
+        let (_, ds) = lex("x(); // ow-lint: allow(recovery-panic) -- bounds checked above\n");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].allows, vec!["recovery-panic".to_string()]);
+        assert_eq!(ds[0].reason.as_deref(), Some("bounds checked above"));
+    }
+
+    #[test]
+    fn directive_without_reason_parses_as_missing_reason() {
+        let (_, ds) = lex("// ow-lint: allow(untrusted-read)\n");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].reason, None);
+    }
+
+    #[test]
+    fn multi_rule_directive() {
+        let (_, ds) = lex("// ow-lint: allow(recovery-panic, untrusted-read) -- both\n");
+        assert_eq!(ds[0].allows.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_track_strings_and_comments() {
+        let src = "line1();\n\"two\nthree\"\nfour();\n";
+        let (toks, _) = lex(src);
+        let four = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("four".into()))
+            .unwrap();
+        assert_eq!(four.line, 4);
+    }
+}

@@ -1,0 +1,255 @@
+//! ow-lint: crash-safety static analysis for the Otherworld workspace.
+//!
+//! Otherworld's crash kernel walks the raw, possibly corrupted physical
+//! memory of a dead kernel (§4 of the paper); this tool machine-checks the
+//! discipline that makes that survivable. Four invariants:
+//!
+//! 1. **recovery-panic** — no `unwrap`/`expect`/`panic!`-family macro, and
+//!    no slice indexing in dead-data-handling crates, in any function
+//!    transitively reachable from the crash-kernel entry points
+//!    (`crates/core/src/{otherworld,reader,resurrect,supervisor}.rs`).
+//!    Calls inside `supervisor::contain(...)` arguments are exempt: that
+//!    is the runtime containment boundary, and injected faults live there
+//!    by design.
+//! 2. **untrusted-read** — no direct `PhysMem` reads outside `ow-layout`,
+//!    `ow-simhw`, and an explicit allowlist, so every byte from the dead
+//!    kernel flows through magic/CRC/bounds-checked cursors.
+//! 3. **record-registry** — every `impl Record for T` has a `reg!(T)`
+//!    layout-registry entry and a golden-encoding sample case.
+//! 4. **panic-path-alloc** — the panic/kexec handoff makes no `kheap`
+//!    allocations.
+//!
+//! The escape hatch is a justified comment on (or directly above) the
+//! offending line: `// ow-lint: allow(<rule>) -- <reason>`. An allow
+//! without a reason, or one that suppresses nothing, is itself a finding.
+//!
+//! The analysis is a hand-rolled lexer plus a name-based call graph — no
+//! dependencies, no rustc internals — so it runs as a tier-1 CI gate on a
+//! bare toolchain. It is deliberately over-approximate where receiver
+//! types are unknown, and blind to calls through function pointers
+//! (`(image.fresh)(...)`); the supervisor's runtime containment covers
+//! that residue.
+
+#![forbid(unsafe_code)]
+
+pub mod extract;
+pub mod graph;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::Finding;
+
+use graph::FileEntry;
+use std::path::{Path, PathBuf};
+
+/// What to scan and which files anchor each rule.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root; all other paths are relative to it.
+    pub root: PathBuf,
+    /// Directories (relative) to scan for `.rs` files.
+    pub scan: Vec<String>,
+    /// Files whose non-test functions are recovery-path roots (rule 1).
+    pub recovery_roots: Vec<String>,
+    /// Files whose functions are panic-path roots (rule 4).
+    pub panic_path: Vec<String>,
+    /// Path prefixes where slice indexing counts as a rule-1 violation —
+    /// the crates that handle dead-kernel data. Elsewhere only
+    /// unwrap/expect/panic-macros are flagged: the main kernel indexing
+    /// its own live structures is not walking untrusted memory.
+    pub index_scope: Vec<String>,
+    /// Path prefixes exempt from rule 2 (the validated-cursor layer
+    /// itself and the simulated hardware).
+    pub taint_exempt: Vec<String>,
+    /// Files allowed to read `PhysMem` directly, with the reason why.
+    pub taint_allow: Vec<(String, String)>,
+    /// The layout registry file (rule 3 `reg!` entries).
+    pub registry_file: String,
+    /// The golden-sample file (rule 3 sample cases).
+    pub samples_file: String,
+}
+
+impl Config {
+    /// The real Otherworld workspace layout, rooted at `root`.
+    pub fn workspace(root: &Path) -> Config {
+        let s = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>();
+        Config {
+            root: root.to_path_buf(),
+            // apps (user programs outside the kernel trust boundary, run
+            // under containment), bench and faultinject (harness code) are
+            // not scanned; see DESIGN.md.
+            scan: s(&[
+                "crates/core",
+                "crates/kernel",
+                "crates/layout",
+                "crates/simhw",
+                "crates/trace",
+                "crates/lint",
+                "src",
+            ]),
+            recovery_roots: s(&[
+                "crates/core/src/otherworld.rs",
+                "crates/core/src/reader.rs",
+                "crates/core/src/resurrect.rs",
+                "crates/core/src/supervisor.rs",
+            ]),
+            panic_path: s(&["crates/kernel/src/panic.rs", "crates/kernel/src/kexec.rs"]),
+            // simhw is deliberately absent: the hardware model's accessors
+            // are the bounds-checking layer itself (`Result`-returning,
+            // `check()`-guarded), and its buffers are the backing store —
+            // a wild write in the *simulated* kernel cannot change a host
+            // `Vec`'s length. Its unwraps/asserts are still rule-1 sites.
+            index_scope: s(&["crates/core/", "crates/layout/", "crates/trace/"]),
+            taint_exempt: s(&["crates/layout/", "crates/simhw/", "crates/lint/"]),
+            taint_allow: vec![
+                (
+                    "crates/kernel/src/ipc.rs".to_string(),
+                    "main kernel moving bytes through memory it owns".to_string(),
+                ),
+                (
+                    "crates/kernel/src/swap.rs".to_string(),
+                    "main kernel paging its own frames to its own swap".to_string(),
+                ),
+                (
+                    "crates/kernel/src/pagecache.rs".to_string(),
+                    "main kernel filling cache frames it just allocated".to_string(),
+                ),
+                (
+                    "crates/kernel/src/term.rs".to_string(),
+                    "main kernel rendering its own terminal frames".to_string(),
+                ),
+                (
+                    "crates/kernel/src/vm.rs".to_string(),
+                    "page-table walks over live mappings the main kernel owns".to_string(),
+                ),
+                (
+                    "crates/trace/src/ring.rs".to_string(),
+                    "the recorder owns its reserved ring frames".to_string(),
+                ),
+                (
+                    "crates/trace/src/recover.rs".to_string(),
+                    "CRC-framed ring recovery; every record is validated before use".to_string(),
+                ),
+            ],
+            registry_file: "crates/layout/src/registry.rs".to_string(),
+            samples_file: "crates/layout/src/samples.rs".to_string(),
+        }
+    }
+}
+
+/// The result of a lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by file, line, rule.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub scanned_files: usize,
+    /// Number of escape-hatch directives currently suppressing something.
+    pub allows_used: usize,
+}
+
+impl Report {
+    /// Machine-readable rendering for trend tracking (`--json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"function\":{},\"message\":{},\"via\":[",
+                json_str(&f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.function),
+                json_str(&f.message),
+            ));
+            for (j, v) in f.via.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_str(v));
+            }
+            out.push_str("]}");
+        }
+        out.push_str(&format!(
+            "],\"scanned_files\":{},\"allows_used\":{}}}",
+            self.scanned_files, self.allows_used
+        ));
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Runs the lint. Fails only on I/O problems (unreadable root); findings
+/// are data, not errors.
+pub fn run(cfg: &Config) -> Result<Report, String> {
+    let mut paths = Vec::new();
+    for dir in &cfg.scan {
+        let p = cfg.root.join(dir);
+        if p.exists() {
+            walk(&p, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::new();
+    for p in &paths {
+        let rel = p
+            .strip_prefix(&cfg.root)
+            .map_err(|e| e.to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let (toks, directives) = lexer::lex(&src);
+        let force_test = rel
+            .split('/')
+            .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
+        let model = extract::extract(&toks, directives, force_test);
+        files.push(FileEntry { path: rel, model });
+    }
+    let (findings, allows_used) = rules::check(cfg, &files);
+    Ok(Report {
+        findings,
+        scanned_files: files.len(),
+        allows_used,
+    })
+}
+
+/// Recursive `.rs` discovery, deterministic order, skipping build output,
+/// VCS internals, and the lint's own seeded-violation fixtures.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .collect();
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for e in entries {
+        let p = e.path();
+        let name = e.file_name().to_string_lossy().into_owned();
+        if p.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            walk(&p, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}

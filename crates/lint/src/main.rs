@@ -1,0 +1,78 @@
+//! CLI for ow-lint. Usage:
+//!
+//! ```text
+//! ow-lint [--root DIR] [--deny] [--json]
+//! ```
+//!
+//! `--deny` exits 1 when any finding survives (the CI gate); `--json`
+//! prints the machine-readable report for trend tracking. Exit 2 means the
+//! lint itself failed (unreadable workspace), never a finding.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => {
+                    eprintln!("ow-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: ow-lint [--root DIR] [--deny] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ow-lint: unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = ow_lint::Config::workspace(&root);
+    let report = match ow_lint::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ow-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            let func = if f.function.is_empty() {
+                String::new()
+            } else {
+                format!(" (fn {})", f.function)
+            };
+            println!("{}: {}:{}{}: {}", f.rule, f.file, f.line, func, f.message);
+            if f.via.len() > 1 {
+                println!("    via {}", f.via.join(" -> "));
+            }
+        }
+        println!(
+            "ow-lint: {} finding(s), {} file(s) scanned, {} allow(s) in use",
+            report.findings.len(),
+            report.scanned_files,
+            report.allows_used
+        );
+    }
+    if deny && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

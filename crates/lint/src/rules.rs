@@ -1,0 +1,269 @@
+//! The four crash-safety rules, plus the escape-hatch bookkeeping
+//! (`allow-missing-reason` and `stale-allow` meta-findings).
+
+use crate::extract::PanicKind;
+use crate::graph::{FileEntry, Graph};
+use crate::Config;
+use std::collections::HashSet;
+
+/// Rule 1: panic on the recovery path.
+pub const RECOVERY_PANIC: &str = "recovery-panic";
+/// Rule 2: raw dead-memory read outside the validated-cursor layer.
+pub const UNTRUSTED_READ: &str = "untrusted-read";
+/// Rule 3: record codec without registry entry or golden sample.
+pub const RECORD_REGISTRY: &str = "record-registry";
+/// Rule 4: heap allocation on the panic/kexec handoff path.
+pub const PANIC_PATH_ALLOC: &str = "panic-path-alloc";
+/// Meta: an allow directive with no `-- reason` justification.
+pub const ALLOW_MISSING_REASON: &str = "allow-missing-reason";
+/// Meta: an allow directive that suppresses nothing.
+pub const STALE_ALLOW: &str = "stale-allow";
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule name (one of the constants in this module).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Enclosing function, when the rule is function-scoped.
+    pub function: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Call-graph witness path from a recovery/panic-path root, when the
+    /// rule is reachability-based.
+    pub via: Vec<String>,
+}
+
+/// Tracks which escape-hatch directives suppressed a violation.
+struct Allows {
+    /// `used[file][directive]`.
+    used: Vec<Vec<bool>>,
+}
+
+impl Allows {
+    fn new(files: &[FileEntry]) -> Self {
+        Allows {
+            used: files
+                .iter()
+                .map(|f| vec![false; f.model.directives.len()])
+                .collect(),
+        }
+    }
+
+    /// Tries to match a violation at `line` against a directive on the
+    /// same or the preceding line that allows `rule`. Marks it used.
+    fn try_allow(&mut self, files: &[FileEntry], file_idx: usize, line: u32, rule: &str) -> bool {
+        for (di, d) in files[file_idx].model.directives.iter().enumerate() {
+            let line_ok = d.line == line || d.line + 1 == line;
+            if line_ok && d.allows.iter().any(|a| a == rule) {
+                self.used[file_idx][di] = true;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Runs every rule over the scanned files. Returns the findings (sorted by
+/// file, line, rule) and the number of escape hatches actually in use.
+pub fn check(cfg: &Config, files: &[FileEntry]) -> (Vec<Finding>, usize) {
+    let graph = Graph::build(files);
+    let mut allows = Allows::new(files);
+    let mut findings = Vec::new();
+    let file_idx = |path: &str| files.iter().position(|f| f.path == path);
+
+    // Rule 1: panic-freedom of the recovery path.
+    let roots: Vec<_> = cfg
+        .recovery_roots
+        .iter()
+        .flat_map(|f| graph.defs_in_file(f))
+        .collect();
+    let parents = graph.reach(&roots, true);
+    let mut reached: Vec<_> = parents.keys().copied().collect();
+    reached.sort_unstable();
+    for &id in &reached {
+        let def = graph.def(id);
+        let path = graph.file_of(id);
+        let Some(fi) = file_idx(path) else { continue };
+        for site in &def.panics {
+            if site.contained {
+                continue;
+            }
+            let desc = match &site.kind {
+                PanicKind::Unwrap => "unwrap() can panic".to_string(),
+                PanicKind::Expect => "expect() can panic".to_string(),
+                PanicKind::Macro(m) => format!("{m}! can panic"),
+                PanicKind::Indexing => {
+                    if !cfg.index_scope.iter().any(|p| path.starts_with(p.as_str())) {
+                        continue;
+                    }
+                    "slice/array indexing can panic".to_string()
+                }
+            };
+            if allows.try_allow(files, fi, site.line, RECOVERY_PANIC) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: RECOVERY_PANIC.to_string(),
+                file: path.to_string(),
+                line: site.line,
+                function: def.name.clone(),
+                message: format!("{desc} on the recovery path"),
+                via: graph.witness(&parents, id),
+            });
+        }
+    }
+
+    // Rule 4: no-alloc panic path.
+    let proots: Vec<_> = cfg
+        .panic_path
+        .iter()
+        .flat_map(|f| graph.defs_in_file(f))
+        .collect();
+    let pparents = graph.reach(&proots, true);
+    let mut preached: Vec<_> = pparents.keys().copied().collect();
+    preached.sort_unstable();
+    for &id in &preached {
+        let def = graph.def(id);
+        let path = graph.file_of(id);
+        let Some(fi) = file_idx(path) else { continue };
+        for (line, what) in &def.kheap_allocs {
+            if allows.try_allow(files, fi, *line, PANIC_PATH_ALLOC) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: PANIC_PATH_ALLOC.to_string(),
+                file: path.to_string(),
+                line: *line,
+                function: def.name.clone(),
+                message: format!("{what} on the panic/kexec handoff path"),
+                via: graph.witness(&pparents, id),
+            });
+        }
+    }
+
+    // Rule 2: untrusted-read taint.
+    for (fi, entry) in files.iter().enumerate() {
+        if cfg
+            .taint_exempt
+            .iter()
+            .any(|p| entry.path.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        if cfg.taint_allow.iter().any(|(p, _)| *p == entry.path) {
+            continue;
+        }
+        for f in &entry.model.fns {
+            if f.in_test {
+                continue;
+            }
+            for (line, method) in &f.taint_reads {
+                if allows.try_allow(files, fi, *line, UNTRUSTED_READ) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: UNTRUSTED_READ.to_string(),
+                    file: entry.path.clone(),
+                    line: *line,
+                    function: f.name.clone(),
+                    message: format!(
+                        "raw PhysMem::{method} outside ow-layout and the allowlist; dead-kernel \
+                         bytes must flow through validated cursors"
+                    ),
+                    via: Vec::new(),
+                });
+            }
+        }
+    }
+
+    // Rule 3: record-codec completeness.
+    let reg_args: HashSet<&str> = files
+        .iter()
+        .find(|f| f.path == cfg.registry_file)
+        .map(|f| f.model.reg_macro_args.iter().map(String::as_str).collect())
+        .unwrap_or_default();
+    let samples: Vec<&str> = files
+        .iter()
+        .find(|f| f.path == cfg.samples_file)
+        .map(|f| f.model.strings.iter().map(String::as_str).collect())
+        .unwrap_or_default();
+    for (fi, entry) in files.iter().enumerate() {
+        for ri in &entry.model.record_impls {
+            let t = ri.type_name.as_str();
+            if !reg_args.contains(t) && !allows.try_allow(files, fi, ri.line, RECORD_REGISTRY) {
+                findings.push(Finding {
+                    rule: RECORD_REGISTRY.to_string(),
+                    file: entry.path.clone(),
+                    line: ri.line,
+                    function: String::new(),
+                    message: format!(
+                        "impl Record for {t} has no reg!({t}) entry in {}",
+                        cfg.registry_file
+                    ),
+                    via: Vec::new(),
+                });
+            }
+            let sampled = samples
+                .iter()
+                .any(|s| *s == t || s.starts_with(&format!("{t}(")));
+            if !sampled && !allows.try_allow(files, fi, ri.line, RECORD_REGISTRY) {
+                findings.push(Finding {
+                    rule: RECORD_REGISTRY.to_string(),
+                    file: entry.path.clone(),
+                    line: ri.line,
+                    function: String::new(),
+                    message: format!(
+                        "impl Record for {t} has no golden-encoding sample case in {}",
+                        cfg.samples_file
+                    ),
+                    via: Vec::new(),
+                });
+            }
+        }
+    }
+
+    // Meta-findings: every used directive needs a reason, every unused
+    // directive is stale.
+    let mut allows_used = 0usize;
+    for (fi, entry) in files.iter().enumerate() {
+        for (di, d) in entry.model.directives.iter().enumerate() {
+            if allows.used[fi][di] {
+                allows_used += 1;
+                if d.reason.is_none() {
+                    findings.push(Finding {
+                        rule: ALLOW_MISSING_REASON.to_string(),
+                        file: entry.path.clone(),
+                        line: d.line,
+                        function: String::new(),
+                        message: format!(
+                            "ow-lint: allow({}) needs a `-- <reason>` justification",
+                            d.allows.join(", ")
+                        ),
+                        via: Vec::new(),
+                    });
+                }
+            } else {
+                findings.push(Finding {
+                    rule: STALE_ALLOW.to_string(),
+                    file: entry.path.clone(),
+                    line: d.line,
+                    function: String::new(),
+                    message: format!(
+                        "ow-lint: allow({}) suppresses nothing; remove it",
+                        d.allows.join(", ")
+                    ),
+                    via: Vec::new(),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+    (findings, allows_used)
+}

@@ -1,0 +1,104 @@
+//! Fixture gate: the seeded-violation tree must fail with exactly the
+//! expected findings, and the clean mirror must pass. Together these pin
+//! both directions of the analysis — no silent false negatives, no noise.
+
+use std::path::Path;
+
+fn fixture_root(which: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(which)
+}
+
+fn rules_of(report: &ow_lint::Report) -> Vec<(&str, &str, u32)> {
+    report
+        .findings
+        .iter()
+        .map(|f| (f.rule.as_str(), f.file.as_str(), f.line))
+        .collect()
+}
+
+#[test]
+fn bad_fixture_trips_every_rule() {
+    let cfg = ow_lint::Config::workspace(&fixture_root("bad"));
+    let report = ow_lint::run(&cfg).expect("fixture tree readable");
+
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+    for expected in [
+        "recovery-panic",
+        "untrusted-read",
+        "record-registry",
+        "panic-path-alloc",
+        "allow-missing-reason",
+        "stale-allow",
+    ] {
+        assert!(
+            rules.contains(&expected),
+            "rule {expected} not triggered; got {:?}",
+            rules_of(&report)
+        );
+    }
+
+    // Pin the exact finding set so changes to the analysis are deliberate.
+    let by_rule = |r: &str| rules.iter().filter(|x| **x == r).count();
+    assert_eq!(by_rule("recovery-panic"), 4, "{:?}", rules_of(&report));
+    assert_eq!(by_rule("panic-path-alloc"), 2, "{:?}", rules_of(&report));
+    assert_eq!(by_rule("untrusted-read"), 1, "{:?}", rules_of(&report));
+    assert_eq!(by_rule("record-registry"), 2, "{:?}", rules_of(&report));
+    assert_eq!(
+        by_rule("allow-missing-reason"),
+        1,
+        "{:?}",
+        rules_of(&report)
+    );
+    assert_eq!(by_rule("stale-allow"), 1, "{:?}", rules_of(&report));
+    assert_eq!(report.findings.len(), 11, "{:?}", rules_of(&report));
+}
+
+#[test]
+fn bad_fixture_reports_transitive_witness() {
+    let cfg = ow_lint::Config::workspace(&fixture_root("bad"));
+    let report = ow_lint::run(&cfg).expect("fixture tree readable");
+    let transitive = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "recovery-panic" && f.function == "helper")
+        .expect("helper's panic! must be reachable from microreboot");
+    assert!(
+        transitive.via.len() > 1,
+        "witness path should show the call chain, got {:?}",
+        transitive.via
+    );
+}
+
+#[test]
+fn good_fixture_is_clean_with_a_used_allow() {
+    let cfg = ow_lint::Config::workspace(&fixture_root("good"));
+    let report = ow_lint::run(&cfg).expect("fixture tree readable");
+    assert!(
+        report.findings.is_empty(),
+        "clean fixture produced findings: {:#?}",
+        report.findings
+    );
+    assert_eq!(
+        report.allows_used, 1,
+        "the justified escape hatch should count as in use"
+    );
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let cfg = ow_lint::Config::workspace(&fixture_root("bad"));
+    let report = ow_lint::run(&cfg).expect("fixture tree readable");
+    let json = report.to_json();
+    assert!(json.starts_with("{\"findings\":["));
+    assert!(json.contains("\"scanned_files\":"));
+    assert!(json.contains("\"recovery-panic\""));
+    // Balanced braces/brackets — a cheap structural sanity check given the
+    // hand-rolled serializer.
+    let balance = |open: char, close: char| {
+        json.chars().filter(|&c| c == open).count() == json.chars().filter(|&c| c == close).count()
+    };
+    assert!(balance('{', '}'));
+    assert!(balance('[', ']'));
+}

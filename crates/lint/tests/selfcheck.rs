@@ -1,0 +1,35 @@
+//! Self-check: the real workspace must pass its own crash-safety lint.
+//!
+//! This is the same gate `ci.sh` runs via the CLI; having it inside
+//! `cargo test` means a bare `cargo test --workspace` catches regressions
+//! even when the shell gate is skipped.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let cfg = ow_lint::Config::workspace(&root);
+    let report = ow_lint::run(&cfg).expect("workspace readable");
+    assert!(
+        report.scanned_files > 50,
+        "suspiciously few files scanned ({}); scan roots broken?",
+        report.scanned_files
+    );
+    assert!(
+        report.findings.is_empty(),
+        "crash-safety lint found {} violation(s):\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {}: {}:{} {}", f.rule, f.file, f.line, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.allows_used > 0,
+        "the workspace is known to carry justified allows; zero in use \
+         suggests directive parsing broke"
+    );
+}

@@ -102,6 +102,7 @@ impl FrameAllocator {
     /// condition.
     pub fn free(&mut self, pfn: Pfn) {
         let i = self.index_of(pfn);
+        // ow-lint: allow(recovery-panic) -- documented # Panics contract: double free in the substrate is a bug
         assert!(self.used[i], "double free of frame {pfn}");
         self.used[i] = false;
         self.allocated -= 1;
@@ -154,6 +155,7 @@ impl FrameAllocator {
     }
 
     fn index_of(&self, pfn: Pfn) -> usize {
+        // ow-lint: allow(recovery-panic) -- documented # Panics contract: out-of-range frame is a substrate bug
         assert!(
             self.contains(pfn),
             "frame {pfn} outside allocator range {}..{}",

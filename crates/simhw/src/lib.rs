@@ -13,6 +13,8 @@
 //! hardware. Fault injection corrupts those bytes; resurrection re-parses
 //! them.
 
+#![forbid(unsafe_code)]
+
 pub mod blockdev;
 pub mod clock;
 pub mod cost;

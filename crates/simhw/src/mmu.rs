@@ -51,7 +51,12 @@ pub struct Mmu {
 
 impl Mmu {
     /// Creates an MMU with a direct-mapped TLB of `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
+        // ow-lint: allow(recovery-panic) -- machine-geometry precondition at construction
         assert!(entries.is_power_of_two(), "TLB size must be a power of two");
         Mmu {
             tlb: vec![None; entries],

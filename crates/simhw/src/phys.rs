@@ -52,6 +52,7 @@ impl PhysMem {
     ///
     /// Panics if `frames == 0`.
     pub fn new(frames: usize) -> Self {
+        // ow-lint: allow(recovery-panic) -- documented # Panics contract: machine-geometry precondition at construction
         assert!(frames > 0, "machine needs at least one frame of RAM");
         PhysMem {
             bytes: vec![0u8; frames * PAGE_SIZE],
@@ -120,10 +121,9 @@ impl PhysMem {
 
     /// Reads a little-endian `u16`.
     pub fn read_u16(&self, addr: PhysAddr) -> Result<u16, MemError> {
-        let start = self.check(addr, 2)?;
-        Ok(u16::from_le_bytes(
-            self.bytes[start..start + 2].try_into().unwrap(),
-        ))
+        let mut b = [0u8; 2];
+        self.read(addr, &mut b)?;
+        Ok(u16::from_le_bytes(b))
     }
 
     /// Writes a little-endian `u16`.
@@ -135,10 +135,9 @@ impl PhysMem {
 
     /// Reads a little-endian `u32`.
     pub fn read_u32(&self, addr: PhysAddr) -> Result<u32, MemError> {
-        let start = self.check(addr, 4)?;
-        Ok(u32::from_le_bytes(
-            self.bytes[start..start + 4].try_into().unwrap(),
-        ))
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Writes a little-endian `u32`.
@@ -150,10 +149,9 @@ impl PhysMem {
 
     /// Reads a little-endian `u64`.
     pub fn read_u64(&self, addr: PhysAddr) -> Result<u64, MemError> {
-        let start = self.check(addr, 8)?;
-        Ok(u64::from_le_bytes(
-            self.bytes[start..start + 8].try_into().unwrap(),
-        ))
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Writes a little-endian `u64`.

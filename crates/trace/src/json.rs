@@ -238,13 +238,13 @@ fn quote(s: &str) -> String {
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
         *pos += 1;
     }
 }
 
 fn expect(bytes: &[u8], pos: &mut usize, b: u8, what: &'static str) -> Result<(), ParseError> {
-    if *pos < bytes.len() && bytes[*pos] == b {
+    if bytes.get(*pos) == Some(&b) {
         *pos += 1;
         Ok(())
     } else {
@@ -270,7 +270,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
 }
 
 fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &[u8], value: Value) -> Result<Value, ParseError> {
-    if bytes[*pos..].starts_with(lit) {
+    if bytes.get(*pos..).is_some_and(|rest| rest.starts_with(lit)) {
         *pos += lit.len();
         Ok(value)
     } else {
@@ -283,12 +283,13 @@ fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &[u8], value: Value) -> Result<
 
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
     let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    ) {
         *pos += 1;
     }
-    std::str::from_utf8(&bytes[start..*pos])
+    std::str::from_utf8(bytes.get(start..*pos).unwrap_or(&[]))
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .map(Value::Num)
@@ -357,13 +358,15 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                 // to do bytewise until the next ASCII delimiter).
                 let start = *pos;
                 *pos += 1;
-                while *pos < bytes.len() && bytes[*pos] & 0xc0 == 0x80 {
+                while bytes.get(*pos).is_some_and(|&b| b & 0xc0 == 0x80) {
                     *pos += 1;
                 }
                 out.push_str(
-                    std::str::from_utf8(&bytes[start..*pos]).map_err(|_| ParseError {
-                        pos: start,
-                        what: "invalid utf-8",
+                    std::str::from_utf8(bytes.get(start..*pos).unwrap_or(&[])).map_err(|_| {
+                        ParseError {
+                            pos: start,
+                            what: "invalid utf-8",
+                        }
                     })?,
                 );
             }

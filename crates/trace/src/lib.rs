@@ -20,6 +20,8 @@
 //! microreboot report can say what the kernel had been doing, not just
 //! what it managed to resurrect.
 
+#![forbid(unsafe_code)]
+
 pub use ow_layout::crc;
 
 pub mod json;

@@ -12,7 +12,7 @@
 use crate::layout::{hdr_off, rec_off, EventKind, PanicStep, RECORD_SIZE, TRACE_MAGIC};
 use crate::metrics::{MetricsSnapshot, NUM_COUNTERS, NUM_HISTOGRAMS};
 use crate::ring::TraceRing;
-use ow_layout::trace::slot_crc_ok;
+use ow_layout::trace::{field_u32, field_u64, slot_crc_ok};
 use ow_simhw::{PhysMem, PAGE_SIZE};
 
 /// One validated, decoded trace record.
@@ -120,15 +120,27 @@ impl FlightRecord {
             rec.write_seq = phys.read_u64(base + hdr_off::WRITE_SEQ).unwrap_or(0);
             rec.dropped = phys.read_u64(base + hdr_off::DROPPED).unwrap_or(0);
             rec.generation = phys.read_u32(base + hdr_off::GENERATION).unwrap_or(0);
-            for i in 0..NUM_COUNTERS {
-                rec.metrics.counters[i] = phys
+            for (i, c) in rec
+                .metrics
+                .counters
+                .iter_mut()
+                .enumerate()
+                .take(NUM_COUNTERS)
+            {
+                *c = phys
                     .read_u64(base + hdr_off::COUNTERS + 8 * i as u64)
                     .unwrap_or(0);
             }
-            for h in 0..NUM_HISTOGRAMS {
-                for b in 0..64u64 {
-                    rec.metrics.histograms[h][b as usize] = phys
-                        .read_u64(base + hdr_off::HISTOGRAMS + (h as u64) * 8 * 64 + 8 * b)
+            for (h, hist) in rec
+                .metrics
+                .histograms
+                .iter_mut()
+                .enumerate()
+                .take(NUM_HISTOGRAMS)
+            {
+                for (b, bucket) in hist.iter_mut().enumerate().take(64) {
+                    *bucket = phys
+                        .read_u64(base + hdr_off::HISTOGRAMS + (h as u64) * 8 * 64 + 8 * b as u64)
                         .unwrap_or(0);
                 }
             }
@@ -149,9 +161,8 @@ impl FlightRecord {
                 rec.corrupt_records += 1;
                 continue;
             }
-            let seq = u64::from_le_bytes(buf[rec_off::SEQ as usize..][..8].try_into().unwrap());
-            let kind_raw =
-                u32::from_le_bytes(buf[rec_off::KIND as usize..][..4].try_into().unwrap());
+            let seq = field_u64(&buf, rec_off::SEQ);
+            let kind_raw = field_u32(&buf, rec_off::KIND);
             let Some(kind) = EventKind::from_u32(kind_raw) else {
                 rec.corrupt_records += 1;
                 continue;
@@ -164,13 +175,11 @@ impl FlightRecord {
             }
             rec.events.push(TraceEvent {
                 seq,
-                cycles: u64::from_le_bytes(
-                    buf[rec_off::CYCLES as usize..][..8].try_into().unwrap(),
-                ),
+                cycles: field_u64(&buf, rec_off::CYCLES),
                 kind,
-                pid: u64::from_le_bytes(buf[rec_off::PID as usize..][..8].try_into().unwrap()),
-                arg0: u64::from_le_bytes(buf[rec_off::ARG0 as usize..][..8].try_into().unwrap()),
-                arg1: u64::from_le_bytes(buf[rec_off::ARG1 as usize..][..8].try_into().unwrap()),
+                pid: field_u64(&buf, rec_off::PID),
+                arg0: field_u64(&buf, rec_off::ARG0),
+                arg1: field_u64(&buf, rec_off::ARG1),
             });
         }
         rec.events.sort_by_key(|e| e.seq);
@@ -193,7 +202,12 @@ impl FlightRecord {
             };
         }
         let start = self.events.len().saturating_sub(n);
-        let mut parts: Vec<String> = self.events[start..].iter().map(|e| e.describe()).collect();
+        let mut parts: Vec<String> = self
+            .events
+            .iter()
+            .skip(start)
+            .map(|e| e.describe())
+            .collect();
         if self.corrupt_records > 0 {
             parts.push(format!("[{} corrupt]", self.corrupt_records));
         }

@@ -9,7 +9,7 @@
 
 use crate::layout::{hdr_off, rec_off, EventKind, PanicStep, RECORD_SIZE, TRACE_MAGIC};
 use crate::metrics::{bucket_of, Counter, Histogram};
-use ow_layout::trace::seal_slot;
+use ow_layout::trace::{put_field, seal_slot};
 use ow_simhw::{PhysMem, PAGE_SIZE};
 
 /// Handle to the trace region: pure location, no buffered state.
@@ -104,12 +104,12 @@ impl TraceRing {
         };
         let slot = self.slot_addr(seq % capacity);
         let mut buf = [0u8; RECORD_SIZE as usize];
-        buf[rec_off::SEQ as usize..][..8].copy_from_slice(&seq.to_le_bytes());
-        buf[rec_off::CYCLES as usize..][..8].copy_from_slice(&cycles.to_le_bytes());
-        buf[rec_off::KIND as usize..][..4].copy_from_slice(&(kind as u32).to_le_bytes());
-        buf[rec_off::PID as usize..][..8].copy_from_slice(&pid.to_le_bytes());
-        buf[rec_off::ARG0 as usize..][..8].copy_from_slice(&arg0.to_le_bytes());
-        buf[rec_off::ARG1 as usize..][..8].copy_from_slice(&arg1.to_le_bytes());
+        put_field(&mut buf, rec_off::SEQ, &seq.to_le_bytes());
+        put_field(&mut buf, rec_off::CYCLES, &cycles.to_le_bytes());
+        put_field(&mut buf, rec_off::KIND, &(kind as u32).to_le_bytes());
+        put_field(&mut buf, rec_off::PID, &pid.to_le_bytes());
+        put_field(&mut buf, rec_off::ARG0, &arg0.to_le_bytes());
+        put_field(&mut buf, rec_off::ARG1, &arg1.to_le_bytes());
         seal_slot(&mut buf);
         if phys.write(slot, &buf).is_err() {
             let _ = phys

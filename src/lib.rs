@@ -56,6 +56,8 @@
 //! assert_eq!(workload.verify(ow.kernel_mut(), pid), VerifyResult::Intact);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ow_apps as apps;
 pub use ow_core as core;
 pub use ow_faultinject as faultinject;
