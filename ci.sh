@@ -5,6 +5,17 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test --workspace -q
+
+# Parallel==serial determinism smoke: the sharded campaign engine must emit
+# byte-identical JSON for any --jobs value.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run -q -p ow-bench --release --bin table5 -- \
+    --experiments 5 --jobs 1 --json "$smoke_dir/jobs1.json" >/dev/null
+cargo run -q -p ow-bench --release --bin table5 -- \
+    --experiments 5 --jobs 4 --json "$smoke_dir/jobs4.json" >/dev/null
+cmp "$smoke_dir/jobs1.json" "$smoke_dir/jobs4.json" \
+    || { echo "table5 --json differs between --jobs 1 and --jobs 4" >&2; exit 1; }
 cargo clippy --all-targets --all-features -- -D warnings
 cargo run -p ow-lint --release -- --deny
 cargo fmt --check

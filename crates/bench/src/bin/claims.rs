@@ -8,6 +8,7 @@
 use ow_apps::blcr::{BlcrWorkload, CkptMode};
 use ow_apps::{make_workload, Workload};
 use ow_core::{OtherworldConfig, ResurrectionStrategy};
+use ow_faultinject::parallel_map;
 use ow_kernel::{Kernel, KernelConfig};
 
 /// Simulated cycles consumed by one full checkpoint in the given mode.
@@ -49,11 +50,47 @@ fn window_cycles(config: KernelConfig, app: &str, batches: u32) -> u64 {
     k.machine.clock.now() - c0
 }
 
+/// Footnote-3 measurement for one page count and strategy.
+fn materialization(pages: u64, strategy: ResurrectionStrategy) -> (f64, ow_core::ProcReport) {
+    let mut k = ow_bench::boot_eval(false);
+    let image = k.registry.get("blcr").expect("blcr registered");
+    let spec = ow_kernel::SpawnSpec::new("blcr", Box::new(ow_apps::blcr::Blcr));
+    let pid = k.spawn(spec).expect("spawn");
+    let fresh = {
+        let mut api = ow_kernel::syscall::KernelApi::new(&mut k, pid);
+        (image.fresh)(&mut api, &[pages.to_string(), "memory".to_string()])
+    };
+    k.proc_mut(pid).expect("pid").program = Some(fresh);
+    // Touch all data pages once.
+    for _ in 0..pages {
+        k.run_step();
+    }
+    k.do_panic(ow_kernel::PanicCause::Oops("claims"));
+    let config = OtherworldConfig {
+        strategy,
+        ..OtherworldConfig::default()
+    };
+    let (_k2, report) = ow_core::microreboot(k, &config).expect("microreboot");
+    (report.resurrection_seconds, report.procs[0].clone())
+}
+
 fn main() {
+    // Every sweep below is a fixed list of independent simulator runs, so
+    // they ride the same deterministic parallel engine as the campaigns
+    // (`--jobs N` / `OW_JOBS`; output is identical for every job count
+    // because results are merged in item order before printing).
+    let jobs = ow_faultinject::jobs_from_args(&std::env::args().collect::<Vec<_>>());
+
     println!("§5.4: in-memory vs on-disk checkpointing (simulated cycles per checkpoint)");
-    for pages in [16u64, 64, 128] {
-        let disk = checkpoint_cycles(pages, CkptMode::Disk);
-        let mem = checkpoint_cycles(pages, CkptMode::Memory);
+    let ckpt_pages = [16u64, 64, 128];
+    let ckpt = parallel_map(jobs, &ckpt_pages, |&pages, _| {
+        (
+            checkpoint_cycles(pages, CkptMode::Disk),
+            checkpoint_cycles(pages, CkptMode::Memory),
+        )
+    });
+    for (&pages, result) in ckpt_pages.iter().zip(ckpt) {
+        let (disk, mem) = result.expect("checkpoint sweep");
         println!(
             "  {:>4} pages ({:>4} KiB): disk {:>12} cycles, memory {:>10} cycles -> {:>5.1}x faster",
             pages,
@@ -65,46 +102,22 @@ fn main() {
     }
 
     println!("\nFootnote 3: resurrection page materialization, copy vs map (simulated seconds)");
-    for pages in [64u64, 256, 512] {
-        let mut times = Vec::new();
-        for strategy in [
-            ResurrectionStrategy::CopyPages,
-            ResurrectionStrategy::MapPages,
-        ] {
-            let mut k = ow_bench::boot_eval(false);
-            let image = k.registry.get("blcr").expect("blcr registered");
-            let spec = ow_kernel::SpawnSpec::new("blcr", Box::new(ow_apps::blcr::Blcr));
-            let pid = k.spawn(spec).expect("spawn");
-            let fresh = {
-                let mut api = ow_kernel::syscall::KernelApi::new(&mut k, pid);
-                (image.fresh)(&mut api, &[pages.to_string(), "memory".to_string()])
-            };
-            k.proc_mut(pid).expect("pid").program = Some(fresh);
-            // Touch all data pages once.
-            for _ in 0..pages {
-                k.run_step();
-            }
-            k.do_panic(ow_kernel::PanicCause::Oops("claims"));
-            let config = OtherworldConfig {
-                strategy,
-                ..OtherworldConfig::default()
-            };
-            let (_k2, report) = ow_core::microreboot(k, &config).expect("microreboot");
-            times.push((
-                strategy,
-                report.resurrection_seconds,
-                report.procs[0].clone(),
-            ));
-        }
-        let (s0, t0, p0) = &times[0];
-        let (s1, t1, p1) = &times[1];
+    let mat_pages = [64u64, 256, 512];
+    let mat = parallel_map(jobs, &mat_pages, |&pages, _| {
+        (
+            materialization(pages, ResurrectionStrategy::CopyPages),
+            materialization(pages, ResurrectionStrategy::MapPages),
+        )
+    });
+    for (&pages, result) in mat_pages.iter().zip(mat) {
+        let ((t0, p0), (t1, p1)) = result.expect("materialization sweep");
         println!(
             "  {:>4} pages: {:?} {:.4}s ({} copied), {:?} {:.4}s ({} mapped) -> map is {:.1}x faster",
             pages,
-            s0,
+            ResurrectionStrategy::CopyPages,
             t0,
             p0.pages_copied,
-            s1,
+            ResurrectionStrategy::MapPages,
             t1,
             p1.pages_mapped,
             t0 / t1.max(1e-12)
@@ -113,7 +126,8 @@ fn main() {
 
     println!("\n§4: descriptor-checksum hardening — runtime overhead of recomputing");
     println!("the checksum on every descriptor update (syscall markers, step counters):");
-    for app in ["mysqld", "volano"] {
+    let apps = ["mysqld", "volano"];
+    let overheads = parallel_map(jobs, &apps, |&app, _| {
         let base = window_cycles(KernelConfig::default(), app, 150);
         let hard = window_cycles(
             KernelConfig {
@@ -123,9 +137,12 @@ fn main() {
             app,
             150,
         );
+        100.0 * (hard as f64 - base as f64) / base as f64
+    });
+    for (&app, overhead) in apps.iter().zip(overheads) {
         println!(
             "  {app:>7}: {:.2}% overhead (undetected descriptor corruption eliminated)",
-            100.0 * (hard as f64 - base as f64) / base as f64
+            overhead.expect("overhead sweep")
         );
     }
 }

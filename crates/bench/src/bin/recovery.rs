@@ -22,8 +22,15 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let jobs = ow_faultinject::jobs_from_args(&args);
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(ow_bench::tables::RECOVERY_SEED);
 
-    let result = ow_bench::tables::recovery_table(experiments, 0x5ec0_4e4a);
+    let result = ow_bench::tables::recovery_table(experiments, seed, jobs);
 
     let side_row = |label: &str, s: &ow_faultinject::RecoverySide| {
         vec![

@@ -19,13 +19,22 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let jobs = ow_faultinject::jobs_from_args(&args);
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(ow_bench::tables::TABLE5_SEED);
 
     let fixes = if ablation {
         RobustnessFixes::legacy()
     } else {
         RobustnessFixes::default()
     };
-    let rows = ow_bench::tables::table5(experiments, fixes, 0x07e5_2010);
+    let t0 = std::time::Instant::now();
+    let rows = ow_bench::tables::table5(experiments, fixes, seed, jobs);
+    let wall = t0.elapsed();
 
     let printable: Vec<Vec<String>> = rows
         .iter()
@@ -65,6 +74,11 @@ fn main() {
         "\n({} effective experiments per application per mode; ~20% quiet \
          experiments discarded, as in §6)",
         experiments
+    );
+    eprintln!(
+        "[{} worker(s), {:.1}s wall; output is byte-identical for any --jobs]",
+        ow_faultinject::resolve_jobs(jobs),
+        wall.as_secs_f64()
     );
 
     // Machine-readable export: aggregates, per-experiment trace-derived

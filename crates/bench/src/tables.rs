@@ -109,6 +109,13 @@ fn app_label(app: &str) -> &'static str {
     }
 }
 
+/// Default campaign seed for the pinned Table 5 / ablation numbers in
+/// EXPERIMENTS.md (override with `--seed`).
+pub const TABLE5_SEED: u64 = 0x07e5_2012;
+
+/// Default campaign seed for the pinned recovery-robustness numbers.
+pub const RECOVERY_SEED: u64 = 0x5ec0_4e4a;
+
 /// Table 5 row: campaign results for one application, with and without
 /// user-space protection (the corruption column reports both).
 #[derive(Debug, Clone)]
@@ -121,8 +128,14 @@ pub struct Table5Row {
     pub protected: CampaignResult,
 }
 
-/// Runs the Table 5 campaigns.
-pub fn table5(experiments: usize, fixes: RobustnessFixes, seed: u64) -> Vec<Table5Row> {
+/// Runs the Table 5 campaigns. `jobs` is the sharded engine's worker count
+/// (`0` = auto); every value produces byte-identical results.
+pub fn table5(
+    experiments: usize,
+    fixes: RobustnessFixes,
+    seed: u64,
+    jobs: usize,
+) -> Vec<Table5Row> {
     TABLE5_APPS
         .iter()
         .map(|&app| {
@@ -130,6 +143,7 @@ pub fn table5(experiments: usize, fixes: RobustnessFixes, seed: u64) -> Vec<Tabl
                 effective_experiments: experiments,
                 fixes,
                 seed,
+                jobs,
                 ..CampaignConfig::default()
             };
             let unprotected = run_campaign(|s| make_workload(app, s), &base_cfg);
@@ -187,6 +201,7 @@ fn campaign_json(c: &CampaignResult) -> Value {
                     .map(|(&name, &n)| (name, Value::from(n as u64))),
             ),
         ),
+        ("flight_events", c.flight.to_json()),
         ("records", Value::Array(records)),
     ])
 }
@@ -216,8 +231,13 @@ pub fn table5_json(rows: &[Table5Row]) -> Value {
 
 /// Runs the recovery-robustness campaign (the resurrection-supervisor
 /// ablation: identical seeded recovery-time faults, supervisor on vs off).
-pub fn recovery_table(experiments: usize, seed: u64) -> RecoveryCampaignResult {
-    run_recovery_campaign(&RecoveryCampaignConfig { experiments, seed })
+/// `jobs` is the sharded engine's worker count (`0` = auto).
+pub fn recovery_table(experiments: usize, seed: u64, jobs: usize) -> RecoveryCampaignResult {
+    run_recovery_campaign(&RecoveryCampaignConfig {
+        experiments,
+        seed,
+        jobs,
+    })
 }
 
 fn recovery_side_json(s: &RecoverySide) -> Value {

@@ -1,0 +1,25 @@
+//! Byte-level determinism of the bench table outputs across job counts:
+//! the sharded campaign engine merges results in seed order, so the JSON
+//! documents the bench binaries emit must be identical for every `--jobs`.
+
+use ow_bench::tables::{recovery_json, recovery_table, table5, table5_json};
+use ow_kernel::RobustnessFixes;
+
+#[test]
+fn table5_json_is_byte_identical_across_job_counts() {
+    let rows = |jobs| table5(4, RobustnessFixes::default(), 0x07e5_2010, jobs);
+    let serial = table5_json(&rows(1)).to_pretty();
+    for jobs in [2, 5] {
+        let parallel = table5_json(&rows(jobs)).to_pretty();
+        assert_eq!(serial, parallel, "table5 --json diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn recovery_json_is_byte_identical_across_job_counts() {
+    let serial = recovery_json(&recovery_table(6, 0x5ec0_4e4a, 1)).to_pretty();
+    for jobs in [3, 6] {
+        let parallel = recovery_json(&recovery_table(6, 0x5ec0_4e4a, jobs)).to_pretty();
+        assert_eq!(serial, parallel, "recovery --json diverged at jobs={jobs}");
+    }
+}

@@ -53,7 +53,7 @@ fn table4_read_sizes_grow_with_app_and_page_tables_dominate() {
 
 #[test]
 fn table5_small_campaign_stays_in_the_paper_band() {
-    let rows = tables::table5(40, RobustnessFixes::default(), 0x51a9);
+    let rows = tables::table5(40, RobustnessFixes::default(), 0x51a9, 0);
     for r in &rows {
         assert!(
             r.unprotected.success_pct() >= 90.0,
@@ -71,8 +71,8 @@ fn table5_small_campaign_stays_in_the_paper_band() {
 
 #[test]
 fn table5_ablation_loses_the_stall_and_doublefault_classes() {
-    let fixed = tables::table5(40, RobustnessFixes::default(), 0xab1a);
-    let legacy = tables::table5(40, RobustnessFixes::legacy(), 0xab1a);
+    let fixed = tables::table5(40, RobustnessFixes::default(), 0xab1a, 0);
+    let legacy = tables::table5(40, RobustnessFixes::legacy(), 0xab1a, 0);
     let avg = |rows: &[tables::Table5Row]| {
         rows.iter()
             .map(|r| r.unprotected.success_pct())
@@ -107,7 +107,7 @@ fn table6_interruption_is_below_cold_boot_and_fast_boot_helps() {
 
 #[test]
 fn recovery_table_shows_the_supervisor_ablation_delta() {
-    let result = tables::recovery_table(10, 0x5ec0_4e4a);
+    let result = tables::recovery_table(10, 0x5ec0_4e4a, 0);
     assert_eq!(result.records.len(), 10);
     assert_eq!(result.panic_escapes, 0, "no panic may escape microreboot()");
     assert!(

@@ -11,19 +11,50 @@
 //!   **data corruption**;
 //! * otherwise → **successful resurrection**.
 
+use crate::engine;
 use crate::faults::{inject_batch, DamageReport};
 use ow_apps::{VerifyResult, Workload};
 use ow_core::{
     microreboot, MicrorebootFailure, OtherworldConfig, PolicySource, ResurrectionPolicy,
 };
 use ow_kernel::{Kernel, KernelConfig, RobustnessFixes};
-use ow_simhw::{machine::MachineConfig, CostModel, SimRng};
-use ow_trace::FlightRecord;
+use ow_simhw::{machine::MachineConfig, stream_seed, CostModel, SimRng};
+use ow_trace::{EventCounts, FlightRecord};
 
 /// How many trailing trace events go into each outcome's cause annotation.
 /// A full handoff emits six panic-path milestones, so ten leaves room for
 /// the syscall that manifested the fault and the injections before it.
 const CAUSE_TAIL_EVENTS: usize = 10;
+
+/// Stream tag deriving the workload substream of an experiment seed.
+pub const STREAM_WORKLOAD: u64 = 0x574f_524b_4c4f_4144; // "WORKLOAD"
+
+/// Stream tag deriving the fault-injection substream of an experiment seed.
+pub const STREAM_FAULT: u64 = 0x4641_554c_5453_4551; // "FAULTSEQ"
+
+/// Collision-free per-experiment seed: the campaign base seed mixed with
+/// the experiment index through [`stream_seed`]. Unlike the old
+/// `seed.wrapping_add(i)` walk, campaigns launched with nearby base seeds
+/// (e.g. table5's per-app/per-mode runs) can no longer overlap seed ranges
+/// and silently share experiments.
+pub fn experiment_seed(campaign_seed: u64, index: u64) -> u64 {
+    stream_seed(campaign_seed, index)
+}
+
+/// The workload's random stream for an experiment. Independent of
+/// [`fault_stream_seed`] by construction: the two consumers of campaign
+/// randomness must never draw from correlated streams, or the injected
+/// fault sequence tracks the workload's choices and biases the Table 5
+/// outcome distributions.
+pub fn workload_stream_seed(experiment_seed: u64) -> u64 {
+    stream_seed(experiment_seed, STREAM_WORKLOAD)
+}
+
+/// The fault injector's random stream for an experiment (see
+/// [`workload_stream_seed`]).
+pub fn fault_stream_seed(experiment_seed: u64) -> u64 {
+    stream_seed(experiment_seed, STREAM_FAULT)
+}
 
 /// Configuration of one campaign.
 #[derive(Debug, Clone)]
@@ -38,10 +69,13 @@ pub struct CampaignConfig {
     pub user_protection: bool,
     /// §6 robustness fixes (disable for the 89% ablation).
     pub fixes: RobustnessFixes,
-    /// Campaign seed (experiment i uses `seed + i`).
+    /// Campaign seed (experiment `i` uses [`experiment_seed`]`(seed, i)`).
     pub seed: u64,
     /// Workload batches to run before/around the injection point.
     pub max_batches: u32,
+    /// Worker threads for the sharded engine: `0` = auto (`OW_JOBS`, then
+    /// available parallelism). Results are byte-identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for CampaignConfig {
@@ -53,6 +87,7 @@ impl Default for CampaignConfig {
             fixes: RobustnessFixes::default(),
             seed: 0x07e5_2010,
             max_batches: 60,
+            jobs: 0,
         }
     }
 }
@@ -82,10 +117,14 @@ pub struct ExperimentRecord {
     /// Last few flight-record events, oldest first (e.g.
     /// `"fault_injected(kind=4, writes=2) -> panic:entered -> panic:halted"`).
     pub cause: String,
+    /// Per-kind tally of the experiment's recovered flight record; the
+    /// campaign merger folds these into [`CampaignResult::flight`] in seed
+    /// order.
+    pub events: EventCounts,
 }
 
 /// Aggregated campaign counts (one Table 5 row).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignResult {
     /// Effective (crashed) experiments.
     pub effective: usize,
@@ -101,6 +140,9 @@ pub struct CampaignResult {
     pub data_corruption: usize,
     /// Wild-write damage accounting.
     pub damage: DamageReport,
+    /// Flight-record event totals over every experiment the campaign ran
+    /// (effective *and* discarded), merged per-shard in seed order.
+    pub flight: EventCounts,
     /// Per-experiment records for the effective (crashed) experiments, in
     /// campaign order, each carrying its trace-derived cause annotation.
     pub records: Vec<ExperimentRecord>,
@@ -156,12 +198,17 @@ fn recover_flight(k: &Kernel) -> FlightRecord {
 }
 
 /// Runs a single experiment with `seed`.
+///
+/// The injected-fault sequence draws from [`fault_stream_seed`]`(seed)` —
+/// an independent substream of the experiment seed — so it is decorrelated
+/// from the workload's own randomness (which the campaign seeds with
+/// [`workload_stream_seed`]`(seed)`).
 pub fn run_experiment<W: Workload>(
     workload: &mut W,
     cfg: &CampaignConfig,
     seed: u64,
 ) -> (ExperimentRecord, DamageReport) {
-    let mut rng = SimRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(fault_stream_seed(seed));
     let kernel_config = KernelConfig {
         user_protection: cfg.user_protection,
         fixes: cfg.fixes,
@@ -175,6 +222,7 @@ pub fn run_experiment<W: Workload>(
                 ExperimentRecord {
                     outcome: Outcome::BootFailure(format!("cold boot: {e}")),
                     cause: "no trace (cold boot failed)".into(),
+                    events: EventCounts::default(),
                 },
                 DamageReport::default(),
             )
@@ -216,10 +264,12 @@ pub fn run_experiment<W: Workload>(
         // write can silently corrupt user data without ever crashing the
         // kernel, and the paper's methodology only classifies experiments
         // that ended in a kernel fault.
+        let flight = recover_flight(&k);
         return (
             ExperimentRecord {
                 outcome: Outcome::NoCrash,
-                cause: recover_flight(&k).tail_summary(CAUSE_TAIL_EVENTS),
+                cause: flight.tail_summary(CAUSE_TAIL_EVENTS),
+                events: flight.event_counts(),
             },
             damage,
         );
@@ -230,9 +280,11 @@ pub fn run_experiment<W: Workload>(
     // annotation.
     let flight = recover_flight(&k);
     let cause = flight.tail_summary(CAUSE_TAIL_EVENTS);
+    let events = flight.event_counts();
     let classified = |outcome: Outcome| ExperimentRecord {
         outcome,
         cause: cause.clone(),
+        events,
     };
 
     // Microreboot. The resurrection supervisor is disabled here on purpose:
@@ -297,29 +349,57 @@ pub fn run_experiment<W: Workload>(
 
 /// Runs a whole campaign: experiments until `effective_experiments` of them
 /// crashed, aggregating outcomes (one Table 5 row).
+///
+/// Experiments are sharded across `cfg.jobs` worker threads by the
+/// deterministic engine ([`crate::engine`]): workers claim experiment
+/// indices, run them concurrently, and the merger consumes results in seed
+/// order, stopping at the first `effective_experiments` crashed experiments
+/// of that order — exactly the set the serial loop would have kept, so the
+/// result (and everything derived from it, down to `--json` bytes) is
+/// identical for every job count. A worker panic costs one experiment,
+/// classified as a resurrect failure, never the campaign.
 pub fn run_campaign<W: Workload>(
-    mut make_workload: impl FnMut(u64) -> W,
+    make_workload: impl Fn(u64) -> W + Sync,
     cfg: &CampaignConfig,
 ) -> CampaignResult {
     let mut result = CampaignResult::default();
-    let mut seed = cfg.seed;
-    while result.effective < cfg.effective_experiments {
-        let mut workload = make_workload(seed);
-        let (record, damage) = run_experiment(&mut workload, cfg, seed);
-        seed = seed.wrapping_add(1);
-        result.damage.merge(&damage);
-        match &record.outcome {
-            Outcome::NoCrash => {
-                result.discarded += 1;
-                continue;
+    engine::run_indexed(
+        cfg.jobs,
+        None,
+        |i| {
+            let seed = experiment_seed(cfg.seed, i);
+            let mut workload = make_workload(workload_stream_seed(seed));
+            run_experiment(&mut workload, cfg, seed)
+        },
+        |_, outcome| {
+            let (record, damage) = outcome.unwrap_or_else(|panic_msg| {
+                (
+                    ExperimentRecord {
+                        outcome: Outcome::ResurrectFailure(format!(
+                            "harness panic contained: {panic_msg}"
+                        )),
+                        cause: "panic contained by the campaign engine".into(),
+                        events: EventCounts::default(),
+                    },
+                    DamageReport::default(),
+                )
+            });
+            result.damage.merge(&damage);
+            result.flight.merge(&record.events);
+            match &record.outcome {
+                Outcome::NoCrash => {
+                    result.discarded += 1;
+                    return true;
+                }
+                Outcome::Success => result.success += 1,
+                Outcome::BootFailure(_) => result.boot_failure += 1,
+                Outcome::ResurrectFailure(_) => result.resurrect_failure += 1,
+                Outcome::DataCorruption(_) => result.data_corruption += 1,
             }
-            Outcome::Success => result.success += 1,
-            Outcome::BootFailure(_) => result.boot_failure += 1,
-            Outcome::ResurrectFailure(_) => result.resurrect_failure += 1,
-            Outcome::DataCorruption(_) => result.data_corruption += 1,
-        }
-        result.effective += 1;
-        result.records.push(record);
-    }
+            result.effective += 1;
+            result.records.push(record);
+            result.effective < cfg.effective_experiments
+        },
+    );
     result
 }

@@ -109,7 +109,7 @@ pub fn draw_fault(rng: &mut SimRng) -> Fault {
 }
 
 /// Statistics about where injected wild writes landed.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DamageReport {
     /// Writes that landed somewhere.
     pub landed: u32,

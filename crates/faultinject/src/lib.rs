@@ -3,17 +3,23 @@
 //! Reimplements the evaluation methodology of the paper: the Rio/Nooks
 //! fault model ([`faults`]) and the experiment runner ([`campaign`]) that
 //! produces Table 5's outcome classification over hundreds of seeded,
-//! reproducible experiments per application.
+//! reproducible experiments per application. Campaigns run on the
+//! deterministic parallel engine ([`engine`]): experiments are sharded
+//! across worker threads and merged in seed order, so every output is
+//! byte-identical to the serial run for the same seed.
 
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod engine;
 pub mod faults;
 pub mod recovery;
 
 pub use campaign::{
-    run_campaign, run_experiment, CampaignConfig, CampaignResult, ExperimentRecord, Outcome,
+    experiment_seed, fault_stream_seed, run_campaign, run_experiment, workload_stream_seed,
+    CampaignConfig, CampaignResult, ExperimentRecord, Outcome,
 };
+pub use engine::{jobs_from_args, parallel_map, resolve_jobs, run_indexed};
 pub use faults::{draw_fault, inject_batch, DamageReport, Fault, FaultKind, Manifestation};
 pub use recovery::{
     run_recovery_campaign, run_recovery_experiment, RecoveryCampaignConfig, RecoveryCampaignResult,

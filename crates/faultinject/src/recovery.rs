@@ -10,6 +10,8 @@
 //! ablation shows exactly which whole-microreboot failures the supervisor
 //! converts into per-process degradations or generation-2 restarts.
 
+use crate::campaign::{experiment_seed, workload_stream_seed};
+use crate::engine;
 use ow_apps::Workload;
 use ow_core::{
     microreboot, reader, EnginePanicFault, LadderRung, MicrorebootReport, OtherworldConfig,
@@ -20,8 +22,17 @@ use ow_kernel::{
     layout::{pstate, Record},
     Kernel, KernelConfig, PanicOutcome,
 };
-use ow_simhw::{clock::CYCLES_PER_SEC, machine::MachineConfig, CostModel, SimRng};
+use ow_simhw::{clock::CYCLES_PER_SEC, machine::MachineConfig, stream_seed, CostModel, SimRng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Stream tag deriving the fault-arming substream of a recovery-experiment
+/// seed (decorrelated from the workload stream that builds the dead
+/// system).
+pub const STREAM_RECOVERY_ARM: u64 = 0x4152_4d46_4c54_3031; // "ARMFLT01"
+
+/// Stream tag for the campaign-level fault-kind draw (decorrelated from
+/// both the workload stream and the arming stream).
+pub const STREAM_RECOVERY_KIND: u64 = 0x4b49_4e44_4452_4157; // "KINDDRAW"
 
 /// The recovery-time fault family (the supervisor's threat model).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,7 +111,7 @@ impl RecoveryOutcome {
 }
 
 /// One experiment's paired result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryRecord {
     /// The injected fault kind.
     pub fault: RecoveryFaultKind,
@@ -111,7 +122,7 @@ pub struct RecoveryRecord {
 }
 
 /// Outcome counts for one supervisor setting.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoverySide {
     /// Full-rung resurrections.
     pub full: usize,
@@ -151,7 +162,7 @@ impl RecoverySide {
 }
 
 /// Aggregated recovery-robustness campaign (the new bench table's data).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryCampaignResult {
     /// Paired experiments run.
     pub experiments: usize,
@@ -171,8 +182,12 @@ pub struct RecoveryCampaignResult {
 pub struct RecoveryCampaignConfig {
     /// Paired (on/off) experiments to run.
     pub experiments: usize,
-    /// Campaign seed (experiment i uses `seed + i`).
+    /// Campaign seed (experiment `i` uses
+    /// [`experiment_seed`]`(seed, i)`).
     pub seed: u64,
+    /// Worker threads for the sharded engine: `0` = auto (`OW_JOBS`, then
+    /// available parallelism). Results are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for RecoveryCampaignConfig {
@@ -180,6 +195,7 @@ impl Default for RecoveryCampaignConfig {
         RecoveryCampaignConfig {
             experiments: 40,
             seed: 0x5ec0_4e4a, // distinct from the Table 5 campaign seed
+            jobs: 0,
         }
     }
 }
@@ -205,7 +221,7 @@ fn build_dead_system(seed: u64) -> Kernel {
     let mut k = Kernel::boot_cold(machine, KernelConfig::default(), ow_apps::full_registry())
         .expect("cold boot");
     for name in APPS {
-        let mut w = ow_apps::make_workload(name, seed);
+        let mut w = ow_apps::make_workload(name, workload_stream_seed(seed));
         let pid = w.setup(&mut k);
         for _ in 0..3 {
             w.drive(&mut k, pid);
@@ -313,7 +329,7 @@ pub fn run_recovery_experiment(
     kind: RecoveryFaultKind,
     enabled: bool,
 ) -> (RecoveryOutcome, u64, u64, bool) {
-    let mut rng = SimRng::seed_from_u64(seed ^ 0xdead_5afe);
+    let mut rng = SimRng::seed_from_u64(stream_seed(seed, STREAM_RECOVERY_ARM));
     let mut k = build_dead_system(seed);
     let plan = arm_fault(&mut k, kind, &mut rng);
     let config = OtherworldConfig {
@@ -337,33 +353,66 @@ pub fn run_recovery_experiment(
     }
 }
 
+/// One sharded work item: a paired experiment's raw results before the
+/// seed-ordered merge.
+struct PairedRun {
+    kind: RecoveryFaultKind,
+    on: (RecoveryOutcome, u64, u64, bool),
+    off: (RecoveryOutcome, u64, u64, bool),
+}
+
 /// Runs the full paired campaign: each seeded experiment draws one fault
 /// kind and runs twice (supervisor on, then off) on identically built
 /// systems.
+///
+/// Experiments are sharded across `cfg.jobs` workers by the deterministic
+/// engine; the merger folds each pair's counts in seed order, so the
+/// result is identical for every job count. A panic escaping even the
+/// in-experiment `catch_unwind` (i.e. out of the worker's whole item) is
+/// contained by the engine and recorded as a paired whole-failure with a
+/// counted escape — never a poisoned channel or a deadlocked merger.
 pub fn run_recovery_campaign(cfg: &RecoveryCampaignConfig) -> RecoveryCampaignResult {
     let mut result = RecoveryCampaignResult::default();
-    for i in 0..cfg.experiments {
-        let seed = cfg.seed.wrapping_add(i as u64);
-        let mut rng = SimRng::seed_from_u64(seed);
-        let kind = RecoveryFaultKind::draw(&mut rng);
+    engine::run_indexed(
+        cfg.jobs,
+        Some(cfg.experiments as u64),
+        |i| {
+            let seed = experiment_seed(cfg.seed, i);
+            let mut rng = SimRng::seed_from_u64(stream_seed(seed, STREAM_RECOVERY_KIND));
+            let kind = RecoveryFaultKind::draw(&mut rng);
+            PairedRun {
+                kind,
+                on: run_recovery_experiment(seed, kind, true),
+                off: run_recovery_experiment(seed, kind, false),
+            }
+        },
+        |_, item| {
+            let run = item.unwrap_or(PairedRun {
+                // The worker itself panicked: count both sides as whole
+                // failures and an escaped panic, keep the campaign alive.
+                kind: RecoveryFaultKind::EnginePanic,
+                on: (RecoveryOutcome::WholeFailure, 0, 0, true),
+                off: (RecoveryOutcome::WholeFailure, 0, 0, false),
+            });
+            let (on, panics, fires, escaped_on) = run.on;
+            result.with_supervisor.count(on);
+            result.with_supervisor.contained_panics += panics;
+            result.with_supervisor.watchdog_fires += fires;
 
-        let (on, panics, fires, escaped_on) = run_recovery_experiment(seed, kind, true);
-        result.with_supervisor.count(on);
-        result.with_supervisor.contained_panics += panics;
-        result.with_supervisor.watchdog_fires += fires;
+            let (off, panics, fires, escaped_off) = run.off;
+            result.without_supervisor.count(off);
+            result.without_supervisor.contained_panics += panics;
+            result.without_supervisor.watchdog_fires += fires;
 
-        let (off, panics, fires, escaped_off) = run_recovery_experiment(seed, kind, false);
-        result.without_supervisor.count(off);
-        result.without_supervisor.contained_panics += panics;
-        result.without_supervisor.watchdog_fires += fires;
-
-        result.panic_escapes += usize::from(escaped_on) + usize::from(escaped_off);
-        result.records.push(RecoveryRecord {
-            fault: kind,
-            with_supervisor: on,
-            without_supervisor: off,
-        });
-        result.experiments += 1;
-    }
+            result.panic_escapes += usize::from(escaped_on) + usize::from(escaped_off);
+            result.records.push(RecoveryRecord {
+                fault: run.kind,
+                with_supervisor: on,
+                without_supervisor: off,
+            });
+            result.experiments += 1;
+            true
+        },
+    );
     result
 }

@@ -10,6 +10,7 @@ fn config() -> RecoveryCampaignConfig {
     RecoveryCampaignConfig {
         experiments: EXPERIMENTS,
         seed: 0x5ec0_4e4a,
+        ..RecoveryCampaignConfig::default()
     }
 }
 

@@ -36,7 +36,7 @@ pub use machine::{Machine, MachineConfig};
 pub use mmu::{AccessKind, Mmu, MmuStats};
 pub use paging::{AddressSpace, Pte, PteFlags};
 pub use phys::{MemError, PhysAddr, PhysMem, PAGE_SIZE};
-pub use rng::SimRng;
+pub use rng::{mix64, stream_seed, SimRng};
 
 /// Page frame number: a physical frame index.
 pub type Pfn = u64;

@@ -62,6 +62,24 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Every event kind, in discriminant order (the iteration order of
+    /// [`crate::recover::EventCounts`] and its JSON export).
+    pub const ALL: [EventKind; 13] = [
+        EventKind::Armed,
+        EventKind::SyscallEnter,
+        EventKind::SyscallExit,
+        EventKind::PageFault,
+        EventKind::SwapIn,
+        EventKind::SwapOut,
+        EventKind::ProtectionTrap,
+        EventKind::PanicStep,
+        EventKind::FaultInjected,
+        EventKind::RecoveryPanicContained,
+        EventKind::RecoveryDegraded,
+        EventKind::RecoveryWatchdogFired,
+        EventKind::RecoveryEscalated,
+    ];
+
     /// Decodes a stored discriminant.
     pub fn from_u32(v: u32) -> Option<EventKind> {
         Some(match v {

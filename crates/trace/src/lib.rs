@@ -32,5 +32,5 @@ pub mod ring;
 
 pub use layout::{EventKind, PanicStep, RECORD_SIZE, TRACE_MAGIC};
 pub use metrics::{Counter, Histogram, MetricsSnapshot, NUM_COUNTERS, NUM_HISTOGRAMS};
-pub use recover::{FlightRecord, TraceEvent};
+pub use recover::{EventCounts, FlightRecord, TraceEvent};
 pub use ring::TraceRing;

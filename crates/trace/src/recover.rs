@@ -80,6 +80,71 @@ impl TraceEvent {
     }
 }
 
+/// Per-kind event totals over one or many recovered flight records.
+///
+/// The parallel campaign engine recovers one [`FlightRecord`] per
+/// experiment inside whichever worker shard ran it; the campaign merger
+/// folds each experiment's counts into a campaign-wide total **in seed
+/// order**, so the aggregate is identical however the experiments were
+/// sharded. Addition is commutative, but merging in seed order keeps the
+/// invariant trivially auditable next to the rest of the merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventCounts {
+    counts: [u64; EventKind::ALL.len()],
+}
+
+impl EventCounts {
+    /// Counts one event.
+    pub fn add(&mut self, kind: EventKind) {
+        for (k, c) in EventKind::ALL.iter().zip(self.counts.iter_mut()) {
+            if *k == kind {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Folds another tally into this one (shard / experiment merge).
+    pub fn merge(&mut self, other: &EventCounts) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += *o;
+        }
+    }
+
+    /// Count for one kind.
+    pub fn get(&self, kind: EventKind) -> u64 {
+        EventKind::ALL
+            .iter()
+            .zip(self.counts.iter())
+            .find(|(k, _)| **k == kind)
+            .map(|(_, &c)| c)
+            .unwrap_or(0)
+    }
+
+    /// Total events counted.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(kind, count)` pairs in discriminant order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventKind, u64)> + '_ {
+        EventKind::ALL
+            .iter()
+            .zip(self.counts.iter())
+            .map(|(k, &c)| (*k, c))
+    }
+
+    /// JSON object of the non-zero kinds, keys in discriminant order (a
+    /// deterministic byte sequence for the campaign exports).
+    pub fn to_json(&self) -> crate::json::Value {
+        use crate::json::Value;
+        Value::obj(
+            self.iter()
+                .filter(|(_, c)| *c > 0)
+                .map(|(k, c)| (k.name(), Value::from(c))),
+        )
+    }
+}
+
 /// Everything recovered from a dead kernel's trace region.
 #[derive(Debug, Clone, Default)]
 pub struct FlightRecord {
@@ -189,6 +254,16 @@ impl FlightRecord {
     /// The newest record, if any.
     pub fn last_event(&self) -> Option<&TraceEvent> {
         self.events.last()
+    }
+
+    /// Tallies the recovered events by kind (the campaign-level flight
+    /// annotation each experiment contributes to its shard's merge).
+    pub fn event_counts(&self) -> EventCounts {
+        let mut counts = EventCounts::default();
+        for e in &self.events {
+            counts.add(e.kind);
+        }
+        counts
     }
 
     /// A one-line summary of the last `n` events (newest last), the cause
@@ -304,6 +379,28 @@ mod tests {
         assert!(!rec.header_valid);
         assert_eq!(rec.metrics.counter(Counter::Syscalls), 0);
         assert_eq!(rec.events.len(), 4);
+    }
+
+    #[test]
+    fn event_counts_tally_and_merge_by_kind() {
+        let mut phys = PhysMem::new(8);
+        let ring = TraceRing::arm(&mut phys, 4, 4, 0).unwrap();
+        ring.emit(&mut phys, 1, EventKind::SyscallEnter, 1, 3, 0);
+        ring.emit(&mut phys, 2, EventKind::SyscallEnter, 1, 4, 0);
+        ring.emit(&mut phys, 3, EventKind::PageFault, 1, 0x1000, 0);
+        let counts = FlightRecord::recover(&phys, 4, 4).event_counts();
+        assert_eq!(counts.get(EventKind::SyscallEnter), 2);
+        assert_eq!(counts.get(EventKind::PageFault), 1);
+        assert_eq!(counts.total(), 3);
+
+        let mut merged = counts;
+        merged.merge(&counts);
+        assert_eq!(merged.get(EventKind::SyscallEnter), 4);
+        assert_eq!(merged.total(), 6);
+
+        let json = merged.to_json().to_pretty();
+        assert!(json.contains("\"syscall_enter\""), "{json}");
+        assert!(!json.contains("\"swap_in\""), "zero kinds omitted: {json}");
     }
 
     #[test]
