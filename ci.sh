@@ -5,6 +5,9 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test --workspace -q
+# The crash-point subsystem is compiled out by default; test it explicitly.
+cargo test -p ow-crashpoint --features crashpoint -q
+cargo test -p ow-faultinject --features crashpoint -q
 
 # Parallel==serial determinism smoke: the sharded campaign engine must emit
 # byte-identical JSON for any --jobs value.
@@ -16,6 +19,30 @@ cargo run -q -p ow-bench --release --bin table5 -- \
     --experiments 5 --jobs 4 --json "$smoke_dir/jobs4.json" >/dev/null
 cmp "$smoke_dir/jobs1.json" "$smoke_dir/jobs4.json" \
     || { echo "table5 --json differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+
+# Crash-point campaign determinism: one app x all points x one mode, the
+# whole panic->handoff->crash-boot->resurrect->morph pipeline per cell,
+# byte-identical for any --jobs value and zero policy violations.
+cargo run -q -p ow-bench --release --features crashpoint --bin crashpoints -- \
+    --app vi --mode unprotected --jobs 1 --json "$smoke_dir/cp1.json" >/dev/null
+cargo run -q -p ow-bench --release --features crashpoint --bin crashpoints -- \
+    --app vi --mode unprotected --jobs 4 --json "$smoke_dir/cp4.json" >/dev/null
+cmp "$smoke_dir/cp1.json" "$smoke_dir/cp4.json" \
+    || { echo "crashpoints --json differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+
+# Perf-trajectory artifacts: the committed BENCH_*.json files must match
+# what the bench binaries emit at the pinned sizes/seeds (deterministic:
+# simulated time only). Regenerate with the two commands below when a
+# change legitimately moves the numbers.
+cargo run -q -p ow-bench --release --bin table5 -- \
+    --experiments 40 --jobs 4 --json "$smoke_dir/BENCH_table5.json" >/dev/null
+cargo run -q -p ow-bench --release --bin recovery -- \
+    --experiments 40 --jobs 4 --json "$smoke_dir/BENCH_recovery.json" >/dev/null
+for f in BENCH_table5.json BENCH_recovery.json; do
+    cmp "$smoke_dir/$f" "$f" \
+        || { echo "$f is stale; regenerate it (see ci.sh) and commit" >&2; exit 1; }
+done
+
 cargo clippy --all-targets --all-features -- -D warnings
 cargo run -p ow-lint --release -- --deny
 cargo fmt --check

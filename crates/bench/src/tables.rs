@@ -189,6 +189,13 @@ fn campaign_json(c: &CampaignResult) -> Value {
         ("boot_failure", Value::from(c.boot_failure as u64)),
         ("resurrect_failure", Value::from(c.resurrect_failure as u64)),
         ("data_corruption", Value::from(c.data_corruption as u64)),
+        ("success_pct", Value::from(c.success_pct())),
+        ("boot_failure_pct", Value::from(c.boot_failure_pct())),
+        (
+            "resurrect_failure_pct",
+            Value::from(c.resurrect_failure_pct()),
+        ),
+        ("data_corruption_pct", Value::from(c.data_corruption_pct())),
         ("wild_writes_landed", Value::from(c.damage.landed as u64)),
         ("wild_writes_trapped", Value::from(c.damage.trapped as u64)),
         ("wild_writes_blocked", Value::from(c.damage.blocked as u64)),
@@ -223,6 +230,8 @@ pub fn table5_json(rows: &[Table5Row]) -> Value {
         .collect();
     let sample = one_microreboot("vi", 6, &OtherworldConfig::default());
     Value::obj([
+        ("schema_version", Value::from(1u64)),
+        ("bench", Value::from("table5")),
         ("rows", Value::Array(row_values)),
         ("sample_flight", sample.flight.to_json()),
         ("sample_timings", sample.timings_json()),
@@ -240,7 +249,12 @@ pub fn recovery_table(experiments: usize, seed: u64, jobs: usize) -> RecoveryCam
     })
 }
 
-fn recovery_side_json(s: &RecoverySide) -> Value {
+fn recovery_side_json(s: &RecoverySide, experiments: usize) -> Value {
+    let survived_pct = if experiments == 0 {
+        0.0
+    } else {
+        100.0 * s.survived() as f64 / experiments as f64
+    };
     Value::obj([
         ("full_resurrection", Value::from(s.full as u64)),
         ("degraded", Value::from(s.degraded as u64)),
@@ -252,6 +266,7 @@ fn recovery_side_json(s: &RecoverySide) -> Value {
         ),
         ("whole_failure", Value::from(s.whole_failure as u64)),
         ("survived", Value::from(s.survived() as u64)),
+        ("survived_pct", Value::from(survived_pct)),
         ("contained_panics", Value::from(s.contained_panics)),
         ("watchdog_fires", Value::from(s.watchdog_fires)),
     ])
@@ -275,11 +290,16 @@ pub fn recovery_json(r: &RecoveryCampaignResult) -> Value {
         })
         .collect();
     Value::obj([
+        ("schema_version", Value::from(1u64)),
+        ("bench", Value::from("recovery")),
         ("experiments", Value::from(r.experiments as u64)),
-        ("with_supervisor", recovery_side_json(&r.with_supervisor)),
+        (
+            "with_supervisor",
+            recovery_side_json(&r.with_supervisor, r.experiments),
+        ),
         (
             "without_supervisor",
-            recovery_side_json(&r.without_supervisor),
+            recovery_side_json(&r.without_supervisor, r.experiments),
         ),
         ("panic_escapes", Value::from(r.panic_escapes as u64)),
         ("records", Value::Array(records)),

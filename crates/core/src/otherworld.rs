@@ -221,6 +221,9 @@ fn run_recovery(
         gen_bump += 1;
         restart_only = true;
         summary.escalated = true;
+        // The supervisor itself is escalating to a fresh generation; a
+        // fault *here* is a fault in the last line of defense.
+        ow_crashpoint::crash_point!("recovery.supervisor.gen2.escalate");
     };
     if summary.escalated {
         k.trace_event(EventKind::RecoveryEscalated, 0, gen_bump as u64, 0);
@@ -518,6 +521,9 @@ fn resurrect_all(
             // always succeeds here; the fallback keeps the ladder monotone
             // even if classification is ever wrong.
             rung = rung.weaker().unwrap_or(LadderRung::CleanRestart);
+            // The ladder transition is recovery-manager code running
+            // outside any containment scope — ReHype's hardest case.
+            ow_crashpoint::crash_point!("recovery.ladder.rung.degrade");
             k.trace_event(
                 EventKind::RecoveryDegraded,
                 old_desc.pid,
@@ -565,6 +571,9 @@ fn restart_only_recovery(
     stats: &mut ReadStats,
 ) -> Vec<ProcReport> {
     let named: Vec<(u64, String)> = supervisor::contain(|| {
+        // Best-effort dead-list read: a fault here falls back to the
+        // registry names instead of killing gen-2 recovery.
+        ow_crashpoint::crash_point!("recovery.restart.names.read");
         let header = reader::read_header(&k.machine.phys, info.dead_kernel_frame, stats).ok()?;
         let list = reader::read_proc_list(&k.machine.phys, &header, stats).ok()?;
         Some(
@@ -619,6 +628,7 @@ fn clean_restart(
     registry: &ProgramRegistry,
     name: &str,
 ) -> (ProcOutcome, Option<u64>) {
+    ow_crashpoint::crash_point!("recovery.ladder.clean.restart");
     let Some(image) = registry.get(name) else {
         return (ProcOutcome::FailedNoExecutable, None);
     };

@@ -94,6 +94,8 @@ pub fn read_header(
     kernel_frame: u64,
     stats: &mut ReadStats,
 ) -> Result<KernelHeader, ReadError> {
+    // A fault while validating the very first dead-kernel structure.
+    ow_crashpoint::crash_point!("recovery.reader.header.validate");
     let (h, n) = KernelHeader::read(phys, kernel_frame * PAGE_SIZE as u64)?;
     stats.add(ReadKind::KernelHeader, n);
     Ok(h)
@@ -106,6 +108,7 @@ pub fn read_proc_list(
     header: &KernelHeader,
     stats: &mut ReadStats,
 ) -> Result<Vec<(PhysAddr, ProcDesc)>, ReadError> {
+    ow_crashpoint::crash_point!("recovery.reader.proclist.walk");
     let mut out = Vec::new();
     let mut guard = ChainGuard::new("process list", header.nprocs as usize);
     let mut addr = header.proc_head;
@@ -126,6 +129,7 @@ pub fn read_vmas(
     desc: &ProcDesc,
     stats: &mut ReadStats,
 ) -> Result<Vec<(PhysAddr, VmaDesc)>, ReadError> {
+    ow_crashpoint::crash_point!("recovery.reader.vma.walk");
     let mut out = Vec::new();
     let mut guard = ChainGuard::new("vma", MAX_VMAS);
     let mut addr = desc.mm_head;
@@ -146,6 +150,7 @@ pub fn read_file_table(
     desc: &ProcDesc,
     stats: &mut ReadStats,
 ) -> Result<FileTable, ReadError> {
+    ow_crashpoint::crash_point!("recovery.reader.filetable.read");
     let (tab, n) = FileTable::read(phys, desc.files)?;
     stats.add(ReadKind::FileTable, n);
     Ok(tab)

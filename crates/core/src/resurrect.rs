@@ -109,10 +109,13 @@ pub fn resurrect_process(
     let new_pid = k
         .create_raw_process(&old_desc.name)
         .map_err(|e| corrupt("create process", e))?;
+    // Descriptor created; a fault here strands it for the scrub pass.
+    ow_crashpoint::crash_point!("recovery.resurrect.descriptor.create");
 
     // 2. Memory regions. Rebuilt in original order (the chain is re-created
     //    by prepending, so walk the old chain in reverse).
     let vmas = reader::read_vmas(&k.machine.phys, old_desc, stats)?;
+    ow_crashpoint::crash_point!("recovery.resurrect.vma.rebuild");
     for (_addr, vma) in vmas.iter().rev() {
         let mut flags = vma.flags;
         let mut file = 0u64;
@@ -143,6 +146,7 @@ pub fn resurrect_process(
     // 3. Page contents. Walk the dead page tables (accounting them — the
     //    dominant share of Table 4) and materialize every mapped page.
     stats_account_tables(k, old_desc, stats)?;
+    ow_crashpoint::crash_point!("recovery.resurrect.pages.materialize");
     let old_asp = AddressSpace::from_root(old_desc.page_root);
     let mut entries = Vec::new();
     old_asp
@@ -241,6 +245,7 @@ pub fn resurrect_process(
     //    not walk the file records or cache chains at all — the file table
     //    itself is one fixed-size validated read, enough to report what
     //    was lost.
+    ow_crashpoint::crash_point!("recovery.resurrect.files.reopen");
     if anon_only {
         match reader::read_file_table(&k.machine.phys, old_desc, stats) {
             Ok(tab) if tab.fds.iter().all(|&a| a == 0) => {}
@@ -263,6 +268,7 @@ pub fn resurrect_process(
     }
 
     // 5. Physical terminal (§3.3).
+    ow_crashpoint::crash_point!("recovery.resurrect.terminal.restore");
     if old_desc.term_id != u32::MAX {
         if anon_only {
             failed |= resmask::TERMINAL;
@@ -278,6 +284,7 @@ pub fn resurrect_process(
     }
 
     // 6. Signal handlers.
+    ow_crashpoint::crash_point!("recovery.resurrect.signals.restore");
     if anon_only {
         failed |= resmask::SIGNALS;
     } else {
@@ -331,6 +338,7 @@ pub fn resurrect_process(
 
     // 9. Saved context: prefer the NMI-saved per-CPU copy when it is valid
     //    and newer (§4: duplicated state cross-checks).
+    ow_crashpoint::crash_point!("recovery.resurrect.context.check");
     let (ctx, integrity_fixes) = integrity::cross_check_context(&k.machine.phys, old_desc);
     k.update_desc(new_pid, |d| {
         d.crash_proc = old_desc.crash_proc;

@@ -1,0 +1,125 @@
+//! The static registry of every labeled crash point in the workspace.
+//!
+//! Each entry names one `crash_point!` site threaded through the kernel or
+//! the recovery engine. `ow-lint` cross-checks this file against the actual
+//! call sites (unregistered and stale labels are findings), so the only
+//! string literals allowed in this file are the labels themselves — the
+//! lint reads the file's string table as the registry.
+
+/// Which subsystem a crash point instruments. The campaign derives its
+/// expected post-recovery outcome from the area (with a handful of
+/// per-label overrides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Area {
+    /// Main-kernel syscall entry/exit (in-syscall marker discipline).
+    Syscall,
+    /// Page-cache write/flush/fsync paths.
+    PageCache,
+    /// Demand paging and swap-in fault handling.
+    PageFault,
+    /// Swap-out eviction in the VM layer.
+    Vm,
+    /// Raw swap-device slot I/O.
+    Swap,
+    /// The dead kernel's panic path (do_panic milestones).
+    PanicPath,
+    /// Crash-kernel boot.
+    CrashBoot,
+    /// Memory reclaim / crash-image install / morph-into-main.
+    Kexec,
+    /// Validated dead-memory readers in the crash kernel.
+    Reader,
+    /// Per-process resurrection stages.
+    Resurrect,
+    /// Supervisor ladder rung transitions and clean restart.
+    Ladder,
+    /// Generation-2 escalation.
+    Supervisor,
+    /// Restart-only (gen-2) recovery.
+    Restart,
+}
+
+impl Area {
+    /// Short stable name (used by campaign JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Area::Syscall => "syscall",
+            Area::PageCache => "pagecache",
+            Area::PageFault => "pagefault",
+            Area::Vm => "vm",
+            Area::Swap => "swap",
+            Area::PanicPath => "panic_path",
+            Area::CrashBoot => "crashboot",
+            Area::Kexec => "kexec",
+            Area::Reader => "reader",
+            Area::Resurrect => "resurrect",
+            Area::Ladder => "ladder",
+            Area::Supervisor => "supervisor",
+            Area::Restart => "restart",
+        }
+    }
+}
+
+/// One registered crash point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointSpec {
+    /// The `area.component.action` label compiled into the marker site.
+    pub label: &'static str,
+    /// The subsystem the marker instruments.
+    pub area: Area,
+}
+
+const fn p(label: &'static str, area: Area) -> PointSpec {
+    PointSpec { label, area }
+}
+
+/// Every labeled crash point, in pipeline order: main-kernel hot spots,
+/// then the panic path, then the crash-kernel recovery side.
+pub const REGISTRY: &[PointSpec] = &[
+    // Main kernel: syscall boundary.
+    p("kernel.syscall.enter.marked", Area::Syscall),
+    p("kernel.syscall.exit.pre_clear", Area::Syscall),
+    // Main kernel: page cache.
+    p("kernel.pagecache.write.pre_commit", Area::PageCache),
+    p("kernel.pagecache.fsync.flush", Area::PageCache),
+    p("kernel.pagecache.flush.walk", Area::PageCache),
+    // Main kernel: demand paging and swap.
+    p("kernel.pagefault.demand.map", Area::PageFault),
+    p("kernel.pagefault.swap.in", Area::PageFault),
+    p("kernel.vm.swap.out", Area::Vm),
+    p("kernel.swap.slot.write", Area::Swap),
+    p("kernel.swap.slot.read", Area::Swap),
+    // Dead kernel: panic path milestones.
+    p("kernel.panic.path.entered", Area::PanicPath),
+    p("kernel.panic.handoff.read", Area::PanicPath),
+    p("kernel.panic.nmi.broadcast", Area::PanicPath),
+    p("kernel.panic.handoff.jump", Area::PanicPath),
+    // Crash kernel: boot and morph.
+    p("kernel.crashboot.init.begin", Area::CrashBoot),
+    p("kernel.kexec.reclaim.memory", Area::Kexec),
+    p("kernel.kexec.install.image", Area::Kexec),
+    p("kernel.kexec.morph.main", Area::Kexec),
+    // Crash kernel: validated readers.
+    p("recovery.reader.header.validate", Area::Reader),
+    p("recovery.reader.proclist.walk", Area::Reader),
+    p("recovery.reader.vma.walk", Area::Reader),
+    p("recovery.reader.filetable.read", Area::Reader),
+    // Crash kernel: per-process resurrection stages.
+    p("recovery.resurrect.descriptor.create", Area::Resurrect),
+    p("recovery.resurrect.vma.rebuild", Area::Resurrect),
+    p("recovery.resurrect.pages.materialize", Area::Resurrect),
+    p("recovery.resurrect.files.reopen", Area::Resurrect),
+    p("recovery.resurrect.terminal.restore", Area::Resurrect),
+    p("recovery.resurrect.signals.restore", Area::Resurrect),
+    p("recovery.resurrect.context.check", Area::Resurrect),
+    // Crash kernel: supervisor ladder and escalation.
+    p("recovery.ladder.rung.degrade", Area::Ladder),
+    p("recovery.ladder.clean.restart", Area::Ladder),
+    p("recovery.supervisor.gen2.escalate", Area::Supervisor),
+    p("recovery.restart.names.read", Area::Restart),
+];
+
+/// Looks up a label in the registry.
+pub fn spec(label: &str) -> Option<&'static PointSpec> {
+    REGISTRY.iter().find(|p| p.label == label)
+}

@@ -179,7 +179,7 @@ impl CampaignResult {
     }
 }
 
-fn machine_config() -> MachineConfig {
+pub(crate) fn machine_config() -> MachineConfig {
     MachineConfig {
         ram_frames: 8192, // 32 MiB
         cpus: 2,
@@ -191,7 +191,7 @@ fn machine_config() -> MachineConfig {
 /// Recovers the flight record from a kernel's physical memory exactly the
 /// way the crash kernel does: locate the trace region through the handoff
 /// block, then run the validated per-slot reader over it.
-fn recover_flight(k: &Kernel) -> FlightRecord {
+pub(crate) fn recover_flight(k: &Kernel) -> FlightRecord {
     ow_kernel::layout::HandoffBlock::read(&k.machine.phys)
         .map(|(h, _)| FlightRecord::recover(&k.machine.phys, h.trace_base, h.trace_frames))
         .unwrap_or_default()

@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+#[cfg(feature = "crashpoint")]
+pub mod crashpoint;
 pub mod engine;
 pub mod faults;
 pub mod recovery;
@@ -18,6 +20,11 @@ pub mod recovery;
 pub use campaign::{
     experiment_seed, fault_stream_seed, run_campaign, run_experiment, workload_stream_seed,
     CampaignConfig, CampaignResult, ExperimentRecord, Outcome,
+};
+#[cfg(feature = "crashpoint")]
+pub use crashpoint::{
+    campaign_crashpoints, cell_seed, crashpoints_json, discover_points, run_cell, CellOutcome,
+    CellRecord, CellSpec, CrashpointCampaignConfig, CrashpointCampaignResult, CRASHPOINT_SEED,
 };
 pub use engine::{jobs_from_args, parallel_map, resolve_jobs, run_indexed};
 pub use faults::{draw_fault, inject_batch, DamageReport, Fault, FaultKind, Manifestation};

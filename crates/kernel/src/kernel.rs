@@ -407,6 +407,9 @@ impl Kernel {
         handoff: HandoffInfo,
         tolerate_layout_mismatch: bool,
     ) -> Result<Kernel, (KernelError, Box<Machine>)> {
+        // First instruction of the crash kernel, so to speak: nothing has
+        // been read from the dead kernel yet.
+        ow_crashpoint::crash_point!("kernel.crashboot.init.begin");
         Kernel::boot_common(
             machine,
             config,

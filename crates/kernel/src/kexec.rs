@@ -55,6 +55,8 @@ impl Kernel {
     /// tables, page cache). Everything that belonged to the dead kernel
     /// returns to the free list.
     pub fn reclaim_all_memory(&mut self) -> KernelResult<()> {
+        // Morph stage: the dead kernel's frames are about to be absorbed.
+        ow_crashpoint::crash_point!("kernel.kexec.reclaim.memory");
         let total = self.machine.frames();
         let mut fresh = FrameAllocator::new(0, total as usize);
 
@@ -119,6 +121,9 @@ impl Kernel {
     /// next crash kernel and load a fresh image there. Prefers the dead
     /// kernel's old neighborhood (low memory) to keep the layout simple.
     pub fn install_new_crash_kernel(&mut self) -> KernelResult<()> {
+        // Morph stage: between reclaim and the next crash image existing —
+        // the window in which the system is unprotected.
+        ow_crashpoint::crash_point!("kernel.kexec.install.image");
         let frames = self.config.crash_frames;
         let base = self
             .falloc
@@ -131,6 +136,7 @@ impl Kernel {
     /// return this kernel *is* the main kernel and the system is protected
     /// against the next failure.
     pub fn morph_into_main(&mut self) -> KernelResult<()> {
+        ow_crashpoint::crash_point!("kernel.kexec.morph.main");
         self.reclaim_all_memory()?;
         self.install_new_crash_kernel()?;
         self.is_crash = false;

@@ -24,6 +24,9 @@ use ow_simhw::{machine::FrameOwner, machine::Machine, PhysAddr, PAGE_SIZE};
 /// (resurrection flushes dirty buffers of every reopened file).
 pub fn flush_cache(m: &mut Machine, fs: &Fs, frec_addr: PhysAddr) -> KernelResult<u64> {
     let (frec, _) = FileRecord::read(&m.phys, frec_addr)?;
+    // Fires mid-writeback on whichever side runs it: the main kernel
+    // (fsync/close) or the crash kernel (resurrection buffer flush).
+    ow_crashpoint::crash_point!("kernel.pagecache.flush.walk");
     let mut flushed = 0;
     let mut node_addr = frec.cache_head;
     while node_addr != 0 {
@@ -195,6 +198,9 @@ impl Kernel {
         } else {
             frec.offset
         };
+        // Offset resolved, nothing written yet: a crash here loses the
+        // whole write but must leave the previous contents intact.
+        ow_crashpoint::crash_point!("kernel.pagecache.write.pre_commit");
         let mut done = 0usize;
         while done < data.len() {
             let page_off = offset & !(PAGE_SIZE as u64 - 1);
@@ -267,6 +273,7 @@ impl Kernel {
     pub fn file_fsync(&mut self, pid: u64, fd: u32) -> KernelResult<u64> {
         let frec_addr = self.frec_addr(pid, fd)?;
         let fs = self.fs.clone();
+        ow_crashpoint::crash_point!("kernel.pagecache.fsync.flush");
         flush_cache(&mut self.machine, &fs, frec_addr)
     }
 

@@ -53,6 +53,9 @@ impl Kernel {
     }
 
     fn panic_path(&mut self, cause: PanicCause) -> PanicOutcome {
+        // A fault at the very top of the panic path: the Entered milestone
+        // is already in the flight recorder, nothing else happened yet.
+        ow_crashpoint::crash_point!("kernel.panic.path.entered");
         let fixes = self.config.fixes;
 
         // A stall is not a panic at all: nothing runs. Only the watchdog
@@ -91,6 +94,7 @@ impl Kernel {
             Err(_) => return PanicOutcome::SystemHalted("handoff block corrupted"),
         };
         self.trace_panic_step(PanicStep::HandoffRead, handoff.generation as u64);
+        ow_crashpoint::crash_point!("kernel.panic.handoff.read");
         if handoff.idt_stamp != IDT_MAGIC || !crate::layout::idt_gates_valid(&self.machine.phys) {
             return PanicOutcome::SystemHalted("IDT corrupted: NMI broadcast impossible");
         }
@@ -109,6 +113,7 @@ impl Kernel {
             }
         }
         self.trace_panic_step(PanicStep::NmiBroadcast, ncpus);
+        ow_crashpoint::crash_point!("kernel.panic.nmi.broadcast");
 
         // Validate the crash-kernel image before jumping to it. The image
         // itself is hardware-protected, but its descriptor must be sane.
@@ -121,6 +126,7 @@ impl Kernel {
 
         // Remove the memory protection from the crash-kernel image and
         // "jump" to it: from here no main-kernel code runs.
+        ow_crashpoint::crash_point!("kernel.panic.handoff.jump");
         PanicOutcome::Handoff(HandoffInfo {
             dead_kernel_frame: self.base_frame,
             crash_base: handoff.crash_base,

@@ -87,6 +87,8 @@ impl SwapArea {
     pub fn write_slot(&self, m: &mut Machine, slot: u32, pfn: u64) -> Result<(), KernelError> {
         let mut page = vec![0u8; PAGE_SIZE];
         m.phys.read(pfn * PAGE_SIZE as u64, &mut page)?;
+        // Page copied out of RAM, device write still pending.
+        ow_crashpoint::crash_point!("kernel.swap.slot.write");
         m.dev_write(self.dev, slot as u64 * PAGE_SIZE as u64, &page)?;
         self.trace_io(m, EventKind::SwapOut, slot, pfn);
         Ok(())
@@ -96,6 +98,8 @@ impl SwapArea {
     pub fn read_slot(&self, m: &mut Machine, slot: u32, pfn: u64) -> Result<(), KernelError> {
         let mut page = vec![0u8; PAGE_SIZE];
         m.dev_read(self.dev, slot as u64 * PAGE_SIZE as u64, &mut page)?;
+        // Device read done, frame not yet filled.
+        ow_crashpoint::crash_point!("kernel.swap.slot.read");
         m.phys.write(pfn * PAGE_SIZE as u64, &page)?;
         self.trace_io(m, EventKind::SwapIn, slot, pfn);
         Ok(())

@@ -117,6 +117,9 @@ impl<'k> KernelApi<'k> {
             .phys
             .write_u32(desc_addr + Self::in_syscall_off(), nr as u32 + 1);
         let _ = self.kernel.reseal_desc(self.pid);
+        // The in-syscall marker is committed: a crash here leaves the call
+        // visibly in flight for the crash kernel to re-deliver.
+        ow_crashpoint::crash_point!("kernel.syscall.enter.marked");
 
         // A queued mid-syscall fault manifests now: the kernel dies with
         // this call in flight.
@@ -135,6 +138,9 @@ impl<'k> KernelApi<'k> {
         if self.kernel.panicked.is_some() {
             return;
         }
+        // The syscall's effects are committed but the in-flight marker is
+        // still set: a crash here must re-deliver an already-applied call.
+        ow_crashpoint::crash_point!("kernel.syscall.exit.pre_clear");
         if let Ok(p) = self.kernel.proc(self.pid) {
             let desc_addr = p.desc_addr;
             let _ = self

@@ -134,6 +134,9 @@ impl Kernel {
         let pfn = self
             .alloc_frame(FrameOwner::User { pid })
             .map_err(|_| Errno::NoMem)?;
+        // Frame allocated but not yet mapped: a crash here strands it for
+        // the crash kernel's reclaim pass.
+        ow_crashpoint::crash_point!("kernel.pagefault.demand.map");
         if vma.flags & layout::vmaflags::FILE != 0 && vma.file != 0 {
             // File-backed: fill from the file.
             let (frec, _) =
@@ -176,6 +179,8 @@ impl Kernel {
             .alloc_frame(FrameOwner::User { pid })
             .map_err(|_| Errno::NoMem)?;
         let area = self.swaps[self.active_swap].clone();
+        // Between slot read and PTE update: the slot still holds the page.
+        ow_crashpoint::crash_point!("kernel.pagefault.swap.in");
         area.read_slot(&mut self.machine, slot as u32, pfn)
             .map_err(|_| Errno::Io)?;
         area.free_slot(&mut self.machine, slot as u32)
@@ -268,6 +273,8 @@ impl Kernel {
         }
         let area = self.swaps[self.active_swap].clone();
         let slot = area.alloc_slot(&mut self.machine)?;
+        // Slot allocated, page still present: eviction not yet visible.
+        ow_crashpoint::crash_point!("kernel.vm.swap.out");
         area.write_slot(&mut self.machine, slot, pte.pfn())?;
         let swapped = Pte::new(slot as u64, preserved(pte.flags()) | PteFlags::SWAPPED);
         {

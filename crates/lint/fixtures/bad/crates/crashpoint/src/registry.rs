@@ -1,0 +1,6 @@
+//! Fixture crash-point registry: one label in use, one stale.
+
+pub const REGISTRY: &[&str] = &[
+    "demo.area.ok",
+    "demo.stale.label",
+];

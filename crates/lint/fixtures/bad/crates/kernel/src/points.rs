@@ -1,0 +1,9 @@
+//! Seeded-violation fixture: crash-point label discipline — a duplicate
+//! label, a grammar violation, and an unregistered label.
+
+pub fn poke() {
+    ow_crashpoint::crash_point!("demo.area.ok");
+    ow_crashpoint::crash_point!("demo.area.ok");
+    ow_crashpoint::crash_point!("Not-A-Label");
+    ow_crashpoint::crash_point!("demo.never.registered");
+}

@@ -1,0 +1,8 @@
+//! Fixture crash-point registry: the live label plus one justified
+//! reservation.
+
+pub const REGISTRY: &[&str] = &[
+    "demo.area.ok",
+    // ow-lint: allow(crash-point-label) -- reserved for the next campaign phase
+    "demo.reserved.label",
+];

@@ -1,0 +1,5 @@
+//! Clean fixture: a registered, well-formed, unique crash-point label.
+
+pub fn poke() {
+    ow_crashpoint::crash_point!("demo.area.ok");
+}

@@ -112,10 +112,13 @@ pub struct FileModel {
     pub record_impls: Vec<RecordImpl>,
     /// Escape-hatch directives.
     pub directives: Vec<Directive>,
-    /// Every string literal in the file (for registry/sample matching).
-    pub strings: Vec<String>,
+    /// Every string literal in the file with its 1-based line (for
+    /// registry/sample matching).
+    pub strings: Vec<(String, u32)>,
     /// `reg!(X)` macro argument names (layout-registry entries).
     pub reg_macro_args: Vec<String>,
+    /// `crash_point!("label")` call sites outside test code: (label, line).
+    pub crash_point_labels: Vec<(String, u32)>,
 }
 
 const PANIC_MACROS: &[&str] = &[
@@ -173,7 +176,7 @@ pub fn extract(toks: &[Token], directives: Vec<Directive>, force_test: bool) -> 
     };
     for t in toks {
         if let Tok::Str(s) = &t.tok {
-            model.strings.push(s.clone());
+            model.strings.push((s.clone(), t.line));
         }
     }
     collect_reg_macros(toks, &mut model);
@@ -182,6 +185,7 @@ pub fn extract(toks: &[Token], directives: Vec<Directive>, force_test: bool) -> 
     } else {
         cfg_test_spans(toks)
     };
+    collect_crash_points(toks, &test_spans, &mut model);
 
     // Context stack: (brace depth when the block opened, name, is_trait).
     let mut ctx: Vec<(i32, String, bool)> = Vec::new();
@@ -238,6 +242,20 @@ fn collect_reg_macros(toks: &[Token], model: &mut FileModel) {
         if ident(&w[0]) == Some("reg") && punct(&w[1], '!') && punct(&w[2], '(') {
             if let Some(name) = ident(&w[3]) {
                 model.reg_macro_args.push(name.to_string());
+            }
+        }
+    }
+}
+
+/// Finds `crash_point!("label")` invocations, skipping test code (tests
+/// arm synthetic labels that are not part of the shipped registry).
+fn collect_crash_points(toks: &[Token], test_spans: &[(usize, usize)], model: &mut FileModel) {
+    for (i, w) in toks.windows(4).enumerate() {
+        if ident(&w[0]) == Some("crash_point") && punct(&w[1], '!') && punct(&w[2], '(') {
+            if let Tok::Str(label) = &w[3].tok {
+                if !test_spans.iter().any(|&(a, b)| i >= a && i < b) {
+                    model.crash_point_labels.push((label.clone(), w[3].line));
+                }
             }
         }
     }
@@ -807,6 +825,29 @@ mod tests {
     fn reg_macro_args_collected() {
         let m = model("static R: &[E] = &[reg!(HandoffBlock), reg!(ProcDesc)];");
         assert_eq!(m.reg_macro_args, vec!["HandoffBlock", "ProcDesc"]);
+    }
+
+    #[test]
+    fn crash_point_labels_collected_with_lines() {
+        let m = model(
+            "fn f() {\n    ow_crashpoint::crash_point!(\"kernel.swap.slot.write\");\n}\n\
+             fn g() { crash_point!(\"recovery.reader.vma.walk\"); }",
+        );
+        assert_eq!(
+            m.crash_point_labels,
+            vec![
+                ("kernel.swap.slot.write".to_string(), 2),
+                ("recovery.reader.vma.walk".to_string(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn crash_point_labels_in_test_code_are_skipped() {
+        let m = model(
+            "#[cfg(test)]\nmod tests {\n    fn t() { crash_point!(\"synthetic.test.label\"); }\n}",
+        );
+        assert!(m.crash_point_labels.is_empty());
     }
 
     #[test]

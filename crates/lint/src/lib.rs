@@ -2,7 +2,7 @@
 //!
 //! Otherworld's crash kernel walks the raw, possibly corrupted physical
 //! memory of a dead kernel (§4 of the paper); this tool machine-checks the
-//! discipline that makes that survivable. Four invariants:
+//! discipline that makes that survivable. Five invariants:
 //!
 //! 1. **recovery-panic** — no `unwrap`/`expect`/`panic!`-family macro, and
 //!    no slice indexing in dead-data-handling crates, in any function
@@ -18,6 +18,10 @@
 //!    layout-registry entry and a golden-encoding sample case.
 //! 4. **panic-path-alloc** — the panic/kexec handoff makes no `kheap`
 //!    allocations.
+//! 5. **crash-point-label** — every `crash_point!` label matches the
+//!    `area.component.action` grammar, is unique workspace-wide, and is
+//!    declared in the crash-point registry; a registered label no code
+//!    hits is stale.
 //!
 //! The escape hatch is a justified comment on (or directly above) the
 //! offending line: `// ow-lint: allow(<rule>) -- <reason>`. An allow
@@ -67,6 +71,8 @@ pub struct Config {
     pub registry_file: String,
     /// The golden-sample file (rule 3 sample cases).
     pub samples_file: String,
+    /// The crash-point registry file (rule 5 label declarations).
+    pub crashpoint_registry_file: String,
 }
 
 impl Config {
@@ -80,6 +86,7 @@ impl Config {
             // not scanned; see DESIGN.md.
             scan: s(&[
                 "crates/core",
+                "crates/crashpoint",
                 "crates/kernel",
                 "crates/layout",
                 "crates/simhw",
@@ -133,6 +140,7 @@ impl Config {
             ],
             registry_file: "crates/layout/src/registry.rs".to_string(),
             samples_file: "crates/layout/src/samples.rs".to_string(),
+            crashpoint_registry_file: "crates/crashpoint/src/registry.rs".to_string(),
         }
     }
 }

@@ -1,10 +1,10 @@
-//! The four crash-safety rules, plus the escape-hatch bookkeeping
+//! The five crash-safety rules, plus the escape-hatch bookkeeping
 //! (`allow-missing-reason` and `stale-allow` meta-findings).
 
 use crate::extract::PanicKind;
 use crate::graph::{FileEntry, Graph};
 use crate::Config;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Rule 1: panic on the recovery path.
 pub const RECOVERY_PANIC: &str = "recovery-panic";
@@ -14,6 +14,8 @@ pub const UNTRUSTED_READ: &str = "untrusted-read";
 pub const RECORD_REGISTRY: &str = "record-registry";
 /// Rule 4: heap allocation on the panic/kexec handoff path.
 pub const PANIC_PATH_ALLOC: &str = "panic-path-alloc";
+/// Rule 5: malformed, duplicate, unregistered, or stale crash-point label.
+pub const CRASH_POINT_LABEL: &str = "crash-point-label";
 /// Meta: an allow directive with no `-- reason` justification.
 pub const ALLOW_MISSING_REASON: &str = "allow-missing-reason";
 /// Meta: an allow directive that suppresses nothing.
@@ -35,6 +37,21 @@ pub struct Finding {
     /// Call-graph witness path from a recovery/panic-path root, when the
     /// rule is reachability-based.
     pub via: Vec<String>,
+}
+
+/// Whether `label` follows the `area.component.action` naming grammar: at
+/// least three dot-separated segments, each `[a-z][a-z0-9_]*`. Mirrors
+/// `ow_crashpoint::label_grammar_ok`, kept local so the lint stays
+/// dependency-free; `crates/crashpoint` unit tests pin the two in sync by
+/// asserting the grammar over the same registry this rule reads.
+fn label_grammar_ok(label: &str) -> bool {
+    let segs: Vec<&str> = label.split('.').collect();
+    segs.len() >= 3
+        && segs.iter().all(|seg| {
+            let mut chars = seg.chars();
+            matches!(chars.next(), Some('a'..='z'))
+                && chars.all(|c| matches!(c, 'a'..='z' | '0'..='9' | '_'))
+        })
 }
 
 /// Tracks which escape-hatch directives suppressed a violation.
@@ -189,7 +206,7 @@ pub fn check(cfg: &Config, files: &[FileEntry]) -> (Vec<Finding>, usize) {
     let samples: Vec<&str> = files
         .iter()
         .find(|f| f.path == cfg.samples_file)
-        .map(|f| f.model.strings.iter().map(String::as_str).collect())
+        .map(|f| f.model.strings.iter().map(|(s, _)| s.as_str()).collect())
         .unwrap_or_default();
     for (fi, entry) in files.iter().enumerate() {
         for ri in &entry.model.record_impls {
@@ -219,6 +236,98 @@ pub fn check(cfg: &Config, files: &[FileEntry]) -> (Vec<Finding>, usize) {
                     message: format!(
                         "impl Record for {t} has no golden-encoding sample case in {}",
                         cfg.samples_file
+                    ),
+                    via: Vec::new(),
+                });
+            }
+        }
+    }
+
+    // Rule 5: crash-point label discipline. Campaign cells are addressed by
+    // label (`--point <label>`), so a malformed, colliding, unregistered,
+    // or stale label silently breaks reproduction-by-name.
+    let registry_labels: Vec<(&str, u32)> = files
+        .iter()
+        .find(|f| f.path == cfg.crashpoint_registry_file)
+        .map(|f| {
+            f.model
+                .strings
+                .iter()
+                .filter(|(s, _)| label_grammar_ok(s))
+                .map(|(s, l)| (s.as_str(), *l))
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut first_site: HashMap<&str, (&str, u32)> = HashMap::new();
+    let mut hit_labels: HashSet<&str> = HashSet::new();
+    for (fi, entry) in files.iter().enumerate() {
+        for (label, line) in &entry.model.crash_point_labels {
+            hit_labels.insert(label.as_str());
+            if !label_grammar_ok(label) {
+                if !allows.try_allow(files, fi, *line, CRASH_POINT_LABEL) {
+                    findings.push(Finding {
+                        rule: CRASH_POINT_LABEL.to_string(),
+                        file: entry.path.clone(),
+                        line: *line,
+                        function: String::new(),
+                        message: format!(
+                            "crash_point!(\"{label}\") does not match the \
+                             `area.component.action` label grammar"
+                        ),
+                        via: Vec::new(),
+                    });
+                }
+                // A malformed label cannot be meaningfully registered;
+                // don't pile a second finding onto the same site.
+                continue;
+            }
+            if let Some(&(ffile, fline)) = first_site.get(label.as_str()) {
+                if !allows.try_allow(files, fi, *line, CRASH_POINT_LABEL) {
+                    findings.push(Finding {
+                        rule: CRASH_POINT_LABEL.to_string(),
+                        file: entry.path.clone(),
+                        line: *line,
+                        function: String::new(),
+                        message: format!(
+                            "crash_point!(\"{label}\") duplicates the label at {ffile}:{fline}; \
+                             labels must be unique workspace-wide"
+                        ),
+                        via: Vec::new(),
+                    });
+                }
+                continue;
+            }
+            first_site.insert(label.as_str(), (entry.path.as_str(), *line));
+            if !registry_labels.iter().any(|(r, _)| *r == label)
+                && !allows.try_allow(files, fi, *line, CRASH_POINT_LABEL)
+            {
+                findings.push(Finding {
+                    rule: CRASH_POINT_LABEL.to_string(),
+                    file: entry.path.clone(),
+                    line: *line,
+                    function: String::new(),
+                    message: format!(
+                        "crash_point!(\"{label}\") is not declared in {}",
+                        cfg.crashpoint_registry_file
+                    ),
+                    via: Vec::new(),
+                });
+            }
+        }
+    }
+    if let Some(reg_fi) = file_idx(&cfg.crashpoint_registry_file) {
+        for &(label, line) in &registry_labels {
+            if !hit_labels.contains(label)
+                && !allows.try_allow(files, reg_fi, line, CRASH_POINT_LABEL)
+            {
+                findings.push(Finding {
+                    rule: CRASH_POINT_LABEL.to_string(),
+                    file: cfg.crashpoint_registry_file.clone(),
+                    line,
+                    function: String::new(),
+                    message: format!(
+                        "registered crash point \"{label}\" has no crash_point!(\"{label}\") \
+                         site; stale registry entry"
                     ),
                     via: Vec::new(),
                 });

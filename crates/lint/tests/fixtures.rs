@@ -29,6 +29,7 @@ fn bad_fixture_trips_every_rule() {
         "untrusted-read",
         "record-registry",
         "panic-path-alloc",
+        "crash-point-label",
         "allow-missing-reason",
         "stale-allow",
     ] {
@@ -45,6 +46,7 @@ fn bad_fixture_trips_every_rule() {
     assert_eq!(by_rule("panic-path-alloc"), 2, "{:?}", rules_of(&report));
     assert_eq!(by_rule("untrusted-read"), 1, "{:?}", rules_of(&report));
     assert_eq!(by_rule("record-registry"), 2, "{:?}", rules_of(&report));
+    assert_eq!(by_rule("crash-point-label"), 4, "{:?}", rules_of(&report));
     assert_eq!(
         by_rule("allow-missing-reason"),
         1,
@@ -52,7 +54,7 @@ fn bad_fixture_trips_every_rule() {
         rules_of(&report)
     );
     assert_eq!(by_rule("stale-allow"), 1, "{:?}", rules_of(&report));
-    assert_eq!(report.findings.len(), 11, "{:?}", rules_of(&report));
+    assert_eq!(report.findings.len(), 15, "{:?}", rules_of(&report));
 }
 
 #[test]
@@ -81,8 +83,8 @@ fn good_fixture_is_clean_with_a_used_allow() {
         report.findings
     );
     assert_eq!(
-        report.allows_used, 1,
-        "the justified escape hatch should count as in use"
+        report.allows_used, 2,
+        "both justified escape hatches should count as in use"
     );
 }
 
