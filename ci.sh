@@ -30,6 +30,18 @@ cargo run -q -p ow-bench --release --features crashpoint --bin crashpoints -- \
 cmp "$smoke_dir/cp1.json" "$smoke_dir/cp4.json" \
     || { echo "crashpoints --json differs between --jobs 1 and --jobs 4" >&2; exit 1; }
 
+# The same slice under warm morph + lazy resurrection: the validate-then-
+# adopt path must be just as deterministic and just as policy-clean (the
+# binary exits non-zero on any unexpected cell).
+cargo run -q -p ow-bench --release --features crashpoint --bin crashpoints -- \
+    --app vi --mode unprotected --morph warm --strategy lazy \
+    --jobs 1 --json "$smoke_dir/cpw1.json" >/dev/null
+cargo run -q -p ow-bench --release --features crashpoint --bin crashpoints -- \
+    --app vi --mode unprotected --morph warm --strategy lazy \
+    --jobs 4 --json "$smoke_dir/cpw4.json" >/dev/null
+cmp "$smoke_dir/cpw1.json" "$smoke_dir/cpw4.json" \
+    || { echo "warm/lazy crashpoints --json differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+
 # Perf-trajectory artifacts: the committed BENCH_*.json files must match
 # what the bench binaries emit at the pinned sizes/seeds (deterministic:
 # simulated time only). Regenerate with the two commands below when a
@@ -38,7 +50,16 @@ cargo run -q -p ow-bench --release --bin table5 -- \
     --experiments 40 --jobs 4 --json "$smoke_dir/BENCH_table5.json" >/dev/null
 cargo run -q -p ow-bench --release --bin recovery -- \
     --experiments 40 --jobs 4 --json "$smoke_dir/BENCH_recovery.json" >/dev/null
-for f in BENCH_table5.json BENCH_recovery.json; do
+# Table 6 is the warm-vs-cold determinism slice: the full four-config
+# matrix is regenerated at --jobs 1 and --jobs 4 and must be byte-identical
+# to itself and to the committed artifact (adoption flags included).
+cargo run -q -p ow-bench --release --bin table6 -- \
+    --jobs 1 --json "$smoke_dir/t6_jobs1.json" >/dev/null
+cargo run -q -p ow-bench --release --bin table6 -- \
+    --jobs 4 --json "$smoke_dir/BENCH_table6.json" >/dev/null
+cmp "$smoke_dir/t6_jobs1.json" "$smoke_dir/BENCH_table6.json" \
+    || { echo "table6 --json differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+for f in BENCH_table5.json BENCH_recovery.json BENCH_table6.json; do
     cmp "$smoke_dir/$f" "$f" \
         || { echo "$f is stale; regenerate it (see ci.sh) and commit" >&2; exit 1; }
 done

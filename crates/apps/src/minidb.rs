@@ -148,7 +148,15 @@ impl Program for MiniDb {
 
     /// §5.2's crash procedure: reuse the PSE functions to dump every table
     /// to disk, then restart with the dump file as a command-line argument.
-    fn crash_procedure(&mut self, api: &mut dyn UserApi, _failed: u32) -> CrashAction {
+    /// When `failed == 0` — the MEMORY tables and every kernel resource,
+    /// listeners included, survived resurrection — it takes §3.4's advanced
+    /// route instead: abandon the in-flight query and keep serving from the
+    /// live arena, skipping the dump-and-restart cycle.
+    fn crash_procedure(&mut self, api: &mut dyn UserApi, failed: u32) -> CrashAction {
+        if failed == 0 {
+            let _ = api.mem_write_u64(SID_CELL, u64::MAX);
+            return CrashAction::Continue;
+        }
         // Serializing every MEMORY table dominates the crash procedure.
         api.compute(75_000_000);
         let dump = (|| -> Result<(), Errno> {
@@ -503,7 +511,9 @@ mod tests {
         let mut db = MiniDb;
         let action = {
             let mut api = ow_kernel::syscall::KernelApi::new(&mut k, pid);
-            db.crash_procedure(&mut api, 0)
+            // A non-zero failed mask (lost sockets) forces the dump path;
+            // failed == 0 takes the §3.4 continue-in-place route instead.
+            db.crash_procedure(&mut api, 1)
         };
         let CrashAction::SaveAndRestart(args) = action else {
             panic!("expected SaveAndRestart");

@@ -205,8 +205,15 @@ impl Program for WebServ {
 
     /// §5.3's crash procedure: walk the session hash table (through its
     /// global address) and save each element to a file; Apache restarts and
-    /// re-populates the table from it.
-    fn crash_procedure(&mut self, api: &mut dyn UserApi, _failed: u32) -> CrashAction {
+    /// re-populates the table from it. When `failed == 0` — every resource
+    /// class, sockets included, survived resurrection — it takes §3.4's
+    /// advanced route instead: drop the in-flight request and keep serving
+    /// from the live session table, skipping the restart entirely.
+    fn crash_procedure(&mut self, api: &mut dyn UserApi, failed: u32) -> CrashAction {
+        if failed == 0 {
+            let _ = api.mem_write_u64(SID_CELL, u64::MAX);
+            return CrashAction::Continue;
+        }
         // Serializing the session table dominates the crash procedure.
         api.compute(200_000_000);
         let saved = (|| -> Result<(), Errno> {

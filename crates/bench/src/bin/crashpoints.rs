@@ -7,6 +7,7 @@
 //! crashpoints --point recovery.resurrect.vma.rebuild --app vi --mode protected
 //! crashpoints --list                   # print the registry
 //! crashpoints --discover --app vi      # count-only discovery pass
+//! crashpoints --morph warm --strategy lazy  # rerun under warm/lazy recovery
 //! ```
 //!
 //! Exits non-zero when any cell's outcome violates the per-point policy.
@@ -92,6 +93,8 @@ fn main() {
         modes,
         seed,
         jobs: ow_faultinject::jobs_from_args(&args),
+        morph: ow_bench::morph_from_args(&args),
+        strategy: ow_bench::strategy_from_args(&args),
     };
     let t0 = std::time::Instant::now();
     let res = campaign_crashpoints(&cfg);

@@ -1,5 +1,9 @@
 //! Regenerates Table 5: results of the resurrection experiments, and (with
 //! `--ablation`) the §6 robustness-fix ablation (89% → 97%).
+//!
+//! `--morph cold|warm` and `--strategy copy|map|lazy` rerun the whole
+//! campaign under one of the four recovery configurations; the warm-morph
+//! safety claim is that every configuration reports the same outcomes.
 
 #![forbid(unsafe_code)]
 
@@ -27,13 +31,16 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(ow_bench::tables::TABLE5_SEED);
 
+    let morph = ow_bench::morph_from_args(&args);
+    let strategy = ow_bench::strategy_from_args(&args);
+
     let fixes = if ablation {
         RobustnessFixes::legacy()
     } else {
         RobustnessFixes::default()
     };
     let t0 = std::time::Instant::now();
-    let rows = ow_bench::tables::table5(experiments, fixes, seed, jobs);
+    let rows = ow_bench::tables::table5_in(experiments, fixes, seed, jobs, morph, strategy);
     let wall = t0.elapsed();
 
     let printable: Vec<Vec<String>> = rows

@@ -1,31 +1,76 @@
 //! Regenerates Table 6: service interruption time (seconds).
+//!
+//! By default this measures the full warm-morph matrix — every workload
+//! under each of the four recovery configurations (cold/warm morph ×
+//! eager/lazy resurrection). `--fast` keeps the legacy two-column table
+//! with the §7 fast-crash-boot optimization. `--json PATH` writes the
+//! machine-readable matrix (pinned by `BENCH_table6.json`); `--jobs N`
+//! shards the matrix cells across workers with byte-identical output.
 
 #![forbid(unsafe_code)]
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
-    let rows = if fast {
-        ow_bench::tables::table6_fast()
-    } else {
-        ow_bench::tables::table6()
-    };
-    let rows: Vec<Vec<String>> = rows
-        .into_iter()
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let jobs = ow_faultinject::jobs_from_args(&args);
+
+    if fast {
+        let rows: Vec<Vec<String>> = ow_bench::tables::table6_fast()
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.name.to_string(),
+                    format!("{:.0}", r.boot_seconds),
+                    format!("{:.0}", r.interruption_seconds),
+                ]
+            })
+            .collect();
+        ow_bench::print_table(
+            "Table 6 (with the §7 fast-crash-boot optimization).",
+            &["Application", "Boot time", "Service interruption time"],
+            &rows,
+        );
+        return;
+    }
+
+    let rows = ow_bench::tables::table6_matrix(jobs);
+    let printable: Vec<Vec<String>> = rows
+        .iter()
         .map(|r| {
-            vec![
-                r.name.to_string(),
-                format!("{:.0}", r.boot_seconds),
-                format!("{:.0}", r.interruption_seconds),
-            ]
+            let mut cols = vec![r.name.to_string(), format!("{:.0}", r.boot_seconds)];
+            cols.extend(
+                r.cells
+                    .iter()
+                    .map(|c| format!("{:.1}", c.interruption_seconds)),
+            );
+            cols
         })
         .collect();
     ow_bench::print_table(
-        if fast {
-            "Table 6 (with the §7 fast-crash-boot optimization)."
-        } else {
-            "Table 6. Service interruption time (seconds)."
-        },
-        &["Application", "Boot time", "Service interruption time"],
-        &rows,
+        "Table 6. Service interruption time (seconds) under each recovery mode.",
+        &[
+            "Application",
+            "Boot time",
+            "cold/eager",
+            "cold/lazy",
+            "warm/eager",
+            "warm/lazy",
+        ],
+        &printable,
     );
+    println!(
+        "\n(headline: warm+lazy recovers the largest app {:.1}x faster than cold/eager)",
+        ow_bench::tables::table6_headline(&rows)
+    );
+
+    if let Some(path) = json_path {
+        let doc = ow_bench::tables::table6_json(&rows);
+        std::fs::write(&path, doc.to_pretty()).expect("write --json file");
+        println!("wrote {path}");
+    }
 }

@@ -35,6 +35,43 @@ pub fn boot_eval(user_protection: bool) -> Kernel {
     Kernel::boot_cold(machine, config, ow_apps::full_registry()).expect("boot")
 }
 
+/// Parses `--morph cold|warm` from a bin's argument list (default cold),
+/// selecting the morph half of the four-configuration recovery matrix.
+pub fn morph_from_args(args: &[String]) -> ow_core::MorphMode {
+    match args
+        .iter()
+        .position(|a| a == "--morph")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("cold") => ow_core::MorphMode::Cold,
+        Some("warm") => ow_core::MorphMode::Warm,
+        Some(other) => {
+            eprintln!("unknown --morph {other} (use cold|warm)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses `--strategy copy|map|lazy` from a bin's argument list (default
+/// copy), selecting the page-materialization half of the recovery matrix.
+pub fn strategy_from_args(args: &[String]) -> ow_core::ResurrectionStrategy {
+    match args
+        .iter()
+        .position(|a| a == "--strategy")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("copy") => ow_core::ResurrectionStrategy::CopyPages,
+        Some("map") => ow_core::ResurrectionStrategy::MapPages,
+        Some("lazy") => ow_core::ResurrectionStrategy::Lazy,
+        Some(other) => {
+            eprintln!("unknown --strategy {other} (use copy|map|lazy)");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Formats a table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     let mut out = String::from("|");

@@ -3,7 +3,10 @@
 
 use crate::{boot_eval, perf};
 use ow_apps::{make_workload, workload::TABLE5_APPS, Workload};
-use ow_core::{microreboot, MicrorebootReport, OtherworldConfig, PolicySource, ResurrectionPolicy};
+use ow_core::{
+    microreboot, MicrorebootReport, MorphMode, OtherworldConfig, PolicySource, ResurrectionPolicy,
+    ResurrectionStrategy,
+};
 use ow_faultinject::{
     run_campaign, run_recovery_campaign, CampaignConfig, CampaignResult, Outcome,
     RecoveryCampaignConfig, RecoveryCampaignResult, RecoverySide,
@@ -136,6 +139,28 @@ pub fn table5(
     seed: u64,
     jobs: usize,
 ) -> Vec<Table5Row> {
+    table5_in(
+        experiments,
+        fixes,
+        seed,
+        jobs,
+        MorphMode::Cold,
+        ResurrectionStrategy::CopyPages,
+    )
+}
+
+/// [`table5`] under an explicit recovery configuration — the safety half of
+/// the warm-morph claim reruns the whole corruption campaign in each of the
+/// four (morph × strategy) configurations and expects identical outcome
+/// shapes.
+pub fn table5_in(
+    experiments: usize,
+    fixes: RobustnessFixes,
+    seed: u64,
+    jobs: usize,
+    morph: MorphMode,
+    strategy: ResurrectionStrategy,
+) -> Vec<Table5Row> {
     TABLE5_APPS
         .iter()
         .map(|&app| {
@@ -144,6 +169,8 @@ pub fn table5(
                 fixes,
                 seed,
                 jobs,
+                morph,
+                strategy,
                 ..CampaignConfig::default()
             };
             let unprotected = run_campaign(|s| make_workload(app, s), &base_cfg);
@@ -329,13 +356,102 @@ fn shell_operational(k: &mut Kernel, term: u32) -> bool {
         .unwrap_or(false)
 }
 
+/// One Table 6 recovery configuration: a (morph, strategy) pair — one
+/// column of the warm-morph matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct Table6Mode {
+    /// Stable column name (`cold_eager` .. `warm_lazy`).
+    pub name: &'static str,
+    /// Morph mode the microreboot runs under.
+    pub morph: ow_core::MorphMode,
+    /// Page materialization strategy.
+    pub strategy: ow_core::ResurrectionStrategy,
+}
+
+/// The four-column recovery matrix: the paper's cold/eager pipeline, each
+/// optimization alone, and both together (the headline configuration).
+pub const TABLE6_MODES: [Table6Mode; 4] = [
+    Table6Mode {
+        name: "cold_eager",
+        morph: ow_core::MorphMode::Cold,
+        strategy: ow_core::ResurrectionStrategy::CopyPages,
+    },
+    Table6Mode {
+        name: "cold_lazy",
+        morph: ow_core::MorphMode::Cold,
+        strategy: ow_core::ResurrectionStrategy::Lazy,
+    },
+    Table6Mode {
+        name: "warm_eager",
+        morph: ow_core::MorphMode::Warm,
+        strategy: ow_core::ResurrectionStrategy::CopyPages,
+    },
+    Table6Mode {
+        name: "warm_lazy",
+        morph: ow_core::MorphMode::Warm,
+        strategy: ow_core::ResurrectionStrategy::Lazy,
+    },
+];
+
+/// The Table 6 workloads, smallest to largest footprint.
+pub const TABLE6_APPS: [&str; 3] = ["shell", "mysqld", "httpd"];
+
+/// One measured cell of the Table 6 matrix.
+#[derive(Debug, Clone)]
+pub struct Table6Cell {
+    /// The recovery configuration measured.
+    pub mode: Table6Mode,
+    /// Seconds from the kernel failure to the workload being operational.
+    pub interruption_seconds: f64,
+    /// What the morph adopted (all false in the cold columns).
+    pub adoption: ow_core::AdoptionSummary,
+}
+
+/// One application row of the Table 6 matrix: the cold-boot baseline plus
+/// the service interruption under each of [`TABLE6_MODES`].
+#[derive(Debug, Clone)]
+pub struct Table6MatrixRow {
+    /// Application name.
+    pub name: &'static str,
+    /// Seconds from power-on to the workload being operational.
+    pub boot_seconds: f64,
+    /// Per-mode interruption, in [`TABLE6_MODES`] order.
+    pub cells: Vec<Table6Cell>,
+}
+
 /// Measures Table 6 for `app` (`"shell"`, `"mysqld"`, or `"httpd"`).
 pub fn table6_row(app: &'static str) -> Table6Row {
     table6_row_with(app, false)
 }
 
-/// Table 6 with the §7 fast-crash-boot optimization toggled.
+/// Table 6 with the §7 fast-crash-boot optimization toggled (legacy
+/// cold/eager pipeline).
 pub fn table6_row_with(app: &'static str, fast_crash_boot: bool) -> Table6Row {
+    let mode = TABLE6_MODES[0];
+    let (boot_seconds, cell) = table6_measure(app, fast_crash_boot, mode);
+    Table6Row {
+        name: table6_label(app),
+        boot_seconds,
+        interruption_seconds: cell.interruption_seconds,
+    }
+}
+
+fn table6_label(app: &str) -> &'static str {
+    match app {
+        "shell" => "shell",
+        "mysqld" => "MySQL",
+        "httpd" => "Apache",
+        other => Box::leak(other.to_string().into_boxed_str()),
+    }
+}
+
+/// Runs one (app, mode) simulation: cold boot to operational, steady
+/// state, kernel failure, microreboot under `mode`, back to operational.
+pub fn table6_measure(
+    app: &'static str,
+    fast_crash_boot: bool,
+    mode: Table6Mode,
+) -> (f64, Table6Cell) {
     // --- Cold boot to operational ---
     let mut k = boot_eval(false);
     let (boot_seconds, mut w_opt, pid) = if app == "shell" {
@@ -367,13 +483,21 @@ pub fn table6_row_with(app: &'static str, fast_crash_boot: bool) -> Table6Row {
     let t_fail = k.seconds();
     k.do_panic(PanicCause::Oops("table6 failure"));
     let config = OtherworldConfig {
+        morph: mode.morph,
+        strategy: mode.strategy,
+        // Table 6 resurrects every resource class so the apps' crash
+        // procedures can take the §3.4 continue-in-place route; the
+        // interruption then measures the recovery pipeline, not an
+        // app-level dump-and-restart tail common to all four modes.
+        resurrect_sockets: true,
+        resurrect_pipes: true,
         crash_kernel: ow_kernel::KernelConfig {
             fast_crash_boot,
             ..ow_kernel::KernelConfig::default()
         },
         ..OtherworldConfig::default()
     };
-    let (mut k2, _report) = microreboot(k, &config).expect("microreboot");
+    let (mut k2, report) = microreboot(k, &config).expect("microreboot");
 
     // --- Back to operational ---
     if app == "shell" {
@@ -390,32 +514,113 @@ pub fn table6_row_with(app: &'static str, fast_crash_boot: bool) -> Table6Row {
     }
     let interruption_seconds = k2.seconds() - t_fail;
 
-    Table6Row {
-        name: match app {
-            "shell" => "shell",
-            "mysqld" => "MySQL",
-            "httpd" => "Apache",
-            other => Box::leak(other.to_string().into_boxed_str()),
-        },
+    (
         boot_seconds,
-        interruption_seconds,
-    }
+        Table6Cell {
+            mode,
+            interruption_seconds,
+            adoption: report.adoption,
+        },
+    )
 }
 
-/// All Table 6 rows.
+/// All Table 6 rows (legacy cold/eager pipeline).
 pub fn table6() -> Vec<Table6Row> {
-    ["shell", "mysqld", "httpd"]
-        .into_iter()
-        .map(table6_row)
-        .collect()
+    TABLE6_APPS.into_iter().map(table6_row).collect()
 }
 
 /// Table 6 with the fast-crash-boot optimization (§7 future work).
 pub fn table6_fast() -> Vec<Table6Row> {
-    ["shell", "mysqld", "httpd"]
+    TABLE6_APPS
         .into_iter()
         .map(|app| table6_row_with(app, true))
         .collect()
+}
+
+/// The full warm-morph matrix: every app under every recovery mode. Each
+/// (app, mode) cell is an independent deterministic simulation, so the
+/// sharded engine reassembles the matrix byte-identically for any worker
+/// count.
+pub fn table6_matrix(jobs: usize) -> Vec<Table6MatrixRow> {
+    let coords: Vec<(usize, usize)> = (0..TABLE6_APPS.len())
+        .flat_map(|a| (0..TABLE6_MODES.len()).map(move |m| (a, m)))
+        .collect();
+    let measured = ow_faultinject::parallel_map(jobs, &coords, |&(a, m), _| {
+        table6_measure(TABLE6_APPS[a], false, TABLE6_MODES[m])
+    });
+    TABLE6_APPS
+        .iter()
+        .enumerate()
+        .map(|(a, &app)| {
+            let mut boot_seconds = 0.0;
+            let cells = (0..TABLE6_MODES.len())
+                .map(|m| {
+                    let (boot, cell) = measured[a * TABLE6_MODES.len() + m]
+                        .clone()
+                        .expect("table6 cell");
+                    boot_seconds = boot;
+                    cell
+                })
+                .collect();
+            Table6MatrixRow {
+                name: table6_label(app),
+                boot_seconds,
+                cells,
+            }
+        })
+        .collect()
+}
+
+/// The headline number: how much faster warm+lazy recovers the largest
+/// app (the last of [`TABLE6_APPS`]) than the paper's cold/eager pipeline.
+pub fn table6_headline(rows: &[Table6MatrixRow]) -> f64 {
+    let row = rows.last().expect("rows");
+    let cold = row.cells.first().expect("cold_eager").interruption_seconds;
+    let warm = row.cells.last().expect("warm_lazy").interruption_seconds;
+    if warm > 0.0 {
+        cold / warm
+    } else {
+        f64::INFINITY
+    }
+}
+
+fn adoption_json(a: &ow_core::AdoptionSummary) -> Value {
+    Value::obj([
+        ("frames", Value::from(a.frames)),
+        ("swap", Value::from(a.swap)),
+        ("cache", Value::from(a.cache)),
+    ])
+}
+
+/// JSON form of the Table 6 matrix, pinned by `BENCH_table6.json`.
+pub fn table6_json(rows: &[Table6MatrixRow]) -> Value {
+    let row_values: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            Value::obj([
+                ("application", Value::from(r.name)),
+                ("boot_seconds", Value::from(r.boot_seconds)),
+                (
+                    "modes",
+                    Value::obj(r.cells.iter().map(|c| {
+                        (
+                            c.mode.name,
+                            Value::obj([
+                                ("interruption_seconds", Value::from(c.interruption_seconds)),
+                                ("adoption", adoption_json(&c.adoption)),
+                            ]),
+                        )
+                    })),
+                ),
+            ])
+        })
+        .collect();
+    Value::obj([
+        ("schema_version", Value::from(1u64)),
+        ("bench", Value::from("table6")),
+        ("rows", Value::Array(row_values)),
+        ("headline_speedup", Value::from(table6_headline(rows))),
+    ])
 }
 
 /// Reusable: one microreboot of a driven app, returning the report (used by

@@ -106,6 +106,40 @@ fn table6_interruption_is_below_cold_boot_and_fast_boot_helps() {
 }
 
 #[test]
+fn table6_warm_lazy_recovers_the_largest_app_at_least_5x_faster() {
+    let rows = tables::table6_matrix(0);
+    let headline = tables::table6_headline(&rows);
+    assert!(
+        headline >= 5.0,
+        "warm+lazy must beat cold/eager by at least 5x on the largest app, got {headline:.2}x"
+    );
+    for r in &rows {
+        let cold_eager = &r.cells[0];
+        let warm_lazy = &r.cells[3];
+        assert!(
+            warm_lazy.interruption_seconds < cold_eager.interruption_seconds,
+            "{}: warm/lazy {:.1}s !< cold/eager {:.1}s",
+            r.name,
+            warm_lazy.interruption_seconds,
+            cold_eager.interruption_seconds
+        );
+        // Warm cells must actually adopt every validated structure; cold
+        // cells must never report adoption.
+        for c in &r.cells {
+            let warm = c.mode.morph == ow_core::MorphMode::Warm;
+            assert_eq!(
+                (c.adoption.frames, c.adoption.swap, c.adoption.cache),
+                (warm, warm, warm),
+                "{}: {} adoption {:?}",
+                r.name,
+                c.mode.name,
+                c.adoption
+            );
+        }
+    }
+}
+
+#[test]
 fn recovery_table_shows_the_supervisor_ablation_delta() {
     let result = tables::recovery_table(10, 0x5ec0_4e4a, 0);
     assert_eq!(result.records.len(), 10);

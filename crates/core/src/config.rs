@@ -13,6 +13,22 @@ pub enum ResurrectionStrategy {
     /// much faster and needs no reservation space; the frames are adopted
     /// at morph time).
     MapPages,
+    /// Copy-on-access: map the old frame read-only and defer the private
+    /// copy to the first touch (a lazy-pull page fault). Restart latency
+    /// scales with the hot working set instead of the whole image.
+    Lazy,
+}
+
+/// How the crash kernel becomes the next main kernel (stage 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MorphMode {
+    /// Rebuild everything: scan all of RAM for the frame allocator and
+    /// rebuild the swap map and page cache from scratch.
+    Cold,
+    /// Validate-then-adopt: revalidate the dead kernel's sealed frame
+    /// bitmap, swap-slot map and page cache against their CRCs and adopt
+    /// whatever checks out, falling back per-structure to the cold rebuild.
+    Warm,
 }
 
 /// One rung of the resurrection supervisor's degradation ladder, from the
@@ -153,6 +169,9 @@ pub enum PolicySource {
 pub struct OtherworldConfig {
     /// Page materialization strategy.
     pub strategy: ResurrectionStrategy,
+    /// Morph strategy: cold rebuild or warm validate-then-adopt. Warm also
+    /// turns on the crash kernel's warm-boot validation discounts.
+    pub morph: MorphMode,
     /// Which processes to resurrect.
     pub policy: PolicySource,
     /// Configuration the crash kernel boots with (same source as the main
@@ -178,6 +197,7 @@ impl Default for OtherworldConfig {
     fn default() -> Self {
         OtherworldConfig {
             strategy: ResurrectionStrategy::CopyPages,
+            morph: MorphMode::Cold,
             policy: PolicySource::Inline(ResurrectionPolicy::all()),
             crash_kernel: KernelConfig::default(),
             resurrect_sockets: false,

@@ -36,11 +36,12 @@ pub mod stats;
 pub mod supervisor;
 
 pub use config::{
-    EnginePanicFault, LadderRung, OtherworldConfig, PolicySource, RecoveryFaultPlan,
+    EnginePanicFault, LadderRung, MorphMode, OtherworldConfig, PolicySource, RecoveryFaultPlan,
     ResurrectionStrategy, StallFault, SupervisorConfig,
 };
 pub use otherworld::{microreboot, MicrorebootFailure, Otherworld};
 pub use policy::ResurrectionPolicy;
 pub use stats::{
-    MicrorebootReport, ProcOutcome, ProcReport, ReadKind, ReadStats, SupervisorSummary,
+    AdoptionSummary, MicrorebootReport, ProcOutcome, ProcReport, ReadKind, ReadStats,
+    SupervisorSummary,
 };

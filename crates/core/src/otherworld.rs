@@ -11,7 +11,7 @@
 //! up on the machine.
 
 use crate::{
-    config::{LadderRung, OtherworldConfig, PolicySource, ResurrectionStrategy},
+    config::{LadderRung, MorphMode, OtherworldConfig, PolicySource, ResurrectionStrategy},
     policy::ResurrectionPolicy,
     reader::{self, ReadError},
     resurrect::{self, DeadKernel},
@@ -19,7 +19,8 @@ use crate::{
     supervisor,
 };
 use ow_kernel::{
-    layout::pstate,
+    kexec::{AdoptPlan, AdoptedFrames},
+    layout::{pstate, PageCacheNode, WarmSeal},
     program::{Program, StepResult, UserApi},
     syscall::KernelApi,
     CrashAction, HandoffInfo, Kernel, KernelConfig, PanicOutcome, ProgramRegistry, SpawnSpec,
@@ -184,6 +185,15 @@ fn run_recovery(
         ..SupervisorSummary::default()
     };
 
+    // Warm morph implies a warm crash-kernel boot: the boot probes the
+    // dead kernel's seal and charges validation probes instead of full
+    // re-initialization when it is intact. Restart-only generations do not
+    // trust the dead image and always boot cold.
+    let mut warm_kcfg = config.crash_kernel.clone();
+    if config.morph == MorphMode::Warm {
+        warm_kcfg.warm_boot = true;
+    }
+
     // Stage 3: the crash kernel initializes itself inside its reservation.
     // When a boot attempt fails the supervisor escalates: the next
     // generation boots in restart-only mode (it will not trust the dead
@@ -201,13 +211,12 @@ fn run_recovery(
                 generation: info.generation + gen_bump,
                 ..info
             };
-            match Kernel::try_boot_crash(
-                machine,
-                config.crash_kernel.clone(),
-                registry.clone(),
-                handoff,
-                restart_only,
-            ) {
+            let kcfg = if restart_only {
+                config.crash_kernel.clone()
+            } else {
+                warm_kcfg.clone()
+            };
+            match Kernel::try_boot_crash(machine, kcfg, registry.clone(), handoff, restart_only) {
                 Ok(k) => break k,
                 Err((e, m)) => {
                     machine = *m;
@@ -235,6 +244,15 @@ fn run_recovery(
     let mut integrity_fixes = 0u64;
     let policy = resolve_policy(&mut k, &config.policy);
 
+    // Warm morph: validate the dead kernel's seal and build the adoption
+    // plan, per-structure — whatever fails its CRC falls back to the cold
+    // rebuild. Restart-only generations never adopt.
+    let mut adopt = if config.morph == MorphMode::Warm && !restart_only {
+        build_adopt_plan(&mut k, info, dead_generation, &mut stats)
+    } else {
+        AdoptPlan::default()
+    };
+
     let procs_report = if restart_only {
         restart_only_recovery(&mut k, &registry, &policy, info, &mut stats)
     } else {
@@ -245,6 +263,7 @@ fn run_recovery(
             info,
             config,
             dead_generation,
+            &adopt,
             &mut stats,
             &mut integrity_fixes,
             &mut summary,
@@ -262,6 +281,8 @@ fn run_recovery(
                 summary.crash_boot_attempts += 1;
                 summary.escalated = true;
                 gen_bump += 1;
+                // Generation 2 does not trust the dead image: no adoption.
+                adopt = AdoptPlan::default();
                 let handoff = HandoffInfo {
                     generation: info.generation + gen_bump,
                     ..info
@@ -290,8 +311,9 @@ fn run_recovery(
     };
     let t_resurrected = k.machine.clock.now();
 
-    // Stage 5: morph into the main kernel and install a fresh crash kernel.
-    k.morph_into_main()
+    // Stage 5: morph into the main kernel and install a fresh crash kernel
+    // — adopting the validated frame state when the plan carries it.
+    k.morph_into_main_with(&adopt)
         .map_err(|e| MicrorebootFailure::CrashBootFailed(format!("morph: {e}")))?;
     let t_done = k.machine.clock.now();
 
@@ -303,6 +325,11 @@ fn run_recovery(
     let secs = |c: u64| c as f64 / ow_simhw::clock::CYCLES_PER_SEC as f64;
     let report = MicrorebootReport {
         generation: k.generation,
+        adoption: crate::stats::AdoptionSummary {
+            frames: adopt.frames.is_some(),
+            swap: adopt.swap.is_some_and(|i| k.active_swap == i as usize),
+            cache: adopt.cache,
+        },
         procs: procs_report,
         stats,
         crash_boot_seconds: secs(t_booted - t_panic),
@@ -327,6 +354,7 @@ fn resurrect_all(
     info: HandoffInfo,
     config: &OtherworldConfig,
     dead_generation: u32,
+    adopt: &AdoptPlan,
     stats: &mut ReadStats,
     integrity_fixes: &mut u64,
     summary: &mut SupervisorSummary,
@@ -340,14 +368,36 @@ fn resurrect_all(
     };
 
     // The dead kernel's active swap partition, reopened by symbolic device
-    // name from its descriptor (§3.3).
+    // name from its descriptor (§3.3). The validated seal is authoritative
+    // for which partition was active; without one, fall back to the
+    // generation-parity convention.
+    let dead_swap_name = format!("swap{}", adopt.swap.unwrap_or(dead_generation % 2));
     let dead_swap = reader::read_swap_descs(&k.machine.phys, &header, stats)
         .ok()
         .and_then(|descs| {
-            let want = format!("swap{}", dead_generation % 2);
-            descs.into_iter().find(|(_, d)| d.dev_name == want)
+            descs
+                .into_iter()
+                .find(|(_, d)| d.dev_name == dead_swap_name)
         })
         .and_then(|(addr, d)| ow_kernel::swap::SwapArea::from_desc(&mut k.machine, &d, addr).ok());
+
+    // Warm morph: adopt the dead kernel's CRC-validated slot bitmap into
+    // our own area on the same device and make that area active — dead
+    // swapped PTEs then install verbatim, with zero migration I/O.
+    let mut swap_adopted = false;
+    if let (Some(idx), Some(dead_area)) = (adopt.swap, dead_swap.as_ref()) {
+        if let Some(ours) = k.swaps.get(idx as usize).cloned() {
+            // Contained: a fault here falls back to per-page migration.
+            let adopted = supervisor::contain(|| {
+                ow_crashpoint::crash_point!("recovery.adopt.swap.bitmap");
+                ours.adopt_bitmap(&mut k.machine, dead_area.bitmap, dead_area.nslots)
+            });
+            if matches!(adopted, Ok(Ok(()))) {
+                k.active_swap = idx as usize;
+                swap_adopted = true;
+            }
+        }
+    }
 
     // §7 extension: restore consistent pipes globally before the processes
     // that reference them (§3.3's semaphore rule — a pipe locked at crash
@@ -443,6 +493,8 @@ fn resurrect_all(
                 crash_region: (info.crash_base, info.crash_frames),
                 resurrect_sockets: config.resurrect_sockets,
                 pipes_restored,
+                swap_adopted: swap_adopted && rung < LadderRung::NoSwapMigration,
+                cache_adopted: adopt.cache && rung < LadderRung::AnonymousOnly,
             };
             let attempt = supervisor::contain(|| {
                 if inject_panic {
@@ -672,6 +724,126 @@ fn resolve_policy(k: &mut Kernel, source: &PolicySource) -> ResurrectionPolicy {
                 .unwrap_or_else(ResurrectionPolicy::all)
         }
     }
+}
+
+/// Warm-morph validation: reads the dead kernel's seal and builds the
+/// adoption plan. Fully contained — a panic anywhere inside validation
+/// yields the empty plan (pure cold fallback), never a failed microreboot.
+fn build_adopt_plan(
+    k: &mut Kernel,
+    info: HandoffInfo,
+    dead_generation: u32,
+    stats: &mut ReadStats,
+) -> AdoptPlan {
+    supervisor::contain(|| try_build_adopt_plan(k, info, dead_generation, stats))
+        .ok()
+        .flatten()
+        .unwrap_or_default()
+}
+
+/// Per-structure validate-then-adopt: each of the three sealed structures
+/// (frame bitmap, swap-slot map, page cache) is CRC-checked against the
+/// dead bytes independently; whatever fails drops out of the plan and the
+/// cold rebuild covers it. Returns `None` when there is no usable seal at
+/// all (fresh boot, stale generation, or unreadable record).
+fn try_build_adopt_plan(
+    k: &mut Kernel,
+    info: HandoffInfo,
+    dead_generation: u32,
+    stats: &mut ReadStats,
+) -> Option<AdoptPlan> {
+    // Validation happens between boot and resurrection — recovery-manager
+    // code walking untrusted memory.
+    ow_crashpoint::crash_point!("recovery.adopt.seal.validate");
+    let header = reader::read_header(&k.machine.phys, info.dead_kernel_frame, stats).ok()?;
+    let addr = ow_kernel::layout::seal_addr(header.base_frame, header.nframes);
+    let (seal, _) = WarmSeal::read(&k.machine.phys, addr).ok()?;
+    if seal.valid == 0 || seal.generation != dead_generation {
+        return None;
+    }
+    let mut plan = AdoptPlan::default();
+
+    // Frame-allocator bitmap.
+    let falloc_bytes = seal.falloc_capacity.div_ceil(8);
+    let cost = k.machine.cost.validate_byte * falloc_bytes;
+    k.machine.clock.charge(cost);
+    if ow_layout::crc::crc32_range(&k.machine.phys, seal.falloc_bitmap, falloc_bytes)
+        .ok()
+        .is_some_and(|c| c == seal.falloc_crc)
+    {
+        if let Ok(used) = seal.read_falloc_bitmap(&k.machine.phys) {
+            plan.frames = Some(AdoptedFrames {
+                base: seal.falloc_base,
+                used,
+                dead_kernel: (header.base_frame, header.nframes),
+            });
+        }
+    }
+
+    // Swap-slot bitmap — adoptable independently of the frames (the slots
+    // live on disk; only the bitmap bytes are revalidated).
+    let cost = k.machine.cost.validate_byte * seal.swap_nslots as u64;
+    k.machine.clock.charge(cost);
+    if ow_layout::crc::crc32_range(&k.machine.phys, seal.swap_bitmap, seal.swap_nslots as u64)
+        .ok()
+        .is_some_and(|c| c == seal.swap_crc)
+        && k.swaps
+            .get(seal.swap_index as usize)
+            .is_some_and(|a| a.nslots == seal.swap_nslots)
+    {
+        plan.swap = Some(seal.swap_index);
+    }
+
+    // Page cache — only meaningful when the frames ride along (a cold
+    // reclaim would free the adopted node frames out from under it).
+    if plan.frames.is_some() {
+        let cost = k.machine.cost.validate_byte * seal.cache_nodes * PageCacheNode::SIZE;
+        k.machine.clock.charge(cost);
+        if cache_walk_crc(k, &header, stats) == Some((seal.cache_nodes, seal.cache_crc)) {
+            plan.cache = true;
+        }
+    }
+    Some(plan)
+}
+
+/// Replays the sealer's page-cache walk over the dead structures with the
+/// validated readers: live processes in list order, file-table slots in
+/// index order, shared records deduplicated by address, nodes in chain
+/// order. Any divergence — a node count or CRC mismatch, or a reader
+/// failure anywhere — returns `None` and the cache is rebuilt cold.
+fn cache_walk_crc(
+    k: &mut Kernel,
+    header: &ow_layout::KernelHeader,
+    stats: &mut ReadStats,
+) -> Option<(u64, u32)> {
+    let mut hasher = ow_layout::crc::Crc32::new();
+    let mut nodes = 0u64;
+    let mut seen: Vec<u64> = Vec::new();
+    let list = reader::read_proc_list(&k.machine.phys, header, stats).ok()?;
+    for (_addr, desc) in list {
+        if desc.state == pstate::EXITED || desc.files == 0 {
+            continue;
+        }
+        let tab = reader::read_file_table(&k.machine.phys, &desc, stats).ok()?;
+        for &frec_addr in &tab.fds {
+            if frec_addr == 0 || seen.contains(&frec_addr) {
+                continue;
+            }
+            seen.push(frec_addr);
+            let frec = reader::read_file_record(&k.machine.phys, frec_addr, stats).ok()?;
+            let max_nodes = (frec.fsize / ow_simhw::PAGE_SIZE as u64 + 8) as usize;
+            let chain =
+                reader::read_cache_chain(&k.machine.phys, frec.cache_head, max_nodes, stats)
+                    .ok()?;
+            for (node_addr, _node) in chain {
+                hasher
+                    .update_range(&k.machine.phys, node_addr, PageCacheNode::SIZE)
+                    .ok()?;
+                nodes += 1;
+            }
+        }
+    }
+    Some((nodes, hasher.finish()))
 }
 
 /// §7 extension: recreates every consistent pipe of the dead kernel in the

@@ -17,8 +17,8 @@ use crate::{
 use ow_kernel::{
     kernel::SockHandle,
     layout::{
-        oflags, resmask, sockproto, vmaflags, FileRecord, KernelHeader, ProcDesc, SockDesc,
-        TermDesc,
+        oflags, resmask, sockproto, vmaflags, FileRecord, KernelHeader, PageCacheNode, ProcDesc,
+        SockDesc, TermDesc,
     },
     swap::SwapArea,
     Kernel, KernelError,
@@ -70,6 +70,14 @@ pub struct DeadKernel<'a> {
     /// off, `Some(true)` when every pipe was consistent and restored,
     /// `Some(false)` when any pipe was locked or corrupted at crash time.
     pub pipes_restored: Option<bool>,
+    /// Warm morph: the dead kernel's swap-slot bitmap was CRC-validated and
+    /// adopted into the crash kernel's own area on the same device — dead
+    /// swapped PTEs can be installed verbatim, no per-page migration I/O.
+    pub swap_adopted: bool,
+    /// Warm morph: the dead kernel's page cache was CRC-validated — dirty
+    /// cache nodes can be re-chained onto reopened files instead of being
+    /// flushed and dropped.
+    pub cache_adopted: bool,
 }
 
 /// Rebuilds `old_desc`'s process inside the crash kernel `k`.
@@ -155,7 +163,12 @@ pub fn resurrect_process(
 
     let (crash_base, crash_frames) = dead.crash_region;
     for (va, pte) in entries {
-        let flags = pte.flags();
+        let mut flags = pte.flags();
+        if flags.contains(PteFlags::LAZY_RW) {
+            // A page still lazy from an earlier resurrection: its pre-crash
+            // writability lives in LAZY_RW, not WRITABLE.
+            flags |= PteFlags::WRITABLE;
+        }
         let keep = PteFlags::from_bits(
             flags.bits()
                 & (PteFlags::WRITABLE.bits()
@@ -176,18 +189,14 @@ pub fn resurrect_process(
                 }));
             }
             let use_map = match strategy {
-                ResurrectionStrategy::MapPages => true,
+                ResurrectionStrategy::MapPages | ResurrectionStrategy::Lazy => true,
                 ResurrectionStrategy::CopyPages => false,
             };
             let mapped = if use_map {
                 true
             } else if let Ok(new_pfn) = k.alloc_frame(FrameOwner::User { pid: new_pid }) {
-                k.machine
-                    .phys
-                    .copy_frame(old_pfn, new_pfn)
+                k.copy_frame_charged(old_pfn, new_pfn)
                     .map_err(|e| corrupt("page copy", KernelError::Mem(e)))?;
-                let cost = k.machine.cost.page_copy;
-                k.machine.clock.charge(cost);
                 k.map_user_page(new_pid, va, new_pfn, keep | PteFlags::PRESENT)
                     .map_err(|e| corrupt("page map", e))?;
                 pages.copied += 1;
@@ -201,7 +210,21 @@ pub fn resurrect_process(
                     .set_owner(old_pfn, FrameOwner::User { pid: new_pid });
                 let cost = k.machine.cost.page_map;
                 k.machine.clock.charge(cost);
-                k.map_user_page(new_pid, va, old_pfn, keep | PteFlags::PRESENT)
+                let install = if strategy == ResurrectionStrategy::Lazy {
+                    // Map the old frame read-only; the first write pulls a
+                    // private copy (copy-on-access) and restores the
+                    // writability recorded in LAZY_RW.
+                    let mut f = PteFlags::from_bits(keep.bits() & !PteFlags::WRITABLE.bits())
+                        | PteFlags::PRESENT
+                        | PteFlags::LAZY;
+                    if keep.contains(PteFlags::WRITABLE) {
+                        f |= PteFlags::LAZY_RW;
+                    }
+                    f
+                } else {
+                    keep | PteFlags::PRESENT
+                };
+                k.map_user_page(new_pid, va, old_pfn, install)
                     .map_err(|e| corrupt("page adopt", e))?;
                 pages.mapped += 1;
             }
@@ -210,6 +233,15 @@ pub fn resurrect_process(
                 // Degraded rung: the swap path (descriptors, bitmap, or
                 // the partition itself) is suspect — abandon the page.
                 failed |= resmask::MEMORY;
+                continue;
+            }
+            if dead.swap_adopted {
+                // The dead kernel's slot bitmap was CRC-validated and
+                // adopted into our area on the same device: the dead slot
+                // is already reserved, so the PTE installs verbatim.
+                k.set_user_pte(new_pid, va, Pte::new(pte.pfn(), keep | PteFlags::SWAPPED))
+                    .map_err(|e| corrupt("swap pte", e))?;
+                pages.swapped += 1;
                 continue;
             }
             // Migrate between swap partitions: read from the dead kernel's
@@ -257,7 +289,7 @@ pub fn resurrect_process(
             if frec_addr == 0 {
                 continue;
             }
-            match resurrect_file(k, frec_addr, stats) {
+            match resurrect_file(k, frec_addr, dead.cache_adopted, stats) {
                 Ok(new_frec_addr) => {
                     install_fd(k, new_pid, slot as u32, new_frec_addr)
                         .map_err(|e| corrupt("fd install", e))?;
@@ -411,11 +443,15 @@ fn reopen_for_mapping(
     Ok(new_addr)
 }
 
-/// Resurrects one open file: flush the dead kernel's dirty buffers, then
-/// reopen at the same path/flags/offset.
+/// Resurrects one open file: reopen at the same path/flags/offset. With
+/// `adopt_cache` (warm morph, CRC-validated page cache) the dead cache
+/// chain is re-linked onto the reopened file — the node frames ride along
+/// with the adopted frame bitmap and dirty data stays in RAM. Otherwise
+/// the dead kernel's dirty buffers are flushed to disk first (§3.3).
 fn resurrect_file(
     k: &mut Kernel,
     old_frec_addr: PhysAddr,
+    adopt_cache: bool,
     stats: &mut ReadStats,
 ) -> Result<PhysAddr, ReadError> {
     let old = reader::read_file_record(&k.machine.phys, old_frec_addr, stats)?;
@@ -431,29 +467,54 @@ fn resurrect_file(
         None => return Err(corrupt("file lookup", KernelError::NoEnt(old.path.clone()))),
     };
 
-    // Flush dirty buffers using the *validated* inode (cross-checking the
-    // one stored in the record — §4). The chain can't plausibly hold more
-    // nodes than the file has pages (plus slack for trailing appends).
+    // The chain can't plausibly hold more nodes than the file has pages
+    // (plus slack for trailing appends).
     let max_nodes = (old.fsize / PAGE_SIZE as u64 + 8) as usize;
     let nodes = reader::read_cache_chain(&k.machine.phys, old.cache_head, max_nodes, stats)?;
-    for (node_addr, node) in nodes {
-        if node.dirty != 0 {
-            let valid = old
-                .fsize
-                .saturating_sub(node.file_off)
-                .min(PAGE_SIZE as u64);
-            if valid > 0 {
-                let mut buf = vec![0u8; valid as usize];
-                k.machine
-                    .phys
-                    // ow-lint: allow(untrusted-read) -- bulk cache-page payload copy; the node came from the validated cache-chain reader and any byte pattern is legal file data
-                    .read(node.pfn * PAGE_SIZE as u64, &mut buf)
-                    .map_err(|e| corrupt("cache read", KernelError::Mem(e)))?;
-                fs.write_at(&mut k.machine, ino, node.file_off, &buf)
-                    .map_err(|e| corrupt("cache flush", e))?;
+    let mut cache_head = 0u64;
+    if adopt_cache {
+        // Re-chain the validated nodes (in original order — rebuilt by
+        // prepending) through descriptors in the new kheap; the page frames
+        // themselves are adopted, not copied.
+        ow_crashpoint::crash_point!("recovery.adopt.cache.rebuild");
+        for (_node_addr, node) in nodes.iter().rev() {
+            let new_node = k
+                .kheap
+                .alloc(PageCacheNode::SIZE)
+                .ok_or_else(|| corrupt("cache node", KernelError::NoMemory))?;
+            k.machine.set_owner(node.pfn, FrameOwner::PageCache);
+            PageCacheNode {
+                file_off: node.file_off,
+                pfn: node.pfn,
+                dirty: node.dirty,
+                next: cache_head,
             }
+            .write(&mut k.machine.phys, new_node)
+            .map_err(ReadError::Layout)?;
+            cache_head = new_node;
         }
-        let _ = node_addr;
+    } else {
+        // Flush dirty buffers using the *validated* inode (cross-checking
+        // the one stored in the record — §4).
+        for (node_addr, node) in nodes {
+            if node.dirty != 0 {
+                let valid = old
+                    .fsize
+                    .saturating_sub(node.file_off)
+                    .min(PAGE_SIZE as u64);
+                if valid > 0 {
+                    let mut buf = vec![0u8; valid as usize];
+                    k.machine
+                        .phys
+                        // ow-lint: allow(untrusted-read) -- bulk cache-page payload copy; the node came from the validated cache-chain reader and any byte pattern is legal file data
+                        .read(node.pfn * PAGE_SIZE as u64, &mut buf)
+                        .map_err(|e| corrupt("cache read", KernelError::Mem(e)))?;
+                    fs.write_at(&mut k.machine, ino, node.file_off, &buf)
+                        .map_err(|e| corrupt("cache flush", e))?;
+                }
+            }
+            let _ = node_addr;
+        }
     }
 
     let disk_size = fs
@@ -470,7 +531,7 @@ fn resurrect_file(
         fsize: disk_size.max(old.fsize),
         inode: ino as u64,
         path: old.path,
-        cache_head: 0,
+        cache_head,
     }
     .write(&mut k.machine.phys, new_addr)
     .map_err(ReadError::Layout)?;
@@ -533,13 +594,12 @@ fn restore_shm(k: &mut Kernel, pid: u64, seg: &ow_layout::ShmDesc) -> Result<(),
         .map_err(|e| corrupt("shm attach", e))?;
     for (old_pfn, new_pfn) in seg.pages.iter().zip(new_frames.iter()) {
         if *old_pfn != *new_pfn {
-            k.machine
-                .phys
-                .copy_frame(*old_pfn, *new_pfn)
+            k.copy_frame_charged(*old_pfn, *new_pfn)
                 .map_err(|e| corrupt("shm copy", KernelError::Mem(e)))?;
+        } else {
+            let cost = k.machine.cost.page_copy;
+            k.machine.clock.charge(cost);
         }
-        let cost = k.machine.cost.page_copy;
-        k.machine.clock.charge(cost);
     }
     Ok(())
 }

@@ -247,11 +247,31 @@ pub struct SupervisorSummary {
     pub crash_boot_attempts: u32,
 }
 
+/// What the warm morph adopted wholesale from the dead kernel after CRC
+/// revalidation. A cold morph, a restart-only generation, or a seal whose
+/// every structure failed validation reports all-false — each structure
+/// falls back to the cold rebuild independently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdoptionSummary {
+    /// Frame-allocator bitmap adopted (no full-RAM reclaim scan).
+    pub frames: bool,
+    /// Swap-slot bitmap adopted (swapped PTEs migrate verbatim, no
+    /// slot-by-slot copy between partitions).
+    pub swap: bool,
+    /// Page-cache chains re-chained onto adopted frames (no flush and
+    /// reload through the filesystem).
+    pub cache: bool,
+}
+
 /// Report of one complete microreboot.
 #[derive(Debug, Clone)]
 pub struct MicrorebootReport {
     /// Generation of the new (crash, now main) kernel.
     pub generation: u32,
+    /// What the warm morph adopted wholesale from the dead kernel after
+    /// CRC revalidation (all false for cold morphs, restart-only
+    /// generations, or when every structure fell back to the cold rebuild).
+    pub adoption: AdoptionSummary,
     /// Per-process outcomes.
     pub procs: Vec<ProcReport>,
     /// Aggregate read accounting.

@@ -26,8 +26,11 @@ static QUIET_HOOK: Once = Once::new();
 fn install_quiet_hook() {
     QUIET_HOOK.call_once(|| {
         let prev = panic::take_hook();
+        // OW_PANIC_TRACE=1 prints contained panics too (with RUST_BACKTRACE
+        // this locates a panic that containment would otherwise swallow).
+        let trace_contained = std::env::var_os("OW_PANIC_TRACE").is_some();
         panic::set_hook(Box::new(move |info| {
-            if CONTAIN_DEPTH.with(|d| d.get()) == 0 {
+            if trace_contained || CONTAIN_DEPTH.with(|d| d.get()) == 0 {
                 prev(info);
             }
         }));

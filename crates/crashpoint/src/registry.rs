@@ -37,6 +37,9 @@ pub enum Area {
     Supervisor,
     /// Restart-only (gen-2) recovery.
     Restart,
+    /// Warm-morph validate-then-adopt (seal validation, swap-bitmap and
+    /// page-cache adoption).
+    Adopt,
 }
 
 impl Area {
@@ -56,6 +59,7 @@ impl Area {
             Area::Ladder => "ladder",
             Area::Supervisor => "supervisor",
             Area::Restart => "restart",
+            Area::Adopt => "adopt",
         }
     }
 }
@@ -86,6 +90,7 @@ pub const REGISTRY: &[PointSpec] = &[
     // Main kernel: demand paging and swap.
     p("kernel.pagefault.demand.map", Area::PageFault),
     p("kernel.pagefault.swap.in", Area::PageFault),
+    p("kernel.pagefault.lazy.pull", Area::PageFault),
     p("kernel.vm.swap.out", Area::Vm),
     p("kernel.swap.slot.write", Area::Swap),
     p("kernel.swap.slot.read", Area::Swap),
@@ -93,10 +98,12 @@ pub const REGISTRY: &[PointSpec] = &[
     p("kernel.panic.path.entered", Area::PanicPath),
     p("kernel.panic.handoff.read", Area::PanicPath),
     p("kernel.panic.nmi.broadcast", Area::PanicPath),
+    p("kernel.panic.seal.write", Area::PanicPath),
     p("kernel.panic.handoff.jump", Area::PanicPath),
     // Crash kernel: boot and morph.
     p("kernel.crashboot.init.begin", Area::CrashBoot),
     p("kernel.kexec.reclaim.memory", Area::Kexec),
+    p("kernel.kexec.adopt.frames", Area::Kexec),
     p("kernel.kexec.install.image", Area::Kexec),
     p("kernel.kexec.morph.main", Area::Kexec),
     // Crash kernel: validated readers.
@@ -112,6 +119,10 @@ pub const REGISTRY: &[PointSpec] = &[
     p("recovery.resurrect.terminal.restore", Area::Resurrect),
     p("recovery.resurrect.signals.restore", Area::Resurrect),
     p("recovery.resurrect.context.check", Area::Resurrect),
+    // Crash kernel: warm-morph validate-then-adopt.
+    p("recovery.adopt.seal.validate", Area::Adopt),
+    p("recovery.adopt.swap.bitmap", Area::Adopt),
+    p("recovery.adopt.cache.rebuild", Area::Adopt),
     // Crash kernel: supervisor ladder and escalation.
     p("recovery.ladder.rung.degrade", Area::Ladder),
     p("recovery.ladder.clean.restart", Area::Ladder),

@@ -15,7 +15,8 @@ use crate::engine;
 use crate::faults::{inject_batch, DamageReport};
 use ow_apps::{VerifyResult, Workload};
 use ow_core::{
-    microreboot, MicrorebootFailure, OtherworldConfig, PolicySource, ResurrectionPolicy,
+    microreboot, MicrorebootFailure, MorphMode, OtherworldConfig, PolicySource, ResurrectionPolicy,
+    ResurrectionStrategy,
 };
 use ow_kernel::{Kernel, KernelConfig, RobustnessFixes};
 use ow_simhw::{machine::MachineConfig, stream_seed, CostModel, SimRng};
@@ -76,6 +77,11 @@ pub struct CampaignConfig {
     /// Worker threads for the sharded engine: `0` = auto (`OW_JOBS`, then
     /// available parallelism). Results are byte-identical for every value.
     pub jobs: usize,
+    /// Morph mode for every experiment's microreboot (Table 6 reruns the
+    /// campaign warm to prove adoption never changes an outcome).
+    pub morph: MorphMode,
+    /// Page materialization strategy for every experiment's microreboot.
+    pub strategy: ResurrectionStrategy,
 }
 
 impl Default for CampaignConfig {
@@ -88,6 +94,8 @@ impl Default for CampaignConfig {
             seed: 0x07e5_2010,
             max_batches: 60,
             jobs: 0,
+            morph: MorphMode::Cold,
+            strategy: ResurrectionStrategy::CopyPages,
         }
     }
 }
@@ -294,6 +302,8 @@ pub fn run_experiment<W: Workload>(
     // on/off ablation.
     let ow_config = OtherworldConfig {
         policy: PolicySource::Inline(ResurrectionPolicy::only([workload.name()])),
+        morph: cfg.morph,
+        strategy: cfg.strategy,
         supervisor: ow_core::SupervisorConfig {
             enabled: false,
             ..ow_core::SupervisorConfig::default()

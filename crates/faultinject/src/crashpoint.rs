@@ -44,8 +44,8 @@ use crate::engine;
 use ow_apps::VerifyResult;
 use ow_core::supervisor;
 use ow_core::{
-    microreboot, EnginePanicFault, LadderRung, MicrorebootFailure, OtherworldConfig, PolicySource,
-    RecoveryFaultPlan, ResurrectionPolicy,
+    microreboot, EnginePanicFault, LadderRung, MicrorebootFailure, MorphMode, OtherworldConfig,
+    PolicySource, RecoveryFaultPlan, ResurrectionPolicy, ResurrectionStrategy,
 };
 use ow_crashpoint::{Area, REGISTRY};
 use ow_kernel::{Kernel, KernelConfig, PanicCause, PanicOutcome};
@@ -92,6 +92,10 @@ pub struct CellSpec {
     pub protected: bool,
     /// Cell seed ([`cell_seed`]).
     pub seed: u64,
+    /// Morph mode the recovery runs under (campaign-wide knob).
+    pub morph: MorphMode,
+    /// Page-materialization strategy (campaign-wide knob).
+    pub strategy: ResurrectionStrategy,
 }
 
 /// What happened in one cell, after the full pipeline ran.
@@ -197,11 +201,20 @@ pub fn baseline_plan(label: &str) -> RecoveryFaultPlan {
 
 /// Whether `outcome` is acceptable for `label` under the ReHype-style
 /// per-point policy described in the module docs.
-pub fn outcome_expected(label: &str, outcome: &CellOutcome) -> bool {
+pub fn outcome_expected(label: &str, outcome: &CellOutcome, morph: MorphMode) -> bool {
     let Some(point) = ow_crashpoint::spec(label) else {
         return false;
     };
     match point.area {
+        // The lazy copy-on-access pull can fire inside the *new* kernel
+        // while the resurrected crash procedure touches memory — still
+        // inside per-process containment, so it may also degrade.
+        Area::PageFault if label == "kernel.pagefault.lazy.pull" => matches!(
+            outcome,
+            CellOutcome::NotReached
+                | CellOutcome::RecoveredIntact
+                | CellOutcome::RecoveredDegraded(_)
+        ),
         // Workload-side: full recovery, or the workload never took the
         // path. The writeback walker is shared with resurrection's buffer
         // flush, so it may instead fire recovery-side and degrade.
@@ -218,13 +231,45 @@ pub fn outcome_expected(label: &str, outcome: &CellOutcome) -> bool {
         // The panic path always runs; the watchdog retry must hand off.
         Area::PanicPath => matches!(outcome, CellOutcome::RecoveredIntact),
         // The recovery spine: a fault here loses the machine, contained.
-        Area::CrashBoot | Area::Kexec | Area::Supervisor => {
-            matches!(outcome, CellOutcome::Abandoned(_))
-        }
+        // The two morph halves are mode-dependent — a cold morph never
+        // reaches the adopt path and a fully warm one never reclaims.
+        Area::CrashBoot | Area::Kexec | Area::Supervisor => match label {
+            "kernel.kexec.reclaim.memory" | "kernel.kexec.adopt.frames" => {
+                matches!(outcome, CellOutcome::Abandoned(_) | CellOutcome::NotReached)
+            }
+            _ => matches!(outcome, CellOutcome::Abandoned(_)),
+        },
+        // Warm-morph adoption is validate-then-adopt with a per-structure
+        // cold fallback: seal validation and the swap-bitmap copy are
+        // contained and degrade to the cold path with full fidelity; the
+        // cache re-chain runs inside the per-process attempt and retries
+        // one rung weaker.
+        Area::Adopt => match label {
+            "recovery.adopt.cache.rebuild" => matches!(
+                outcome,
+                CellOutcome::NotReached | CellOutcome::RecoveredDegraded(_)
+            ),
+            _ => matches!(
+                outcome,
+                CellOutcome::NotReached | CellOutcome::RecoveredIntact
+            ),
+        },
         Area::Reader => match label {
-            // Global readers run outside the per-process containment.
+            // Global readers run outside the per-process containment — a
+            // crash in the spine read loses the machine. Under a warm
+            // morph the best-effort adopt pass re-reads the header and
+            // proc list first; an armed hit consumed there is absorbed by
+            // the per-structure cold fallback and the spine read then
+            // succeeds, so the recovery can also finish intact.
             "recovery.reader.header.validate" | "recovery.reader.proclist.walk" => {
                 matches!(outcome, CellOutcome::Abandoned(_))
+                    || (morph == MorphMode::Warm && matches!(outcome, CellOutcome::RecoveredIntact))
+            }
+            // The adopt pass's cache walk also reads every file table
+            // before any per-process stage, with the same absorption.
+            "recovery.reader.filetable.read" => {
+                matches!(outcome, CellOutcome::RecoveredDegraded(_))
+                    || (morph == MorphMode::Warm && matches!(outcome, CellOutcome::RecoveredIntact))
             }
             _ => matches!(outcome, CellOutcome::RecoveredDegraded(_)),
         },
@@ -264,7 +309,7 @@ fn failure_text(e: &MicrorebootFailure) -> String {
 pub fn run_cell(spec: &CellSpec) -> CellRecord {
     ow_crashpoint::reset();
     let record = |outcome: CellOutcome, fired: bool, phase, verify| {
-        let expected = outcome_expected(&spec.label, &outcome);
+        let expected = outcome_expected(&spec.label, &outcome, spec.morph);
         CellRecord {
             spec: spec.clone(),
             outcome,
@@ -384,6 +429,8 @@ pub fn run_cell(spec: &CellSpec) -> CellRecord {
     let ow_config = OtherworldConfig {
         policy: PolicySource::Inline(ResurrectionPolicy::only([workload.name()])),
         recovery_faults: baseline_plan(&spec.label),
+        morph: spec.morph,
+        strategy: spec.strategy,
         ..OtherworldConfig::default()
     };
     let result = microreboot(k, &ow_config);
@@ -537,6 +584,12 @@ pub struct CrashpointCampaignConfig {
     pub seed: u64,
     /// Worker threads (`0` = auto). Output is identical for every value.
     pub jobs: usize,
+    /// Morph mode every cell's recovery runs under (the warm/cold half of
+    /// the four-configuration safety matrix).
+    pub morph: MorphMode,
+    /// Page-materialization strategy every cell runs under (the
+    /// eager/lazy half of the matrix).
+    pub strategy: ResurrectionStrategy,
 }
 
 impl Default for CrashpointCampaignConfig {
@@ -547,6 +600,8 @@ impl Default for CrashpointCampaignConfig {
             modes: Vec::new(),
             seed: CRASHPOINT_SEED,
             jobs: 0,
+            morph: MorphMode::Cold,
+            strategy: ResurrectionStrategy::CopyPages,
         }
     }
 }
@@ -601,6 +656,8 @@ pub fn campaign_crashpoints(cfg: &CrashpointCampaignConfig) -> CrashpointCampaig
                     app: app.clone(),
                     protected,
                     seed: cell_seed(cfg.seed, label, app, protected),
+                    morph: cfg.morph,
+                    strategy: cfg.strategy,
                 });
             }
         }
@@ -662,10 +719,21 @@ pub fn crashpoints_json(cfg: &CrashpointCampaignConfig, res: &CrashpointCampaign
         .into_iter()
         .map(|(k, n)| (k.to_string(), Value::from(n as f64)))
         .collect();
+    let morph = match cfg.morph {
+        MorphMode::Cold => "cold",
+        MorphMode::Warm => "warm",
+    };
+    let strategy = match cfg.strategy {
+        ResurrectionStrategy::CopyPages => "copy",
+        ResurrectionStrategy::MapPages => "map",
+        ResurrectionStrategy::Lazy => "lazy",
+    };
     Value::obj([
         ("schema_version", Value::from(1.0)),
         ("campaign", Value::Str("crashpoints".to_string())),
         ("seed", Value::Str(format!("{:#018x}", cfg.seed))),
+        ("morph", Value::Str(morph.to_string())),
+        ("strategy", Value::Str(strategy.to_string())),
         ("cells_total", Value::from(res.cells.len() as f64)),
         ("unexpected", Value::from(res.unexpected as f64)),
         ("by_outcome", Value::Object(by_kind.into_iter().collect())),

@@ -25,10 +25,25 @@
 //! containment boundary), so a panicking experiment surfaces as that
 //! index's `Err(message)` — which the campaign classifies like any other
 //! outcome — instead of poisoning the channel or deadlocking the merger.
+//!
+//! The merger's reorder buffer is **bounded**: workers may not start an
+//! experiment more than [`CLAIM_WINDOW_PER_JOB`]`× jobs` indices past the
+//! merger's delivered watermark. Without the bound, one slow experiment at
+//! the head lets every other worker race arbitrarily far ahead, and the
+//! out-of-order `BTreeMap` grows with campaign length instead of job count
+//! (each buffered Table 5 record carries its cause string and event
+//! counts). Progress is deadlock-free by construction: the index the
+//! merger wants next is always strictly inside every worker's window.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Per-worker claim-ahead allowance. The merger buffers at most
+/// `jobs * CLAIM_WINDOW_PER_JOB` undelivered results, independent of
+/// campaign length.
+pub const CLAIM_WINDOW_PER_JOB: u64 = 4;
 
 /// Resolves a requested job count: `0` means "auto" — the `OW_JOBS`
 /// environment variable if set to a positive integer, otherwise the
@@ -91,16 +106,42 @@ where
     }
 
     let next = AtomicU64::new(0);
+    let delivered = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
+    let gate = Mutex::new(());
+    let resumed = Condvar::new();
+    let window = jobs as u64 * CLAIM_WINDOW_PER_JOB;
     let (tx, rx) = mpsc::channel::<(u64, Result<T, String>)>();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             let tx = tx.clone();
             let (next, stop, run) = (&next, &stop, &run);
+            let (delivered, gate, resumed) = (&delivered, &gate, &resumed);
             scope.spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= limit {
+                        break;
+                    }
+                    // High-water mark: don't start index `i` until the
+                    // merger's watermark is within `window` of it, so the
+                    // reorder buffer stays bounded. The timeout is a
+                    // belt-and-braces wakeup; the merger notifies on every
+                    // delivery and on stop.
+                    while !stop.load(Ordering::Relaxed)
+                        && i >= delivered.load(Ordering::Acquire).saturating_add(window)
+                    {
+                        let guard = gate.lock().unwrap();
+                        if stop.load(Ordering::Relaxed)
+                            || i < delivered.load(Ordering::Acquire).saturating_add(window)
+                        {
+                            break;
+                        }
+                        let _ = resumed
+                            .wait_timeout(guard, Duration::from_millis(10))
+                            .unwrap();
+                    }
+                    if stop.load(Ordering::Relaxed) {
                         break;
                     }
                     let out = ow_core::supervisor::contain(|| run(i));
@@ -112,7 +153,8 @@ where
         }
         drop(tx);
 
-        // The merger: buffer out-of-order arrivals, release in index order.
+        // The merger: buffer out-of-order arrivals, release in index order,
+        // and advance the watermark so throttled workers can resume.
         let mut pending: BTreeMap<u64, Result<T, String>> = BTreeMap::new();
         let mut want = 0u64;
         'merge: for (i, out) in rx.iter() {
@@ -124,9 +166,16 @@ where
                 }
                 want += 1;
             }
+            delivered.store(want, Ordering::Release);
+            let _guard = gate.lock().unwrap();
+            resumed.notify_all();
         }
-        // Dropping the receiver unblocks any worker mid-send; the scope
-        // then joins every worker before returning.
+        // Wake any worker still throttled on the watermark (stop is set or
+        // the channel drained); dropping the receiver unblocks any worker
+        // mid-send; the scope then joins every worker before returning.
+        let _guard = gate.lock().unwrap();
+        resumed.notify_all();
+        drop(_guard);
     });
 }
 
@@ -212,6 +261,39 @@ mod tests {
             assert!(outs[3].is_err() && outs[7].is_err());
             assert_eq!(outs[5], Ok(5));
         }
+    }
+
+    #[test]
+    fn claim_window_bounds_the_reorder_buffer() {
+        // A slow experiment at index 0 pins the merger's watermark at 0;
+        // the fast workers must not start anything at or past the claim
+        // window, no matter how long the head stalls or how many indices
+        // remain. (Before the watermark existed, they would race through
+        // all 200 and the merger buffered 199 results.)
+        let jobs = 4usize;
+        let window = jobs as u64 * CLAIM_WINDOW_PER_JOB;
+        let started = Mutex::new(Vec::<u64>::new());
+        let mut seen = Vec::new();
+        run_indexed(
+            jobs,
+            Some(200),
+            |i| {
+                started.lock().unwrap().push(i);
+                if i == 0 {
+                    std::thread::sleep(Duration::from_millis(100));
+                    let max = *started.lock().unwrap().iter().max().unwrap();
+                    assert!(max < window, "started index {max} past the {window} window");
+                }
+                i
+            },
+            |i, r| {
+                assert_eq!(r, Ok(i));
+                seen.push(i);
+                true
+            },
+        );
+        // The throttle must not cost completeness or ordering.
+        assert_eq!(seen, (0..200).collect::<Vec<_>>());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 #![cfg(feature = "crashpoint")]
 
+use ow_core::{MorphMode, ResurrectionStrategy};
 use ow_faultinject::{
     campaign_crashpoints, crashpoints_json, discover_points, CrashpointCampaignConfig,
     CRASHPOINT_SEED,
@@ -29,6 +30,43 @@ fn slice_cfg(jobs: usize) -> CrashpointCampaignConfig {
         modes: vec![false],
         seed: CRASHPOINT_SEED,
         jobs,
+        ..CrashpointCampaignConfig::default()
+    }
+}
+
+/// The warm-morph / lazy-resurrection half of the safety matrix: the same
+/// adopt-and-recovery-path slice must report zero policy violations in
+/// every one of the four (morph × strategy) configurations.
+#[test]
+fn every_recovery_configuration_passes_the_adopt_slice() {
+    let points = [
+        "kernel.panic.seal.write",
+        "kernel.kexec.reclaim.memory",
+        "kernel.kexec.adopt.frames",
+        "kernel.pagefault.lazy.pull",
+        "recovery.adopt.seal.validate",
+        "recovery.adopt.swap.bitmap",
+        "recovery.adopt.cache.rebuild",
+        "recovery.reader.header.validate",
+        "recovery.reader.filetable.read",
+        "recovery.resurrect.pages.materialize",
+    ];
+    for morph in [MorphMode::Cold, MorphMode::Warm] {
+        for strategy in [ResurrectionStrategy::CopyPages, ResurrectionStrategy::Lazy] {
+            let res = campaign_crashpoints(&CrashpointCampaignConfig {
+                points: points.iter().map(|s| (*s).to_string()).collect(),
+                apps: vec!["vi".to_string()],
+                modes: vec![false],
+                morph,
+                strategy,
+                ..CrashpointCampaignConfig::default()
+            });
+            let bad: Vec<_> = res.cells.iter().filter(|c| !c.expected).collect();
+            assert!(
+                bad.is_empty(),
+                "{morph:?}/{strategy:?}: unexpected cells {bad:?}"
+            );
+        }
     }
 }
 

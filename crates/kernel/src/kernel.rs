@@ -120,6 +120,12 @@ pub struct KernelConfig {
     /// configuration information is known by the time of a crash"). Only a
     /// short validation probe is paid. Shrinks Table 6's interruption time.
     pub fast_crash_boot: bool,
+    /// Warm-morph boot: when the dead kernel left a valid
+    /// [`layout::WarmSeal`], the crash kernel charges validation probes
+    /// instead of full re-initialization for mount, swap and service
+    /// bring-up (the sealed CRCs vouch for the state those phases would
+    /// rebuild). Falls back to the full charges when no valid seal exists.
+    pub warm_boot: bool,
     /// §4 hardening: maintain a checksum over every process descriptor so
     /// corruption of resurrection-critical state cannot go undetected. Adds
     /// runtime overhead on every descriptor update.
@@ -140,6 +146,7 @@ impl Default for KernelConfig {
             fixes: RobustnessFixes::default(),
             boot_costs: BootCosts::default(),
             fast_crash_boot: false,
+            warm_boot: false,
             desc_checksums: false,
             trace_frames: 16, // 64 KiB: 1 header frame + ~1280 record slots
         }
@@ -344,6 +351,9 @@ pub struct Kernel {
     /// Cycle stamp of the most recent syscall entry (inter-arrival and
     /// latency histograms; host-side scratch, not resurrection state).
     pub last_syscall_enter: u64,
+    /// Whether this crash kernel booted warm: a valid [`layout::WarmSeal`]
+    /// let it charge validation probes instead of full re-initialization.
+    pub warm_booted: bool,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -440,8 +450,15 @@ impl Kernel {
         if cold {
             phase(&mut machine, "bios", costs.bios, &mut boot_log);
         }
+        // Warm-morph boot: a valid seal left by the dying kernel vouches
+        // for the state the expensive boot phases would otherwise rebuild,
+        // so those phases shrink to validation probes. The probe only
+        // checks the seal's presence and generation; the per-structure
+        // CRCs are revalidated by the orchestrator before anything is
+        // actually adopted.
+        let warm = !cold && config.warm_boot && Kernel::probe_warm_seal(&machine).is_some();
         let ndev = machine.devices().len() as u64;
-        if !cold && config.fast_crash_boot {
+        if !cold && (config.fast_crash_boot || warm) {
             // §7 optimization: the dead kernel's hardware inventory is
             // still in memory; validate it with a short probe instead of
             // re-detecting and re-initializing every device from scratch.
@@ -523,10 +540,19 @@ impl Kernel {
         }
         let falloc = FrameAllocator::new(gen_base, (gen_end - gen_base) as usize);
 
-        // Kernel heap occupies the kernel region after the header page.
+        // Kernel heap occupies the kernel region after the header page,
+        // stopping short of the warm-seal region at the top (the panic
+        // path writes the seal there with plain stores — it must never
+        // collide with a heap allocation).
+        if config.kernel_frames <= 1 + layout::SEAL_FRAMES {
+            return Err((
+                KernelError::Inval("kernel region too small for heap and seal"),
+                Box::new(machine),
+            ));
+        }
         let kheap = KHeap::new(
             (base_frame + 1) * PAGE_SIZE as u64,
-            (config.kernel_frames - 1) * PAGE_SIZE as u64,
+            (config.kernel_frames - 1 - layout::SEAL_FRAMES) * PAGE_SIZE as u64,
         );
 
         // Filesystem: mount, formatting on first cold boot.
@@ -542,7 +568,18 @@ impl Kernel {
             },
             Err(e) => return Err((e, Box::new(machine))),
         };
-        phase(&mut machine, "fs_mount", costs.fs_mount, &mut boot_log);
+        if warm {
+            // The seal's page-cache CRC vouches for the buffer state a
+            // full mount would rebuild; only a superblock probe is paid.
+            phase(
+                &mut machine,
+                "fs_validate",
+                costs.fs_mount / 8,
+                &mut boot_log,
+            );
+        } else {
+            phase(&mut machine, "fs_mount", costs.fs_mount, &mut boot_log);
+        }
 
         let mut kernel = Kernel {
             machine,
@@ -570,6 +607,7 @@ impl Kernel {
             pipe_table_addr: 0,
             trace: None,
             last_syscall_enter: 0,
+            warm_booted: warm,
         };
 
         // Everything past this point can fail without losing the machine:
@@ -634,13 +672,22 @@ impl Kernel {
             area.trace = kernel.trace;
             kernel.swaps.push(area);
         }
-        kernel
-            .machine
-            .clock
-            .charge(kernel.config.boot_costs.swap_init);
-        kernel
-            .boot_log
-            .push(("swap_init".into(), kernel.config.boot_costs.swap_init));
+        let swap_cost = if kernel.warm_booted {
+            // The sealed slot bitmap is adoptable; initialization shrinks
+            // to a descriptor probe.
+            kernel.config.boot_costs.swap_init / 8
+        } else {
+            kernel.config.boot_costs.swap_init
+        };
+        kernel.machine.clock.charge(swap_cost);
+        kernel.boot_log.push((
+            if kernel.warm_booted {
+                "swap_validate".into()
+            } else {
+                "swap_init".into()
+            },
+            swap_cost,
+        ));
 
         // Terminal and pipe tables.
         kernel.term_table_addr = kernel
@@ -652,14 +699,22 @@ impl Kernel {
             .alloc(layout::PipeDesc::SIZE * crate::ipc::MAX_PIPES as u64)
             .ok_or(KernelError::NoMemory)?;
 
-        // Base services.
-        kernel
-            .machine
-            .clock
-            .charge(kernel.config.boot_costs.services);
-        kernel
-            .boot_log
-            .push(("services".into(), kernel.config.boot_costs.services));
+        // Base services. A warm boot restarts only the supervision shims
+        // and lets the sealed state stand in for the rest.
+        let services_cost = if kernel.warm_booted {
+            kernel.config.boot_costs.services / 8
+        } else {
+            kernel.config.boot_costs.services
+        };
+        kernel.machine.clock.charge(services_cost);
+        kernel.boot_log.push((
+            if kernel.warm_booted {
+                "services_warm".into()
+            } else {
+                "services".into()
+            },
+            services_cost,
+        ));
 
         // The crash kernel restarts the processors that the dying kernel's
         // NMI broadcast halted; without this, the next panic's broadcast
@@ -673,6 +728,14 @@ impl Kernel {
         // Protection mode is a property of the machine (which page-table set
         // is live while the kernel runs).
         kernel.machine.user_protection = kernel.config.user_protection;
+
+        // Invalidate this kernel's warm-seal region before anything is
+        // published: a stale seal from an earlier occupant of these frames
+        // must never be adopted after this kernel's own panic.
+        layout::WarmSeal::invalid().write(
+            &mut kernel.machine.phys,
+            layout::seal_addr(base_frame, kernel.config.kernel_frames),
+        )?;
 
         // Publish the kernel header and (on cold boot) the handoff block.
         kernel.write_header()?;
@@ -739,6 +802,30 @@ impl Kernel {
         };
         let addr = self.header_addr();
         header.write(&mut self.machine.phys, addr)?;
+        Ok(())
+    }
+
+    /// Probes the dead kernel's warm seal: present, marked valid, and
+    /// stamped with the dead generation. Returns the seal without checking
+    /// any per-structure CRC — adoption decisions revalidate those against
+    /// the actual dead bytes.
+    pub fn probe_warm_seal(machine: &Machine) -> Option<layout::WarmSeal> {
+        let (h, _) = HandoffBlock::read(&machine.phys).ok()?;
+        let (dead, _) =
+            layout::KernelHeader::read(&machine.phys, h.active_kernel_frame * PAGE_SIZE as u64)
+                .ok()?;
+        let addr = layout::seal_addr(dead.base_frame, dead.nframes);
+        let (seal, _) = layout::WarmSeal::read(&machine.phys, addr).ok()?;
+        (seal.valid != 0 && seal.generation == h.generation).then_some(seal)
+    }
+
+    /// Copies a frame and charges the cost model for it — the one shared
+    /// accounting site for every resurrection copy: eager page copies, shm
+    /// restores, and lazy copy-on-access pulls.
+    pub fn copy_frame_charged(&mut self, src: Pfn, dst: Pfn) -> Result<(), ow_simhw::MemError> {
+        self.machine.phys.copy_frame(src, dst)?;
+        let cost = self.machine.cost.page_copy;
+        self.machine.clock.charge(cost);
         Ok(())
     }
 
@@ -1076,8 +1163,13 @@ impl Kernel {
                 let slot = pte.pfn() as u32;
                 let area = self.swaps[self.active_swap].clone();
                 let _ = area.free_slot(&mut self.machine, slot);
-            } else if flags.contains(ow_simhw::PteFlags::PRESENT) {
+            } else if flags.contains(ow_simhw::PteFlags::PRESENT)
+                && !flags.contains(ow_simhw::PteFlags::LAZY)
+            {
                 // Shared (shm) frames are freed with the segment, not here.
+                // Lazy pages still point at dead-generation frames outside
+                // this allocator (the owner map can agree by pid collision
+                // across generations); the next morph accounts for them.
                 if matches!(self.machine.owner(pte.pfn()), FrameOwner::User { pid: p } if p == pid)
                 {
                     self.free_frame(pte.pfn());

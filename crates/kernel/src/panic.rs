@@ -124,6 +124,13 @@ impl Kernel {
         }
         self.trace_panic_step(PanicStep::CrashImageValidated, handoff.crash_base);
 
+        // Last act before the jump: seal the adoptable state (frame bitmap,
+        // swap-slot map, page-cache CRCs) for the warm morph. Best-effort:
+        // any failure leaves the boot-time invalid seal in place and the
+        // next morph stays cold.
+        ow_crashpoint::crash_point!("kernel.panic.seal.write");
+        self.seal_warm_state();
+
         // Remove the memory protection from the crash-kernel image and
         // "jump" to it: from here no main-kernel code runs.
         ow_crashpoint::crash_point!("kernel.panic.handoff.jump");

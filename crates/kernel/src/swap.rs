@@ -139,6 +139,26 @@ impl SwapArea {
         Ok(())
     }
 
+    /// Adopts a dead kernel's CRC-validated slot bitmap wholesale: copies
+    /// the dead live-slot map over this area's bitmap so every slot the
+    /// dead kernel had in use stays reserved and readable in place — no
+    /// per-page migration I/O. Both areas must name the same device, so the
+    /// geometry must match exactly.
+    pub fn adopt_bitmap(
+        &self,
+        m: &mut Machine,
+        dead_bitmap: PhysAddr,
+        dead_nslots: u32,
+    ) -> Result<(), KernelError> {
+        if dead_nslots != self.nslots {
+            return Err(KernelError::Inval("swap geometry mismatch"));
+        }
+        let mut bits = vec![0u8; self.nslots as usize];
+        m.phys.read(dead_bitmap, &mut bits)?;
+        m.phys.write(self.bitmap, &bits)?;
+        Ok(())
+    }
+
     /// Rebuilds a handle from a descriptor read out of (dead) kernel memory,
     /// reopening the device by its symbolic name.
     pub fn from_desc(

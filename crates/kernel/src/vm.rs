@@ -192,6 +192,48 @@ impl Kernel {
         Ok(())
     }
 
+    /// Copy-on-access for a lazily resurrected page: the PTE still points
+    /// read-only at the dead kernel's frame; pull the bytes into a fresh
+    /// frame owned by the new process and restore the pre-crash
+    /// writability recorded in `LAZY_RW`. A genuine read-only fault (no
+    /// `LAZY` flag) stays an error.
+    fn lazy_pull(&mut self, pid: u64, vaddr: VirtAddr) -> Result<(), Errno> {
+        let page_va = vaddr & !(PAGE_SIZE as u64 - 1);
+        let asp = self.proc(pid).map_err(|_| Errno::Io)?.asp;
+        let pte = asp
+            .pte(&self.machine.phys, page_va)
+            .map_err(|_| Errno::Io)?
+            .ok_or(Errno::Io)?;
+        let flags = pte.flags();
+        if !flags.contains(PteFlags::LAZY) {
+            return Err(Errno::Io);
+        }
+        let old_pfn = pte.pfn();
+        let new_pfn = self
+            .alloc_frame(FrameOwner::User { pid })
+            .map_err(|_| Errno::NoMem)?;
+        // Fresh frame allocated, old frame still mapped: a crash here loses
+        // nothing — the old bytes are intact and re-pullable.
+        ow_crashpoint::crash_point!("kernel.pagefault.lazy.pull");
+        self.copy_frame_charged(old_pfn, new_pfn)
+            .map_err(|_| Errno::Io)?;
+        let cost = self.machine.cost.lazy_fault;
+        self.machine.clock.charge(cost);
+        let mut f =
+            PteFlags::from_bits(flags.bits() & !(PteFlags::LAZY.bits() | PteFlags::LAZY_RW.bits()));
+        if flags.contains(PteFlags::LAZY_RW) {
+            f |= PteFlags::WRITABLE;
+        }
+        self.set_user_pte(pid, page_va, Pte::new(new_pfn, f))
+            .map_err(|_| Errno::NoMem)?;
+        self.machine.mmu.invalidate(asp.root(), page_va);
+        // The old frame is deliberately not freed: it may back a shared
+        // mapping of another resurrected process; the next cold morph's
+        // reachability pass collects it.
+        self.trace_counter(Counter::PageFaults, 1);
+        Ok(())
+    }
+
     /// Translates a user access, performing demand paging and swap-in.
     pub fn user_access(
         &mut self,
@@ -213,7 +255,7 @@ impl Kernel {
                 Ok(pa) => return Ok(pa),
                 Err(PageFault::Swapped(va, slot)) => self.swap_in(pid, va, slot)?,
                 Err(PageFault::NotMapped(va)) => self.demand_map(pid, va)?,
-                Err(PageFault::ReadOnly(_)) => return Err(Errno::Io),
+                Err(PageFault::ReadOnly(va)) => self.lazy_pull(pid, va)?,
                 Err(PageFault::Protection(_)) | Err(PageFault::OutOfSpace(_)) => {
                     return Err(Errno::Io)
                 }
@@ -271,6 +313,12 @@ impl Kernel {
         if !pte.flags().contains(PteFlags::PRESENT) {
             return Err(KernelError::Inval("page not present"));
         }
+        if pte.flags().contains(PteFlags::LAZY) {
+            // A lazy page still points at a dead-generation frame that this
+            // kernel must not free; it becomes evictable after its first
+            // copy-on-access pull.
+            return Err(KernelError::Inval("lazy page not evictable"));
+        }
         let area = self.swaps[self.active_swap].clone();
         let slot = area.alloc_slot(&mut self.machine)?;
         // Slot allocated, page still present: eviction not yet visible.
@@ -300,7 +348,10 @@ impl Kernel {
         let asp = self.proc(pid)?.asp;
         let mut victims = Vec::new();
         asp.for_each_mapped(&self.machine.phys, |va, pte| {
-            if victims.len() < n && pte.flags().contains(PteFlags::PRESENT) {
+            if victims.len() < n
+                && pte.flags().contains(PteFlags::PRESENT)
+                && !pte.flags().contains(PteFlags::LAZY)
+            {
                 victims.push(va);
             }
         })?;

@@ -30,17 +30,114 @@ static TABLE: [u32; 256] = build_table();
 
 /// CRC-32 of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xffff_ffffu32;
-    for &b in data {
-        // ow-lint: allow(recovery-panic) -- 256-entry table indexed by a masked byte
-        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+/// A streaming CRC-32 hasher, for checksums over discontiguous extents
+/// (the warm seal's page-cache CRC covers every node's bytes across many
+/// kheap allocations — no single range to hand to [`crc32_range`]).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xffff_ffff }
     }
-    c ^ 0xffff_ffff
+
+    /// Feeds host bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            // ow-lint: allow(recovery-panic) -- 256-entry table indexed by a masked byte
+            self.state = TABLE[((self.state ^ b as u32) & 0xff) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Feeds `len` bytes of simulated physical memory at `addr`, in
+    /// bounded chunks.
+    pub fn update_range(
+        &mut self,
+        phys: &ow_simhw::PhysMem,
+        addr: ow_simhw::PhysAddr,
+        len: u64,
+    ) -> Result<(), ow_simhw::MemError> {
+        let mut buf = [0u8; 256];
+        let mut off = 0u64;
+        while off < len {
+            let n = (len - off).min(buf.len() as u64) as usize;
+            // ow-lint: allow(recovery-panic) -- n is min-clamped to buf.len()
+            phys.read(addr + off, &mut buf[..n])?;
+            // ow-lint: allow(recovery-panic) -- n is min-clamped to buf.len()
+            self.update(&buf[..n]);
+            off += n as u64;
+        }
+        Ok(())
+    }
+
+    /// The finished checksum.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// CRC-32 of `len` bytes of simulated physical memory starting at `addr`,
+/// computed in bounded chunks (no `len`-sized host allocation).
+///
+/// This is the warm morph's validation primitive: the crash kernel checks
+/// a dead structure's sealed CRC against the actual dead bytes before
+/// adopting it. Living here keeps the raw reads inside the validated
+/// cursor layer.
+pub fn crc32_range(
+    phys: &ow_simhw::PhysMem,
+    addr: ow_simhw::PhysAddr,
+    len: u64,
+) -> Result<u32, ow_simhw::MemError> {
+    let mut h = Crc32::new();
+    h.update_range(phys, addr, len)?;
+    Ok(h.finish())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crc32_range_matches_crc32() {
+        let mut phys = ow_simhw::PhysMem::new(2);
+        let data: Vec<u8> = (0..600u32).map(|i| (i * 7) as u8).collect();
+        phys.write(100, &data).unwrap();
+        assert_eq!(crc32_range(&phys, 100, 600).unwrap(), crc32(&data));
+        assert_eq!(crc32_range(&phys, 100, 0).unwrap(), crc32(&[]));
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 13) as u8).collect();
+        let mut h = Crc32::new();
+        h.update(&data[..7]);
+        h.update(&data[7..200]);
+        h.update(&data[200..]);
+        assert_eq!(h.finish(), crc32(&data));
+
+        // Discontiguous extents through simulated memory.
+        let mut phys = ow_simhw::PhysMem::new(2);
+        phys.write(64, &data[..100]).unwrap();
+        phys.write(4096, &data[100..]).unwrap();
+        let mut h = Crc32::new();
+        h.update_range(&phys, 64, 100).unwrap();
+        h.update_range(&phys, 4096, 200).unwrap();
+        assert_eq!(h.finish(), crc32(&data));
+    }
 
     #[test]
     fn known_vector() {

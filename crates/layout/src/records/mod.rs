@@ -13,11 +13,13 @@ mod fs;
 mod handoff;
 mod ipc;
 mod proc;
+mod seal;
 
 pub use fs::*;
 pub use handoff::*;
 pub use ipc::*;
 pub use proc::*;
+pub use seal::*;
 
 /// Maximum open files per process.
 pub const MAX_FDS: usize = 16;

@@ -1,0 +1,162 @@
+//! The warm-morph seal: the dead kernel's last testament.
+//!
+//! The cold morph path rebuilds the frame allocator, swap-slot map and
+//! page cache from scratch, which is most of why Table 6's service
+//! interruption approaches a full reboot. The warm path instead lets the
+//! panicking kernel *seal* those structures — geometry plus a CRC-32 per
+//! structure — into a reserved region at the top of its own kernel
+//! region, written with plain stores (the panic path must not allocate).
+//! The crash kernel derives the seal's address from the validated dead
+//! [`KernelHeader`](super::KernelHeader), revalidates each CRC against
+//! the dead bytes, and adopts whatever still checks out, falling back
+//! per-structure to the cold rebuild (ReHype's recover-in-place idea
+//! applied to the morph).
+
+use crate::cursor::{Cursor, CursorMut, LayoutError};
+use crate::record::Record;
+use ow_simhw::{PhysAddr, PhysMem};
+
+/// Magic for [`WarmSeal`].
+pub const WARM_SEAL_MAGIC: u32 = 0x5357_574f; // "OWWS"
+
+/// Frames reserved at the top of every kernel region for the seal record
+/// plus the bit-packed frame-allocator bitmap that follows it.
+pub const SEAL_FRAMES: u64 = 2;
+
+/// Physical address of a kernel's seal record, derived from its header
+/// geometry — no extra pointer to corrupt.
+pub fn seal_addr(base_frame: u64, nframes: u64) -> PhysAddr {
+    (base_frame + nframes - SEAL_FRAMES) * 4096
+}
+
+/// Per-structure seal over the dead kernel's adoptable state. `valid == 0`
+/// (what a fresh boot writes) means "no panic has sealed this region";
+/// the crash kernel then takes the cold path unconditionally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmSeal {
+    /// Non-zero once the panic path has written a complete seal.
+    pub valid: u32,
+    /// Microreboot generation of the sealing kernel (cross-check against
+    /// the handoff block).
+    pub generation: u32,
+    /// First frame the sealed allocator bitmap covers.
+    pub falloc_base: u64,
+    /// Frames the bitmap covers (bit `i` = frame `falloc_base + i` used).
+    pub falloc_capacity: u64,
+    /// Physical address of the bit-packed bitmap (inside the seal region).
+    pub falloc_bitmap: PhysAddr,
+    /// CRC-32 of the bit-packed bitmap bytes.
+    pub falloc_crc: u32,
+    /// Index of the active swap area at panic time.
+    pub swap_index: u32,
+    /// Slots in the active swap area.
+    pub swap_nslots: u32,
+    /// CRC-32 of the live slot-bitmap bytes.
+    pub swap_crc: u32,
+    /// Physical address of the live slot bitmap (in the dead kheap).
+    pub swap_bitmap: PhysAddr,
+    /// Page-cache nodes across every open file at panic time.
+    pub cache_nodes: u64,
+    /// CRC-32 over the encoded bytes of every page-cache node, in
+    /// deterministic file-table walk order.
+    pub cache_crc: u32,
+}
+
+impl Record for WarmSeal {
+    const NAME: &'static str = "WarmSeal";
+    const MAGIC: u32 = WARM_SEAL_MAGIC;
+    const VERSION: u32 = 1;
+    const SIZE: u64 = 4 + 4 + 4 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 8 + 8 + 4 + 4;
+
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError> {
+        w.u32(self.valid)?;
+        w.u32(self.generation)?;
+        w.u64(self.falloc_base)?;
+        w.u64(self.falloc_capacity)?;
+        w.u64(self.falloc_bitmap)?;
+        w.u32(self.falloc_crc)?;
+        w.u32(self.swap_index)?;
+        w.u32(self.swap_nslots)?;
+        w.u32(self.swap_crc)?;
+        w.u64(self.swap_bitmap)?;
+        w.u64(self.cache_nodes)?;
+        w.u32(self.cache_crc)?;
+        w.u32(0)?; // padding
+        Ok(())
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError> {
+        let s = WarmSeal {
+            valid: c.u32()?,
+            generation: c.u32()?,
+            falloc_base: c.u64()?,
+            falloc_capacity: c.u64()?,
+            falloc_bitmap: c.u64()?,
+            falloc_crc: c.u32()?,
+            swap_index: c.u32()?,
+            swap_nslots: c.u32()?,
+            swap_crc: c.u32()?,
+            swap_bitmap: c.u64()?,
+            cache_nodes: c.u64()?,
+            cache_crc: c.u32()?,
+        };
+        let _pad = c.u32()?;
+        Ok(s)
+    }
+
+    fn validate(&self, phys: &PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
+        if self.falloc_capacity > phys.frames() || self.falloc_bitmap >= phys.frames() * 4096 {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "falloc_capacity/falloc_bitmap",
+                addr,
+            });
+        }
+        if self.swap_nslots > 1 << 24 {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "swap_nslots",
+                addr,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl WarmSeal {
+    /// Reads and unpacks the sealed frame bitmap: element `i` says whether
+    /// frame `falloc_base + i` was in use at panic time. Callers must have
+    /// verified [`WarmSeal::falloc_crc`] over the same bytes first.
+    pub fn read_falloc_bitmap(&self, phys: &PhysMem) -> Result<Vec<bool>, LayoutError> {
+        let nbytes = self.falloc_capacity.div_ceil(8);
+        let mut raw = vec![0u8; nbytes as usize];
+        phys.read(self.falloc_bitmap, &mut raw)
+            .map_err(LayoutError::Mem)?;
+        Ok((0..self.falloc_capacity as usize)
+            .map(|i| {
+                raw.get(i / 8)
+                    .map(|b| b >> (i % 8) & 1 != 0)
+                    .unwrap_or(false)
+            })
+            .collect())
+    }
+
+    /// An invalidated seal (what every boot writes over the region so a
+    /// stale seal from an earlier generation can never be adopted).
+    pub fn invalid() -> WarmSeal {
+        WarmSeal {
+            valid: 0,
+            generation: 0,
+            falloc_base: 0,
+            falloc_capacity: 0,
+            falloc_bitmap: 0,
+            falloc_crc: 0,
+            swap_index: 0,
+            swap_nslots: 0,
+            swap_crc: 0,
+            swap_bitmap: 0,
+            cache_nodes: 0,
+            cache_crc: 0,
+        }
+    }
+}

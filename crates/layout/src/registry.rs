@@ -9,7 +9,7 @@
 use crate::record::Record;
 use crate::records::{
     CrashImageHeader, FileRecord, FileTable, HandoffBlock, KernelHeader, PageCacheNode, PipeDesc,
-    ProcDesc, ShmDesc, SigTable, SockDesc, SwapDesc, TermDesc, VmaDesc,
+    ProcDesc, ShmDesc, SigTable, SockDesc, SwapDesc, TermDesc, VmaDesc, WarmSeal,
 };
 use crate::trace::{hdr_off, RECORD_SIZE, TRACE_MAGIC};
 use ow_simhw::{PhysAddr, PhysMem};
@@ -72,6 +72,7 @@ pub static REGISTRY: &[LayoutEntry] = &[
     reg!(ShmDesc),
     reg!(PipeDesc),
     reg!(SockDesc),
+    reg!(WarmSeal),
     LayoutEntry {
         name: "TraceHeader",
         guard: Guard::Magic(TRACE_MAGIC),

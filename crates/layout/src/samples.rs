@@ -11,7 +11,7 @@ use crate::record::Record;
 use crate::records::{
     pstate, resmask, vmaflags, CrashImageHeader, FileRecord, FileTable, HandoffBlock, KernelHeader,
     PageCacheNode, PipeDesc, ProcDesc, ShmDesc, SigTable, SockDesc, SwapDesc, TermDesc, VmaDesc,
-    IDT_MAGIC, NSIG, SAVE_AREA_ADDR,
+    WarmSeal, IDT_MAGIC, NSIG, SAVE_AREA_ADDR,
 };
 use crate::registry::LAYOUT_VERSION;
 use ow_simhw::{PhysAddr, PhysMem};
@@ -239,6 +239,24 @@ pub fn samples() -> Vec<SampleCase> {
                 rd: 5,
                 wr: 9,
                 buf_pfn: 6,
+            },
+        ),
+        case(
+            "WarmSeal",
+            4,
+            WarmSeal {
+                valid: 1,
+                generation: 2,
+                falloc_base: 4,
+                falloc_capacity: 60,
+                falloc_bitmap: 0x3e000,
+                falloc_crc: 0xdead_beef,
+                swap_index: 1,
+                swap_nslots: 512,
+                swap_crc: 0x1234_5678,
+                swap_bitmap: 0x7100,
+                cache_nodes: 9,
+                cache_crc: 0x0bad_cafe,
             },
         ),
         case(

@@ -33,6 +33,16 @@ pub struct CostModel {
     /// Cost of adopting one page by mapping during resurrection
     /// (footnote 3's optimization: a PTE write instead of a copy).
     pub page_map: u64,
+    /// Per-byte cost of CRC-revalidating a dead-kernel structure before
+    /// the warm morph adopts it (a streaming checksum, far cheaper than
+    /// rebuilding the structure).
+    pub validate_byte: u64,
+    /// Per-frame cost of the cold morph's full reclaim scan (ownership
+    /// probe + bitmap update for one physical frame).
+    pub reclaim_frame_scan: u64,
+    /// Fixed overhead of servicing one copy-on-access resurrection fault
+    /// (trap + lazy-PTE decode), charged on top of [`CostModel::page_copy`].
+    pub lazy_fault: u64,
 }
 
 impl Default for CostModel {
@@ -49,6 +59,9 @@ impl Default for CostModel {
             mem_bytes_per_cycle: 2,
             page_copy: 2_000,
             page_map: 150,
+            validate_byte: 1,
+            reclaim_frame_scan: 20,
+            lazy_fault: 500,
         }
     }
 }
@@ -75,6 +88,13 @@ mod tests {
         assert!(c.mem_access < c.tlb_miss_walk);
         assert!(c.tlb_miss_walk < c.tlb_flush);
         assert!(c.tlb_flush < c.disk_op);
+        // Warm-morph economics: validating a structure must be cheaper
+        // per byte than re-reading it from disk, adopting a frame must be
+        // cheaper than scanning it, and a lazy fault (overhead + copy)
+        // must stay well under one disk op so copy-on-access wins.
+        assert!(c.validate_byte < c.disk_byte);
+        assert!(c.reclaim_frame_scan > c.validate_byte);
+        assert!(c.lazy_fault + c.page_copy < c.disk_op);
     }
 
     #[test]

@@ -39,6 +39,14 @@ crate::bitflags_lite! {
         const SWAPPED = 1 << 5;
         /// Page belongs to a file-backed mapping.
         const FILE = 1 << 6;
+        /// Copy-on-access resurrection mapping: the frame still belongs to
+        /// the dead kernel's generation and is mapped read-only; the first
+        /// write pulls a private copy ([`PteFlags::LAZY_RW`] records
+        /// whether the copy becomes writable).
+        const LAZY = 1 << 7;
+        /// The lazily-mapped page was writable before the crash; restored
+        /// as `WRITABLE` when the copy-on-access fault materializes it.
+        const LAZY_RW = 1 << 8;
     }
 }
 
