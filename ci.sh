@@ -42,6 +42,18 @@ cargo run -q -p ow-bench --release --features crashpoint --bin crashpoints -- \
 cmp "$smoke_dir/cpw1.json" "$smoke_dir/cpw4.json" \
     || { echo "warm/lazy crashpoints --json differs between --jobs 1 and --jobs 4" >&2; exit 1; }
 
+# The same slice with rollback-in-place (rung 0) enabled: the epoch
+# validate/apply path and its fall-through must be deterministic and
+# policy-clean too.
+cargo run -q -p ow-bench --release --features crashpoint --bin crashpoints -- \
+    --app vi --mode unprotected --rollback \
+    --jobs 1 --json "$smoke_dir/cpr1.json" >/dev/null
+cargo run -q -p ow-bench --release --features crashpoint --bin crashpoints -- \
+    --app vi --mode unprotected --rollback \
+    --jobs 4 --json "$smoke_dir/cpr4.json" >/dev/null
+cmp "$smoke_dir/cpr1.json" "$smoke_dir/cpr4.json" \
+    || { echo "rollback crashpoints --json differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+
 # Perf-trajectory artifacts: the committed BENCH_*.json files must match
 # what the bench binaries emit at the pinned sizes/seeds (deterministic:
 # simulated time only). Regenerate with the two commands below when a

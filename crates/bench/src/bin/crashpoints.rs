@@ -8,6 +8,7 @@
 //! crashpoints --list                   # print the registry
 //! crashpoints --discover --app vi      # count-only discovery pass
 //! crashpoints --morph warm --strategy lazy  # rerun under warm/lazy recovery
+//! crashpoints --rollback               # rerun with rollback-in-place (rung 0)
 //! ```
 //!
 //! Exits non-zero when any cell's outcome violates the per-point policy.
@@ -95,6 +96,7 @@ fn main() {
         jobs: ow_faultinject::jobs_from_args(&args),
         morph: ow_bench::morph_from_args(&args),
         strategy: ow_bench::strategy_from_args(&args),
+        rollback: args.iter().any(|a| a == "--rollback"),
     };
     let t0 = std::time::Instant::now();
     let res = campaign_crashpoints(&cfg);

@@ -2,10 +2,12 @@
 //!
 //! Identical seeded faults are injected into the *recovery path itself*
 //! (dead-memory chain cycles, resurrection-engine panics and stalls,
-//! crash-kernel boot failures, panic storms); each experiment runs with the
-//! supervisor on and off, showing which whole-microreboot failures the
-//! supervisor converts into per-process degradations, clean restarts, or
-//! generation-2 escalations.
+//! crash-kernel boot failures, panic storms, and checkpoint corruption:
+//! stale epochs, torn A/B slots, poisoned descriptors); each experiment
+//! runs with the supervisor on, off, and with rollback-in-place enabled,
+//! showing which whole-microreboot failures the supervisor converts into
+//! per-process degradations, clean restarts, or generation-2 escalations —
+//! and which panics rung 0 absorbs without booting the crash kernel.
 
 #![forbid(unsafe_code)]
 
@@ -35,6 +37,7 @@ fn main() {
     let side_row = |label: &str, s: &ow_faultinject::RecoverySide| {
         vec![
             label.to_string(),
+            s.rolled_back.to_string(),
             s.full.to_string(),
             s.degraded.to_string(),
             s.clean_restart.to_string(),
@@ -45,9 +48,10 @@ fn main() {
         ]
     };
     ow_bench::print_table(
-        "Recovery robustness: supervisor ablation over injected recovery-time faults.",
+        "Recovery robustness: supervisor/rollback ablation over injected recovery-time faults.",
         &[
-            "Supervisor",
+            "Arm",
+            "Rolled back",
             "Full resurrection",
             "Degraded",
             "Clean restart",
@@ -57,8 +61,9 @@ fn main() {
             "Machine survived",
         ],
         &[
-            side_row("on", &result.with_supervisor),
-            side_row("off", &result.without_supervisor),
+            side_row("supervisor on", &result.with_supervisor),
+            side_row("supervisor off", &result.without_supervisor),
+            side_row("rollback", &result.with_rollback),
         ],
     );
     println!(

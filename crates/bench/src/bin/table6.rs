@@ -1,8 +1,9 @@
 //! Regenerates Table 6: service interruption time (seconds).
 //!
-//! By default this measures the full warm-morph matrix — every workload
-//! under each of the four recovery configurations (cold/warm morph ×
-//! eager/lazy resurrection). `--fast` keeps the legacy two-column table
+//! By default this measures the full recovery matrix — every workload
+//! under each of the five recovery configurations (cold/warm morph ×
+//! eager/lazy resurrection, plus rollback-in-place, the ladder's rung 0).
+//! `--fast` keeps the legacy two-column table
 //! with the §7 fast-crash-boot optimization. `--json PATH` writes the
 //! machine-readable matrix (pinned by `BENCH_table6.json`); `--jobs N`
 //! shards the matrix cells across workers with byte-identical output.
@@ -60,12 +61,15 @@ fn main() {
             "cold/lazy",
             "warm/eager",
             "warm/lazy",
+            "rollback",
         ],
         &printable,
     );
     println!(
-        "\n(headline: warm+lazy recovers the largest app {:.1}x faster than cold/eager)",
-        ow_bench::tables::table6_headline(&rows)
+        "\n(headline: warm+lazy recovers the largest app {:.1}x faster than cold/eager; \
+         rollback-in-place absorbs the panic {:.0}x faster than cold/eager)",
+        ow_bench::tables::table6_headline(&rows),
+        ow_bench::tables::table6_rollback_headline(&rows)
     );
 
     if let Some(path) = json_path {

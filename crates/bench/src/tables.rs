@@ -283,6 +283,7 @@ fn recovery_side_json(s: &RecoverySide, experiments: usize) -> Value {
         100.0 * s.survived() as f64 / experiments as f64
     };
     Value::obj([
+        ("rolled_back", Value::from(s.rolled_back as u64)),
         ("full_resurrection", Value::from(s.full as u64)),
         ("degraded", Value::from(s.degraded as u64)),
         ("clean_restart", Value::from(s.clean_restart as u64)),
@@ -313,11 +314,12 @@ pub fn recovery_json(r: &RecoveryCampaignResult) -> Value {
                     "without_supervisor",
                     Value::from(rec.without_supervisor.name()),
                 ),
+                ("with_rollback", Value::from(rec.with_rollback.name())),
             ])
         })
         .collect();
     Value::obj([
-        ("schema_version", Value::from(1u64)),
+        ("schema_version", Value::from(2u64)),
         ("bench", Value::from("recovery")),
         ("experiments", Value::from(r.experiments as u64)),
         (
@@ -327,6 +329,10 @@ pub fn recovery_json(r: &RecoveryCampaignResult) -> Value {
         (
             "without_supervisor",
             recovery_side_json(&r.without_supervisor, r.experiments),
+        ),
+        (
+            "with_rollback",
+            recovery_side_json(&r.with_rollback, r.experiments),
         ),
         ("panic_escapes", Value::from(r.panic_escapes as u64)),
         ("records", Value::Array(records)),
@@ -360,36 +366,50 @@ fn shell_operational(k: &mut Kernel, term: u32) -> bool {
 /// column of the warm-morph matrix.
 #[derive(Debug, Clone, Copy)]
 pub struct Table6Mode {
-    /// Stable column name (`cold_eager` .. `warm_lazy`).
+    /// Stable column name (`cold_eager` .. `rollback`).
     pub name: &'static str,
     /// Morph mode the microreboot runs under.
     pub morph: ow_core::MorphMode,
     /// Page materialization strategy.
     pub strategy: ow_core::ResurrectionStrategy,
+    /// Whether rollback-in-place (rung 0) is enabled. The morph/strategy
+    /// pair then only governs the fall-through path, which a healthy
+    /// checkpoint never takes.
+    pub rollback: bool,
 }
 
-/// The four-column recovery matrix: the paper's cold/eager pipeline, each
-/// optimization alone, and both together (the headline configuration).
-pub const TABLE6_MODES: [Table6Mode; 4] = [
+/// The recovery matrix: the paper's cold/eager pipeline, each optimization
+/// alone, both together, and rollback-in-place (rung 0) on top.
+pub const TABLE6_MODES: [Table6Mode; 5] = [
     Table6Mode {
         name: "cold_eager",
         morph: ow_core::MorphMode::Cold,
         strategy: ow_core::ResurrectionStrategy::CopyPages,
+        rollback: false,
     },
     Table6Mode {
         name: "cold_lazy",
         morph: ow_core::MorphMode::Cold,
         strategy: ow_core::ResurrectionStrategy::Lazy,
+        rollback: false,
     },
     Table6Mode {
         name: "warm_eager",
         morph: ow_core::MorphMode::Warm,
         strategy: ow_core::ResurrectionStrategy::CopyPages,
+        rollback: false,
     },
     Table6Mode {
         name: "warm_lazy",
         morph: ow_core::MorphMode::Warm,
         strategy: ow_core::ResurrectionStrategy::Lazy,
+        rollback: false,
+    },
+    Table6Mode {
+        name: "rollback",
+        morph: ow_core::MorphMode::Warm,
+        strategy: ow_core::ResurrectionStrategy::Lazy,
+        rollback: true,
     },
 ];
 
@@ -491,6 +511,7 @@ pub fn table6_measure(
         // app-level dump-and-restart tail common to all four modes.
         resurrect_sockets: true,
         resurrect_pipes: true,
+        rollback: mode.rollback,
         crash_kernel: ow_kernel::KernelConfig {
             fast_crash_boot,
             ..ow_kernel::KernelConfig::default()
@@ -571,14 +592,34 @@ pub fn table6_matrix(jobs: usize) -> Vec<Table6MatrixRow> {
         .collect()
 }
 
+fn mode_cell<'a>(row: &'a Table6MatrixRow, name: &str) -> &'a Table6Cell {
+    row.cells
+        .iter()
+        .find(|c| c.mode.name == name)
+        .expect("mode cell")
+}
+
 /// The headline number: how much faster warm+lazy recovers the largest
 /// app (the last of [`TABLE6_APPS`]) than the paper's cold/eager pipeline.
 pub fn table6_headline(rows: &[Table6MatrixRow]) -> f64 {
     let row = rows.last().expect("rows");
-    let cold = row.cells.first().expect("cold_eager").interruption_seconds;
-    let warm = row.cells.last().expect("warm_lazy").interruption_seconds;
+    let cold = mode_cell(row, "cold_eager").interruption_seconds;
+    let warm = mode_cell(row, "warm_lazy").interruption_seconds;
     if warm > 0.0 {
         cold / warm
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// The rung-0 headline: how much lower rollback-in-place drives the
+/// largest app's interruption than the paper's cold/eager microreboot.
+pub fn table6_rollback_headline(rows: &[Table6MatrixRow]) -> f64 {
+    let row = rows.last().expect("rows");
+    let cold = mode_cell(row, "cold_eager").interruption_seconds;
+    let rb = mode_cell(row, "rollback").interruption_seconds;
+    if rb > 0.0 {
+        cold / rb
     } else {
         f64::INFINITY
     }
@@ -616,10 +657,14 @@ pub fn table6_json(rows: &[Table6MatrixRow]) -> Value {
         })
         .collect();
     Value::obj([
-        ("schema_version", Value::from(1u64)),
+        ("schema_version", Value::from(2u64)),
         ("bench", Value::from("table6")),
         ("rows", Value::Array(row_values)),
         ("headline_speedup", Value::from(table6_headline(rows))),
+        (
+            "rollback_speedup",
+            Value::from(table6_rollback_headline(rows)),
+        ),
     ])
 }
 

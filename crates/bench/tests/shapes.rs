@@ -124,9 +124,10 @@ fn table6_warm_lazy_recovers_the_largest_app_at_least_5x_faster() {
             cold_eager.interruption_seconds
         );
         // Warm cells must actually adopt every validated structure; cold
-        // cells must never report adoption.
+        // cells must never report adoption. The rollback cell never morphs
+        // at all, so it adopts nothing either.
         for c in &r.cells {
-            let warm = c.mode.morph == ow_core::MorphMode::Warm;
+            let warm = c.mode.morph == ow_core::MorphMode::Warm && !c.mode.rollback;
             assert_eq!(
                 (c.adoption.frames, c.adoption.swap, c.adoption.cache),
                 (warm, warm, warm),
@@ -137,6 +138,36 @@ fn table6_warm_lazy_recovers_the_largest_app_at_least_5x_faster() {
             );
         }
     }
+}
+
+#[test]
+fn rollback_interruption_beats_cold_microreboot_by_50x() {
+    // The rung-0 acceptance pin: rolling the records back in place must
+    // drive the service interruption at least 50x below the paper's
+    // cold/eager microreboot for every Table 6 app — no crash-kernel boot,
+    // no resurrection, no morph, nothing replayed.
+    let rows = tables::table6_matrix(0);
+    for r in &rows {
+        let cold = r
+            .cells
+            .iter()
+            .find(|c| c.mode.name == "cold_eager")
+            .unwrap()
+            .interruption_seconds;
+        let rb = r
+            .cells
+            .iter()
+            .find(|c| c.mode.name == "rollback")
+            .unwrap()
+            .interruption_seconds;
+        assert!(
+            rb * 50.0 <= cold,
+            "{}: rollback {rb:.4}s must be at least 50x below cold {cold:.2}s",
+            r.name
+        );
+    }
+    let headline = tables::table6_rollback_headline(&rows);
+    assert!(headline >= 50.0, "rollback headline {headline:.1}x < 50x");
 }
 
 #[test]

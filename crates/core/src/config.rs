@@ -38,26 +38,33 @@ pub enum MorphMode {
 /// rather than give up).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LadderRung {
+    /// Rung 0: roll the resurrection-critical records back to the newest
+    /// validated epoch checkpoint *in place* and resume the same kernel
+    /// generation — no crash-kernel boot, no resurrection, no morph. Only
+    /// ever reached when a fresh panic-sealed epoch validates; any doubt
+    /// falls through to [`LadderRung::Full`].
+    RollbackInPlace = 0,
     /// The full resurrection engine: all memory including swapped-out
     /// pages, files, terminal, signals, shm, optional sockets/pipes.
-    Full = 0,
+    Full = 1,
     /// Skip swap migration: swapped-out pages are abandoned (the swap area
     /// descriptors or bitmap may be what is corrupted). Loses `MEMORY`.
-    NoSwapMigration = 1,
+    NoSwapMigration = 2,
     /// Anonymous memory only: additionally drop file-backed contents, open
     /// files, terminal, signal handlers, shm, and sockets — only the
     /// resident anonymous address space and registers survive.
-    AnonymousOnly = 2,
+    AnonymousOnly = 3,
     /// Give up on the dead image entirely and start a fresh instance from
     /// the program registry (the crash-procedure "restart" path without any
     /// saved state).
-    CleanRestart = 3,
+    CleanRestart = 4,
 }
 
 impl LadderRung {
     /// The next-weaker rung, or `None` from the bottom.
     pub fn weaker(self) -> Option<LadderRung> {
         match self {
+            LadderRung::RollbackInPlace => Some(LadderRung::Full),
             LadderRung::Full => Some(LadderRung::NoSwapMigration),
             LadderRung::NoSwapMigration => Some(LadderRung::AnonymousOnly),
             LadderRung::AnonymousOnly => Some(LadderRung::CleanRestart),
@@ -68,6 +75,7 @@ impl LadderRung {
     /// Stable short name (used by reports and the JSON export).
     pub fn name(self) -> &'static str {
         match self {
+            LadderRung::RollbackInPlace => "rollback_in_place",
             LadderRung::Full => "full",
             LadderRung::NoSwapMigration => "no_swap_migration",
             LadderRung::AnonymousOnly => "anonymous_only",
@@ -191,6 +199,12 @@ pub struct OtherworldConfig {
     /// Faults to inject into the recovery path itself; empty outside the
     /// ow-faultinject recovery campaign.
     pub recovery_faults: RecoveryFaultPlan,
+    /// Rung 0 of the ladder: try rollback-in-place from the newest epoch
+    /// checkpoint before any crash-kernel handoff. Off by default (the
+    /// paper's microreboot semantics); requires the kernel's epoch-
+    /// checkpoint writer (`KernelConfig::checkpoint_interval != 0`) to
+    /// have sealed a fresh epoch on the panic path.
+    pub rollback: bool,
 }
 
 impl Default for OtherworldConfig {
@@ -204,6 +218,7 @@ impl Default for OtherworldConfig {
             resurrect_pipes: false,
             supervisor: SupervisorConfig::default(),
             recovery_faults: RecoveryFaultPlan::default(),
+            rollback: false,
         }
     }
 }

@@ -32,6 +32,7 @@ pub mod otherworld;
 pub mod policy;
 pub mod reader;
 pub mod resurrect;
+pub mod rollback;
 pub mod stats;
 pub mod supervisor;
 
@@ -43,5 +44,5 @@ pub use otherworld::{microreboot, MicrorebootFailure, Otherworld};
 pub use policy::ResurrectionPolicy;
 pub use stats::{
     AdoptionSummary, MicrorebootReport, ProcOutcome, ProcReport, ReadKind, ReadStats,
-    SupervisorSummary,
+    RollbackSummary, SupervisorSummary,
 };

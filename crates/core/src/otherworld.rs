@@ -15,6 +15,7 @@ use crate::{
     policy::ResurrectionPolicy,
     reader::{self, ReadError},
     resurrect::{self, DeadKernel},
+    rollback,
     stats::{MicrorebootReport, ProcOutcome, ProcReport, ReadKind, ReadStats, SupervisorSummary},
     supervisor,
 };
@@ -91,7 +92,7 @@ impl Program for StubProgram {
 /// this function: the whole post-handoff path runs inside
 /// [`supervisor::contain`].
 pub fn microreboot(
-    dead: Kernel,
+    mut dead: Kernel,
     config: &OtherworldConfig,
 ) -> Result<(Kernel, MicrorebootReport), MicrorebootFailure> {
     let info = match &dead.panicked {
@@ -102,19 +103,42 @@ pub fn microreboot(
         None => return Err(MicrorebootFailure::NotPanicked),
     };
 
-    let registry = dead.registry.clone();
-    let dead_generation = dead.generation;
-    let machine = dead.machine;
-    let t_panic = machine.clock.now();
+    let t_panic = dead.machine.clock.now();
 
     // Recover the dead kernel's flight record *before* booting the crash
     // kernel: boot re-arms (and zeroes) the trace region for the next
     // generation. The region's location comes from the handoff block, and
     // recovery is validated record-by-record — wild-write damage costs
     // individual records, never the whole recording.
-    let flight = ow_layout::HandoffBlock::read(&machine.phys)
-        .map(|(h, _)| ow_trace::FlightRecord::recover(&machine.phys, h.trace_base, h.trace_frames))
+    let flight = ow_layout::HandoffBlock::read(&dead.machine.phys)
+        .map(|(h, _)| {
+            ow_trace::FlightRecord::recover(&dead.machine.phys, h.trace_base, h.trace_frames)
+        })
         .unwrap_or_default();
+
+    // Rung 0: rollback-in-place. When the dying kernel sealed a fresh
+    // AT_PANIC epoch that survives validation, the record set is restored
+    // in place and the *same* generation resumes — no crash-kernel boot at
+    // all. Any failure (validation refusal, an injected crash-point panic
+    // inside the attempt) falls through to the microreboot below with the
+    // record state untouched.
+    if config.rollback {
+        let rb_flight = flight.clone();
+        match supervisor::contain(|| rollback::attempt(&mut dead, config, rb_flight, t_panic)) {
+            Ok(Some(report)) => return Ok((dead, report)),
+            _ => {
+                // The decision to abandon rung 0 is itself a labeled (and
+                // contained) step of the recovery path.
+                let _ = supervisor::contain(|| {
+                    ow_crashpoint::crash_point!("recovery.rollback.fallback.microreboot");
+                });
+            }
+        }
+    }
+
+    let registry = dead.registry.clone();
+    let dead_generation = dead.generation;
+    let machine = dead.machine;
 
     // Outermost containment boundary: even a bug in the supervisor itself
     // surfaces as a classified failure, never an unwinding panic.
@@ -336,6 +360,8 @@ fn run_recovery(
         resurrection_seconds: secs(t_resurrected - t_booted),
         morph_seconds: secs(t_done - t_resurrected),
         total_seconds: secs(t_done - t_panic),
+        rollback_seconds: 0.0,
+        rollback: None,
         supervisor: summary,
         integrity_fixes,
         flight,

@@ -107,6 +107,9 @@ pub fn resurrect_process(
     rung: LadderRung,
     stats: &mut ReadStats,
 ) -> Result<Resurrected, ReadError> {
+    // Rung 0 (rollback-in-place) never reaches the engine, and the clean
+    // restart bypasses it: both are handled entirely by the orchestrator.
+    debug_assert!(rung != LadderRung::RollbackInPlace);
     debug_assert!(rung != LadderRung::CleanRestart);
     let skip_swap = rung >= LadderRung::NoSwapMigration;
     let anon_only = rung >= LadderRung::AnonymousOnly;

@@ -48,6 +48,8 @@ pub enum ReadKind {
     SockPayload,
     /// Pipe ring-buffer contents.
     PipeBuffer,
+    /// An epoch-checkpoint header record (rollback-in-place validation).
+    EpochCheckpoint,
 }
 
 impl ReadKind {
@@ -70,6 +72,7 @@ impl ReadKind {
             ReadKind::TerminalScreen => "terminal_screen",
             ReadKind::SockPayload => "sock_payload",
             ReadKind::PipeBuffer => "pipe_buffer",
+            ReadKind::EpochCheckpoint => "epoch_checkpoint",
         }
     }
 
@@ -90,6 +93,7 @@ impl ReadKind {
             ReadKind::PipeDesc => "PipeDesc",
             ReadKind::SwapDesc => "SwapDesc",
             ReadKind::TermDesc => "TermDesc",
+            ReadKind::EpochCheckpoint => "EpochCheckpoint",
             ReadKind::PageTables
             | ReadKind::TerminalScreen
             | ReadKind::SockPayload
@@ -263,6 +267,23 @@ pub struct AdoptionSummary {
     pub cache: bool,
 }
 
+/// What rollback-in-place (rung 0) restored, when it ran and succeeded.
+/// Reported instead of a resurrection: the same kernel generation resumed,
+/// so there is no crash boot, no per-process engine work, and no morph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RollbackSummary {
+    /// Epoch counter of the checkpoint that was rolled back to.
+    pub epoch: u64,
+    /// Syscall sequence number the checkpoint was sealed at.
+    pub seq: u64,
+    /// Checkpointed records rewritten in place.
+    pub records: u64,
+    /// Processes whose state the rollback restored.
+    pub procs: u64,
+    /// Checkpoint bytes validated (header + payload).
+    pub bytes_validated: u64,
+}
+
 /// Report of one complete microreboot.
 #[derive(Debug, Clone)]
 pub struct MicrorebootReport {
@@ -285,6 +306,12 @@ pub struct MicrorebootReport {
     pub morph_seconds: f64,
     /// Simulated seconds for the whole microreboot (panic → morphed).
     pub total_seconds: f64,
+    /// Simulated seconds spent in rollback-in-place (rung 0); zero when
+    /// rollback was disabled or fell through before doing any work.
+    pub rollback_seconds: f64,
+    /// What rollback-in-place restored, when it ran and succeeded; `None`
+    /// for every microreboot that went through the crash kernel.
+    pub rollback: Option<RollbackSummary>,
     /// What the resurrection supervisor did (containment, ladder,
     /// watchdog, escalation).
     pub supervisor: SupervisorSummary,
@@ -318,6 +345,7 @@ impl MicrorebootReport {
                 Value::from(self.resurrection_seconds),
             ),
             ("morph_seconds", Value::from(self.morph_seconds)),
+            ("rollback_seconds", Value::from(self.rollback_seconds)),
             ("total_seconds", Value::from(self.total_seconds)),
         ])
     }

@@ -40,6 +40,12 @@ pub enum Area {
     /// Warm-morph validate-then-adopt (seal validation, swap-bitmap and
     /// page-cache adoption).
     Adopt,
+    /// The main kernel's epoch-checkpoint writer (periodic and panic-path
+    /// seals of the Table 4 record set).
+    Checkpoint,
+    /// Rollback-in-place: rung 0 of the ladder, running before the
+    /// crash-kernel handoff (epoch validation, in-place apply, fallback).
+    Rollback,
 }
 
 impl Area {
@@ -60,6 +66,8 @@ impl Area {
             Area::Supervisor => "supervisor",
             Area::Restart => "restart",
             Area::Adopt => "adopt",
+            Area::Checkpoint => "checkpoint",
+            Area::Rollback => "rollback",
         }
     }
 }
@@ -94,12 +102,20 @@ pub const REGISTRY: &[PointSpec] = &[
     p("kernel.vm.swap.out", Area::Vm),
     p("kernel.swap.slot.write", Area::Swap),
     p("kernel.swap.slot.read", Area::Swap),
+    // Main kernel: epoch-checkpoint writer (also reached by the panic
+    // path's final seal).
+    p("kernel.checkpoint.seal.write", Area::Checkpoint),
     // Dead kernel: panic path milestones.
     p("kernel.panic.path.entered", Area::PanicPath),
     p("kernel.panic.handoff.read", Area::PanicPath),
     p("kernel.panic.nmi.broadcast", Area::PanicPath),
     p("kernel.panic.seal.write", Area::PanicPath),
     p("kernel.panic.handoff.jump", Area::PanicPath),
+    // Rollback-in-place (rung 0): runs on the dead-but-intact kernel
+    // before any crash-kernel code.
+    p("recovery.rollback.epoch.validate", Area::Rollback),
+    p("recovery.rollback.state.apply", Area::Rollback),
+    p("recovery.rollback.fallback.microreboot", Area::Rollback),
     // Crash kernel: boot and morph.
     p("kernel.crashboot.init.begin", Area::CrashBoot),
     p("kernel.kexec.reclaim.memory", Area::Kexec),

@@ -96,6 +96,9 @@ pub struct CellSpec {
     pub morph: MorphMode,
     /// Page-materialization strategy (campaign-wide knob).
     pub strategy: ResurrectionStrategy,
+    /// Whether rollback-in-place (the ladder's rung 0) is enabled for the
+    /// cell's recovery (campaign-wide knob).
+    pub rollback: bool,
 }
 
 /// What happened in one cell, after the full pipeline ran.
@@ -201,11 +204,67 @@ pub fn baseline_plan(label: &str) -> RecoveryFaultPlan {
 
 /// Whether `outcome` is acceptable for `label` under the ReHype-style
 /// per-point policy described in the module docs.
-pub fn outcome_expected(label: &str, outcome: &CellOutcome, morph: MorphMode) -> bool {
+pub fn outcome_expected(
+    label: &str,
+    outcome: &CellOutcome,
+    morph: MorphMode,
+    rollback: bool,
+) -> bool {
     let Some(point) = ow_crashpoint::spec(label) else {
         return false;
     };
+    // With rung 0 enabled, a fresh panic-sealed epoch validates for every
+    // cell, so the rollback absorbs the induced panic before the crash
+    // kernel ever boots: the entire recovery side below the rollback is
+    // simply never reached, and workload/panic-side cells must come back
+    // intact the same way a full resurrection would (restart-delivery
+    // semantics are identical, §3.5).
+    if rollback {
+        return match point.area {
+            // The epoch seal is on the workload side (periodic cadence)
+            // and on the panic path; a consumed point lets the retry seal.
+            Area::Checkpoint => matches!(
+                outcome,
+                CellOutcome::NotReached | CellOutcome::RecoveredIntact
+            ),
+            // Rollback's own points are contained and fall through to the
+            // ordinary full microreboot; the fallback marker only runs on
+            // that fall-through path, which a healthy checkpoint never
+            // takes.
+            Area::Rollback => match label {
+                "recovery.rollback.fallback.microreboot" => {
+                    matches!(outcome, CellOutcome::NotReached)
+                }
+                _ => matches!(outcome, CellOutcome::RecoveredIntact),
+            },
+            // Workload-side tears and panic-path deaths are absorbed by
+            // rung 0 (or never reached by this workload).
+            Area::Syscall | Area::PageCache | Area::PageFault | Area::Vm | Area::Swap => matches!(
+                outcome,
+                CellOutcome::NotReached | CellOutcome::RecoveredIntact
+            ),
+            Area::PanicPath => matches!(outcome, CellOutcome::RecoveredIntact),
+            // Everything below the rollback in the recovery pipeline is
+            // unreachable when rung 0 absorbs the panic.
+            Area::CrashBoot
+            | Area::Kexec
+            | Area::Reader
+            | Area::Resurrect
+            | Area::Ladder
+            | Area::Supervisor
+            | Area::Restart
+            | Area::Adopt => matches!(outcome, CellOutcome::NotReached),
+        };
+    }
     match point.area {
+        // Without rung 0 the rollback path never executes, and the
+        // periodic seal tears the kernel mid-workload like any other
+        // workload-side point.
+        Area::Checkpoint => matches!(
+            outcome,
+            CellOutcome::NotReached | CellOutcome::RecoveredIntact
+        ),
+        Area::Rollback => matches!(outcome, CellOutcome::NotReached),
         // The lazy copy-on-access pull can fire inside the *new* kernel
         // while the resurrected crash procedure touches memory — still
         // inside per-process containment, so it may also degrade.
@@ -309,7 +368,7 @@ fn failure_text(e: &MicrorebootFailure) -> String {
 pub fn run_cell(spec: &CellSpec) -> CellRecord {
     ow_crashpoint::reset();
     let record = |outcome: CellOutcome, fired: bool, phase, verify| {
-        let expected = outcome_expected(&spec.label, &outcome, spec.morph);
+        let expected = outcome_expected(&spec.label, &outcome, spec.morph, spec.rollback);
         CellRecord {
             spec: spec.clone(),
             outcome,
@@ -431,6 +490,7 @@ pub fn run_cell(spec: &CellSpec) -> CellRecord {
         recovery_faults: baseline_plan(&spec.label),
         morph: spec.morph,
         strategy: spec.strategy,
+        rollback: spec.rollback,
         ..OtherworldConfig::default()
     };
     let result = microreboot(k, &ow_config);
@@ -516,7 +576,9 @@ pub fn run_cell(spec: &CellSpec) -> CellRecord {
         Err(_) => "panicked",
     };
 
-    let outcome = if rung != LadderRung::Full {
+    // Rung 0 (`RollbackInPlace`) is *stronger* than a full resurrection,
+    // not weaker: only rungs below `Full` count as degraded.
+    let outcome = if rung > LadderRung::Full {
         CellOutcome::RecoveredDegraded(rung)
     } else if !fired {
         match verified {
@@ -590,6 +652,9 @@ pub struct CrashpointCampaignConfig {
     /// Page-materialization strategy every cell runs under (the
     /// eager/lazy half of the matrix).
     pub strategy: ResurrectionStrategy,
+    /// Whether every cell's recovery runs with rollback-in-place enabled
+    /// (the rung-0 arm of the campaign).
+    pub rollback: bool,
 }
 
 impl Default for CrashpointCampaignConfig {
@@ -602,6 +667,7 @@ impl Default for CrashpointCampaignConfig {
             jobs: 0,
             morph: MorphMode::Cold,
             strategy: ResurrectionStrategy::CopyPages,
+            rollback: false,
         }
     }
 }
@@ -658,6 +724,7 @@ pub fn campaign_crashpoints(cfg: &CrashpointCampaignConfig) -> CrashpointCampaig
                     seed: cell_seed(cfg.seed, label, app, protected),
                     morph: cfg.morph,
                     strategy: cfg.strategy,
+                    rollback: cfg.rollback,
                 });
             }
         }
@@ -734,6 +801,7 @@ pub fn crashpoints_json(cfg: &CrashpointCampaignConfig, res: &CrashpointCampaign
         ("seed", Value::Str(format!("{:#018x}", cfg.seed))),
         ("morph", Value::Str(morph.to_string())),
         ("strategy", Value::Str(strategy.to_string())),
+        ("rollback", Value::Bool(cfg.rollback)),
         ("cells_total", Value::from(res.cells.len() as f64)),
         ("unexpected", Value::from(res.unexpected as f64)),
         ("by_outcome", Value::Object(by_kind.into_iter().collect())),

@@ -6,9 +6,14 @@
 //! lets the main kernel die cleanly and then attacks the recovery: cycles
 //! spliced into dead-kernel chains, panics and stalls inside the
 //! resurrection engine, crash-kernel boot failures, and panic storms. Each
-//! seeded experiment runs twice — supervisor on and supervisor off — so the
-//! ablation shows exactly which whole-microreboot failures the supervisor
-//! converts into per-process degradations or generation-2 restarts.
+//! seeded experiment runs three times — supervisor on, supervisor off, and
+//! rollback-in-place enabled — so the ablation shows exactly which
+//! whole-microreboot failures the supervisor converts into per-process
+//! degradations or generation-2 restarts, and which panics rung 0 absorbs
+//! without ever booting the crash kernel. Three checkpoint-directed fault
+//! kinds (stale epoch, torn A/B slot, CRC-valid-but-poisoned descriptor)
+//! attack the rollback path itself and must deterministically fall through
+//! to the ordinary microreboot.
 
 use crate::campaign::{experiment_seed, workload_stream_seed};
 use crate::engine;
@@ -19,10 +24,15 @@ use ow_core::{
     SupervisorConfig,
 };
 use ow_kernel::{
-    layout::{pstate, Record},
+    layout::{
+        ckpt_slot_addr, crc::crc32, pstate, snipkind, EpochCheckpoint, HandoffBlock, ProcDesc,
+        Record, CKPT_SLOTS, SNIP_HEADER_BYTES,
+    },
     Kernel, KernelConfig, PanicOutcome,
 };
-use ow_simhw::{clock::CYCLES_PER_SEC, machine::MachineConfig, stream_seed, CostModel, SimRng};
+use ow_simhw::{
+    clock::CYCLES_PER_SEC, machine::MachineConfig, stream_seed, CostModel, PhysAddr, SimRng,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Stream tag deriving the fault-arming substream of a recovery-experiment
@@ -50,6 +60,18 @@ pub enum RecoveryFaultKind {
     CrashBootFailure,
     /// The engine stalls past its cycle budget on the victim.
     RecoveryStall,
+    /// The newest sealed epoch's syscall sequence is rewritten backwards:
+    /// a stale checkpoint that a rollback must refuse (restoring it would
+    /// silently lose post-seal work).
+    StaleEpoch,
+    /// Payload bytes of the newest sealed slot are flipped without fixing
+    /// the payload CRC — a torn A/B write the CRC gate must expose.
+    TornSlot,
+    /// A process descriptor *inside* the sealed payload is rewritten to a
+    /// semantically invalid value and the payload CRC is recomputed over
+    /// the poisoned bytes: the checkpoint passes the CRC gate and only the
+    /// per-record validated readers can reject it.
+    PoisonedDesc,
 }
 
 impl RecoveryFaultKind {
@@ -61,16 +83,22 @@ impl RecoveryFaultKind {
             RecoveryFaultKind::PanicStorm => "panic_storm",
             RecoveryFaultKind::CrashBootFailure => "crash_boot_failure",
             RecoveryFaultKind::RecoveryStall => "recovery_stall",
+            RecoveryFaultKind::StaleEpoch => "stale_epoch",
+            RecoveryFaultKind::TornSlot => "torn_slot",
+            RecoveryFaultKind::PoisonedDesc => "poisoned_desc",
         }
     }
 
     fn draw(rng: &mut SimRng) -> Self {
-        match rng.next_u64() % 5 {
+        match rng.next_u64() % 8 {
             0 => RecoveryFaultKind::ChainCycle,
             1 => RecoveryFaultKind::EnginePanic,
             2 => RecoveryFaultKind::PanicStorm,
             3 => RecoveryFaultKind::CrashBootFailure,
-            _ => RecoveryFaultKind::RecoveryStall,
+            4 => RecoveryFaultKind::RecoveryStall,
+            5 => RecoveryFaultKind::StaleEpoch,
+            6 => RecoveryFaultKind::TornSlot,
+            _ => RecoveryFaultKind::PoisonedDesc,
         }
     }
 }
@@ -79,6 +107,10 @@ impl RecoveryFaultKind {
 /// best to worst.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecoveryOutcome {
+    /// Rung 0 absorbed the panic: the newest epoch checkpoint validated
+    /// and every process resumed in the same kernel generation without a
+    /// crash-kernel boot.
+    RolledBack,
     /// Every process resurrected at the full rung.
     FullResurrection,
     /// At least one process needed a weaker engine rung but kept (most of)
@@ -100,6 +132,7 @@ impl RecoveryOutcome {
     /// Stable name for reports.
     pub fn name(self) -> &'static str {
         match self {
+            RecoveryOutcome::RolledBack => "rolled_back",
             RecoveryOutcome::FullResurrection => "full_resurrection",
             RecoveryOutcome::Degraded => "degraded",
             RecoveryOutcome::CleanRestart => "clean_restart",
@@ -119,11 +152,16 @@ pub struct RecoveryRecord {
     pub with_supervisor: RecoveryOutcome,
     /// Outcome with the supervisor disabled.
     pub without_supervisor: RecoveryOutcome,
+    /// Outcome with rollback-in-place (rung 0) enabled on top of the
+    /// supervisor.
+    pub with_rollback: RecoveryOutcome,
 }
 
 /// Outcome counts for one supervisor setting.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoverySide {
+    /// Rung-0 rollbacks (same generation, no crash-kernel boot).
+    pub rolled_back: usize,
     /// Full-rung resurrections.
     pub full: usize,
     /// Degraded (weaker rung, state kept).
@@ -145,6 +183,7 @@ pub struct RecoverySide {
 impl RecoverySide {
     fn count(&mut self, outcome: RecoveryOutcome) {
         match outcome {
+            RecoveryOutcome::RolledBack => self.rolled_back += 1,
             RecoveryOutcome::FullResurrection => self.full += 1,
             RecoveryOutcome::Degraded => self.degraded += 1,
             RecoveryOutcome::CleanRestart => self.clean_restart += 1,
@@ -157,7 +196,12 @@ impl RecoverySide {
     /// Experiments where the application layer survived in some form
     /// (anything but a whole-microreboot failure).
     pub fn survived(&self) -> usize {
-        self.full + self.degraded + self.clean_restart + self.gen2 + self.per_process_failure
+        self.rolled_back
+            + self.full
+            + self.degraded
+            + self.clean_restart
+            + self.gen2
+            + self.per_process_failure
     }
 }
 
@@ -170,6 +214,8 @@ pub struct RecoveryCampaignResult {
     pub with_supervisor: RecoverySide,
     /// Counts with the supervisor disabled.
     pub without_supervisor: RecoverySide,
+    /// Counts with rollback-in-place enabled (supervisor on).
+    pub with_rollback: RecoverySide,
     /// Panics that escaped `microreboot()` into the campaign harness. The
     /// supervisor's containment guarantee is that this stays zero.
     pub panic_escapes: usize,
@@ -266,6 +312,101 @@ fn inject_chain_cycle(k: &mut Kernel, victim: usize) {
         .expect("rewrite tail VMA");
 }
 
+/// Locates the newest sealed epoch slot in the dead kernel — the slot a
+/// rollback would choose — via the handoff block's trace-ring geometry.
+fn newest_ckpt_slot(k: &Kernel) -> Option<(PhysAddr, EpochCheckpoint)> {
+    let (h, _) = HandoffBlock::read(&k.machine.phys).ok()?;
+    let mut best: Option<(PhysAddr, EpochCheckpoint)> = None;
+    for slot in 0..CKPT_SLOTS {
+        let addr = ckpt_slot_addr(h.trace_base, slot);
+        if let Ok((c, _)) = EpochCheckpoint::read(&k.machine.phys, addr) {
+            if c.valid != 0 && best.as_ref().is_none_or(|(_, b)| c.epoch > b.epoch) {
+                best = Some((addr, c));
+            }
+        }
+    }
+    best
+}
+
+/// Rewinds the newest sealed epoch's syscall sequence through the codec:
+/// the checkpoint stays structurally perfect but claims a moment *before*
+/// the panic, so the freshness rule must refuse it.
+fn inject_stale_epoch(k: &mut Kernel) {
+    let Some((addr, mut c)) = newest_ckpt_slot(k) else {
+        return;
+    };
+    c.seq = c.seq.wrapping_sub(1);
+    c.write(&mut k.machine.phys, addr)
+        .expect("rewind sealed epoch");
+}
+
+/// Tears the newest sealed slot: the second half of its payload is
+/// bit-flipped in place without touching the header, exactly the damage a
+/// write interrupted mid-slot leaves behind. The payload CRC no longer
+/// matches and the CRC gate must expose it.
+fn inject_torn_slot(k: &mut Kernel) {
+    let Some((addr, c)) = newest_ckpt_slot(k) else {
+        return;
+    };
+    if c.payload_len == 0 {
+        return;
+    }
+    let half = c.payload_len / 2;
+    let mut tail = vec![0u8; (c.payload_len - half) as usize];
+    let at = addr + EpochCheckpoint::SIZE + half;
+    k.machine
+        .phys
+        .read(at, &mut tail)
+        .expect("read sealed payload");
+    for b in &mut tail {
+        *b = !*b;
+    }
+    k.machine
+        .phys
+        .write(at, &tail)
+        .expect("tear sealed payload");
+}
+
+/// Poisons a descriptor *inside* the sealed payload: the first
+/// process-descriptor snippet's state field is rewritten to a value no
+/// live process can have, and the payload CRC is recomputed over the
+/// poisoned bytes. The checkpoint passes the CRC gate; only the per-record
+/// validated read during rollback can reject it.
+fn inject_poisoned_desc(k: &mut Kernel) {
+    let Some((addr, mut c)) = newest_ckpt_slot(k) else {
+        return;
+    };
+    let base = addr + EpochCheckpoint::SIZE;
+    let mut off = 0u64;
+    while off + SNIP_HEADER_BYTES <= c.payload_len {
+        let mut hdr = [0u8; SNIP_HEADER_BYTES as usize];
+        if k.machine.phys.read(base + off, &mut hdr).is_err() {
+            return;
+        }
+        let kind = u32::from_le_bytes(hdr[8..12].try_into().expect("snippet kind"));
+        let len = u32::from_le_bytes(hdr[12..16].try_into().expect("snippet len")) as u64;
+        if kind == snipkind::PROC {
+            let src = base + off + SNIP_HEADER_BYTES;
+            let Ok((mut desc, _)) = ProcDesc::read(&k.machine.phys, src) else {
+                return;
+            };
+            desc.state = 0xdead; // far outside pstate's valid range
+            desc.write(&mut k.machine.phys, src)
+                .expect("poison sealed desc");
+            let mut payload = vec![0u8; c.payload_len as usize];
+            k.machine
+                .phys
+                .read(base, &mut payload)
+                .expect("read sealed payload");
+            c.payload_crc = crc32(&payload);
+            c.write(&mut k.machine.phys, addr)
+                .expect("reseal poisoned epoch");
+            return;
+        }
+        off += SNIP_HEADER_BYTES + len;
+    }
+}
+
 /// Builds the fault plan (and pre-corrupts dead memory) for one experiment.
 fn arm_fault(k: &mut Kernel, kind: RecoveryFaultKind, rng: &mut SimRng) -> RecoveryFaultPlan {
     let victim = (rng.next_u64() % APPS.len() as u64) as usize;
@@ -298,13 +439,18 @@ fn arm_fault(k: &mut Kernel, kind: RecoveryFaultKind, rng: &mut SimRng) -> Recov
             victim,
             cycles: 600 * CYCLES_PER_SEC,
         }),
+        RecoveryFaultKind::StaleEpoch => inject_stale_epoch(k),
+        RecoveryFaultKind::TornSlot => inject_torn_slot(k),
+        RecoveryFaultKind::PoisonedDesc => inject_poisoned_desc(k),
     }
     plan
 }
 
 /// Classifies a completed microreboot report.
 fn classify(report: &MicrorebootReport) -> RecoveryOutcome {
-    if report.supervisor.escalated {
+    if report.rollback.is_some() {
+        RecoveryOutcome::RolledBack
+    } else if report.supervisor.escalated {
         RecoveryOutcome::Gen2Restart
     } else if report
         .procs
@@ -312,7 +458,7 @@ fn classify(report: &MicrorebootReport) -> RecoveryOutcome {
         .any(|p| matches!(p.outcome, ProcOutcome::RestartedClean))
     {
         RecoveryOutcome::CleanRestart
-    } else if report.procs.iter().any(|p| p.rung != LadderRung::Full) {
+    } else if report.procs.iter().any(|p| p.rung > LadderRung::Full) {
         RecoveryOutcome::Degraded
     } else if report.procs.iter().any(|p| !p.outcome.is_success()) {
         RecoveryOutcome::PerProcessFailure
@@ -322,12 +468,14 @@ fn classify(report: &MicrorebootReport) -> RecoveryOutcome {
 }
 
 /// Runs one recovery experiment: build the dead system, arm `kind`, run the
-/// microreboot with the supervisor `enabled`, classify. Returns the outcome
-/// plus supervisor counters and whether a panic escaped the microreboot.
+/// microreboot with the supervisor `enabled` and rung 0 gated by
+/// `rollback`, classify. Returns the outcome plus supervisor counters and
+/// whether a panic escaped the microreboot.
 pub fn run_recovery_experiment(
     seed: u64,
     kind: RecoveryFaultKind,
     enabled: bool,
+    rollback: bool,
 ) -> (RecoveryOutcome, u64, u64, bool) {
     let mut rng = SimRng::seed_from_u64(stream_seed(seed, STREAM_RECOVERY_ARM));
     let mut k = build_dead_system(seed);
@@ -338,6 +486,7 @@ pub fn run_recovery_experiment(
             enabled,
             ..SupervisorConfig::default()
         },
+        rollback,
         recovery_faults: plan,
         ..OtherworldConfig::default()
     };
@@ -359,11 +508,12 @@ struct PairedRun {
     kind: RecoveryFaultKind,
     on: (RecoveryOutcome, u64, u64, bool),
     off: (RecoveryOutcome, u64, u64, bool),
+    rollback: (RecoveryOutcome, u64, u64, bool),
 }
 
 /// Runs the full paired campaign: each seeded experiment draws one fault
-/// kind and runs twice (supervisor on, then off) on identically built
-/// systems.
+/// kind and runs three times (supervisor on, supervisor off, rollback
+/// enabled) on identically built systems.
 ///
 /// Experiments are sharded across `cfg.jobs` workers by the deterministic
 /// engine; the merger folds each pair's counts in seed order, so the
@@ -382,17 +532,19 @@ pub fn run_recovery_campaign(cfg: &RecoveryCampaignConfig) -> RecoveryCampaignRe
             let kind = RecoveryFaultKind::draw(&mut rng);
             PairedRun {
                 kind,
-                on: run_recovery_experiment(seed, kind, true),
-                off: run_recovery_experiment(seed, kind, false),
+                on: run_recovery_experiment(seed, kind, true, false),
+                off: run_recovery_experiment(seed, kind, false, false),
+                rollback: run_recovery_experiment(seed, kind, true, true),
             }
         },
         |_, item| {
             let run = item.unwrap_or(PairedRun {
-                // The worker itself panicked: count both sides as whole
-                // failures and an escaped panic, keep the campaign alive.
+                // The worker itself panicked: count every side as a whole
+                // failure and an escaped panic, keep the campaign alive.
                 kind: RecoveryFaultKind::EnginePanic,
                 on: (RecoveryOutcome::WholeFailure, 0, 0, true),
                 off: (RecoveryOutcome::WholeFailure, 0, 0, false),
+                rollback: (RecoveryOutcome::WholeFailure, 0, 0, false),
             });
             let (on, panics, fires, escaped_on) = run.on;
             result.with_supervisor.count(on);
@@ -404,11 +556,18 @@ pub fn run_recovery_campaign(cfg: &RecoveryCampaignConfig) -> RecoveryCampaignRe
             result.without_supervisor.contained_panics += panics;
             result.without_supervisor.watchdog_fires += fires;
 
-            result.panic_escapes += usize::from(escaped_on) + usize::from(escaped_off);
+            let (rb, panics, fires, escaped_rb) = run.rollback;
+            result.with_rollback.count(rb);
+            result.with_rollback.contained_panics += panics;
+            result.with_rollback.watchdog_fires += fires;
+
+            result.panic_escapes +=
+                usize::from(escaped_on) + usize::from(escaped_off) + usize::from(escaped_rb);
             result.records.push(RecoveryRecord {
                 fault: run.kind,
                 with_supervisor: on,
                 without_supervisor: off,
+                with_rollback: rb,
             });
             result.experiments += 1;
             true

@@ -24,6 +24,7 @@ fn campaign_is_deterministic_for_a_fixed_seed() {
         assert_eq!(ra.fault, rb.fault);
         assert_eq!(ra.with_supervisor, rb.with_supervisor);
         assert_eq!(ra.without_supervisor, rb.without_supervisor);
+        assert_eq!(ra.with_rollback, rb.with_rollback);
     }
 }
 
@@ -72,12 +73,13 @@ fn per_record_supervisor_outcome_is_never_strictly_worse() {
     // in a worse class than the unsupervised run of the same experiment.
     fn rank(o: RecoveryOutcome) -> u8 {
         match o {
-            RecoveryOutcome::FullResurrection => 0,
-            RecoveryOutcome::Degraded => 1,
-            RecoveryOutcome::CleanRestart => 2,
-            RecoveryOutcome::Gen2Restart => 3,
-            RecoveryOutcome::PerProcessFailure => 4,
-            RecoveryOutcome::WholeFailure => 5,
+            RecoveryOutcome::RolledBack => 0,
+            RecoveryOutcome::FullResurrection => 1,
+            RecoveryOutcome::Degraded => 2,
+            RecoveryOutcome::CleanRestart => 3,
+            RecoveryOutcome::Gen2Restart => 4,
+            RecoveryOutcome::PerProcessFailure => 5,
+            RecoveryOutcome::WholeFailure => 6,
         }
     }
     let result = run_recovery_campaign(&config());
@@ -89,5 +91,47 @@ fn per_record_supervisor_outcome_is_never_strictly_worse() {
             r.with_supervisor,
             r.without_supervisor
         );
+        // The rollback arm may absorb the fault entirely (rung 0) but is
+        // never worse than the plain supervised run.
+        assert!(
+            rank(r.with_rollback) <= rank(r.with_supervisor),
+            "{:?}: rollback arm {:?} worse than supervised {:?}",
+            r.fault,
+            r.with_rollback,
+            r.with_supervisor
+        );
+    }
+}
+
+#[test]
+fn checkpoint_faults_fall_through_and_legacy_faults_roll_back() {
+    // The rollback arm's dichotomy: faults aimed at the checkpoint itself
+    // (stale epoch, torn slot, poisoned descriptor) must make rung 0 fall
+    // through to the ordinary supervised recovery — landing exactly where
+    // the supervised run without rollback lands — while recovery-side
+    // faults are absorbed by the rollback before the engine ever runs.
+    use ow_faultinject::RecoveryFaultKind;
+    let result = run_recovery_campaign(&config());
+    for r in &result.records {
+        match r.fault {
+            RecoveryFaultKind::StaleEpoch
+            | RecoveryFaultKind::TornSlot
+            | RecoveryFaultKind::PoisonedDesc => {
+                assert_eq!(
+                    r.with_rollback, r.with_supervisor,
+                    "{:?}: corrupted checkpoint must fall through to the supervised outcome",
+                    r.fault
+                );
+                assert_ne!(r.with_rollback, RecoveryOutcome::RolledBack);
+            }
+            _ => {
+                assert_eq!(
+                    r.with_rollback,
+                    RecoveryOutcome::RolledBack,
+                    "{:?}: rung 0 must absorb a recovery-side fault",
+                    r.fault
+                );
+            }
+        }
     }
 }

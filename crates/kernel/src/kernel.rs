@@ -134,6 +134,13 @@ pub struct KernelConfig {
     /// recorder (header + record ring). 0 disables tracing; the region
     /// survives panics and morphing, like pstore/ramoops.
     pub trace_frames: u64,
+    /// Syscall-count cadence of the epoch-checkpoint writer: every N
+    /// completed syscalls the kernel seals the resurrection-critical
+    /// record set (the <80 KB Table 4 state) into the reserved region
+    /// next to the trace ring, and the panic path seals one final epoch
+    /// so rollback-in-place can resume the same generation without
+    /// replaying anything. 0 disables epoch checkpointing entirely.
+    pub checkpoint_interval: u64,
 }
 
 impl Default for KernelConfig {
@@ -149,6 +156,7 @@ impl Default for KernelConfig {
             warm_boot: false,
             desc_checksums: false,
             trace_frames: 16, // 64 KiB: 1 header frame + ~1280 record slots
+            checkpoint_interval: 32,
         }
     }
 }
@@ -354,6 +362,17 @@ pub struct Kernel {
     /// Whether this crash kernel booted warm: a valid [`layout::WarmSeal`]
     /// let it charge validation probes instead of full re-initialization.
     pub warm_booted: bool,
+    /// First frame of the trace region (host-side mirror of the handoff
+    /// block's geometry; the epoch-checkpoint slots sit immediately below).
+    pub trace_base: Pfn,
+    /// Completed-syscall sequence number (the epoch-checkpoint cadence
+    /// counter; also the freshness stamp sealed into every epoch).
+    pub syscall_seq: u64,
+    /// Monotonic epoch counter of the checkpoint writer (selects the A/B
+    /// slot by parity).
+    pub ckpt_epoch: u64,
+    /// `syscall_seq` at the last sealed epoch (cadence bookkeeping).
+    pub last_ckpt_seq: u64,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -500,9 +519,11 @@ impl Kernel {
                 ));
             }
             let trace_base = total_frames - config.trace_frames;
+            // The epoch-checkpoint slots sit between the crash reservation
+            // and the trace ring, so they too survive panics and morphing.
             (
                 kernel_end,
-                trace_base - config.crash_frames,
+                trace_base - layout::CKPT_FRAMES - config.crash_frames,
                 trace_base,
                 config.trace_frames,
             )
@@ -608,6 +629,10 @@ impl Kernel {
             trace: None,
             last_syscall_enter: 0,
             warm_booted: warm,
+            trace_base,
+            syscall_seq: 0,
+            ckpt_epoch: 0,
+            last_ckpt_seq: 0,
         };
 
         // Everything past this point can fail without losing the machine:
@@ -736,6 +761,25 @@ impl Kernel {
             &mut kernel.machine.phys,
             layout::seal_addr(base_frame, kernel.config.kernel_frames),
         )?;
+
+        // Same discipline for the epoch-checkpoint slots below the trace
+        // ring: both A/B slots are invalidated at every boot so an epoch
+        // sealed by an earlier occupant of these frames can never roll
+        // this kernel back. The frames are tagged like the trace region so
+        // they survive the cold morph's reclaim and are never adopted.
+        if trace_base >= layout::CKPT_FRAMES && trace_base <= total_frames {
+            kernel.machine.set_owner_range(
+                layout::ckpt_region_base(trace_base),
+                layout::CKPT_FRAMES,
+                FrameOwner::Trace,
+            );
+            for slot in 0..layout::CKPT_SLOTS {
+                layout::EpochCheckpoint::invalid().write(
+                    &mut kernel.machine.phys,
+                    layout::ckpt_slot_addr(trace_base, slot),
+                )?;
+            }
+        }
 
         // Publish the kernel header and (on cold boot) the handoff block.
         kernel.write_header()?;

@@ -54,9 +54,10 @@ impl Kernel {
         if frames == 0 || frames >= total / 2 {
             return Err(KernelError::Inval("crash reservation size"));
         }
-        // The flight-recorder region keeps the very top of RAM; the crash
-        // reservation sits immediately below it.
-        let base = total - self.config.trace_frames - frames;
+        // The flight-recorder region keeps the very top of RAM, the
+        // epoch-checkpoint slots sit just below it, and the crash
+        // reservation immediately below those.
+        let base = total - self.config.trace_frames - crate::layout::CKPT_FRAMES - frames;
         self.load_crash_kernel_at(base, frames)
     }
 

@@ -16,6 +16,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod error;
 pub mod fs;
 pub mod ipc;

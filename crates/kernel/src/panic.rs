@@ -131,6 +131,13 @@ impl Kernel {
         ow_crashpoint::crash_point!("kernel.panic.seal.write");
         self.seal_warm_state();
 
+        // And one final epoch checkpoint: the state at the instant of
+        // death, stamped AT_PANIC so rollback-in-place can restore it
+        // without replaying anything. Best-effort like the warm seal — a
+        // failed epoch just means rollback falls through to the
+        // microreboot.
+        let _ = self.seal_epoch_checkpoint(true);
+
         // Remove the memory protection from the crash-kernel image and
         // "jump" to it: from here no main-kernel code runs.
         ow_crashpoint::crash_point!("kernel.panic.handoff.jump");

@@ -109,6 +109,9 @@ impl<'k> KernelApi<'k> {
                 .trace_hist(Histogram::InterArrivalCycles, now.saturating_sub(prev));
         }
         self.kernel.last_syscall_enter = now;
+        // Advance the epoch-checkpoint cadence counter: one more syscall
+        // is in flight, so any previously sealed epoch is no longer fresh.
+        self.kernel.syscall_seq += 1;
         // Mark the in-flight syscall in the descriptor.
         let desc_addr = self.kernel.proc(self.pid).map_err(|_| Errno::Io)?.desc_addr;
         let _ = self
@@ -159,6 +162,20 @@ impl<'k> KernelApi<'k> {
         if entered != 0 {
             self.kernel
                 .trace_hist(Histogram::SyscallCycles, now.saturating_sub(entered));
+        }
+
+        // Periodic epoch checkpoint: with the call complete and the
+        // in-flight marker cleared, the record set is consistent — seal it
+        // every `checkpoint_interval` completed syscalls.
+        let interval = self.kernel.config.checkpoint_interval;
+        if interval != 0
+            && self
+                .kernel
+                .syscall_seq
+                .wrapping_sub(self.kernel.last_ckpt_seq)
+                >= interval
+        {
+            let _ = self.kernel.seal_epoch_checkpoint(false);
         }
     }
 

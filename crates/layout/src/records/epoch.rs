@@ -1,0 +1,271 @@
+//! Epoch checkpoints: the rollback-in-place seal region.
+//!
+//! Even the warm morph pays a full microreboot. The Table 4 accounting
+//! shows the resurrection-critical state (process descriptors, VMA chains,
+//! file tables and file records) is tiny — small enough to checkpoint
+//! continuously. The main kernel periodically seals that state into a
+//! double-buffered region just below the trace ring, and seals one final
+//! epoch on its own panic path. Rollback-first recovery (the supervisor
+//! ladder's rung 0) then revalidates the newest complete epoch and rolls
+//! the records back in place without ever booting the crash kernel,
+//! falling through to the ordinary microreboot whenever the checkpoint is
+//! stale, torn, semantically poisoned, or already failed once.
+//!
+//! Torn-write safety comes from the A/B slot discipline: the writer
+//! alternates slots by epoch parity, so a seal interrupted mid-write can
+//! only damage the slot being written — the previous epoch in the other
+//! slot stays intact, and the record's payload CRC exposes the torn slot.
+
+use crate::cursor::{Cursor, CursorMut, LayoutError};
+use crate::record::Record;
+use ow_simhw::{PhysAddr, PhysMem};
+
+/// Magic for [`EpochCheckpoint`].
+pub const EPOCH_CKPT_MAGIC: u32 = 0x4345_574f; // "OWEC"
+
+/// Number of checkpoint slots (A/B double buffering).
+pub const CKPT_SLOTS: u32 = 2;
+
+/// Frames per checkpoint slot (40 KiB: the Table 4 set is <80 KB total
+/// and the per-process share sealed here is far below that).
+pub const CKPT_SLOT_FRAMES: u64 = 10;
+
+/// Frames reserved for the whole checkpoint region (both slots), carved
+/// out immediately below the trace ring at the top of RAM.
+pub const CKPT_FRAMES: u64 = CKPT_SLOTS as u64 * CKPT_SLOT_FRAMES;
+
+/// Bytes in one checkpoint slot.
+pub const CKPT_SLOT_BYTES: u64 = CKPT_SLOT_FRAMES * 4096;
+
+/// Maximum payload bytes one slot can carry after its header record.
+pub const CKPT_PAYLOAD_MAX: u64 = CKPT_SLOT_BYTES - EpochCheckpoint::SIZE;
+
+/// First frame of the checkpoint region, derived from the trace-ring base
+/// published in the handoff block — no extra pointer to corrupt.
+pub fn ckpt_region_base(trace_base: u64) -> u64 {
+    trace_base - CKPT_FRAMES
+}
+
+/// Physical address of checkpoint slot `slot` (0 or 1), derived from the
+/// trace-ring geometry like [`ckpt_region_base`].
+pub fn ckpt_slot_addr(trace_base: u64, slot: u32) -> PhysAddr {
+    (ckpt_region_base(trace_base) + (slot % CKPT_SLOTS) as u64 * CKPT_SLOT_FRAMES) * 4096
+}
+
+/// [`EpochCheckpoint::flags`] bits.
+pub mod ckptflags {
+    /// The epoch was sealed by the panic path itself (not the periodic
+    /// cadence): its payload is the state at the instant of death, so a
+    /// rollback that restores it replays nothing.
+    pub const AT_PANIC: u32 = 1 << 0;
+}
+
+/// Snippet kinds inside a checkpoint payload. The payload is a sequence
+/// of snippets, each `{ addr: u64, kind: u32, len: u32, bytes[len] }`,
+/// where `bytes` is the verbatim encoding of one record as it sat at
+/// `addr` when the epoch was sealed.
+pub mod snipkind {
+    /// A process descriptor.
+    pub const PROC: u32 = 1;
+    /// A VMA descriptor.
+    pub const VMA: u32 = 2;
+    /// A per-process file table.
+    pub const FILE_TABLE: u32 = 3;
+    /// An open-file record.
+    pub const FILE_RECORD: u32 = 4;
+}
+
+/// Bytes of one snippet header (`addr + kind + len`).
+pub const SNIP_HEADER_BYTES: u64 = 8 + 4 + 4;
+
+/// One parsed snippet header: where the record came from, what it is,
+/// and where its verbatim bytes sit inside the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnipView {
+    /// Home address the bytes were sealed from (and roll back to).
+    pub addr: PhysAddr,
+    /// [`snipkind`] tag.
+    pub kind: u32,
+    /// Record length in bytes.
+    pub len: u64,
+    /// Physical address of the sealed bytes inside the slot payload.
+    pub src: PhysAddr,
+}
+
+/// Appends one snippet — `{ addr, kind, len, verbatim bytes }` — to a
+/// payload being assembled by the seal writer.
+pub fn push_snippet(
+    payload: &mut Vec<u8>,
+    phys: &PhysMem,
+    addr: PhysAddr,
+    kind: u32,
+    len: u64,
+) -> Result<(), LayoutError> {
+    let mut buf = vec![0u8; len as usize];
+    phys.read(addr, &mut buf).map_err(LayoutError::Mem)?;
+    payload.extend_from_slice(&addr.to_le_bytes());
+    payload.extend_from_slice(&kind.to_le_bytes());
+    payload.extend_from_slice(&(len as u32).to_le_bytes());
+    payload.extend_from_slice(&buf);
+    Ok(())
+}
+
+/// Parses the snippet header at `off` inside a slot payload, bounds-checked
+/// against `payload_len`. Returns the view and the offset of the next
+/// snippet. The caller still semantically validates the record bytes at
+/// `src` through the typed codec its `kind` names.
+pub fn parse_snippet(
+    phys: &PhysMem,
+    payload_base: PhysAddr,
+    payload_len: u64,
+    off: u64,
+) -> Result<(SnipView, u64), LayoutError> {
+    let truncated = || LayoutError::BadValue {
+        structure: "EpochCheckpoint",
+        field: "payload",
+        addr: payload_base + off,
+    };
+    if off + SNIP_HEADER_BYTES > payload_len {
+        return Err(truncated());
+    }
+    let mut hdr = [0u8; SNIP_HEADER_BYTES as usize];
+    phys.read(payload_base + off, &mut hdr)
+        .map_err(LayoutError::Mem)?;
+    let addr = u64::from_le_bytes(hdr[0..8].try_into().unwrap_or_default());
+    let kind = u32::from_le_bytes(hdr[8..12].try_into().unwrap_or_default());
+    let len = u32::from_le_bytes(hdr[12..16].try_into().unwrap_or_default()) as u64;
+    if off + SNIP_HEADER_BYTES + len > payload_len {
+        return Err(truncated());
+    }
+    let src = payload_base + off + SNIP_HEADER_BYTES;
+    Ok((
+        SnipView {
+            addr,
+            kind,
+            len,
+            src,
+        },
+        off + SNIP_HEADER_BYTES + len,
+    ))
+}
+
+/// Copies a sealed snippet's verbatim bytes from `src` (inside a validated
+/// slot payload) back to their home address `dst` — the rollback apply.
+pub fn copy_snippet_bytes(
+    phys: &mut PhysMem,
+    src: PhysAddr,
+    dst: PhysAddr,
+    len: u64,
+) -> Result<(), LayoutError> {
+    let mut buf = vec![0u8; len as usize];
+    phys.read(src, &mut buf).map_err(LayoutError::Mem)?;
+    phys.write(dst, &buf).map_err(LayoutError::Mem)?;
+    Ok(())
+}
+
+/// Header record of one checkpoint slot. `valid == 0` (what every boot
+/// writes over both slots) means "no epoch has been sealed here"; the
+/// payload — the snippet sequence — follows the record in the same slot
+/// and is guarded by `payload_crc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochCheckpoint {
+    /// Non-zero once a complete epoch (record + payload + CRC) is sealed.
+    pub valid: u32,
+    /// Generation of the sealing kernel (a stale slot from an earlier
+    /// occupant of these frames must never roll back a newer kernel).
+    pub generation: u32,
+    /// Monotonic epoch counter; the newest valid slot wins.
+    pub epoch: u64,
+    /// Syscall sequence number at seal time. Rollback demands the sealed
+    /// sequence equal the dead kernel's current one: anything older means
+    /// state advanced after the seal and restoring it would silently lose
+    /// work.
+    pub seq: u64,
+    /// [`ckptflags`] bits.
+    pub flags: u32,
+    /// Process-descriptor snippets in the payload (cross-checked against
+    /// the actual snippet walk during validation).
+    pub nprocs: u32,
+    /// Per-epoch attempt ledger: non-zero once rollback has been tried on
+    /// this epoch. A re-panic with no progress carries the stamp forward,
+    /// so the same failed epoch is never rolled back twice (no rollback
+    /// loops).
+    pub attempted: u32,
+    /// Payload bytes following the record in this slot.
+    pub payload_len: u64,
+    /// CRC-32 over the payload bytes.
+    pub payload_crc: u32,
+}
+
+impl Record for EpochCheckpoint {
+    const NAME: &'static str = "EpochCheckpoint";
+    const MAGIC: u32 = EPOCH_CKPT_MAGIC;
+    const VERSION: u32 = 2;
+    const SIZE: u64 = 4 + 4 + 4 + 8 + 8 + 4 + 4 + 4 + 8 + 4 + 4;
+
+    fn encode_body(&self, w: &mut CursorMut<'_>) -> Result<(), LayoutError> {
+        w.u32(self.valid)?;
+        w.u32(self.generation)?;
+        w.u64(self.epoch)?;
+        w.u64(self.seq)?;
+        w.u32(self.flags)?;
+        w.u32(self.nprocs)?;
+        w.u32(self.attempted)?;
+        w.u64(self.payload_len)?;
+        w.u32(self.payload_crc)?;
+        w.u32(0)?; // padding
+        Ok(())
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Result<Self, LayoutError> {
+        let s = EpochCheckpoint {
+            valid: c.u32()?,
+            generation: c.u32()?,
+            epoch: c.u64()?,
+            seq: c.u64()?,
+            flags: c.u32()?,
+            nprocs: c.u32()?,
+            attempted: c.u32()?,
+            payload_len: c.u64()?,
+            payload_crc: c.u32()?,
+        };
+        let _pad = c.u32()?;
+        Ok(s)
+    }
+
+    fn validate(&self, _phys: &PhysMem, addr: PhysAddr) -> Result<(), LayoutError> {
+        if self.payload_len > CKPT_PAYLOAD_MAX {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "payload_len",
+                addr,
+            });
+        }
+        if self.nprocs > 4096 {
+            return Err(LayoutError::BadValue {
+                structure: Self::NAME,
+                field: "nprocs",
+                addr,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl EpochCheckpoint {
+    /// An invalidated checkpoint (what every boot writes over both slots
+    /// so an earlier occupant's epoch can never roll back this kernel).
+    pub fn invalid() -> EpochCheckpoint {
+        EpochCheckpoint {
+            valid: 0,
+            generation: 0,
+            epoch: 0,
+            seq: 0,
+            flags: 0,
+            nprocs: 0,
+            attempted: 0,
+            payload_len: 0,
+            payload_crc: 0,
+        }
+    }
+}

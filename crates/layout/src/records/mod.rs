@@ -9,12 +9,14 @@
 //! — validating a per-structure magic number first, because a wild write
 //! may have destroyed anything (§4).
 
+mod epoch;
 mod fs;
 mod handoff;
 mod ipc;
 mod proc;
 mod seal;
 
+pub use epoch::*;
 pub use fs::*;
 pub use handoff::*;
 pub use ipc::*;

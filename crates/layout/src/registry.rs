@@ -8,8 +8,9 @@
 
 use crate::record::Record;
 use crate::records::{
-    CrashImageHeader, FileRecord, FileTable, HandoffBlock, KernelHeader, PageCacheNode, PipeDesc,
-    ProcDesc, ShmDesc, SigTable, SockDesc, SwapDesc, TermDesc, VmaDesc, WarmSeal,
+    CrashImageHeader, EpochCheckpoint, FileRecord, FileTable, HandoffBlock, KernelHeader,
+    PageCacheNode, PipeDesc, ProcDesc, ShmDesc, SigTable, SockDesc, SwapDesc, TermDesc, VmaDesc,
+    WarmSeal,
 };
 use crate::trace::{hdr_off, RECORD_SIZE, TRACE_MAGIC};
 use ow_simhw::{PhysAddr, PhysMem};
@@ -73,6 +74,7 @@ pub static REGISTRY: &[LayoutEntry] = &[
     reg!(PipeDesc),
     reg!(SockDesc),
     reg!(WarmSeal),
+    reg!(EpochCheckpoint),
     LayoutEntry {
         name: "TraceHeader",
         guard: Guard::Magic(TRACE_MAGIC),

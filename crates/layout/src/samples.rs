@@ -9,9 +9,9 @@
 use crate::cursor::LayoutError;
 use crate::record::Record;
 use crate::records::{
-    pstate, resmask, vmaflags, CrashImageHeader, FileRecord, FileTable, HandoffBlock, KernelHeader,
-    PageCacheNode, PipeDesc, ProcDesc, ShmDesc, SigTable, SockDesc, SwapDesc, TermDesc, VmaDesc,
-    WarmSeal, IDT_MAGIC, NSIG, SAVE_AREA_ADDR,
+    ckptflags, pstate, resmask, vmaflags, CrashImageHeader, EpochCheckpoint, FileRecord, FileTable,
+    HandoffBlock, KernelHeader, PageCacheNode, PipeDesc, ProcDesc, ShmDesc, SigTable, SockDesc,
+    SwapDesc, TermDesc, VmaDesc, WarmSeal, IDT_MAGIC, NSIG, SAVE_AREA_ADDR,
 };
 use crate::registry::LAYOUT_VERSION;
 use ow_simhw::{PhysAddr, PhysMem};
@@ -257,6 +257,21 @@ pub fn samples() -> Vec<SampleCase> {
                 swap_bitmap: 0x7100,
                 cache_nodes: 9,
                 cache_crc: 0x0bad_cafe,
+            },
+        ),
+        case(
+            "EpochCheckpoint",
+            4,
+            EpochCheckpoint {
+                valid: 1,
+                generation: 2,
+                epoch: 7,
+                seq: 420,
+                flags: ckptflags::AT_PANIC,
+                nprocs: 2,
+                attempted: 0,
+                payload_len: 1234,
+                payload_crc: 0x0ddb_a115,
             },
         ),
         case(

@@ -69,6 +69,82 @@ fn random_byte_flips_are_detected_or_reparse_stably() {
 }
 
 #[test]
+fn torn_checkpoint_slot_is_exposed_and_the_other_slot_survives() {
+    // The A/B discipline's contract: the payload is written first and the
+    // header record last, as the commit — so a seal interrupted mid-write
+    // leaves a committed header over a partially-written payload, and only
+    // in the slot being written. Seal two consecutive epochs into their
+    // parity slots, then tear arbitrary spans of the newest slot's
+    // payload: the payload CRC must expose the torn slot, while the
+    // previous epoch in the other slot stays bit-perfect eligible.
+    // (Header-byte flips are covered by the generic guarded-prefix test
+    // above via the EpochCheckpoint sample.)
+    use ow_layout::{
+        ckpt_slot_addr, ckptflags, crc::crc32, EpochCheckpoint, Record, CKPT_FRAMES, CKPT_SLOTS,
+    };
+
+    let trace_base = CKPT_FRAMES + 4; // region base at frame 4
+    let mut rng = SimRng::seed_from_u64(0x70a2_ab51);
+    for trial in 0..256u64 {
+        let mut phys = PhysMem::new(SAMPLE_FRAMES);
+        // Deterministic pseudo-payloads for epochs 1 and 2.
+        let seal = |epoch: u64, phys: &mut PhysMem, rng: &mut SimRng| {
+            let payload: Vec<u8> = (0..512).map(|_| rng.next_u64() as u8).collect();
+            let addr = ckpt_slot_addr(trace_base, (epoch % CKPT_SLOTS as u64) as u32);
+            phys.write(addr + EpochCheckpoint::SIZE, &payload).unwrap();
+            let rec = EpochCheckpoint {
+                valid: 1,
+                generation: 1,
+                epoch,
+                seq: 100 + epoch,
+                flags: ckptflags::AT_PANIC,
+                nprocs: 1,
+                attempted: 0,
+                payload_len: payload.len() as u64,
+                payload_crc: crc32(&payload),
+            };
+            rec.write(phys, addr).unwrap();
+            addr
+        };
+        let old_addr = seal(1, &mut phys, &mut rng);
+        let new_addr = seal(2, &mut phys, &mut rng);
+
+        // Tear: flip a random non-empty span of the newest slot's payload.
+        let extent = EpochCheckpoint::SIZE + 512;
+        let start = rng.gen_range(EpochCheckpoint::SIZE..extent - 1);
+        let len = rng.gen_range(1..=(extent - start).min(64));
+        let mut span = vec![0u8; len as usize];
+        phys.read(new_addr + start, &mut span).unwrap();
+        for b in &mut span {
+            *b = !*b;
+        }
+        phys.write(new_addr + start, &span).unwrap();
+
+        // The torn slot must be rejected by the header codec or the
+        // payload CRC gate — it can never present as a sealed epoch with
+        // a matching payload.
+        let accepted = match EpochCheckpoint::read(&phys, new_addr) {
+            Err(_) => false,
+            Ok((c, _)) => {
+                let mut payload = vec![0u8; c.payload_len.min(extent) as usize];
+                phys.read(new_addr + EpochCheckpoint::SIZE, &mut payload)
+                    .unwrap();
+                c.valid != 0 && c.epoch == 2 && crc32(&payload) == c.payload_crc
+            }
+        };
+        assert!(!accepted, "trial {trial}: torn slot presented as intact");
+
+        // The other slot is untouched: epoch 1 still validates end-to-end.
+        let (old, _) = EpochCheckpoint::read(&phys, old_addr).expect("old slot intact");
+        assert_eq!((old.valid, old.epoch, old.seq), (1, 1, 101));
+        let mut payload = vec![0u8; old.payload_len as usize];
+        phys.read(old_addr + EpochCheckpoint::SIZE, &mut payload)
+            .unwrap();
+        assert_eq!(crc32(&payload), old.payload_crc, "old payload damaged");
+    }
+}
+
+#[test]
 fn truncated_extent_never_reads() {
     // A record written flush against the end of RAM so its tail is cut off
     // must fail cleanly, not read out of bounds.

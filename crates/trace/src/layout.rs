@@ -59,12 +59,16 @@ pub enum EventKind {
     /// restart-only mode. arg0 = generation offset, arg1 = reason code
     /// (0 = boot failure, 1 = panic storm / budget exhaustion).
     RecoveryEscalated = 13,
+    /// Rollback-in-place (rung 0) restored a validated epoch checkpoint
+    /// and resumed the same kernel generation without a microreboot.
+    /// arg0 = epoch, arg1 = records rolled back in place.
+    RecoveryRolledBack = 14,
 }
 
 impl EventKind {
     /// Every event kind, in discriminant order (the iteration order of
     /// [`crate::recover::EventCounts`] and its JSON export).
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::Armed,
         EventKind::SyscallEnter,
         EventKind::SyscallExit,
@@ -78,6 +82,7 @@ impl EventKind {
         EventKind::RecoveryDegraded,
         EventKind::RecoveryWatchdogFired,
         EventKind::RecoveryEscalated,
+        EventKind::RecoveryRolledBack,
     ];
 
     /// Decodes a stored discriminant.
@@ -96,6 +101,7 @@ impl EventKind {
             11 => EventKind::RecoveryDegraded,
             12 => EventKind::RecoveryWatchdogFired,
             13 => EventKind::RecoveryEscalated,
+            14 => EventKind::RecoveryRolledBack,
             _ => return None,
         })
     }
@@ -116,6 +122,7 @@ impl EventKind {
             EventKind::RecoveryDegraded => "recovery_degraded",
             EventKind::RecoveryWatchdogFired => "recovery_watchdog_fired",
             EventKind::RecoveryEscalated => "recovery_escalated",
+            EventKind::RecoveryRolledBack => "recovery_rolled_back",
         }
     }
 }
@@ -186,12 +193,12 @@ mod tests {
 
     #[test]
     fn kinds_round_trip() {
-        for v in 1..=13u32 {
+        for v in 1..=14u32 {
             let k = EventKind::from_u32(v).unwrap();
             assert_eq!(k as u32, v);
         }
         assert_eq!(EventKind::from_u32(0), None);
-        assert_eq!(EventKind::from_u32(14), None);
+        assert_eq!(EventKind::from_u32(15), None);
     }
 
     #[test]

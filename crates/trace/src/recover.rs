@@ -71,6 +71,12 @@ impl TraceEvent {
                     self.arg0, self.arg1
                 )
             }
+            EventKind::RecoveryRolledBack => {
+                format!(
+                    "recovery_rolled_back(epoch={}, records={})",
+                    self.arg0, self.arg1
+                )
+            }
         }
     }
 
