@@ -78,5 +78,11 @@ done
 
 cargo clippy --all-targets --all-features -- -D warnings
 cargo run -p ow-lint --release -- --deny
+# The lint's active allow list is a committed baseline: a new escape hatch
+# (or a silently grown one) must show up in the diff. Regenerate with the
+# command below when an allow is deliberately added or removed.
+cargo run -q -p ow-lint --release -- --json > "$smoke_dir/BENCH_lint.json"
+cmp "$smoke_dir/BENCH_lint.json" BENCH_lint.json \
+    || { echo "BENCH_lint.json is stale; regenerate it (see ci.sh) and commit" >&2; exit 1; }
 cargo fmt --check
 cargo doc --no-deps

@@ -903,6 +903,7 @@ fn restore_pipes(
                     continue;
                 }
                 stats.add(ReadKind::PipeBuffer, buf.len() as u64);
+                // ow-lint: allow(validate-before-adopt) -- opaque pipe payload copied into a freshly allocated crash-kernel frame; the adopted metadata came through the validated pipe-table reader
                 let _ = k.machine.phys.write(new_pfn * ow_simhw::PAGE_BYTES, &buf);
                 let addr = k.pipe_table_addr + id as u64 * ow_layout::PipeDesc::SIZE;
                 let _ = ow_layout::PipeDesc {

@@ -580,6 +580,7 @@ fn resurrect_terminal(
         TermDesc::read(&k.machine.phys, new_desc_addr).map_err(ReadError::Layout)?;
     k.machine
         .phys
+        // ow-lint: allow(validate-before-adopt) -- opaque glyph buffer copied into the new terminal's own frame; the source descriptor came through the validated terminal reader
         .write(new_desc.screen_pfn * PAGE_SIZE as u64, &screen)
         .map_err(|e| corrupt("screen write", KernelError::Mem(e)))?;
     new_desc.cursor = old.cursor;
@@ -645,11 +646,13 @@ fn resurrect_sockets(
             .map_err(|e| corrupt("sock buf", e))?;
         k.machine
             .phys
+            // ow-lint: allow(validate-before-adopt) -- zeroing a freshly allocated crash-kernel frame; no dead-kernel bytes involved
             .zero_frame(outbuf_pfn)
             .map_err(|e| corrupt("sock buf", KernelError::Mem(e)))?;
         let (restored_len, seq) = if old.proto == sockproto::TCP {
             k.machine
                 .phys
+                // ow-lint: allow(validate-before-adopt) -- opaque unacked TCP payload copied into a freshly allocated crash-kernel frame; the descriptor came through the validated socket-chain reader
                 .write(outbuf_pfn * PAGE_SIZE as u64, &payload)
                 .map_err(|e| corrupt("sock buf", KernelError::Mem(e)))?;
             (old.outbuf_len, old.seq)
@@ -680,6 +683,7 @@ fn resurrect_sockets(
                 .desc_addr;
             k.machine
                 .phys
+                // ow-lint: allow(validate-before-adopt) -- links the crash-kernel-allocated descriptor into the resealed proc record; desc_addr is a fresh kheap address, not a dead value
                 .write_u64(proc_addr + ow_layout::proc_off::SOCK_HEAD, desc_addr)
                 .map_err(|e| corrupt("sock link", KernelError::Mem(e)))?;
             k.reseal_desc(new_pid)

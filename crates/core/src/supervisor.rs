@@ -28,6 +28,7 @@ fn install_quiet_hook() {
         let prev = panic::take_hook();
         // OW_PANIC_TRACE=1 prints contained panics too (with RUST_BACKTRACE
         // this locates a panic that containment would otherwise swallow).
+        // ow-lint: allow(campaign-determinism) -- debug-only stderr toggle; never reaches campaign results or JSON output
         let trace_contained = std::env::var_os("OW_PANIC_TRACE").is_some();
         panic::set_hook(Box::new(move |info| {
             if trace_contained || CONTAIN_DEPTH.with(|d| d.get()) == 0 {

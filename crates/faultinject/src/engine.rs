@@ -52,6 +52,7 @@ pub fn resolve_jobs(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
+    // ow-lint: allow(campaign-determinism) -- job count only affects work scheduling; the seed-ordered merger keeps output byte-identical for every value
     if let Some(n) = std::env::var("OW_JOBS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
@@ -59,6 +60,7 @@ pub fn resolve_jobs(requested: usize) -> usize {
     {
         return n;
     }
+    // ow-lint: allow(campaign-determinism) -- same: parallelism picks the worker count, never the merge order
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)

@@ -224,6 +224,7 @@ impl ProgramRegistry {
 
     /// Registered names (diagnostics).
     pub fn names(&self) -> Vec<String> {
+        // ow-lint: allow(campaign-determinism) -- keys are sorted on the next line; the returned order is map-independent
         let mut v: Vec<_> = self.map.keys().cloned().collect();
         v.sort();
         v

@@ -1,0 +1,7 @@
+//! Seeded rule-8 violation on the bench side of the determinism scope:
+//! a raw-seed RNG constructed while rendering merged JSON.
+
+pub fn table5_json() -> String {
+    let rng = SimRng::new(7); // raw (underived) seed
+    format!("{}", rng.next_u64())
+}

@@ -1,0 +1,27 @@
+//! Seeded violations for rules 6 and 7: a validation pass that writes
+//! (directly and through a helper), an adopt root that raw-reads dead
+//! memory, and a read+write pairing that adopts unvalidated bytes.
+
+/// Rule 7 root (validation_roots): validation must be write-free.
+pub fn validate(phys: &mut PhysMem) -> bool {
+    let _ = phys.write_u64(8, 1); // direct write during validation
+    stamp_helper(phys); // transitive write, needs a witness
+    true
+}
+
+fn stamp_helper(phys: &mut PhysMem) {
+    let _ = phys.zero_frame(3);
+}
+
+/// Rule 6 root (adopt_roots): raw read feeding the adopt seam. The same
+/// site is also an untrusted-read (core is not in the codec layer).
+pub fn apply(phys: &mut PhysMem) -> u64 {
+    phys.read_u64(64).unwrap_or(0)
+}
+
+/// Rule 6 pairing: raw read and raw write in one core function adopts
+/// unvalidated dead bytes by construction, reachable or not.
+pub fn adopt_cache(phys: &mut PhysMem) {
+    let v = phys.read_u64(128).unwrap_or(0);
+    let _ = phys.write_u64(256, v);
+}

@@ -1,0 +1,33 @@
+//! Seeded rule-8 violations: nondeterminism reachable from a campaign
+//! root (wall clock, environment, map iteration) and a raw-seed RNG.
+
+/// Rule 8 root (determinism_roots): everything it reaches feeds merged
+/// campaign results.
+pub fn run_indexed(map: &HashMap<u64, u64>) -> Vec<u64> {
+    let t = timing_helper(1);
+    let j = job_env();
+    let s = shuffle(map);
+    vec![t, j, s]
+}
+
+fn timing_helper(n: u64) -> u64 {
+    let t = Instant::now(); // wall clock feeding results
+    n + t.elapsed().as_nanos() as u64
+}
+
+fn job_env() -> u64 {
+    if std::env::var("OW_FAKE").is_ok() { 1 } else { 0 } // env feeding results
+}
+
+fn shuffle(map: &HashMap<u64, u64>) -> u64 {
+    let mut acc = 0;
+    for (k, v) in map.iter() {
+        acc += k + v; // unordered iteration feeding results
+    }
+    acc
+}
+
+/// Raw seeds are wrong at the construction site, reachable or not.
+pub fn raw_rng() -> SimRng {
+    SimRng::seed_from_u64(12345)
+}

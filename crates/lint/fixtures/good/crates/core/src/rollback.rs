@@ -1,0 +1,23 @@
+//! Clean mirror for rules 6 and 7: validation only reads — through the
+//! typed codec, not raw `PhysMem` — and the adopt path carries no raw
+//! reads or writes of its own.
+
+/// Validation pass: codec reads and pure checks only.
+pub fn validate(k: &Kernel) -> bool {
+    let fresh = freshness_check(k);
+    let parsed = EpochCheckpoint::read(&k.machine.phys, 64).is_ok();
+    fresh && parsed
+}
+
+fn freshness_check(_k: &Kernel) -> bool {
+    true
+}
+
+/// Adopt root: consumes only values the validation pass produced.
+pub fn apply(k: &mut Kernel) -> bool {
+    copy_snippets(k)
+}
+
+fn copy_snippets(_k: &mut Kernel) -> bool {
+    true
+}

@@ -1,0 +1,14 @@
+//! Clean mirror for rule 8: the RNG seed derives through the stream-seed
+//! family, and the one environment read carries a justified allow.
+
+/// Campaign root: deterministic by construction.
+pub fn run_indexed(seed: u64) -> Vec<u64> {
+    let rng = SimRng::seed_from_u64(stream_seed(seed, 1));
+    let _jobs = resolve_jobs();
+    vec![seed, rng.next_u64()]
+}
+
+fn resolve_jobs() -> bool {
+    // ow-lint: allow(campaign-determinism) -- fixture: job count only affects scheduling; the seed-ordered merger keeps output byte-identical
+    std::env::var("OW_JOBS").is_ok()
+}

@@ -1,7 +1,10 @@
 //! Per-function extraction: walks the token stream of one file and builds
 //! a model of every function — its qualified name, the calls it makes, the
-//! panic-capable sites it contains, its raw `PhysMem` reads and its
-//! `kheap` allocations.
+//! panic-capable sites it contains, its raw `PhysMem` reads and writes,
+//! its `kheap` allocations, and its nondeterminism sites (wall clock,
+//! environment, thread identity, `HashMap`/`HashSet` iteration, raw-seed
+//! RNG construction). These per-function facts are the *intrinsic* effects
+//! the [`crate::effects`] fixpoint propagates over the call graph.
 //!
 //! Resolution is name-based and deliberately over-approximate (a method
 //! call `.foo(` may match several `impl` blocks); the call-graph layer
@@ -39,6 +42,13 @@ pub struct Call {
     /// True when the call happens inside a `contain(...)` argument — the
     /// supervisor's runtime panic-containment boundary.
     pub contained: bool,
+    /// True when the first argument is a closure (`|..|` / `move |..|`).
+    /// A closure-taking method on an *unknown* receiver is almost always a
+    /// std iterator/`Option`/`Result` adapter (`.map`, `.filter`, …), so
+    /// resolution skips it instead of matching same-named workspace
+    /// methods; the closure body's own calls are still attributed to the
+    /// caller, so nothing inside the closure is lost.
+    pub closure_arg: bool,
 }
 
 /// Why a site can panic.
@@ -66,6 +76,33 @@ pub struct PanicSite {
     pub contained: bool,
 }
 
+/// Why a site is nondeterministic (rule 8 / the `nondeterministic` effect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NondetKind {
+    /// `Instant::now` / `SystemTime::now` — wall-clock time.
+    Time,
+    /// `env::var` / `env::var_os` — process environment.
+    Env,
+    /// `thread::current` / `available_parallelism` — host topology.
+    Thread,
+    /// Iteration over a `HashMap`/`HashSet` — unordered by design.
+    MapIter,
+    /// `SimRng` built from a seed that does not derive via the
+    /// `stream_seed`/`experiment_seed` family.
+    RawSeed,
+}
+
+/// One nondeterministic site.
+#[derive(Debug, Clone)]
+pub struct NondetSite {
+    /// Why the site is nondeterministic.
+    pub kind: NondetKind,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of what was matched.
+    pub what: String,
+}
+
 /// One extracted function.
 #[derive(Debug, Clone)]
 pub struct FnDef {
@@ -84,8 +121,13 @@ pub struct FnDef {
     pub panics: Vec<PanicSite>,
     /// `phys.read*`/`phys.slice*` sites: (line, method name).
     pub taint_reads: Vec<(u32, String)>,
+    /// `phys.write*`/`phys.slice_mut`/frame-store sites: (line, method).
+    pub taint_writes: Vec<(u32, String)>,
     /// `kheap.alloc`/`kheap.free`/`KHeap::…` sites: (line, description).
     pub kheap_allocs: Vec<(u32, String)>,
+    /// Nondeterministic sites (time, env, thread, map iteration, raw-seed
+    /// RNG construction).
+    pub nondet: Vec<NondetSite>,
     /// Defined inside a `#[cfg(test)]` region (or a tests/ file).
     pub in_test: bool,
     /// Locally inferred binding types: `(name, type last segment)` from
@@ -119,6 +161,10 @@ pub struct FileModel {
     pub reg_macro_args: Vec<String>,
     /// `crash_point!("label")` call sites outside test code: (label, line).
     pub crash_point_labels: Vec<(String, u32)>,
+    /// Identifiers annotated `: HashMap<…>` / `: HashSet<…>` anywhere in
+    /// the file (struct fields and bindings alike) — iteration over them
+    /// is order-nondeterministic.
+    pub map_typed: Vec<String>,
 }
 
 const PANIC_MACROS: &[&str] = &[
@@ -142,6 +188,38 @@ const PHYS_READ_METHODS: &[&str] = &[
     "slice",
     "slice_mut",
 ];
+
+const PHYS_WRITE_METHODS: &[&str] = &[
+    "write",
+    "write_u8",
+    "write_u16",
+    "write_u32",
+    "write_u64",
+    "slice_mut",
+    "zero_frame",
+    "copy_frame",
+    "corrupt_u64",
+];
+
+/// Method names whose invocation observes a `HashMap`/`HashSet`'s
+/// unordered internal layout.
+const MAP_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// Identifier names that mark a seed expression as *derived* — flowing
+/// through the splitmix-based stream/experiment seed family (or any
+/// binding whose name says it carries a seed).
+fn is_seed_derived_ident(s: &str) -> bool {
+    s.contains("seed") || s == "mix64"
+}
 
 /// Keywords that can precede `[` without the bracket being an index
 /// expression, and that are never call names.
@@ -180,6 +258,8 @@ pub fn extract(toks: &[Token], directives: Vec<Directive>, force_test: bool) -> 
         }
     }
     collect_reg_macros(toks, &mut model);
+    collect_map_typed(toks, &mut model);
+    let map_typed = model.map_typed.clone();
     let test_spans = if force_test {
         vec![(0, toks.len())]
     } else {
@@ -224,7 +304,7 @@ pub fn extract(toks: &[Token], directives: Vec<Directive>, force_test: bool) -> 
             }
             Tok::Ident(kw) if kw == "fn" => {
                 let in_test = force_test || test_spans.iter().any(|&(a, b)| i >= a && i < b);
-                let (def, next) = parse_fn(toks, i, &ctx, in_test);
+                let (def, next) = parse_fn(toks, i, &ctx, in_test, &map_typed);
                 if let Some(d) = def {
                     model.fns.push(d);
                 }
@@ -243,6 +323,30 @@ fn collect_reg_macros(toks: &[Token], model: &mut FileModel) {
             if let Some(name) = ident(&w[3]) {
                 model.reg_macro_args.push(name.to_string());
             }
+        }
+    }
+}
+
+/// Finds `name: HashMap<…>` / `name: HashSet<…>` annotations anywhere in
+/// the file — struct fields and `let`/parameter bindings look identical
+/// lexically, and either makes later iteration over `name` unordered.
+fn collect_map_typed(toks: &[Token], model: &mut FileModel) {
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        let is_annot = ident(&toks[i]).is_some_and(|s| !is_keyword(s))
+            && punct(&toks[i + 1], ':')
+            && !punct(&toks[i + 2], ':');
+        if is_annot {
+            let name = ident(&toks[i]).unwrap_or_default().to_string();
+            let mut j = i + 2;
+            if let Some(t) = read_type(toks, &mut j) {
+                if (t == "HashMap" || t == "HashSet") && !model.map_typed.contains(&name) {
+                    model.map_typed.push(name);
+                }
+            }
+            i += 1;
+        } else {
+            i += 1;
         }
     }
 }
@@ -404,6 +508,7 @@ fn parse_fn(
     start: usize,
     ctx: &[(i32, String, bool)],
     in_test: bool,
+    map_typed: &[String],
 ) -> (Option<FnDef>, usize) {
     let name = match toks.get(start + 1).and_then(ident) {
         Some(n) => n.to_string(),
@@ -471,11 +576,13 @@ fn parse_fn(
         calls: Vec::new(),
         panics: Vec::new(),
         taint_reads: Vec::new(),
+        taint_writes: Vec::new(),
         kheap_allocs: Vec::new(),
+        nondet: Vec::new(),
         in_test,
         types,
     };
-    collect_sites(body, &mut def);
+    collect_sites(body, &mut def, map_typed);
     (Some(def), j + 1)
 }
 
@@ -578,9 +685,37 @@ fn collect_let_types(body: &[Token], out: &mut Vec<(String, String)>) {
     }
 }
 
+/// Whether the receiver name `r` is known (file-wide annotation or local
+/// binding inference) to be a `HashMap`/`HashSet`.
+fn receiver_is_map(r: &str, def: &FnDef, map_typed: &[String]) -> bool {
+    if let Some((_, t)) = def.types.iter().rev().find(|(n, _)| n == r) {
+        return t == "HashMap" || t == "HashSet";
+    }
+    map_typed.iter().any(|m| m == r)
+}
+
+/// Scans forward from the token *after* a call's `(` and reports whether
+/// the argument list (to the matching close paren) mentions an identifier
+/// from the seed-derivation family.
+fn args_derive_seed(body: &[Token], open: usize) -> bool {
+    let mut depth = 1i32;
+    let mut j = open + 1;
+    while j < body.len() && depth > 0 {
+        match &body[j].tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => depth -= 1,
+            Tok::Ident(s) if is_seed_derived_ident(s) => return true,
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
 /// Walks a function body and records calls, panic sites, taint reads and
-/// kheap allocations. Regions inside `contain(...)` arguments are flagged.
-fn collect_sites(body: &[Token], def: &mut FnDef) {
+/// writes, kheap allocations, and nondeterminism sites. Regions inside
+/// `contain(...)` arguments are flagged.
+fn collect_sites(body: &[Token], def: &mut FnDef, map_typed: &[String]) {
     let mut paren_depth = 0i32;
     // Paren depths at which a `contain(` argument list is open.
     let mut contain_stack: Vec<i32> = Vec::new();
@@ -597,6 +732,42 @@ fn collect_sites(body: &[Token], def: &mut FnDef) {
                     contain_stack.pop();
                 }
                 paren_depth -= 1;
+            }
+            Tok::Ident(kw) if kw == "in" => {
+                // `for … in <expr> {`: iteration over a plain (possibly
+                // referenced, possibly dotted) path whose final identifier
+                // is map-typed observes unordered layout. Method-call
+                // iteration (`m.keys()`) is caught by the call arm below.
+                let mut j = i + 1;
+                while matches!(body.get(j).map(|t| &t.tok), Some(Tok::Punct('&')))
+                    || body.get(j).and_then(ident) == Some("mut")
+                {
+                    j += 1;
+                }
+                let mut last: Option<&str> = None;
+                while let Some(s) = body.get(j).and_then(ident) {
+                    if is_keyword(s) {
+                        last = None;
+                        break;
+                    }
+                    last = Some(s);
+                    if body.get(j + 1).map(|t| punct(t, '.')) == Some(true) {
+                        j += 2;
+                    } else {
+                        j += 1;
+                        break;
+                    }
+                }
+                let ends_body = body.get(j).map(|t| punct(t, '{')) == Some(true);
+                if let (Some(r), true) = (last, ends_body) {
+                    if receiver_is_map(r, def, map_typed) {
+                        def.nondet.push(NondetSite {
+                            kind: NondetKind::MapIter,
+                            line: t.line,
+                            what: format!("iteration over HashMap/HashSet `{r}`"),
+                        });
+                    }
+                }
             }
             Tok::Punct('[') => {
                 // Indexing when the previous token can end an expression.
@@ -646,7 +817,15 @@ fn collect_sites(body: &[Token], def: &mut FnDef) {
                     } else {
                         CallKind::Free
                     };
-                    record_call(def, name, kind, t.line, contained);
+                    let closure_arg = match body.get(i + 2).map(|t| &t.tok) {
+                        Some(Tok::Punct('|')) => true,
+                        Some(Tok::Ident(s)) if s == "move" => {
+                            body.get(i + 3).map(|t| punct(t, '|')) == Some(true)
+                        }
+                        _ => false,
+                    };
+                    collect_nondet_call(def, name, &kind, body, i, map_typed, t.line);
+                    record_call(def, name, kind, t.line, contained, closure_arg);
                     if name == "contain" {
                         // The argument list opens at depth+1; everything
                         // until it closes is runtime-contained.
@@ -660,8 +839,73 @@ fn collect_sites(body: &[Token], def: &mut FnDef) {
     }
 }
 
+/// Detects nondeterministic call sites: wall-clock reads, environment
+/// reads, thread-topology queries, `HashMap`/`HashSet` iteration, and
+/// `SimRng` construction from a seed that does not derive through the
+/// `stream_seed`/`experiment_seed` family. `i` indexes the callee name in
+/// `body` (the `(` sits at `i + 1`).
+fn collect_nondet_call(
+    def: &mut FnDef,
+    name: &str,
+    kind: &CallKind,
+    body: &[Token],
+    i: usize,
+    map_typed: &[String],
+    line: u32,
+) {
+    let site = if name == "available_parallelism" {
+        Some((
+            NondetKind::Thread,
+            "thread::available_parallelism()".to_string(),
+        ))
+    } else {
+        match kind {
+            CallKind::Qualified { qualifier } => match (qualifier.as_str(), name) {
+                ("Instant", "now") | ("SystemTime", "now") => {
+                    Some((NondetKind::Time, format!("{qualifier}::now()")))
+                }
+                ("env", "var") | ("env", "var_os") => {
+                    Some((NondetKind::Env, format!("env::{name}()")))
+                }
+                ("thread", "current") => {
+                    Some((NondetKind::Thread, "thread::current()".to_string()))
+                }
+                ("SimRng", "seed_from_u64") | ("SimRng", "new")
+                    if !args_derive_seed(body, i + 1) =>
+                {
+                    Some((
+                        NondetKind::RawSeed,
+                        format!("SimRng::{name} with a raw (underived) seed"),
+                    ))
+                }
+                _ => None,
+            },
+            CallKind::Method { receiver } => receiver
+                .as_deref()
+                .filter(|r| MAP_ITER_METHODS.contains(&name) && receiver_is_map(r, def, map_typed))
+                .map(|r| {
+                    (
+                        NondetKind::MapIter,
+                        format!("HashMap/HashSet `{r}`.{name}()"),
+                    )
+                }),
+            CallKind::Free => None,
+        }
+    };
+    if let Some((kind, what)) = site {
+        def.nondet.push(NondetSite { kind, line, what });
+    }
+}
+
 /// Classifies and records a single call site on `def`.
-fn record_call(def: &mut FnDef, name: &str, kind: CallKind, line: u32, contained: bool) {
+fn record_call(
+    def: &mut FnDef,
+    name: &str,
+    kind: CallKind,
+    line: u32,
+    contained: bool,
+    closure_arg: bool,
+) {
     if let CallKind::Method { receiver } = &kind {
         if PANIC_METHODS.contains(&name) {
             def.panics.push(PanicSite {
@@ -675,8 +919,13 @@ fn record_call(def: &mut FnDef, name: &str, kind: CallKind, line: u32, contained
             });
             return;
         }
-        if receiver.as_deref() == Some("phys") && PHYS_READ_METHODS.contains(&name) {
-            def.taint_reads.push((line, name.to_string()));
+        if receiver.as_deref() == Some("phys") {
+            if PHYS_READ_METHODS.contains(&name) {
+                def.taint_reads.push((line, name.to_string()));
+            }
+            if PHYS_WRITE_METHODS.contains(&name) {
+                def.taint_writes.push((line, name.to_string()));
+            }
         }
         if receiver.as_deref() == Some("kheap") && (name == "alloc" || name == "free") {
             def.kheap_allocs.push((line, format!("kheap.{name}")));
@@ -692,6 +941,7 @@ fn record_call(def: &mut FnDef, name: &str, kind: CallKind, line: u32, contained
         kind,
         line,
         contained,
+        closure_arg,
     });
 }
 
@@ -848,6 +1098,80 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n    fn t() { crash_point!(\"synthetic.test.label\"); }\n}",
         );
         assert!(m.crash_point_labels.is_empty());
+    }
+
+    #[test]
+    fn phys_writes_are_recorded() {
+        let m = model(
+            "fn f(k: &mut K) { k.machine.phys.write_u8(0, 1); phys.write(a, b); \
+             phys.zero_frame(3); phys.read(a, c); }",
+        );
+        let f = &m.fns[0];
+        assert_eq!(f.taint_writes.len(), 3);
+        assert_eq!(f.taint_reads.len(), 1);
+    }
+
+    #[test]
+    fn time_env_thread_sites_are_nondet() {
+        let m = model(
+            "fn f() { let t = Instant::now(); let s = SystemTime::now(); \
+             let j = std::env::var(\"X\"); let c = thread::current(); \
+             let p = std::thread::available_parallelism(); }",
+        );
+        let kinds: Vec<NondetKind> = m.fns[0].nondet.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                NondetKind::Time,
+                NondetKind::Time,
+                NondetKind::Env,
+                NondetKind::Thread,
+                NondetKind::Thread,
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_seed_rng_is_nondet_but_derived_is_not() {
+        let m = model(
+            "fn f(seed: u64) { let a = SimRng::seed_from_u64(42); \
+             let b = SimRng::seed_from_u64(stream_seed(seed, 1)); \
+             let c = SimRng::seed_from_u64(experiment_seed); \
+             let d = SimRng::seed_from_u64(cell_seed); }",
+        );
+        let raw: Vec<&NondetSite> = m.fns[0]
+            .nondet
+            .iter()
+            .filter(|s| s.kind == NondetKind::RawSeed)
+            .collect();
+        assert_eq!(raw.len(), 1, "only the literal 42 is underived");
+        assert_eq!(raw[0].line, 1);
+    }
+
+    #[test]
+    fn map_iteration_is_nondet_via_annotation_and_inference() {
+        let m = model(
+            "struct S { map: HashMap<u64, u64> }\n\
+             fn f(s: &S) { for (k, v) in &s.map { use_kv(k, v); } }\n\
+             fn g() { let m: HashMap<u64, u64> = HashMap::new(); m.keys(); }\n\
+             fn h() { let b: BTreeMap<u64, u64> = BTreeMap::new(); for x in &b {} b.keys(); }",
+        );
+        assert_eq!(m.map_typed, vec!["map".to_string(), "m".to_string()]);
+        assert_eq!(m.fns[0].nondet.len(), 1, "for-in over a HashMap field");
+        assert_eq!(m.fns[1].nondet.len(), 1, "keys() on an inferred HashMap");
+        assert!(m.fns[2].nondet.is_empty(), "BTreeMap iteration is ordered");
+    }
+
+    #[test]
+    fn map_lookup_is_not_nondet() {
+        let m = model(
+            "fn f() { let m: HashMap<u64, u64> = HashMap::new(); \
+             m.get(&1); m.insert(1, 2); m.contains_key(&1); m.len(); }",
+        );
+        assert!(
+            m.fns[0].nondet.is_empty(),
+            "point lookups are deterministic"
+        );
     }
 
     #[test]

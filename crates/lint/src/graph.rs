@@ -157,6 +157,13 @@ impl<'a> Graph<'a> {
                             trait_defaults()
                         }
                     }
+                    // A closure-taking method on an unknown receiver is a
+                    // std iterator/Option/Result adapter (`.map(|x| …)`);
+                    // matching it against same-named workspace methods
+                    // (e.g. `PageTable::map`) would wire every iterator
+                    // chain into the page tables. The closure body's calls
+                    // are attributed to the caller, so nothing is lost.
+                    None if call.closure_arg => Vec::new(),
                     // Unknown receiver: every workspace method of the name.
                     None => cands
                         .iter()
@@ -307,6 +314,33 @@ mod tests {
         assert!(
             !names.contains(&"other"),
             "phys receiver must not match Kernel::read"
+        );
+    }
+
+    #[test]
+    fn closure_adapter_on_unknown_receiver_does_not_resolve() {
+        let files = vec![entry(
+            "a.rs",
+            "fn root(xs: &[u64]) { xs.iter().map(|x| x + 1).count(); pt.map(va, pa); }\n\
+             impl PageTable { fn map(&mut self) { write_pte(); } }\nfn write_pte() {}",
+        )];
+        let g = Graph::build(&files);
+        let root = g.all_defs().find(|&id| g.def(id).name == "root").unwrap();
+        let reach = g.reach(&[root], true);
+        let names: Vec<&str> = reach.keys().map(|&id| g.def(id).name.as_str()).collect();
+        assert!(
+            names.contains(&"write_pte"),
+            "pt.map(va, pa) (no closure) must still over-approximate"
+        );
+        let f = g.def(root);
+        let adapter = f
+            .calls
+            .iter()
+            .find(|c| c.name == "map" && c.closure_arg)
+            .expect("iterator .map(|x| …) extracted with closure_arg");
+        assert!(
+            g.resolve(adapter, f).is_empty(),
+            ".map(|x| …) on an unknown receiver must not match PageTable::map"
         );
     }
 

@@ -2,7 +2,7 @@
 //!
 //! Otherworld's crash kernel walks the raw, possibly corrupted physical
 //! memory of a dead kernel (§4 of the paper); this tool machine-checks the
-//! discipline that makes that survivable. Five invariants:
+//! discipline that makes that survivable. Eight invariants:
 //!
 //! 1. **recovery-panic** — no `unwrap`/`expect`/`panic!`-family macro, and
 //!    no slice indexing in dead-data-handling crates, in any function
@@ -22,10 +22,35 @@
 //!    `area.component.action` grammar, is unique workspace-wide, and is
 //!    declared in the crash-point registry; a registered label no code
 //!    hits is stale.
+//! 6. **validate-before-adopt** — dead-kernel bytes reaching the adopt
+//!    seam (`try_build_adopt_plan`, `rollback::apply`, the kexec
+//!    frame/morph adopters) must flow through a typed validated reader or
+//!    the `WarmSeal`/`EpochCheckpoint` codec before being written into
+//!    live kernel state; in `crates/core` a function that both raw-reads
+//!    and raw-writes `PhysMem` is flagged by construction.
+//! 7. **validation-write-free** — nothing reachable from the rollback
+//!    freshness check or `try_build_adopt_plan` carries the
+//!    `writes-live-state` effect; validation is write-free until the
+//!    attempt stamp burns (DESIGN.md §14).
+//! 8. **campaign-determinism** — in `crates/faultinject` and
+//!    `crates/bench`, nothing reachable from the campaign/merge roots
+//!    observes wall clock, environment, thread identity, or
+//!    `HashMap`/`HashSet` iteration order, and every RNG seed derives via
+//!    the `stream_seed`/`experiment_seed` family — the byte-identical
+//!    `--jobs` guarantee.
+//!
+//! Rules 1–5 work from per-function sites and call-graph reachability;
+//! rules 6–8 sit on the interprocedural effect system ([`effects`]): a
+//! fixpoint pass computing, per function, which of five effects —
+//! `reads-dead-memory`, `writes-live-state`, `allocates`, `panics`,
+//! `nondeterministic` — its execution may have. `ow-lint --effects <fn>`
+//! prints a function's summary with one witness path per effect.
 //!
 //! The escape hatch is a justified comment on (or directly above) the
 //! offending line: `// ow-lint: allow(<rule>) -- <reason>`. An allow
-//! without a reason, or one that suppresses nothing, is itself a finding.
+//! without a reason, or one that suppresses nothing, is itself a finding;
+//! the active allow list is exported in the `--json` report and baselined
+//! in `BENCH_lint.json` so it cannot grow silently.
 //!
 //! The analysis is a hand-rolled lexer plus a name-based call graph — no
 //! dependencies, no rustc internals — so it runs as a tier-1 CI gate on a
@@ -36,12 +61,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod effects;
 pub mod extract;
 pub mod graph;
 pub mod lexer;
 pub mod rules;
 
-pub use rules::Finding;
+pub use rules::{AllowEntry, Finding};
 
 use graph::FileEntry;
 use std::path::{Path, PathBuf};
@@ -73,6 +99,20 @@ pub struct Config {
     pub samples_file: String,
     /// The crash-point registry file (rule 5 label declarations).
     pub crashpoint_registry_file: String,
+    /// `(file, fn)` roots of the adopt seam (rule 6): functions that write
+    /// dead-kernel-derived values into live kernel state.
+    pub adopt_roots: Vec<(String, String)>,
+    /// Path prefixes where a function mixing raw `PhysMem` reads and
+    /// writes is a rule-6 finding by construction.
+    pub adopt_write_scope: Vec<String>,
+    /// `(file, fn)` roots of the validation passes (rule 7): everything
+    /// they reach must be free of the `writes-live-state` effect.
+    pub validation_roots: Vec<(String, String)>,
+    /// Path prefixes where campaign determinism (rule 8) applies.
+    pub determinism_scope: Vec<String>,
+    /// Function names (within the determinism scope) that produce or merge
+    /// campaign results — the rule-8 reachability roots.
+    pub determinism_roots: Vec<String>,
 }
 
 impl Config {
@@ -82,11 +122,14 @@ impl Config {
         Config {
             root: root.to_path_buf(),
             // apps (user programs outside the kernel trust boundary, run
-            // under containment), bench and faultinject (harness code) are
-            // not scanned; see DESIGN.md.
+            // under containment) are not scanned; see DESIGN.md. bench and
+            // faultinject are scanned for rule 8 only — their panics are
+            // harness-side and unreachable from the rule-1/4 roots.
             scan: s(&[
+                "crates/bench",
                 "crates/core",
                 "crates/crashpoint",
+                "crates/faultinject",
                 "crates/kernel",
                 "crates/layout",
                 "crates/simhw",
@@ -137,12 +180,49 @@ impl Config {
                     "crates/trace/src/recover.rs".to_string(),
                     "CRC-framed ring recovery; every record is validated before use".to_string(),
                 ),
+                (
+                    "crates/faultinject/src/recovery.rs".to_string(),
+                    "fault injector reading sealed checkpoint bytes to corrupt them; \
+                     harness-side wild writes are the point"
+                        .to_string(),
+                ),
             ],
             registry_file: "crates/layout/src/registry.rs".to_string(),
             samples_file: "crates/layout/src/samples.rs".to_string(),
             crashpoint_registry_file: "crates/crashpoint/src/registry.rs".to_string(),
+            adopt_roots: pairs(&[
+                ("crates/core/src/otherworld.rs", "try_build_adopt_plan"),
+                ("crates/core/src/rollback.rs", "apply"),
+                ("crates/kernel/src/kexec.rs", "adopt_frames"),
+                ("crates/kernel/src/kexec.rs", "morph_into_main_with"),
+            ]),
+            adopt_write_scope: s(&["crates/core/"]),
+            validation_roots: pairs(&[
+                ("crates/core/src/rollback.rs", "validate"),
+                ("crates/core/src/otherworld.rs", "try_build_adopt_plan"),
+            ]),
+            determinism_scope: s(&["crates/faultinject/", "crates/bench/"]),
+            determinism_roots: s(&[
+                "run_campaign",
+                "run_recovery_campaign",
+                "campaign_crashpoints",
+                "run_indexed",
+                "parallel_map",
+                "table5_json",
+                "recovery_json",
+                "table6_json",
+                "table6_matrix",
+                "campaign_json",
+                "to_json",
+            ]),
         }
     }
+}
+
+fn pairs(v: &[(&str, &str)]) -> Vec<(String, String)> {
+    v.iter()
+        .map(|(a, b)| ((*a).to_string(), (*b).to_string()))
+        .collect()
 }
 
 /// The result of a lint run.
@@ -152,6 +232,9 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub scanned_files: usize,
+    /// Every escape-hatch directive currently suppressing something,
+    /// sorted by file and line.
+    pub allows: Vec<AllowEntry>,
     /// Number of escape-hatch directives currently suppressing something.
     pub allows_used: usize,
 }
@@ -179,6 +262,25 @@ impl Report {
                 out.push_str(&json_str(v));
             }
             out.push_str("]}");
+        }
+        out.push_str("],\"allows\":[");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rules\":[");
+            for (j, r) in a.rules.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_str(r));
+            }
+            out.push_str(&format!(
+                "],\"file\":{},\"line\":{},\"reason\":{}}}",
+                json_str(&a.file),
+                a.line,
+                json_str(&a.reason),
+            ));
         }
         out.push_str(&format!(
             "],\"scanned_files\":{},\"allows_used\":{}}}",
@@ -208,6 +310,19 @@ fn json_str(s: &str) -> String {
 /// Runs the lint. Fails only on I/O problems (unreadable root); findings
 /// are data, not errors.
 pub fn run(cfg: &Config) -> Result<Report, String> {
+    let files = load_files(cfg)?;
+    let (findings, allows) = rules::check(cfg, &files);
+    let allows_used = allows.len();
+    Ok(Report {
+        findings,
+        scanned_files: files.len(),
+        allows,
+        allows_used,
+    })
+}
+
+/// Loads and extracts every file in the scan set, deterministic order.
+pub fn load_files(cfg: &Config) -> Result<Vec<FileEntry>, String> {
     let mut paths = Vec::new();
     for dir in &cfg.scan {
         let p = cfg.root.join(dir);
@@ -231,12 +346,53 @@ pub fn run(cfg: &Config) -> Result<Report, String> {
         let model = extract::extract(&toks, directives, force_test);
         files.push(FileEntry { path: rel, model });
     }
-    let (findings, allows_used) = rules::check(cfg, &files);
-    Ok(Report {
-        findings,
-        scanned_files: files.len(),
-        allows_used,
-    })
+    Ok(files)
+}
+
+/// Renders the effect summary of every workspace function named (or
+/// `Type::`-qualified as) `function`, with one witness path per effect —
+/// the `--effects` debug subcommand. Errors when nothing matches.
+pub fn effects_of(cfg: &Config, function: &str) -> Result<String, String> {
+    let files = load_files(cfg)?;
+    let graph = graph::Graph::build(&files);
+    let eff = effects::Effects::compute(&graph);
+    let mut out = String::new();
+    let mut matched = false;
+    for id in graph.all_defs() {
+        let def = graph.def(id);
+        let qualified = match &def.ctx {
+            Some(c) => format!("{c}::{}", def.name),
+            None => def.name.clone(),
+        };
+        if def.name != function && qualified != function {
+            continue;
+        }
+        matched = true;
+        let mask = eff.of(id);
+        out.push_str(&format!(
+            "{}:{} fn {qualified}\n  effects: {mask}\n",
+            graph.file_of(id),
+            def.line,
+        ));
+        for (bit, name) in effects::ALL_EFFECTS {
+            if !mask.has(bit) {
+                continue;
+            }
+            match eff.witness(&graph, id, bit) {
+                Some(w) => out.push_str(&format!(
+                    "  {name}: {} at line {}\n    via {}\n",
+                    w.what,
+                    w.line,
+                    w.path.join(" -> "),
+                )),
+                None => out.push_str(&format!("  {name}: (no witness path)\n")),
+            }
+        }
+    }
+    if !matched {
+        return Err(format!("no workspace function named `{function}`"));
+    }
+    Ok(out)
 }
 
 /// Recursive `.rs` discovery, deterministic order, skipping build output,

@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! ow-lint [--root DIR] [--deny] [--json]
+//! ow-lint [--root DIR] --effects <function>
 //! ```
 //!
 //! `--deny` exits 1 when any finding survives (the CI gate); `--json`
-//! prints the machine-readable report for trend tracking. Exit 2 means the
-//! lint itself failed (unreadable workspace), never a finding.
+//! prints the machine-readable report for trend tracking. `--effects`
+//! prints the interprocedural effect summary of a function (by bare name
+//! or `Type::name`) with one witness path per effect — the debugging aid
+//! for justifying allows. Exit 2 means the lint itself failed (unreadable
+//! workspace or unknown function), never a finding.
 
 #![forbid(unsafe_code)]
 
@@ -17,6 +21,7 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut deny = false;
     let mut json = false;
+    let mut effects_fn: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -29,8 +34,15 @@ fn main() -> ExitCode {
             },
             "--deny" => deny = true,
             "--json" => json = true,
+            "--effects" => match args.next() {
+                Some(f) => effects_fn = Some(f),
+                None => {
+                    eprintln!("ow-lint: --effects needs a function name");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: ow-lint [--root DIR] [--deny] [--json]");
+                println!("usage: ow-lint [--root DIR] [--deny] [--json] [--effects FN]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -41,6 +53,18 @@ fn main() -> ExitCode {
     }
 
     let cfg = ow_lint::Config::workspace(&root);
+    if let Some(f) = effects_fn {
+        return match ow_lint::effects_of(&cfg, &f) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ow-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let report = match ow_lint::run(&cfg) {
         Ok(r) => r,
         Err(e) => {

@@ -1,8 +1,10 @@
-//! The five crash-safety rules, plus the escape-hatch bookkeeping
-//! (`allow-missing-reason` and `stale-allow` meta-findings).
+//! The eight crash-safety rules, plus the escape-hatch bookkeeping
+//! (`allow-missing-reason` and `stale-allow` meta-findings). Rules 1–5
+//! work from per-function sites and reachability; rules 6–8 sit on the
+//! interprocedural effect summaries of [`crate::effects`].
 
-use crate::extract::PanicKind;
-use crate::graph::{FileEntry, Graph};
+use crate::extract::{NondetKind, PanicKind};
+use crate::graph::{DefId, FileEntry, Graph};
 use crate::Config;
 use std::collections::{HashMap, HashSet};
 
@@ -16,6 +18,16 @@ pub const RECORD_REGISTRY: &str = "record-registry";
 pub const PANIC_PATH_ALLOC: &str = "panic-path-alloc";
 /// Rule 5: malformed, duplicate, unregistered, or stale crash-point label.
 pub const CRASH_POINT_LABEL: &str = "crash-point-label";
+/// Rule 6: dead-kernel bytes adopted into live state without flowing
+/// through a typed validated reader or the `WarmSeal`/`EpochCheckpoint`
+/// codec.
+pub const VALIDATE_BEFORE_ADOPT: &str = "validate-before-adopt";
+/// Rule 7: a `writes-live-state` effect reachable from a validation pass
+/// (validation must be write-free until the attempt stamp burns).
+pub const VALIDATION_WRITE_FREE: &str = "validation-write-free";
+/// Rule 8: a nondeterministic effect feeding campaign merged results, or a
+/// raw (underived) RNG seed in campaign code.
+pub const CAMPAIGN_DETERMINISM: &str = "campaign-determinism";
 /// Meta: an allow directive with no `-- reason` justification.
 pub const ALLOW_MISSING_REASON: &str = "allow-missing-reason";
 /// Meta: an allow directive that suppresses nothing.
@@ -54,6 +66,22 @@ fn label_grammar_ok(label: &str) -> bool {
         })
 }
 
+/// One escape-hatch directive currently suppressing a violation — the
+/// active allow list `Report::to_json` exports and `BENCH_lint.json`
+/// baselines.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// The rules the directive allows.
+    pub rules: Vec<String>,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the directive.
+    pub line: u32,
+    /// The `-- <reason>` justification (empty when missing — which is
+    /// itself an `allow-missing-reason` finding).
+    pub reason: String,
+}
+
 /// Tracks which escape-hatch directives suppressed a violation.
 struct Allows {
     /// `used[file][directive]`.
@@ -85,12 +113,26 @@ impl Allows {
 }
 
 /// Runs every rule over the scanned files. Returns the findings (sorted by
-/// file, line, rule) and the number of escape hatches actually in use.
-pub fn check(cfg: &Config, files: &[FileEntry]) -> (Vec<Finding>, usize) {
+/// file, line, rule) and the escape hatches actually in use.
+pub fn check(cfg: &Config, files: &[FileEntry]) -> (Vec<Finding>, Vec<AllowEntry>) {
     let graph = Graph::build(files);
+    let effects = crate::effects::Effects::compute(&graph);
     let mut allows = Allows::new(files);
     let mut findings = Vec::new();
     let file_idx = |path: &str| files.iter().position(|f| f.path == path);
+    // Resolves `(file, fn name)` root pairs to definition ids.
+    let named_roots = |pairs: &[(String, String)]| -> Vec<DefId> {
+        pairs
+            .iter()
+            .flat_map(|(file, name)| {
+                graph
+                    .defs_in_file(file)
+                    .into_iter()
+                    .filter(|&id| graph.def(id).name == *name)
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
 
     // Rule 1: panic-freedom of the recovery path.
     let roots: Vec<_> = cfg
@@ -335,13 +377,216 @@ pub fn check(cfg: &Config, files: &[FileEntry]) -> (Vec<Finding>, usize) {
         }
     }
 
+    // Rule 6: validate-before-adopt. Two complementary checks. (a) Every
+    // function reachable from the adopt seam (`try_build_adopt_plan`,
+    // `rollback::apply`, the kexec frame/morph adopters) must not read raw
+    // `PhysMem` outside the codec layer — on this path even the rule-2
+    // file allowlist is not enough, because the bytes it produces are
+    // *written back into live kernel state*, so they must come through a
+    // typed validated reader or the WarmSeal/EpochCheckpoint codec.
+    // (b) Within the adopt-write scope, a function that both raw-reads and
+    // raw-writes `PhysMem` is adopting unvalidated bytes by construction,
+    // reachable or not.
+    let aroots = named_roots(&cfg.adopt_roots);
+    let aparents = graph.reach(&aroots, false);
+    let mut areached: Vec<_> = aparents.keys().copied().collect();
+    areached.sort_unstable();
+    for &id in &areached {
+        let def = graph.def(id);
+        if !crate::effects::intrinsic(def).has(crate::effects::READS_DEAD) {
+            continue;
+        }
+        let path = graph.file_of(id);
+        if cfg
+            .taint_exempt
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        let Some(fi) = file_idx(path) else { continue };
+        for (line, method) in &def.taint_reads {
+            if allows.try_allow(files, fi, *line, VALIDATE_BEFORE_ADOPT) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: VALIDATE_BEFORE_ADOPT.to_string(),
+                file: path.to_string(),
+                line: *line,
+                function: def.name.clone(),
+                message: format!(
+                    "raw PhysMem::{method} feeds the adopt seam; dead-kernel bytes must flow \
+                     through a typed validated reader or the WarmSeal/EpochCheckpoint codec \
+                     before adoption"
+                ),
+                via: graph.witness(&aparents, id),
+            });
+        }
+    }
+    for (fi, entry) in files.iter().enumerate() {
+        if !cfg
+            .adopt_write_scope
+            .iter()
+            .any(|p| entry.path.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        for f in &entry.model.fns {
+            if f.in_test || f.taint_reads.is_empty() || f.taint_writes.is_empty() {
+                continue;
+            }
+            let (read_line, _) = f.taint_reads[0];
+            for (line, method) in &f.taint_writes {
+                if allows.try_allow(files, fi, *line, VALIDATE_BEFORE_ADOPT) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: VALIDATE_BEFORE_ADOPT.to_string(),
+                    file: entry.path.clone(),
+                    line: *line,
+                    function: f.name.clone(),
+                    message: format!(
+                        "PhysMem::{method} in a function that also raw-reads dead memory \
+                         (line {read_line}); route the bytes through a validated codec before \
+                         writing them into live state"
+                    ),
+                    via: Vec::new(),
+                });
+            }
+        }
+    }
+
+    // Rule 7: validation-write-free. Nothing reachable from a validation
+    // pass may carry the writes-live-state effect — DESIGN.md §14's "zero
+    // writes during validation"; the attempt stamp burns only after the
+    // validation root returns.
+    let vroots = named_roots(&cfg.validation_roots);
+    let vparents = graph.reach(&vroots, true);
+    let mut vreached: Vec<_> = vparents.keys().copied().collect();
+    vreached.sort_unstable();
+    for &id in &vreached {
+        let def = graph.def(id);
+        if !effects.of(id).has(crate::effects::WRITES_LIVE) {
+            continue;
+        }
+        let path = graph.file_of(id);
+        let Some(fi) = file_idx(path) else { continue };
+        for (line, method) in &def.taint_writes {
+            if allows.try_allow(files, fi, *line, VALIDATION_WRITE_FREE) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: VALIDATION_WRITE_FREE.to_string(),
+                file: path.to_string(),
+                line: *line,
+                function: def.name.clone(),
+                message: format!(
+                    "PhysMem::{method} reachable from a validation pass; validation must be \
+                     write-free until the attempt stamp burns"
+                ),
+                via: graph.witness(&vparents, id),
+            });
+        }
+    }
+
+    // Rule 8: campaign-determinism. Everything reachable from the
+    // campaign/merge roots in the determinism scope feeds merged results
+    // or JSON output, so it must not observe wall clock, environment,
+    // thread identity, or HashMap/HashSet iteration order — the
+    // byte-identical `--jobs` guarantee. Contained calls are traversed:
+    // containment catches panics, not nondeterminism, and experiment
+    // bodies run contained. Raw RNG seeds are checked scope-wide instead
+    // (reachability-independent — a seed is wrong at its construction
+    // site, wherever that is).
+    let in_dscope = |path: &str| {
+        cfg.determinism_scope
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    };
+    let droots: Vec<DefId> = graph
+        .all_defs()
+        .filter(|&id| {
+            in_dscope(graph.file_of(id))
+                && cfg
+                    .determinism_roots
+                    .iter()
+                    .any(|n| n == &graph.def(id).name)
+        })
+        .collect();
+    let dparents = graph.reach(&droots, false);
+    let mut dreached: Vec<_> = dparents.keys().copied().collect();
+    dreached.sort_unstable();
+    for &id in &dreached {
+        let def = graph.def(id);
+        if !crate::effects::intrinsic(def).has(crate::effects::NONDET) {
+            continue;
+        }
+        let path = graph.file_of(id);
+        let Some(fi) = file_idx(path) else { continue };
+        for site in &def.nondet {
+            if site.kind == NondetKind::RawSeed {
+                continue;
+            }
+            if allows.try_allow(files, fi, site.line, CAMPAIGN_DETERMINISM) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: CAMPAIGN_DETERMINISM.to_string(),
+                file: path.to_string(),
+                line: site.line,
+                function: def.name.clone(),
+                message: format!(
+                    "{} feeds merged campaign results; output must be byte-identical across \
+                     --jobs",
+                    site.what
+                ),
+                via: graph.witness(&dparents, id),
+            });
+        }
+    }
+    for (fi, entry) in files.iter().enumerate() {
+        if !in_dscope(&entry.path) {
+            continue;
+        }
+        for f in &entry.model.fns {
+            if f.in_test {
+                continue;
+            }
+            for site in &f.nondet {
+                if site.kind != NondetKind::RawSeed {
+                    continue;
+                }
+                if allows.try_allow(files, fi, site.line, CAMPAIGN_DETERMINISM) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: CAMPAIGN_DETERMINISM.to_string(),
+                    file: entry.path.clone(),
+                    line: site.line,
+                    function: f.name.clone(),
+                    message: format!(
+                        "{}; campaign RNG seeds must derive via the \
+                         stream_seed/experiment_seed family",
+                        site.what
+                    ),
+                    via: Vec::new(),
+                });
+            }
+        }
+    }
+
     // Meta-findings: every used directive needs a reason, every unused
     // directive is stale.
-    let mut allows_used = 0usize;
+    let mut allow_list: Vec<AllowEntry> = Vec::new();
     for (fi, entry) in files.iter().enumerate() {
         for (di, d) in entry.model.directives.iter().enumerate() {
             if allows.used[fi][di] {
-                allows_used += 1;
+                allow_list.push(AllowEntry {
+                    rules: d.allows.clone(),
+                    file: entry.path.clone(),
+                    line: d.line,
+                    reason: d.reason.clone().unwrap_or_default(),
+                });
                 if d.reason.is_none() {
                     findings.push(Finding {
                         rule: ALLOW_MISSING_REASON.to_string(),
@@ -374,5 +619,6 @@ pub fn check(cfg: &Config, files: &[FileEntry]) -> (Vec<Finding>, usize) {
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
     });
-    (findings, allows_used)
+    allow_list.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    (findings, allow_list)
 }

@@ -1,0 +1,119 @@
+//! Lexer and extraction edge cases: source shapes that look like effectful
+//! code but are not (string literals, comments, test-only modules) must
+//! produce no phantom effects and no findings.
+
+use ow_lint::extract::{extract, FileModel};
+use ow_lint::graph::FileEntry;
+use ow_lint::lexer::lex;
+
+fn model(src: &str) -> FileModel {
+    let (toks, directives) = lex(src);
+    extract(&toks, directives, false)
+}
+
+fn entry(path: &str, src: &str) -> FileEntry {
+    FileEntry {
+        path: path.to_string(),
+        model: model(src),
+    }
+}
+
+#[test]
+fn raw_strings_carry_no_phantom_effects() {
+    let m = model(
+        "fn render() -> String {\n\
+         let a = r\"phys.read_u64(0) reads PhysMem\";\n\
+         let b = r#\"for (k, v) in map.iter() { HashMap<u64, u64> }\"#;\n\
+         let c = \"phys.write_u64(8, 1) and std::env::var(\\\"OW_JOBS\\\")\";\n\
+         format!(\"{a}{b}{c}\")\n\
+         }\n",
+    );
+    let f = &m.fns[0];
+    assert!(f.taint_reads.is_empty(), "{:?}", f.taint_reads);
+    assert!(f.taint_writes.is_empty(), "{:?}", f.taint_writes);
+    assert!(f.nondet.is_empty(), "{:?}", f.nondet);
+    assert!(
+        !f.calls
+            .iter()
+            .any(|c| c.name == "read_u64" || c.name == "var" || c.name == "iter"),
+        "calls extracted from string literals: {:?}",
+        f.calls
+    );
+    // The literals themselves are still captured for registry matching.
+    assert!(m.strings.iter().any(|(s, _)| s.contains("read_u64")));
+}
+
+#[test]
+fn nested_block_comments_hide_code_and_keep_line_numbers() {
+    let m = model(
+        "/* outer /* inner: phys.write_u64(0, 1) */\n\
+         still comment: std::env::var(\"X\") and map.iter()\n\
+         */\n\
+         fn after() { work(); }\n",
+    );
+    assert_eq!(m.fns.len(), 1);
+    let f = &m.fns[0];
+    assert_eq!(f.name, "after");
+    assert_eq!(f.line, 4, "nested comment must not desync line numbers");
+    assert!(f.taint_writes.is_empty(), "{:?}", f.taint_writes);
+    assert!(f.nondet.is_empty(), "{:?}", f.nondet);
+    assert_eq!(f.calls.len(), 1, "{:?}", f.calls);
+    assert_eq!(f.calls[0].name, "work");
+}
+
+#[test]
+fn directive_inside_string_literal_is_not_a_directive() {
+    let m = model(
+        "fn doc() -> &'static str {\n\
+         \"// ow-lint: allow(untrusted-read) -- not a real directive\"\n\
+         }\n",
+    );
+    assert!(
+        m.directives.is_empty(),
+        "directive parsed out of a string literal: {:?}",
+        m.directives
+    );
+}
+
+#[test]
+fn cfg_test_module_in_non_test_file_is_inert() {
+    // A clean validation root plus a #[cfg(test)] module whose helper does
+    // everything the rules forbid. The helper must be marked in_test, stay
+    // out of the call graph, and contribute no findings or effects.
+    let src = "pub fn validate(k: &Kernel) -> bool {\n\
+               freshness(k)\n\
+               }\n\
+               fn freshness(_k: &Kernel) -> bool { true }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               fn freshness(phys: &mut PhysMem) -> bool {\n\
+               let _ = phys.write_u64(0, 1);\n\
+               let v = phys.read_u64(8).unwrap_or(0);\n\
+               let _ = std::env::var(\"OW_JOBS\");\n\
+               let rng = SimRng::seed_from_u64(1234);\n\
+               v == rng.next_u64()\n\
+               }\n\
+               }\n";
+    let files = vec![entry("crates/core/src/rollback.rs", src)];
+    let test_fn = files[0]
+        .model
+        .fns
+        .iter()
+        .find(|f| f.in_test)
+        .expect("test helper extracted");
+    assert!(
+        !test_fn.taint_writes.is_empty(),
+        "helper really is effectful"
+    );
+    assert!(
+        !test_fn.nondet.is_empty(),
+        "helper really is nondeterministic"
+    );
+
+    let cfg = ow_lint::Config::workspace(std::path::Path::new("."));
+    let (findings, _allows) = ow_lint::rules::check(&cfg, &files);
+    assert!(
+        findings.is_empty(),
+        "cfg(test) code leaked into the analysis: {findings:#?}"
+    );
+}

@@ -30,6 +30,9 @@ fn bad_fixture_trips_every_rule() {
         "record-registry",
         "panic-path-alloc",
         "crash-point-label",
+        "validate-before-adopt",
+        "validation-write-free",
+        "campaign-determinism",
         "allow-missing-reason",
         "stale-allow",
     ] {
@@ -44,9 +47,27 @@ fn bad_fixture_trips_every_rule() {
     let by_rule = |r: &str| rules.iter().filter(|x| **x == r).count();
     assert_eq!(by_rule("recovery-panic"), 4, "{:?}", rules_of(&report));
     assert_eq!(by_rule("panic-path-alloc"), 2, "{:?}", rules_of(&report));
-    assert_eq!(by_rule("untrusted-read"), 1, "{:?}", rules_of(&report));
+    assert_eq!(by_rule("untrusted-read"), 3, "{:?}", rules_of(&report));
     assert_eq!(by_rule("record-registry"), 2, "{:?}", rules_of(&report));
     assert_eq!(by_rule("crash-point-label"), 4, "{:?}", rules_of(&report));
+    assert_eq!(
+        by_rule("validate-before-adopt"),
+        2,
+        "{:?}",
+        rules_of(&report)
+    );
+    assert_eq!(
+        by_rule("validation-write-free"),
+        2,
+        "{:?}",
+        rules_of(&report)
+    );
+    assert_eq!(
+        by_rule("campaign-determinism"),
+        5,
+        "{:?}",
+        rules_of(&report)
+    );
     assert_eq!(
         by_rule("allow-missing-reason"),
         1,
@@ -54,7 +75,7 @@ fn bad_fixture_trips_every_rule() {
         rules_of(&report)
     );
     assert_eq!(by_rule("stale-allow"), 1, "{:?}", rules_of(&report));
-    assert_eq!(report.findings.len(), 15, "{:?}", rules_of(&report));
+    assert_eq!(report.findings.len(), 26, "{:?}", rules_of(&report));
 }
 
 #[test]
@@ -71,6 +92,19 @@ fn bad_fixture_reports_transitive_witness() {
         "witness path should show the call chain, got {:?}",
         transitive.via
     );
+
+    // The effect-system rules produce witnesses too: a wall-clock read two
+    // hops below the campaign root must surface the call chain.
+    let effectful = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "campaign-determinism" && f.function == "timing_helper")
+        .expect("timing_helper's Instant::now must be reachable from run_indexed");
+    assert!(
+        effectful.via.len() > 1,
+        "effect witness should show the call chain, got {:?}",
+        effectful.via
+    );
 }
 
 #[test]
@@ -83,8 +117,8 @@ fn good_fixture_is_clean_with_a_used_allow() {
         report.findings
     );
     assert_eq!(
-        report.allows_used, 2,
-        "both justified escape hatches should count as in use"
+        report.allows_used, 3,
+        "every justified escape hatch should count as in use"
     );
 }
 
@@ -94,8 +128,10 @@ fn json_report_is_well_formed() {
     let report = ow_lint::run(&cfg).expect("fixture tree readable");
     let json = report.to_json();
     assert!(json.starts_with("{\"findings\":["));
+    assert!(json.contains("\"allows\":"));
     assert!(json.contains("\"scanned_files\":"));
     assert!(json.contains("\"recovery-panic\""));
+    assert!(json.contains("\"campaign-determinism\""));
     // Balanced braces/brackets — a cheap structural sanity check given the
     // hand-rolled serializer.
     let balance = |open: char, close: char| {

@@ -98,6 +98,7 @@ impl TraceRing {
         if capacity == 0 {
             return;
         }
+        // ow-lint: allow(validate-before-adopt) -- read-modify-write of the recorder's own reserved ring header, not dead-kernel state
         let seq = match phys.read_u64(base + hdr_off::WRITE_SEQ) {
             Ok(s) => s,
             Err(_) => return,
@@ -113,6 +114,7 @@ impl TraceRing {
         seal_slot(&mut buf);
         if phys.write(slot, &buf).is_err() {
             let _ = phys
+                // ow-lint: allow(validate-before-adopt) -- read-modify-write of the recorder's own dropped-count header field
                 .read_u64(base + hdr_off::DROPPED)
                 .and_then(|d| phys.write_u64(base + hdr_off::DROPPED, d + 1));
             return;
@@ -132,6 +134,7 @@ impl TraceRing {
     pub fn counter_add(&self, phys: &mut PhysMem, counter: Counter, n: u64) {
         let addr = self.base_addr() + hdr_off::COUNTERS + 8 * counter as u64;
         let _ = phys
+            // ow-lint: allow(validate-before-adopt) -- read-modify-write of the recorder's own counter slot in reserved memory
             .read_u64(addr)
             .and_then(|v| phys.write_u64(addr, v.wrapping_add(n)));
     }
@@ -143,6 +146,7 @@ impl TraceRing {
             + (hist as u64) * 8 * 64
             + 8 * bucket_of(value) as u64;
         let _ = phys
+            // ow-lint: allow(validate-before-adopt) -- read-modify-write of the recorder's own histogram bucket in reserved memory
             .read_u64(addr)
             .and_then(|v| phys.write_u64(addr, v + 1));
     }
