@@ -71,7 +71,16 @@ cargo run -q -p ow-bench --release --bin table6 -- \
     --jobs 4 --json "$smoke_dir/BENCH_table6.json" >/dev/null
 cmp "$smoke_dir/t6_jobs1.json" "$smoke_dir/BENCH_table6.json" \
     || { echo "table6 --json differs between --jobs 1 and --jobs 4" >&2; exit 1; }
-for f in BENCH_table5.json BENCH_recovery.json BENCH_table6.json; do
+# Table 3 is the protected-mode overhead matrix (tagged vs untagged TLB):
+# regenerated at --jobs 1 and --jobs 4, byte-identical to itself and to the
+# committed artifact.
+cargo run -q -p ow-bench --release --bin table3 -- \
+    --batches 80 --jobs 1 --json "$smoke_dir/t3_jobs1.json" >/dev/null
+cargo run -q -p ow-bench --release --bin table3 -- \
+    --batches 80 --jobs 4 --json "$smoke_dir/BENCH_table3.json" >/dev/null
+cmp "$smoke_dir/t3_jobs1.json" "$smoke_dir/BENCH_table3.json" \
+    || { echo "table3 --json differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+for f in BENCH_table5.json BENCH_recovery.json BENCH_table6.json BENCH_table3.json; do
     cmp "$smoke_dir/$f" "$f" \
         || { echo "$f is stale; regenerate it (see ci.sh) and commit" >&2; exit 1; }
 done

@@ -422,6 +422,7 @@ mod tests {
             ram_frames: 4096,
             cpus: 2,
             tlb_entries: 64,
+            tlb_tagged: true,
             cost: ow_simhw::CostModel::zero_io(),
         });
         let mut reg = ProgramRegistry::new();

@@ -11,6 +11,7 @@ fn boot() -> Kernel {
         ram_frames: 8192,
         cpus: 2,
         tlb_entries: 64,
+        tlb_tagged: true,
         cost: ow_simhw::CostModel::zero_io(),
     });
     Kernel::boot_cold(machine, KernelConfig::default(), ow_apps::full_registry()).unwrap()

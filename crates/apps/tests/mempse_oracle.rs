@@ -29,6 +29,7 @@ fn boot() -> (Kernel, u64) {
         ram_frames: 4096,
         cpus: 1,
         tlb_entries: 16,
+        tlb_tagged: true,
         cost: ow_simhw::CostModel::zero_io(),
     });
     let mut k =

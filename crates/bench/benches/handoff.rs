@@ -10,6 +10,7 @@ fn machine_config() -> MachineConfig {
         ram_frames: 8192,
         cpus: 2,
         tlb_entries: 64,
+        tlb_tagged: true,
         cost: ow_simhw::CostModel::zero_io(),
     }
 }

@@ -1,31 +1,53 @@
 //! Regenerates Table 3: performance overhead of enabling user memory space
-//! protection while executing system calls.
+//! protection while executing system calls, on tagged (ASID) and untagged
+//! (flush-per-switch) TLB hardware.
 
 #![forbid(unsafe_code)]
 
 fn main() {
-    let batches: u32 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().collect();
+    let batches: u32 = args
+        .iter()
+        .position(|a| a == "--batches")
+        .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
-    let rows: Vec<Vec<String>> = ow_bench::tables::table3(batches)
-        .into_iter()
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let jobs = ow_faultinject::jobs_from_args(&args);
+
+    let rows = ow_bench::tables::table3_jobs(batches, jobs);
+    let printable: Vec<Vec<String>> = rows
+        .iter()
         .map(|r| {
             vec![
                 r.name.to_string(),
-                format!("{:.0}%", r.tlb_increase_pct),
-                format!("{:.1}%", r.overhead_pct),
+                format!("{:.0}%", r.tagged.tlb_increase_pct),
+                format!("{:.1}%", r.tagged.overhead_pct),
+                format!("{:.0}%", r.untagged.tlb_increase_pct),
+                format!("{:.1}%", r.untagged.overhead_pct),
             ]
         })
         .collect();
     ow_bench::print_table(
         "Table 3. Performance overhead of enabling user memory space protection \
-         while executing system calls.",
+         while executing system calls (tagged vs untagged TLB).",
         &[
             "Benchmark",
-            "Increase in TLB misses",
-            "Performance overhead",
+            "TLB miss increase (tagged)",
+            "Overhead (tagged)",
+            "TLB miss increase (untagged)",
+            "Overhead (untagged)",
         ],
-        &rows,
+        &printable,
     );
+
+    if let Some(path) = json_path {
+        let doc = ow_bench::tables::table3_json(&rows);
+        std::fs::write(&path, doc.to_pretty()).expect("write --json file");
+        println!("wrote {path}");
+    }
 }

@@ -20,13 +20,23 @@ pub fn eval_machine_config() -> MachineConfig {
         ram_frames: 8192, // 32 MiB
         cpus: 2,
         tlb_entries: 64,
+        tlb_tagged: true,
         cost: CostModel::default(),
     }
 }
 
 /// Boots an evaluation kernel with the full application registry.
 pub fn boot_eval(user_protection: bool) -> Kernel {
-    let machine = ow_kernel::standard_machine(eval_machine_config());
+    boot_eval_on(user_protection, true)
+}
+
+/// Boots an evaluation kernel on tagged or untagged TLB hardware (Table 3
+/// compares the two).
+pub fn boot_eval_on(user_protection: bool, tlb_tagged: bool) -> Kernel {
+    let machine = ow_kernel::standard_machine(MachineConfig {
+        tlb_tagged,
+        ..eval_machine_config()
+    });
     let config = KernelConfig {
         user_protection,
         fixes: RobustnessFixes::default(),

@@ -2,9 +2,10 @@
 //!
 //! Runs a workload to steady state, then measures a window of driven
 //! batches with protection off and on (fresh kernels, identical seeds) and
-//! reports the TLB-miss increase and execution-time overhead.
+//! reports the TLB-miss increase and execution-time overhead — on tagged
+//! (ASID) or untagged (flush-per-switch) TLB hardware.
 
-use crate::boot_eval;
+use crate::boot_eval_on;
 use ow_apps::Workload;
 
 /// One measured configuration.
@@ -16,6 +17,10 @@ pub struct PerfSample {
     pub tlb_misses: u64,
     /// TLB flushes in the window.
     pub tlb_flushes: u64,
+    /// Single-page TLB invalidations in the window.
+    pub invalidations: u64,
+    /// ASID tag-register switches in the window.
+    pub asid_switches: u64,
     /// Page-table switches in the window.
     pub pt_switches: u64,
 }
@@ -51,10 +56,11 @@ impl PerfRow {
 fn measure_once<W: Workload>(
     mut workload: W,
     protection: bool,
+    tlb_tagged: bool,
     warmup_batches: u32,
     measured_batches: u32,
 ) -> PerfSample {
-    let mut k = boot_eval(protection);
+    let mut k = boot_eval_on(protection, tlb_tagged);
     let pid = workload.setup(&mut k);
     for _ in 0..warmup_batches {
         workload.drive(&mut k, pid);
@@ -70,19 +76,46 @@ fn measure_once<W: Workload>(
         cycles: k.machine.clock.now() - c0,
         tlb_misses: stats.tlb_misses,
         tlb_flushes: stats.flushes,
+        invalidations: stats.invalidations,
+        asid_switches: stats.asid_switches,
         pt_switches: k.pt_switches - p0,
     }
 }
 
-/// Measures a workload with and without user-space protection.
+/// Measures a workload with and without user-space protection on tagged
+/// TLB hardware (the default machine).
 pub fn protection_overhead<W: Workload>(
     make: impl Fn(u64) -> W,
     seed: u64,
     warmup_batches: u32,
     measured_batches: u32,
 ) -> PerfRow {
-    let base = measure_once(make(seed), false, warmup_batches, measured_batches);
-    let protected = measure_once(make(seed), true, warmup_batches, measured_batches);
+    protection_overhead_on(make, seed, warmup_batches, measured_batches, true)
+}
+
+/// Measures a workload with and without user-space protection, selecting
+/// tagged or untagged TLB hardware.
+pub fn protection_overhead_on<W: Workload>(
+    make: impl Fn(u64) -> W,
+    seed: u64,
+    warmup_batches: u32,
+    measured_batches: u32,
+    tlb_tagged: bool,
+) -> PerfRow {
+    let base = measure_once(
+        make(seed),
+        false,
+        tlb_tagged,
+        warmup_batches,
+        measured_batches,
+    );
+    let protected = measure_once(
+        make(seed),
+        true,
+        tlb_tagged,
+        warmup_batches,
+        measured_batches,
+    );
     PerfRow { base, protected }
 }
 
@@ -93,10 +126,24 @@ mod tests {
 
     #[test]
     fn protection_costs_more_and_misses_more() {
-        let row = protection_overhead(VolanoWorkload::new, 7, 5, 20);
-        assert!(row.protected.cycles > row.base.cycles);
-        assert!(row.protected.tlb_misses > row.base.tlb_misses);
-        assert!(row.protected.pt_switches > 0);
-        assert_eq!(row.base.pt_switches, 0);
+        for tagged in [false, true] {
+            let row = protection_overhead_on(VolanoWorkload::new, 7, 5, 20, tagged);
+            assert!(row.protected.cycles > row.base.cycles, "tagged={tagged}");
+            assert!(
+                row.protected.tlb_misses > row.base.tlb_misses,
+                "tagged={tagged}"
+            );
+            assert!(row.protected.pt_switches > 0, "tagged={tagged}");
+            assert_eq!(row.base.pt_switches, 0, "tagged={tagged}");
+            if tagged {
+                assert_eq!(
+                    row.protected.tlb_flushes, 0,
+                    "tag switches must keep the flush off the syscall path"
+                );
+                assert!(row.protected.asid_switches > 0);
+            } else {
+                assert!(row.protected.tlb_flushes > 0);
+            }
+        }
     }
 }

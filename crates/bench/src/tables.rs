@@ -14,35 +14,111 @@ use ow_faultinject::{
 use ow_kernel::{Kernel, PanicCause, RobustnessFixes, SpawnSpec};
 use ow_trace::json::Value;
 
-/// Table 3 row: protection overhead for one workload.
-#[derive(Debug, Clone)]
-pub struct Table3Row {
-    /// Benchmark name.
-    pub name: &'static str,
+/// One TLB-hardware variant of a Table 3 measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Cell {
     /// Increase in TLB misses (percent).
     pub tlb_increase_pct: f64,
     /// Performance overhead (percent).
     pub overhead_pct: f64,
+    /// Full TLB flushes in the protected measured window.
+    pub flushes: u64,
+    /// ASID tag switches in the protected measured window.
+    pub asid_switches: u64,
+    /// Single-page invalidations in the protected measured window.
+    pub invalidations: u64,
+}
+
+/// Table 3 row: protection overhead for one workload, on tagged (ASID)
+/// and untagged (flush-per-switch) TLB hardware.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Tagged-TLB hardware (the default machine).
+    pub tagged: Table3Cell,
+    /// Untagged hardware (the paper's measurement conditions).
+    pub untagged: Table3Cell,
+}
+
+/// The three applications of the paper's Table 3.
+const TABLE3_APPS: [(&str, &str); 3] = [
+    ("MySQL", "mysqld"),
+    ("Apache", "httpd"),
+    ("Volano", "volano"),
+];
+
+fn table3_cell(app: &str, measured_batches: u32, tlb_tagged: bool) -> Table3Cell {
+    let row = perf::protection_overhead_on(
+        |seed| make_workload(app, seed),
+        11,
+        8,
+        measured_batches,
+        tlb_tagged,
+    );
+    Table3Cell {
+        tlb_increase_pct: row.tlb_miss_increase_pct(),
+        overhead_pct: row.overhead_pct(),
+        flushes: row.protected.tlb_flushes,
+        asid_switches: row.protected.asid_switches,
+        invalidations: row.protected.invalidations,
+    }
 }
 
 /// Computes Table 3 (protection overhead for MySQL, Apache, Volano).
 pub fn table3(measured_batches: u32) -> Vec<Table3Row> {
-    [
-        ("MySQL", "mysqld"),
-        ("Apache", "httpd"),
-        ("Volano", "volano"),
-    ]
-    .into_iter()
-    .map(|(label, app)| {
-        let row =
-            perf::protection_overhead(|seed| make_workload(app, seed), 11, 8, measured_batches);
-        Table3Row {
+    table3_jobs(measured_batches, 1)
+}
+
+/// Computes Table 3 with the six app × hardware measurements sharded over
+/// `jobs` workers (0 = auto). Deterministic: the output is byte-identical
+/// for any worker count.
+pub fn table3_jobs(measured_batches: u32, jobs: usize) -> Vec<Table3Row> {
+    let coords: Vec<(usize, bool)> = (0..TABLE3_APPS.len())
+        .flat_map(|a| [(a, true), (a, false)])
+        .collect();
+    let cells = ow_faultinject::parallel_map(jobs, &coords, |&(a, tagged), _| {
+        table3_cell(TABLE3_APPS[a].1, measured_batches, tagged)
+    });
+    TABLE3_APPS
+        .iter()
+        .enumerate()
+        .map(|(a, &(label, _))| Table3Row {
             name: label,
-            tlb_increase_pct: row.tlb_miss_increase_pct(),
-            overhead_pct: row.overhead_pct(),
-        }
-    })
-    .collect()
+            tagged: cells[a * 2].clone().expect("table3 cell"),
+            untagged: cells[a * 2 + 1].clone().expect("table3 cell"),
+        })
+        .collect()
+}
+
+fn table3_cell_json(c: &Table3Cell) -> Value {
+    Value::obj([
+        ("tlb_miss_increase_pct", Value::from(c.tlb_increase_pct)),
+        ("overhead_pct", Value::from(c.overhead_pct)),
+        ("flushes", Value::from(c.flushes)),
+        ("asid_switches", Value::from(c.asid_switches)),
+        ("invalidations", Value::from(c.invalidations)),
+    ])
+}
+
+/// Machine-readable Table 3 export (the committed `BENCH_table3.json`
+/// perf-trajectory artifact).
+pub fn table3_json(rows: &[Table3Row]) -> Value {
+    let row_values: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            Value::obj([
+                ("application", Value::from(r.name)),
+                ("tagged", table3_cell_json(&r.tagged)),
+                ("untagged", table3_cell_json(&r.untagged)),
+            ])
+        })
+        .collect();
+    Value::obj([
+        ("schema_version", Value::from(1u64)),
+        ("bench", Value::from("table3")),
+        ("rows", Value::Array(row_values)),
+    ])
 }
 
 /// Table 4 row: resurrection read sizes for one application.

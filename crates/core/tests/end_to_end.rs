@@ -70,6 +70,7 @@ fn boot() -> Kernel {
         ram_frames: 4096, // 16 MiB
         cpus: 2,
         tlb_entries: 64,
+        tlb_tagged: true,
         cost: ow_simhw::CostModel::zero_io(),
     });
     Kernel::boot_cold(machine, KernelConfig::default(), registry()).expect("cold boot")
@@ -292,6 +293,7 @@ fn second_microreboot_also_works() {
             ram_frames: 4096,
             cpus: 2,
             tlb_entries: 64,
+            tlb_tagged: true,
             cost: ow_simhw::CostModel::zero_io(),
         },
         KernelConfig::default(),

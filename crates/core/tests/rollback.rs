@@ -83,6 +83,7 @@ fn dead_kernel(steps: u32, swap_pages: usize) -> (Kernel, u64) {
         ram_frames: 4096,
         cpus: 2,
         tlb_entries: 64,
+        tlb_tagged: true,
         cost: ow_simhw::CostModel::zero_io(),
     });
     let mut k = Kernel::boot_cold(machine, KernelConfig::default(), registry()).expect("cold boot");

@@ -192,6 +192,7 @@ pub(crate) fn machine_config() -> MachineConfig {
         ram_frames: 8192, // 32 MiB
         cpus: 2,
         tlb_entries: 64,
+        tlb_tagged: true,
         cost: CostModel::zero_io(),
     }
 }

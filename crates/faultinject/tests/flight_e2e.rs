@@ -14,6 +14,7 @@ fn flight_survives_for_every_app_workload() {
             ram_frames: 8192, // 32 MiB, as in the campaigns
             cpus: 2,
             tlb_entries: 64,
+            tlb_tagged: true,
             cost: CostModel::zero_io(),
         });
         let mut k = Kernel::boot_cold(machine, KernelConfig::default(), ow_apps::full_registry())

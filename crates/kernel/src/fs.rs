@@ -517,6 +517,7 @@ mod tests {
             ram_frames: 64,
             cpus: 1,
             tlb_entries: 16,
+            tlb_tagged: true,
             cost: ow_simhw::CostModel::zero_io(),
         });
         let dev = m.add_device("sda", 2 * 1024 * 1024);
@@ -627,6 +628,7 @@ mod tests {
             ram_frames: 16,
             cpus: 1,
             tlb_entries: 16,
+            tlb_tagged: true,
             cost: ow_simhw::CostModel::zero_io(),
         });
         let dev = m.add_device("raw", 1024 * 1024);

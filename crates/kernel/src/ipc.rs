@@ -456,6 +456,7 @@ mod tests {
             ram_frames: 4096,
             cpus: 1,
             tlb_entries: 16,
+            tlb_tagged: true,
             cost: ow_simhw::CostModel::zero_io(),
         });
         Kernel::boot_cold(machine, KernelConfig::default(), ProgramRegistry::new()).unwrap()

@@ -191,6 +191,7 @@ mod tests {
             ram_frames: 64,
             cpus: 1,
             tlb_entries: 16,
+            tlb_tagged: true,
             cost: ow_simhw::CostModel::zero_io(),
         });
         let dev = m.add_device("swap-main", 64 * PAGE_SIZE);

@@ -91,8 +91,8 @@ impl<'k> KernelApi<'k> {
                 return Err(Errno::Restart);
             }
         }
-        let cost = self.kernel.machine.cost.clone();
-        self.kernel.machine.clock.charge(cost.syscall_entry);
+        let m = &mut self.kernel.machine;
+        m.clock.charge(m.cost.syscall_entry);
         // Switch to the kernel-only page-table set (user unmapped) when the
         // protected mode is on.
         self.kernel.protection_enter();
@@ -153,7 +153,7 @@ impl<'k> KernelApi<'k> {
                 .write_u32(desc_addr + Self::in_syscall_off(), 0);
             let _ = self.kernel.reseal_desc(self.pid);
         }
-        self.kernel.protection_exit();
+        self.kernel.protection_exit(self.pid);
 
         let now = self.kernel.machine.clock.now();
         let entered = self.kernel.last_syscall_enter;

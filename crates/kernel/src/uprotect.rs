@@ -2,40 +2,92 @@
 //!
 //! When `user_protection` is on, user space is unmapped while the kernel
 //! runs: every syscall entry switches to the kernel-only page-table set
-//! (and back on exit), flushing the TLB both times. That switch is the
-//! source of Table 3's overhead, so it is counted twice over — in the
-//! host-side `pt_switches` diagnostic and in the crash-surviving
-//! [`Counter::PtSwitches`] metrics slot.
+//! (and back on exit). On untagged hardware each switch implies a full TLB
+//! flush — the source of Table 3's overhead. On tagged hardware
+//! (ASID/PCID, the default) the switch is a tag-register write: user
+//! translations stay resident across the kernel excursion and the flush
+//! leaves the syscall hot path entirely. The remaining tagged-mode cost is
+//! that the kernel-only set forfeits global pages — its working set is
+//! just another tagged space competing for TLB slots, modeled by
+//! [`ow_simhw::Mmu::touch_kernel`] on every entry.
+//!
+//! Switches are counted twice over — in the host-side `pt_switches`
+//! diagnostic and in the crash-surviving [`Counter::PtSwitches`] metrics
+//! slot (tag switches additionally in [`Counter::AsidSwitches`]).
 
 use crate::kernel::Kernel;
+use ow_simhw::KERNEL_ASID;
 use ow_trace::{Counter, EventKind};
+
+/// First kernel virtual page number: the page right above the 1 GiB user
+/// space, where the kernel image begins.
+const KERNEL_WS_VPN_BASE: u64 = ow_simhw::paging::VA_LIMIT >> 12;
+
+/// Pages of kernel text/data the syscall path touches under
+/// [`KERNEL_ASID`] per entry. Only the protected tagged mode pays for
+/// these: unprotected kernels keep them in global TLB entries that never
+/// compete with user translations.
+const KERNEL_WS_PAGES: u64 = 6;
 
 impl Kernel {
     /// Syscall-entry half of the protected mode: switch to the kernel-only
-    /// page-table set, paying the switch and TLB-flush costs. No-op when
-    /// protection is disabled.
+    /// page-table set. Tagged hardware retargets the ASID register and
+    /// walks the kernel working set in; untagged hardware pays the full
+    /// TLB flush. No-op when protection is disabled.
     pub fn protection_enter(&mut self) {
         if !self.config.user_protection {
             return;
         }
-        self.pt_switch();
+        let tagged = self.machine.tlb_tagged;
+        {
+            let m = &mut self.machine;
+            m.clock.charge(m.cost.pt_switch);
+            if tagged {
+                m.mmu.switch_asid(&mut m.clock, &m.cost, KERNEL_ASID);
+                m.mmu
+                    .touch_kernel(&mut m.clock, &m.cost, KERNEL_WS_VPN_BASE, KERNEL_WS_PAGES);
+            } else {
+                m.mmu.flush(&mut m.clock, &m.cost);
+            }
+        }
+        self.note_pt_switch(tagged);
     }
 
-    /// Syscall-exit half: switch back to the full page-table set.
-    pub fn protection_exit(&mut self) {
+    /// Syscall-exit half: switch back to `pid`'s page-table set. Tagged
+    /// hardware re-resolves the process's ASID (user translations installed
+    /// before the call are still resident under it); untagged hardware
+    /// flushes again.
+    pub fn protection_exit(&mut self, pid: u64) {
         if !self.config.user_protection {
             return;
         }
-        self.pt_switch();
+        let tagged = self.machine.tlb_tagged;
+        let root = self.proc(pid).map(|p| p.asp.root()).ok();
+        {
+            let m = &mut self.machine;
+            m.clock.charge(m.cost.pt_switch);
+            if tagged {
+                match root {
+                    Some(root) => {
+                        m.mmu.switch_to_space(&mut m.clock, &m.cost, root);
+                    }
+                    // Process gone mid-call (e.g. torn down by a restart):
+                    // stay on the kernel-only set.
+                    None => m.mmu.switch_asid(&mut m.clock, &m.cost, KERNEL_ASID),
+                }
+            } else {
+                m.mmu.flush(&mut m.clock, &m.cost);
+            }
+        }
+        self.note_pt_switch(tagged);
     }
 
-    fn pt_switch(&mut self) {
-        let cost = self.machine.cost.clone();
-        self.machine.clock.charge(cost.pt_switch);
-        let Kernel { machine, .. } = self;
-        machine.mmu.flush(&mut machine.clock, &machine.cost);
+    fn note_pt_switch(&mut self, tagged: bool) {
         self.pt_switches += 1;
         self.trace_counter(Counter::PtSwitches, 1);
+        if tagged {
+            self.trace_counter(Counter::AsidSwitches, 1);
+        }
     }
 
     /// Records a wild write that the protected mode trapped before it

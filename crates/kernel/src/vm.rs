@@ -226,7 +226,8 @@ impl Kernel {
         }
         self.set_user_pte(pid, page_va, Pte::new(new_pfn, f))
             .map_err(|_| Errno::NoMem)?;
-        self.machine.mmu.invalidate(asp.root(), page_va);
+        let m = &mut self.machine;
+        m.mmu.invalidate(&mut m.clock, &m.cost, asp.root(), page_va);
         // The old frame is deliberately not freed: it may back a shared
         // mapping of another resurrected process; the next cold morph's
         // reachability pass collects it.
@@ -281,6 +282,25 @@ impl Kernel {
             self.machine.clock.charge(chunk as u64 / bw);
             done += chunk;
         }
+        // Ranged-invalidation rule: when the kernel-only page-table set is
+        // live (protected mode, mid-syscall), these bytes landed through
+        // the kernel's transient window while user space was unmapped, so
+        // any translation of the written range — under the process's tag
+        // *or* the kernel's — is stale and must be shot down before user
+        // code can run against it. Without this, tagged switches would
+        // silently leak pre-write translations across the syscall boundary.
+        // Untagged hardware needs no shootdown here: the switch back to the
+        // user set flushes everything before user code can run.
+        if self.machine.user_protection
+            && self.machine.tlb_tagged
+            && self.machine.mmu.current_asid() == ow_simhw::KERNEL_ASID
+            && !data.is_empty()
+        {
+            let root = self.proc(pid).map_err(|_| Errno::Io)?.asp.root();
+            let m = &mut self.machine;
+            m.mmu
+                .invalidate_range(&mut m.clock, &m.cost, root, vaddr, data.len() as u64);
+        }
         Ok(())
     }
 
@@ -332,7 +352,8 @@ impl Kernel {
             asp.set_pte(&mut machine.phys, falloc, page_va, swapped)
                 .map_err(|_| KernelError::NoMemory)?;
         }
-        self.machine.mmu.invalidate(asp.root(), page_va);
+        let m = &mut self.machine;
+        m.mmu.invalidate(&mut m.clock, &m.cost, asp.root(), page_va);
         self.free_frame(pte.pfn());
         self.trace_counter(Counter::SwapOuts, 1);
         Ok(())

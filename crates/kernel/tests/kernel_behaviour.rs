@@ -38,6 +38,7 @@ fn boot() -> Kernel {
         ram_frames: 4096,
         cpus: 2,
         tlb_entries: 64,
+        tlb_tagged: true,
         cost: ow_simhw::CostModel::zero_io(),
     });
     Kernel::boot_cold(machine, KernelConfig::default(), ProgramRegistry::new()).unwrap()

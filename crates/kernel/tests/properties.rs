@@ -186,6 +186,7 @@ fn fs_matches_oracle() {
             ram_frames: 64,
             cpus: 1,
             tlb_entries: 16,
+            tlb_tagged: true,
             cost: ow_simhw::CostModel::zero_io(),
         });
         let dev = m.add_device("sda", 4 * 1024 * 1024);

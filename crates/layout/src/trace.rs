@@ -24,7 +24,7 @@ use crate::crc::crc32;
 pub const TRACE_MAGIC: u32 = 0x4f57_5452;
 
 /// Monotonic counters in the header frame.
-pub const TRACE_NUM_COUNTERS: usize = 8;
+pub const TRACE_NUM_COUNTERS: usize = 9;
 
 /// Histograms in the header frame (64 log₂ buckets each).
 pub const TRACE_NUM_HISTOGRAMS: usize = 2;

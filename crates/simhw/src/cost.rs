@@ -15,6 +15,14 @@ pub struct CostModel {
     pub tlb_miss_walk: u64,
     /// Cost of flushing the TLB (charged on page-table switch).
     pub tlb_flush: u64,
+    /// Cost of invalidating a single page translation (the `invlpg`
+    /// analog, charged per page by ranged invalidation).
+    pub tlb_invalidate: u64,
+    /// Cost of retargeting the TLB's address-space tag register (the
+    /// PCID-load analog). This is the tagged fast path that replaces the
+    /// full flush on protected-mode page-table switches, so it must stay
+    /// far below [`CostModel::tlb_flush`].
+    pub asid_switch: u64,
     /// Cost of a user->kernel transition (trap, save, dispatch).
     pub syscall_entry: u64,
     /// Cost of loading a new page-table root register.
@@ -56,6 +64,8 @@ impl Default for CostModel {
             mem_access: 1,
             tlb_miss_walk: 30,
             tlb_flush: 120,
+            tlb_invalidate: 20,
+            asid_switch: 12,
             syscall_entry: 300,
             pt_switch: 80,
             disk_op: 60_000,
@@ -94,6 +104,13 @@ mod tests {
         assert!(c.mem_access < c.tlb_miss_walk);
         assert!(c.tlb_miss_walk < c.tlb_flush);
         assert!(c.tlb_flush < c.disk_op);
+        // Tagged-TLB economics: retargeting the tag register must be far
+        // cheaper than the full flush it replaces (otherwise the protected
+        // mode gains nothing from ASIDs), and a single-page shootdown must
+        // sit between a plain access and a full flush.
+        assert!(c.asid_switch * 4 <= c.tlb_flush);
+        assert!(c.mem_access < c.tlb_invalidate);
+        assert!(c.tlb_invalidate < c.tlb_flush);
         // Warm-morph economics: validating a structure must be cheaper
         // per byte than re-reading it from disk, adopting a frame must be
         // cheaper than scanning it, and a lazy fault (overhead + copy)

@@ -33,7 +33,7 @@ pub use cost::CostModel;
 pub use cpu::{Context, Cpu, CpuId};
 pub use frames::FrameAllocator;
 pub use machine::{Machine, MachineConfig};
-pub use mmu::{AccessKind, Mmu, MmuStats};
+pub use mmu::{AccessKind, Asid, Mmu, MmuStats, KERNEL_ASID};
 pub use paging::{AddressSpace, Pte, PteFlags};
 pub use phys::{MemError, PhysAddr, PhysMem, PAGE_SIZE};
 pub use rng::{mix64, stream_seed, SimRng};

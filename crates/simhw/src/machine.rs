@@ -73,6 +73,10 @@ pub struct MachineConfig {
     pub cpus: u32,
     /// TLB entries (power of two).
     pub tlb_entries: usize,
+    /// Whether the TLB is address-space tagged (ASID/PCID analog). Tagged
+    /// hardware turns the protected mode's per-syscall page-table switch
+    /// into a tag switch; untagged hardware pays a full flush both ways.
+    pub tlb_tagged: bool,
     /// Cycle cost model.
     pub cost: CostModel,
 }
@@ -85,6 +89,7 @@ impl Default for MachineConfig {
             ram_frames: 16384,
             cpus: 2,
             tlb_entries: 64,
+            tlb_tagged: true,
             cost: CostModel::default(),
         }
     }
@@ -113,6 +118,8 @@ pub struct Machine {
     /// Whether the memory-protected mode is active (user space unmapped
     /// while the kernel runs).
     pub user_protection: bool,
+    /// Whether the TLB is address-space tagged (see [`MachineConfig`]).
+    pub tlb_tagged: bool,
 }
 
 impl Machine {
@@ -130,6 +137,7 @@ impl Machine {
             devices: Vec::new(),
             owners: vec![FrameOwner::Free; config.ram_frames],
             user_protection: false,
+            tlb_tagged: config.tlb_tagged,
         }
     }
 
@@ -254,6 +262,7 @@ mod tests {
             ram_frames: 64,
             cpus: 2,
             tlb_entries: 16,
+            tlb_tagged: true,
             cost: CostModel::default(),
         })
     }

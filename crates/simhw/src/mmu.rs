@@ -1,9 +1,16 @@
-//! MMU with a TLB model.
+//! MMU with an address-space-tagged (ASID) TLB model.
 //!
 //! The paper's memory-protected mode switches page-table sets on every
-//! system call; the dominant cost is the implied TLB flush (§6, Table 3).
-//! To reproduce that effect the MMU keeps a small software TLB tagged by
-//! page-table root and charges a walk penalty on every miss.
+//! system call; on untagged hardware the dominant cost is the implied TLB
+//! flush (§6, Table 3). Tagged hardware (ASID/PCID) turns that switch into
+//! a tag-register write: entries stay resident across the switch and the
+//! flush leaves the syscall hot path. The MMU models both. Every TLB entry
+//! carries the ASID of the address space that installed it, a current-ASID
+//! register says which page-table set is live, and a small allocator hands
+//! out tags per page-table root with generation-based recycling: when the
+//! tag space is exhausted the allocator rolls over to a new generation and
+//! performs one full (charged) flush, so a recycled tag can never alias a
+//! stale entry from its previous owner.
 
 use crate::{
     clock::Clock,
@@ -12,6 +19,20 @@ use crate::{
     phys::{PhysAddr, PhysMem, PAGE_SIZE},
     Pfn, VirtAddr,
 };
+
+/// An address-space tag (the PCID analog).
+pub type Asid = u16;
+
+/// The tag reserved for the kernel-only page-table set. Never handed out
+/// by the allocator; user translations are always tagged with a non-zero
+/// ASID, so a tag switch to [`KERNEL_ASID`] hides user space without
+/// evicting its translations.
+pub const KERNEL_ASID: Asid = 0;
+
+/// Default number of tags (including [`KERNEL_ASID`]) before the allocator
+/// recycles a generation. Small on purpose: real PCID spaces are 12-bit,
+/// but a small space keeps the rollover path exercised by tests.
+pub const DEFAULT_ASID_CAPACITY: Asid = 16;
 
 /// Kind of memory access, for permission checks and dirty tracking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,34 +54,69 @@ pub struct MmuStats {
     pub tlb_misses: u64,
     /// Number of full TLB flushes.
     pub flushes: u64,
+    /// Number of single-page invalidations (ranged shootdowns count one
+    /// per page per tag sweep).
+    pub invalidations: u64,
+    /// Number of current-ASID register writes.
+    pub asid_switches: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct TlbEntry {
-    root: Pfn,
+    asid: Asid,
     vpn: u64,
     pte: Pte,
 }
 
-/// The memory-management unit: translation plus a direct-mapped TLB.
+/// The memory-management unit: translation plus a direct-mapped tagged TLB.
 #[derive(Debug)]
 pub struct Mmu {
     tlb: Vec<Option<TlbEntry>>,
     stats: MmuStats,
+    /// The live tag register (which page-table set the hardware thread is
+    /// running under). Translations through [`Mmu::access`] tag entries by
+    /// the accessed space's own ASID; the register tells callers (e.g. the
+    /// kernel's copy-to-user path) whether the kernel-only set is live.
+    current_asid: Asid,
+    /// Deterministic root→tag map for the live generation (insertion
+    /// order; the handful of simulated address spaces keeps it tiny).
+    asids: Vec<(Pfn, Asid)>,
+    next_asid: Asid,
+    asid_capacity: Asid,
+    asid_generation: u64,
 }
 
 impl Mmu {
-    /// Creates an MMU with a direct-mapped TLB of `entries` slots.
+    /// Creates an MMU with a direct-mapped TLB of `entries` slots and the
+    /// default ASID capacity.
     ///
     /// # Panics
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
+        Self::with_asid_capacity(entries, DEFAULT_ASID_CAPACITY)
+    }
+
+    /// Creates an MMU with an explicit ASID capacity (tags 1..capacity are
+    /// allocatable; tag 0 is [`KERNEL_ASID`]). Used by tests to pin the
+    /// recycling rollover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `asid_capacity < 2`.
+    pub fn with_asid_capacity(entries: usize, asid_capacity: Asid) -> Self {
         // ow-lint: allow(recovery-panic) -- machine-geometry precondition at construction
         assert!(entries.is_power_of_two(), "TLB size must be a power of two");
+        // ow-lint: allow(recovery-panic) -- machine-geometry precondition at construction
+        assert!(asid_capacity >= 2, "need at least one non-kernel ASID");
         Mmu {
             tlb: vec![None; entries],
             stats: MmuStats::default(),
+            current_asid: KERNEL_ASID,
+            asids: Vec::new(),
+            next_asid: KERNEL_ASID + 1,
+            asid_capacity,
+            asid_generation: 0,
         }
     }
 
@@ -69,32 +125,144 @@ impl Mmu {
         self.stats
     }
 
-    /// Resets statistics (keeps TLB contents).
+    /// Resets statistics (keeps TLB contents and tag assignments).
     pub fn reset_stats(&mut self) {
         self.stats = MmuStats::default();
     }
 
-    /// Flushes the entire TLB, charging the flush cost. Called on every
-    /// page-table switch (address-space change or protected-mode toggle).
+    /// The live tag register.
+    pub fn current_asid(&self) -> Asid {
+        self.current_asid
+    }
+
+    /// The allocator generation (bumped on every rollover).
+    pub fn asid_generation(&self) -> u64 {
+        self.asid_generation
+    }
+
+    /// The tag currently assigned to `root`, if any.
+    pub fn lookup_asid(&self, root: Pfn) -> Option<Asid> {
+        self.asids.iter().find(|(r, _)| *r == root).map(|(_, a)| *a)
+    }
+
+    /// Resolves (allocating if needed) the tag for the address space rooted
+    /// at `root`. Exhausting the tag space rolls the allocator over to a
+    /// new generation and performs one full, charged flush — the invariant
+    /// that makes recycling safe is "no entry of an older generation ever
+    /// survives into the generation that reuses its tag".
+    pub fn asid_of(&mut self, clock: &mut Clock, cost: &CostModel, root: Pfn) -> Asid {
+        if let Some(asid) = self.lookup_asid(root) {
+            return asid;
+        }
+        if self.next_asid >= self.asid_capacity {
+            self.asid_generation += 1;
+            self.asids.clear();
+            self.next_asid = KERNEL_ASID + 1;
+            self.flush(clock, cost);
+        }
+        let asid = self.next_asid;
+        self.next_asid += 1;
+        self.asids.push((root, asid));
+        asid
+    }
+
+    /// Retargets the tag register, charging [`CostModel::asid_switch`] —
+    /// the tagged fast path that replaces the full flush on protected-mode
+    /// page-table switches.
+    pub fn switch_asid(&mut self, clock: &mut Clock, cost: &CostModel, asid: Asid) {
+        self.current_asid = asid;
+        self.stats.asid_switches += 1;
+        clock.charge(cost.asid_switch);
+    }
+
+    /// Convenience: resolve the tag for `root` and switch to it.
+    pub fn switch_to_space(&mut self, clock: &mut Clock, cost: &CostModel, root: Pfn) -> Asid {
+        let asid = self.asid_of(clock, cost, root);
+        self.switch_asid(clock, cost, asid);
+        asid
+    }
+
+    /// Flushes the entire TLB (every tag), charging the flush cost. Left
+    /// for genuine invalidation (allocator rollover, untagged page-table
+    /// switches); the tagged protected mode keeps it off the syscall path.
     pub fn flush(&mut self, clock: &mut Clock, cost: &CostModel) {
         self.tlb.iter_mut().for_each(|e| *e = None);
         self.stats.flushes += 1;
         clock.charge(cost.tlb_flush);
     }
 
-    /// Invalidates a single page translation (e.g. after unmap/swap-out).
-    pub fn invalidate(&mut self, root: Pfn, vaddr: VirtAddr) {
-        let vpn = vaddr / PAGE_SIZE as u64;
-        let slot = self.slot(root, vpn);
-        if let Some(e) = self.tlb[slot] {
-            if e.root == root && e.vpn == vpn {
-                self.tlb[slot] = None;
+    /// Invalidates a single page translation (e.g. after unmap/swap-out),
+    /// charging [`CostModel::tlb_invalidate`].
+    pub fn invalidate(&mut self, clock: &mut Clock, cost: &CostModel, root: Pfn, vaddr: VirtAddr) {
+        self.invalidate_range(clock, cost, root, vaddr, 1);
+    }
+
+    /// Invalidates every page translation overlapping `[vaddr, vaddr+len)`
+    /// for the address space rooted at `root`, sweeping **both** tags the
+    /// page may be cached under: the space's own ASID and [`KERNEL_ASID`]
+    /// (the kernel may have touched the page through its own window while
+    /// user space was unmapped). Charges one [`CostModel::tlb_invalidate`]
+    /// per page. This is the rule that keeps a PTE rewrite (unmap, swap-out,
+    /// lazy pull, kernel write into user space) from leaving a stale
+    /// translation resident now that page-table switches no longer flush.
+    pub fn invalidate_range(
+        &mut self,
+        clock: &mut Clock,
+        cost: &CostModel,
+        root: Pfn,
+        vaddr: VirtAddr,
+        len: u64,
+    ) {
+        let first = vaddr / PAGE_SIZE as u64;
+        let last = vaddr.saturating_add(len.max(1) - 1) / PAGE_SIZE as u64;
+        let user_asid = self.lookup_asid(root);
+        for vpn in first..=last {
+            self.stats.invalidations += 1;
+            clock.charge(cost.tlb_invalidate);
+            for asid in [user_asid, Some(KERNEL_ASID)].into_iter().flatten() {
+                let slot = self.slot(asid, vpn);
+                if let Some(e) = self.tlb[slot] {
+                    if e.asid == asid && e.vpn == vpn {
+                        self.tlb[slot] = None;
+                    }
+                }
             }
         }
     }
 
-    fn slot(&self, root: Pfn, vpn: u64) -> usize {
-        ((vpn ^ (root << 3)) as usize) & (self.tlb.len() - 1)
+    /// Models the kernel's own working set running under [`KERNEL_ASID`]:
+    /// one TLB access per page of `[base_vpn, base_vpn + pages)`. In the
+    /// unprotected mode kernel translations are global pages that never
+    /// leave the TLB (not simulated at all); the protected mode forfeits
+    /// that — its kernel-only set is just another tagged space — so its
+    /// entries compete for TLB slots with user translations. The synthetic
+    /// identity PTEs installed here are never served to user accesses (the
+    /// tag can't match) and are swept by [`Mmu::invalidate_range`] like any
+    /// other entry.
+    pub fn touch_kernel(&mut self, clock: &mut Clock, cost: &CostModel, base_vpn: u64, pages: u64) {
+        for vpn in base_vpn..base_vpn + pages {
+            self.stats.accesses += 1;
+            clock.charge(cost.mem_access);
+            let slot = self.slot(KERNEL_ASID, vpn);
+            match self.tlb[slot] {
+                Some(e) if e.asid == KERNEL_ASID && e.vpn == vpn => {
+                    self.stats.tlb_hits += 1;
+                }
+                _ => {
+                    self.stats.tlb_misses += 1;
+                    clock.charge(cost.tlb_miss_walk);
+                    self.tlb[slot] = Some(TlbEntry {
+                        asid: KERNEL_ASID,
+                        vpn,
+                        pte: Pte::new(vpn, PteFlags::PRESENT),
+                    });
+                }
+            }
+        }
+    }
+
+    fn slot(&self, asid: Asid, vpn: u64) -> usize {
+        ((vpn ^ ((asid as u64) << 3)) as usize) & (self.tlb.len() - 1)
     }
 
     /// Translates `vaddr` in the address space rooted at `asp`, charging
@@ -109,13 +277,14 @@ impl Mmu {
         vaddr: VirtAddr,
         kind: AccessKind,
     ) -> Result<PhysAddr, PageFault> {
+        let asid = self.asid_of(clock, cost, asp.root());
         self.stats.accesses += 1;
         clock.charge(cost.mem_access);
         let vpn = vaddr / PAGE_SIZE as u64;
-        let slot = self.slot(asp.root(), vpn);
+        let slot = self.slot(asid, vpn);
 
         let pte = match self.tlb[slot] {
-            Some(e) if e.root == asp.root() && e.vpn == vpn => {
+            Some(e) if e.asid == asid && e.vpn == vpn => {
                 self.stats.tlb_hits += 1;
                 e.pte
             }
@@ -123,11 +292,7 @@ impl Mmu {
                 self.stats.tlb_misses += 1;
                 clock.charge(cost.tlb_miss_walk);
                 let pte = asp.walk(phys, vaddr)?;
-                self.tlb[slot] = Some(TlbEntry {
-                    root: asp.root(),
-                    vpn,
-                    pte,
-                });
+                self.tlb[slot] = Some(TlbEntry { asid, vpn, pte });
                 pte
             }
         };
@@ -137,7 +302,10 @@ impl Mmu {
         }
 
         // Maintain accessed/dirty bits in the authoritative in-memory PTE so
-        // the page-out path and the crash kernel see them.
+        // the page-out path and the crash kernel see them. The rewrite goes
+        // through the L2 table that `walk` just traversed, so it cannot
+        // allocate; if the table vanished out from under us that is a real
+        // fault, not a bit to drop.
         let want = if kind == AccessKind::Write {
             PteFlags::ACCESSED | PteFlags::DIRTY
         } else {
@@ -145,8 +313,7 @@ impl Mmu {
         };
         if !pte.flags().contains(want) {
             let updated = pte.with_flags(want);
-            // The L2 table is guaranteed present because `walk` succeeded.
-            let _ = asp.set_pte(phys, &mut crate::FrameAllocator::new(0, 0), vaddr, updated);
+            asp.update_pte(phys, vaddr, updated)?;
             if let Some(e) = &mut self.tlb[slot] {
                 e.pte = updated;
             }
@@ -248,7 +415,7 @@ mod tests {
     }
 
     #[test]
-    fn different_roots_do_not_alias() {
+    fn different_spaces_do_not_alias() {
         let (mut phys, mut fa, mut clock, cost, mut mmu, asp1) = setup();
         let asp2 = AddressSpace::new(&mut phys, &mut fa).unwrap();
         let f1 = fa.alloc().unwrap();
@@ -276,10 +443,15 @@ mod tests {
             .access(&mut phys, &mut clock, &cost, asp2, 0x3000, AccessKind::Read)
             .unwrap();
         assert_ne!(p1, p2);
+        assert_ne!(
+            mmu.lookup_asid(asp1.root()),
+            mmu.lookup_asid(asp2.root()),
+            "distinct spaces must get distinct tags"
+        );
     }
 
     #[test]
-    fn invalidate_single_entry() {
+    fn invalidate_single_entry_charges_and_counts() {
         let (mut phys, mut fa, mut clock, cost, mut mmu, asp) = setup();
         let frame = fa.alloc().unwrap();
         asp.map(
@@ -292,9 +464,144 @@ mod tests {
         .unwrap();
         mmu.access(&mut phys, &mut clock, &cost, asp, 0x4000, AccessKind::Read)
             .unwrap();
-        mmu.invalidate(asp.root(), 0x4000);
+        let before = clock.now();
+        mmu.invalidate(&mut clock, &cost, asp.root(), 0x4000);
+        assert_eq!(clock.since(before), cost.tlb_invalidate);
+        assert_eq!(mmu.stats().invalidations, 1);
         mmu.access(&mut phys, &mut clock, &cost, asp, 0x4000, AccessKind::Read)
             .unwrap();
         assert_eq!(mmu.stats().tlb_misses, 2);
+    }
+
+    #[test]
+    fn invalidate_range_sweeps_every_overlapping_page() {
+        let (mut phys, mut fa, mut clock, cost, mut mmu, asp) = setup();
+        for i in 0..3u64 {
+            let frame = fa.alloc().unwrap();
+            asp.map(
+                &mut phys,
+                &mut fa,
+                0x6000 + i * PAGE_SIZE as u64,
+                frame,
+                PteFlags::WRITABLE | PteFlags::USER,
+            )
+            .unwrap();
+            mmu.access(
+                &mut phys,
+                &mut clock,
+                &cost,
+                asp,
+                0x6000 + i * PAGE_SIZE as u64,
+                AccessKind::Read,
+            )
+            .unwrap();
+        }
+        // A 2-byte range straddling the first two pages invalidates both,
+        // and only both.
+        mmu.invalidate_range(&mut clock, &cost, asp.root(), 0x6fff, 2);
+        assert_eq!(mmu.stats().invalidations, 2);
+        for i in 0..3u64 {
+            mmu.access(
+                &mut phys,
+                &mut clock,
+                &cost,
+                asp,
+                0x6000 + i * PAGE_SIZE as u64,
+                AccessKind::Read,
+            )
+            .unwrap();
+        }
+        assert_eq!(mmu.stats().tlb_misses, 5, "pages 0,1 re-walk; page 2 hits");
+    }
+
+    #[test]
+    fn tag_switch_charges_far_less_than_flush() {
+        let (_phys, _fa, mut clock, cost, mut mmu, asp) = setup();
+        let asid = mmu.asid_of(&mut clock, &cost, asp.root());
+        let before = clock.now();
+        mmu.switch_asid(&mut clock, &cost, asid);
+        mmu.switch_asid(&mut clock, &cost, KERNEL_ASID);
+        assert_eq!(clock.since(before), 2 * cost.asid_switch);
+        assert!(2 * cost.asid_switch < cost.tlb_flush);
+        assert_eq!(mmu.stats().asid_switches, 2);
+        assert_eq!(mmu.current_asid(), KERNEL_ASID);
+    }
+
+    #[test]
+    fn tag_switch_keeps_entries_resident() {
+        let (mut phys, mut fa, mut clock, cost, mut mmu, asp) = setup();
+        let frame = fa.alloc().unwrap();
+        asp.map(
+            &mut phys,
+            &mut fa,
+            0x7000,
+            frame,
+            PteFlags::WRITABLE | PteFlags::USER,
+        )
+        .unwrap();
+        mmu.access(&mut phys, &mut clock, &cost, asp, 0x7000, AccessKind::Read)
+            .unwrap();
+        // Kernel runs (tag switch + kernel working set), then returns.
+        mmu.switch_asid(&mut clock, &cost, KERNEL_ASID);
+        mmu.touch_kernel(&mut clock, &cost, 0x4_0000, 2);
+        mmu.switch_to_space(&mut clock, &cost, asp.root());
+        mmu.access(&mut phys, &mut clock, &cost, asp, 0x7000, AccessKind::Read)
+            .unwrap();
+        assert_eq!(
+            mmu.stats().tlb_hits,
+            1,
+            "the user translation must survive the kernel excursion"
+        );
+        assert_eq!(mmu.stats().flushes, 0);
+    }
+
+    #[test]
+    fn asid_rollover_bumps_generation_and_flushes() {
+        let (mut phys, mut fa, mut clock, cost, _mmu, asp1) = setup();
+        // Capacity 2 = exactly one allocatable user tag.
+        let mut mmu = Mmu::with_asid_capacity(16, 2);
+        let asp2 = AddressSpace::new(&mut phys, &mut fa).unwrap();
+        let f1 = fa.alloc().unwrap();
+        let f2 = fa.alloc().unwrap();
+        asp1.map(
+            &mut phys,
+            &mut fa,
+            0x3000,
+            f1,
+            PteFlags::WRITABLE | PteFlags::USER,
+        )
+        .unwrap();
+        asp2.map(
+            &mut phys,
+            &mut fa,
+            0x3000,
+            f2,
+            PteFlags::WRITABLE | PteFlags::USER,
+        )
+        .unwrap();
+        let p1 = mmu
+            .access(&mut phys, &mut clock, &cost, asp1, 0x3000, AccessKind::Read)
+            .unwrap();
+        assert_eq!(mmu.asid_generation(), 0);
+        // Second space exhausts the tag space: generation rolls over with
+        // one full flush, and the recycled tag serves the *new* space.
+        let p2 = mmu
+            .access(&mut phys, &mut clock, &cost, asp2, 0x3000, AccessKind::Read)
+            .unwrap();
+        assert_eq!(mmu.asid_generation(), 1);
+        assert_eq!(mmu.stats().flushes, 1);
+        assert_ne!(p1, p2, "recycled tag must never serve the old space's PTE");
+        assert_eq!(mmu.lookup_asid(asp1.root()), None);
+        assert_eq!(mmu.lookup_asid(asp2.root()), Some(1));
+    }
+
+    #[test]
+    fn kernel_touch_misses_then_hits() {
+        let (_phys, _fa, mut clock, cost, mut mmu, _asp) = setup();
+        mmu.touch_kernel(&mut clock, &cost, 0x4_0000, 4);
+        assert_eq!(mmu.stats().tlb_misses, 4);
+        mmu.touch_kernel(&mut clock, &cost, 0x4_0000, 4);
+        assert_eq!(mmu.stats().tlb_hits, 4);
+        assert_eq!(mmu.stats().accesses, 8);
     }
 }

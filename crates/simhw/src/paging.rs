@@ -275,6 +275,30 @@ impl AddressSpace {
         Ok(())
     }
 
+    /// Rewrites the leaf PTE for `vaddr` through the *existing* L2 table,
+    /// never allocating. This is the MMU's accessed/dirty writeback path:
+    /// it must not need a frame allocator, and it must fail loudly (rather
+    /// than silently dropping the bit) if the covering table is absent.
+    pub fn update_pte(
+        &self,
+        phys: &mut PhysMem,
+        vaddr: VirtAddr,
+        pte: Pte,
+    ) -> Result<(), PageFault> {
+        if vaddr >= VA_LIMIT {
+            return Err(PageFault::OutOfSpace(vaddr));
+        }
+        let l1 = self
+            .l1_entry(phys, vaddr)
+            .map_err(|_| PageFault::NotMapped(vaddr))?;
+        if !l1.flags().contains(PteFlags::PRESENT) {
+            return Err(PageFault::NotMapped(vaddr));
+        }
+        phys.write_u64(entry_addr(l1.pfn(), l2_index(vaddr)), pte.0)
+            .map_err(|_| PageFault::NotMapped(vaddr))?;
+        Ok(())
+    }
+
     /// Maps `vaddr` to frame `pfn` with `flags`.
     pub fn map(
         &self,
@@ -496,6 +520,37 @@ mod tests {
         asp.map(&mut phys, &mut fa, 0x20_0000, 3, PteFlags::USER)
             .unwrap();
         assert_eq!(asp.table_frames(&phys).unwrap(), 3);
+    }
+
+    #[test]
+    fn update_pte_rewrites_in_place_and_never_allocates() {
+        let (mut phys, mut fa) = setup();
+        let asp = AddressSpace::new(&mut phys, &mut fa).unwrap();
+        asp.map(&mut phys, &mut fa, 0x3000, 6, PteFlags::USER)
+            .unwrap();
+        let live = fa.allocated_frames();
+        let dirty = asp
+            .pte(&phys, 0x3000)
+            .unwrap()
+            .unwrap()
+            .with_flags(PteFlags::DIRTY);
+        asp.update_pte(&mut phys, 0x3000, dirty).unwrap();
+        assert_eq!(fa.allocated_frames(), live, "writeback must not allocate");
+        assert!(asp
+            .pte(&phys, 0x3000)
+            .unwrap()
+            .unwrap()
+            .flags()
+            .contains(PteFlags::DIRTY));
+        // No covering L2 table: the error surfaces instead of allocating.
+        assert_eq!(
+            asp.update_pte(&mut phys, 0xa0_0000, dirty),
+            Err(PageFault::NotMapped(0xa0_0000))
+        );
+        assert_eq!(
+            asp.update_pte(&mut phys, VA_LIMIT, dirty),
+            Err(PageFault::OutOfSpace(VA_LIMIT))
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use ow_simhw::{
     paging::{PageFault, VA_LIMIT},
-    AddressSpace, FrameAllocator, PhysMem, Pte, PteFlags, SimRng, PAGE_SIZE,
+    AccessKind, AddressSpace, Clock, CostModel, FrameAllocator, Mmu, PhysMem, Pte, PteFlags,
+    SimRng, KERNEL_ASID, PAGE_SIZE,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -128,6 +129,100 @@ fn phys_mem_matches_byte_oracle() {
         let mut got = vec![0u8; 8192];
         phys.read(0, &mut got).unwrap();
         assert_eq!(got, oracle);
+    }
+}
+
+/// The tagged TLB never serves a stale translation: on random traces of
+/// map/unmap/remap (followed by the kernel's ranged-invalidation rule),
+/// small-capacity ASID rollovers, and protected-style kernel enter/exit tag
+/// switches, every translation through a tagged [`Mmu`] agrees exactly with
+/// a flush-always oracle MMU that re-walks the page tables on every access.
+#[test]
+fn tagged_translation_matches_flush_always_oracle() {
+    let mut rng = SimRng::seed_from_u64(0x907e_0006);
+    let cost = CostModel::default();
+    for case in 0..CASES {
+        let mut phys = PhysMem::new(512);
+        let mut fa = FrameAllocator::new(0, 512);
+        // Capacity 3 = two allocatable user tags for three spaces, so the
+        // round-robin below keeps recycling generations.
+        let mut tagged = Mmu::with_asid_capacity(16, 3);
+        let mut oracle = Mmu::new(16);
+        let mut tclock = Clock::new();
+        let mut oclock = Clock::new();
+        let spaces: Vec<AddressSpace> = (0..3)
+            .map(|_| AddressSpace::new(&mut phys, &mut fa).unwrap())
+            .collect();
+        let vaddr_of = |page: u64| (page % 8) * 0x20_0000 + (page / 8) * PAGE_SIZE as u64;
+        let nops = rng.gen_range(40usize..120);
+        for _ in 0..nops {
+            let asp = spaces[rng.gen_range(0usize..spaces.len())];
+            let page = rng.gen_range(0u64..24);
+            let vaddr = vaddr_of(page);
+            match rng.gen_range(0u32..8) {
+                // Map or remap, then apply the ranged-invalidation rule the
+                // kernel follows after any PTE rewrite.
+                0 | 1 | 2 => {
+                    let pfn = rng.gen_range(1u64..512);
+                    let mut flags = PteFlags::USER;
+                    if rng.gen_bool(0.75) {
+                        flags |= PteFlags::WRITABLE;
+                    }
+                    if asp.pte(&phys, vaddr).unwrap().is_some() {
+                        asp.unmap(&mut phys, vaddr).unwrap();
+                    }
+                    if asp.map(&mut phys, &mut fa, vaddr, pfn, flags).is_ok() {
+                        tagged.invalidate_range(
+                            &mut tclock,
+                            &cost,
+                            asp.root(),
+                            vaddr,
+                            PAGE_SIZE as u64,
+                        );
+                    }
+                }
+                // Unmap + invalidate.
+                3 => {
+                    asp.unmap(&mut phys, vaddr).unwrap();
+                    tagged.invalidate_range(
+                        &mut tclock,
+                        &cost,
+                        asp.root(),
+                        vaddr,
+                        PAGE_SIZE as u64,
+                    );
+                }
+                // A protected-mode kernel excursion: tag switch to the
+                // kernel-only set, kernel working set competes for slots,
+                // tag switch back. No flush anywhere.
+                4 => {
+                    tagged.switch_asid(&mut tclock, &cost, KERNEL_ASID);
+                    let pages = rng.gen_range(1u64..8);
+                    tagged.touch_kernel(&mut tclock, &cost, VA_LIMIT >> 12, pages);
+                    tagged.switch_to_space(&mut tclock, &cost, asp.root());
+                }
+                // Translate through both MMUs and demand identical results.
+                _ => {
+                    let kind = if rng.gen_bool(0.5) {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    oracle.flush(&mut oclock, &cost);
+                    let want = oracle.access(&mut phys, &mut oclock, &cost, asp, vaddr, kind);
+                    let got = tagged.access(&mut phys, &mut tclock, &cost, asp, vaddr, kind);
+                    assert_eq!(
+                        got, want,
+                        "case {case}: stale translation at {vaddr:#x} ({kind:?})"
+                    );
+                }
+            }
+        }
+        assert!(
+            tagged.asid_generation() > 0,
+            "case {case}: three spaces over two tags must roll the generation"
+        );
+        assert_eq!(tagged.stats().flushes, tagged.asid_generation());
     }
 }
 

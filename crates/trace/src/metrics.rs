@@ -26,6 +26,9 @@ pub enum Counter {
     FaultsInjected = 6,
     /// Panic-path steps executed.
     PanicSteps = 7,
+    /// TLB tag-register switches (the protected mode's tagged fast path;
+    /// compare against [`Counter::PtSwitches`] to see the flushes saved).
+    AsidSwitches = 8,
 }
 
 /// Number of counter slots reserved in the header (fixed by the shared

@@ -50,6 +50,7 @@ fn run_with_crash_kernel(crash_version: u32, max_reboots: u32) -> Option<u32> {
             ram_frames: 4096,
             cpus: 2,
             tlb_entries: 64,
+            tlb_tagged: true,
             cost: otherworld::simhw::CostModel::zero_io(),
         },
         KernelConfig {

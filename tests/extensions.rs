@@ -66,6 +66,7 @@ fn boot_with(config: KernelConfig) -> Kernel {
         ram_frames: 4096,
         cpus: 2,
         tlb_entries: 64,
+        tlb_tagged: true,
         cost: otherworld::simhw::CostModel::zero_io(),
     });
     Kernel::boot_cold(machine, config, registry()).expect("boot")
@@ -301,6 +302,7 @@ fn hot_kernel_update_preserves_applications() {
             ram_frames: 4096,
             cpus: 2,
             tlb_entries: 64,
+            tlb_tagged: true,
             cost: otherworld::simhw::CostModel::zero_io(),
         },
         KernelConfig {

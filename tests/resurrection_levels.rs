@@ -44,6 +44,7 @@ fn boot(action: &'static str) -> Kernel {
         ram_frames: 4096,
         cpus: 2,
         tlb_entries: 64,
+        tlb_tagged: true,
         cost: otherworld::simhw::CostModel::zero_io(),
     });
     let mut registry = ProgramRegistry::new();

@@ -24,6 +24,7 @@ fn boot(fixes: RobustnessFixes) -> Kernel {
         ram_frames: 4096,
         cpus: 2,
         tlb_entries: 64,
+        tlb_tagged: true,
         cost: otherworld::simhw::CostModel::zero_io(),
     });
     let mut registry = ProgramRegistry::new();
